@@ -1,0 +1,138 @@
+"""A2 — ablation: the storage substrate behaves like the engine class the
+paper assumes (§2.2).
+
+- delta merge: scans over a merged (dictionary-encoded) main fragment vs. a
+  large unmerged delta;
+- NSE page buffer: page-wise access under a constrained buffer vs. fully
+  in-memory columns;
+- MVCC fast path: scan cost on a clean bulk-loaded table vs. one with
+  transactional versions.
+"""
+
+import time
+
+import pytest
+
+from repro import Database
+from repro.bench import write_report
+from repro.storage.column import ColumnFragments
+from repro.storage.nse import PageBuffer, PagedColumn
+from conftest import run_exec
+
+ROWS = 30000
+
+
+@pytest.fixture(scope="module")
+def storage_db():
+    db = Database(wal_enabled=False)
+    db.execute(
+        "create table merged (k int primary key, grp int not null, v decimal(10,2))"
+    )
+    db.execute(
+        "create table unmerged (k int primary key, grp int not null, v decimal(10,2))"
+    )
+    rows = [(i, i % 100, f"{i % 997}.25") for i in range(ROWS)]
+    db.bulk_load("merged", rows, merge=True)
+    db.bulk_load("unmerged", rows, merge=False)
+    return db
+
+AGG = "select grp, sum(v) from {table} group by grp"
+
+
+def test_scan_merged_main(storage_db, benchmark):
+    plan = storage_db.plan_for(AGG.format(table="merged"))
+    benchmark(lambda: run_exec(storage_db, plan))
+
+
+def test_scan_unmerged_delta(storage_db, benchmark):
+    plan = storage_db.plan_for(AGG.format(table="unmerged"))
+    benchmark(lambda: run_exec(storage_db, plan))
+
+
+def test_delta_merge_cost(storage_db, benchmark):
+    def merge_cycle():
+        table = storage_db.catalog.table("unmerged")
+        table.merge_delta()
+        # re-disperse: append a small delta again so the fixture stays warm
+        txn = storage_db.begin()
+        table.insert(txn, (ROWS + merge_cycle.counter, 1, "1.00"))
+        merge_cycle.counter += 1
+        storage_db.commit(txn)
+
+    merge_cycle.counter = 0
+    benchmark.pedantic(merge_cycle, rounds=3, iterations=1)
+
+
+def test_nse_paged_vs_inmemory(benchmark):
+    def measure():
+        values = list(range(50000))
+        fragments = ColumnFragments(values)
+        start = time.perf_counter()
+        total = sum(fragments.values())
+        in_memory = time.perf_counter() - start
+
+        tight = PageBuffer(capacity=8)
+        paged = PagedColumn(fragments, tight, page_rows=1024)
+        start = time.perf_counter()
+        total2 = sum(paged.values())
+        paged_tight = time.perf_counter() - start
+
+        roomy = PageBuffer(capacity=64)
+        paged2 = PagedColumn(fragments, roomy, page_rows=1024)
+        sum(paged2.values())  # warm the buffer
+        start = time.perf_counter()
+        total3 = sum(paged2.values())
+        paged_warm = time.perf_counter() - start
+        assert total == total2 == total3
+        return in_memory, paged_tight, paged_warm, tight.stats, roomy.stats
+
+    in_memory, tight_time, warm_time, tight_stats, roomy_stats = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    write_report(
+        "ablation_storage_nse",
+        "A2 — NSE page-buffer simulation (50k-row column, 1024-row pages)\n\n"
+        f"fully in-memory column scan       : {in_memory*1000:7.1f} ms\n"
+        f"page-wise, 8-page buffer (cold)   : {tight_time*1000:7.1f} ms "
+        f"(hit ratio {tight_stats.hit_ratio:.2%}, {tight_stats.evictions} evictions)\n"
+        f"page-wise, 64-page buffer (warm)  : {warm_time*1000:7.1f} ms "
+        f"(hit ratio {roomy_stats.hit_ratio:.2%})\n\n"
+        "Expected shape: warm page-wise access approaches in-memory cost;\n"
+        "a too-small buffer pays per-page load penalties — the trade NSE\n"
+        "offers for warm data (§2.2).",
+    )
+    assert roomy_stats.hit_ratio > 0.99
+
+
+def test_mvcc_fast_path_report(storage_db, benchmark):
+    def measure():
+        clean_plan = storage_db.plan_for("select count(*) from merged")
+        samples = []
+        for _ in range(5):
+            start = time.perf_counter()
+            run_exec(storage_db, clean_plan)
+            samples.append(time.perf_counter() - start)
+        clean = sorted(samples)[2]
+
+        txn = storage_db.begin()
+        storage_db.execute("delete from merged where k = 0", txn=txn)
+        storage_db.commit(txn)
+        versioned_plan = storage_db.plan_for("select count(*) from merged")
+        samples = []
+        for _ in range(5):
+            start = time.perf_counter()
+            run_exec(storage_db, versioned_plan)
+            samples.append(time.perf_counter() - start)
+        versioned = sorted(samples)[2]
+        return clean, versioned
+
+    clean, versioned = benchmark.pedantic(measure, rounds=1, iterations=1)
+    write_report(
+        "ablation_storage_mvcc",
+        "A2 — MVCC visibility cost on scans (30k rows)\n\n"
+        f"clean bulk-loaded table (fast path) : {clean*1000:7.2f} ms\n"
+        f"after one versioned delete          : {versioned*1000:7.2f} ms\n\n"
+        "Expected shape: per-row visibility checks cost a multiple of the\n"
+        "fast path — why HTAP engines keep version metadata compact.",
+    )
+    assert versioned >= clean * 0.5  # sanity: both measurements are real

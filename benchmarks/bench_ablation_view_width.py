@@ -1,0 +1,93 @@
+"""A1 — ablation: the value of UAJ elimination vs. view expansiveness.
+
+Paper §4.1: VDM views join up to 100+ tables while queries touch 10-20
+fields.  This ablation sweeps the number of (unused) augmentation joins in
+a generated view and contrasts query time with UAJ elimination (hana
+profile) against without (system_x profile, which has no join elimination).
+
+Expected shape: the optimized series is flat; the unoptimized series grows
+linearly with the view width — the gap IS the paper's motivation.
+"""
+
+import time
+
+import pytest
+
+from repro import Database
+from repro.bench import write_report
+from repro.vdm.generator import build_wide_view
+from conftest import run_exec
+
+WIDTHS = [0, 5, 10, 20, 30]
+QUERY = "select fkey, amount from {view} limit 50"
+
+
+@pytest.fixture(scope="module")
+def wide_db():
+    db = Database(wal_enabled=False)
+    for width in WIDTHS:
+        build_wide_view(db, f"wide{width}", join_count=width, fact_rows=8000)
+    return db
+
+
+def test_width30_with_uaj(wide_db, benchmark):
+    wide_db.set_profile("hana")
+    plan = wide_db.plan_for(QUERY.format(view="wide30"))
+    benchmark(lambda: run_exec(wide_db, plan))
+
+
+def test_width30_without_uaj(wide_db, benchmark):
+    wide_db.set_profile("system_x")
+    plan = wide_db.plan_for(QUERY.format(view="wide30"))
+    wide_db.set_profile("hana")
+    benchmark(lambda: run_exec(wide_db, plan))
+
+
+def test_view_width_sweep(wide_db, benchmark):
+    def measure():
+        series = []
+        for width in WIDTHS:
+            sql = QUERY.format(view=f"wide{width}")
+            wide_db.set_profile("hana")
+            optimized_plan = wide_db.plan_for(sql)
+            wide_db.set_profile("system_x")
+            unoptimized_plan = wide_db.plan_for(sql)
+            wide_db.set_profile("hana")
+            timings = []
+            for plan in (optimized_plan, unoptimized_plan):
+                samples = []
+                for _ in range(3):
+                    start = time.perf_counter()
+                    run_exec(wide_db, plan)
+                    samples.append(time.perf_counter() - start)
+                timings.append(sorted(samples)[1] * 1000)
+            series.append((width, timings[0], timings[1]))
+        return series
+
+    series = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        "A1 — query time vs. number of unused augmentation joins in the view",
+        "(8000-row fact table, query touches 2 fields + limit 50)",
+        "",
+        f"{'unused AJs':>11} {'with UAJ elim (ms)':>20} {'without (ms)':>14} {'ratio':>7}",
+    ]
+    for width, optimized, unoptimized in series:
+        lines.append(
+            f"{width:>11} {optimized:>20.2f} {unoptimized:>14.2f} "
+            f"{unoptimized / max(optimized, 1e-6):>7.1f}"
+        )
+    lines += [
+        "",
+        "Expected shape: the optimized series is flat (the joins are gone);",
+        "the unoptimized series grows with view width.",
+    ]
+    write_report("ablation_view_width", "\n".join(lines))
+
+    optimized_times = [o for _, o, _ in series]
+    unoptimized_times = [u for _, _, u in series]
+    # flat optimized series: widest view costs at most ~4x the narrowest
+    assert max(optimized_times) < optimized_times[0] * 4 + 1.0
+    # growing unoptimized series: width 30 costs >> width 0
+    assert unoptimized_times[-1] > unoptimized_times[0] * 5
+    # the headline gap at width 30
+    assert unoptimized_times[-1] / max(optimized_times[-1], 1e-6) > 10

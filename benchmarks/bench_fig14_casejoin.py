@@ -1,0 +1,152 @@
+"""E7 — Figure 14: performance impact of the case-join ASJ optimization.
+
+The paper's experiment: 100 VDM views, each queried as
+``select * from V limit 10`` in two forms — the original view and the
+extension view exposing a custom field.  Panel (a) extends with a plain
+LEFT OUTER JOIN (the optimizer must *recognize* the ASJ-with-Union-All
+pattern structurally, which fails for non-canonical shapes); panel (b)
+extends with the declared-intent CASE JOIN.  Execution time only, as in the
+paper ("excluding the query optimization time").
+
+Expected shape: panel (b) hugs the diagonal (extension ≈ original); panel
+(a) shows the canonical half on the diagonal and the non-canonical half far
+above it — the paper reports up to 2-3 orders of magnitude.
+"""
+
+import math
+import statistics
+import time
+
+import pytest
+
+from repro import Database
+from repro.bench import write_report
+from repro.vdm.generator import SyntheticVdm
+from conftest import run_exec
+
+VIEW_COUNT = 100
+MIN_ROWS = 50
+MAX_ROWS = 50000
+REPEATS = 3
+
+
+@pytest.fixture(scope="module")
+def population():
+    db = Database(wal_enabled=False)
+    generator = SyntheticVdm(db, seed=20250607)
+    views = generator.build_views(
+        count=VIEW_COUNT, min_rows=MIN_ROWS, max_rows=MAX_ROWS,
+        min_dims=2, max_dims=5, canonical_ratio=0.5,
+    )
+    return db, views
+
+
+def median_exec_ms(db, plan) -> float:
+    samples = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        run_exec(db, plan)
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples) * 1000
+
+
+def collect_panel(db, views, extended_attr):
+    """(original_ms, extended_ms, canonical, rows) per view."""
+    points = []
+    for view in views:
+        original = db.plan_for(f"select * from {view.name} limit 10")
+        extended = db.plan_for(
+            f"select * from {getattr(view, extended_attr)} limit 10"
+        )
+        points.append(
+            (
+                median_exec_ms(db, original),
+                median_exec_ms(db, extended),
+                view.canonical,
+                view.rows,
+            )
+        )
+    return points
+
+
+def render_panel(title, points):
+    ratios = [e / max(o, 1e-6) for o, e, _, _ in points]
+    lines = [title, ""]
+    lines.append(f"{'rows':>8} {'canonical':>10} {'orig ms':>10} {'ext ms':>10} {'ratio':>8}")
+    for (o, e, canonical, rows) in points:
+        lines.append(f"{rows:>8} {str(canonical):>10} {o:>10.2f} {e:>10.2f} {e/max(o,1e-6):>8.1f}")
+    lines.append("")
+    lines.append(f"median ratio : {statistics.median(ratios):6.1f}x")
+    lines.append(f"max ratio    : {max(ratios):6.1f}x")
+    return lines, ratios
+
+
+def test_fig14_scatter(population, benchmark):
+    db, views = population
+
+    def measure():
+        panel_a = collect_panel(db, views, "extended_plain")
+        panel_b = collect_panel(db, views, "extended_case")
+        return panel_a, panel_b
+
+    panel_a, panel_b = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    lines_a, ratios_a = render_panel(
+        "Fig. 14(a) — extension via plain LEFT OUTER JOIN (structural "
+        "recognition)", panel_a,
+    )
+    lines_b, ratios_b = render_panel(
+        "Fig. 14(b) — extension via CASE JOIN (declared ASJ intent)", panel_b,
+    )
+
+    canonical_a = [e / max(o, 1e-6) for o, e, c, _ in panel_a if c]
+    noncanon_a = [e / max(o, 1e-6) for o, e, c, _ in panel_a if not c]
+    # The blow-up is size-correlated (tiny views have sub-ms absolute cost
+    # and sit near the diagonal even unrecognized, as in the paper's plot).
+    mid_noncanon_a = [
+        e / max(o, 1e-6) for o, e, c, rows in panel_a if not c and rows > 2000
+    ]
+    big_noncanon_a = [
+        e / max(o, 1e-6) for o, e, c, rows in panel_a if not c and rows > 5000
+    ]
+
+    summary = [
+        "",
+        "Shape check vs. the paper:",
+        f"  (b) all points near the diagonal: median {statistics.median(ratios_b):.1f}x, "
+        f"max {max(ratios_b):.1f}x",
+        f"  (a) canonical (recognized) views stay near the diagonal: "
+        f"median {statistics.median(canonical_a):.1f}x",
+        f"  (a) non-canonical (unrecognized) views blow up: "
+        f"median {statistics.median(noncanon_a):.1f}x, max {max(noncanon_a):.1f}x",
+        f"  (a) large unrecognized views: up to {max(big_noncanon_a):.0f}x slower "
+        f"(paper: up to 2-3 orders of magnitude)",
+    ]
+    write_report(
+        "fig14_casejoin", "\n".join(lines_a + [""] + lines_b + summary)
+    )
+
+    # Panel (b): diagonal — every extension within a small factor.
+    assert statistics.median(ratios_b) < 3
+    # Panel (a): recognized views on the diagonal, unrecognized far above
+    # (the paper reports up to 2-3 orders of magnitude on production VDM
+    # views; at this synthetic scale we expect >= 1-2 orders at the top).
+    assert statistics.median(canonical_a) < 3
+    assert statistics.median(mid_noncanon_a) > 4
+    assert max(big_noncanon_a) > 15
+
+
+def test_fig14_results_correct_sample(population, benchmark):
+    """Optimized and unoptimized extension results agree (sampled)."""
+    db, views = population
+
+    def check():
+        for view in views[::25]:
+            for name in (view.extended_plain, view.extended_case):
+                sql = f"select * from {name}"
+                a = db.query(sql)
+                b = db.query(sql, optimize=False)
+                assert sorted(map(repr, a.rows)) == sorted(map(repr, b.rows)), name
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

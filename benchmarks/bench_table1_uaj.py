@@ -1,0 +1,78 @@
+"""E1 — Table 1: UAJ optimization status across the five system profiles.
+
+Regenerates the paper's 7x5 Y/- matrix by running each profile's optimizer
+on the Fig. 5 queries and inspecting the resulting plans, and times the
+execution payoff of UAJ elimination on the TPC-H data.
+"""
+
+from repro.algebra.ops import Join
+from repro.bench import format_matrix, write_report
+from repro.workloads import queries
+from conftest import run_exec
+
+
+def compute_matrix(db):
+    observed = []
+    for query in queries.UAJ_SUITE:
+        row = ""
+        for profile in queries.PROFILE_ORDER:
+            db.set_profile(profile)
+            plan = db.plan_for(query.sql)
+            row += "Y" if not any(isinstance(n, Join) for n in plan.walk()) else "-"
+        observed.append(row)
+    db.set_profile("hana")
+    return observed
+
+
+def test_table1_matrix(tpch_bench_db, benchmark):
+    observed = benchmark(compute_matrix, tpch_bench_db)
+    expected = [q.expected for q in queries.UAJ_SUITE]
+    report = format_matrix(
+        "Table 1 — UAJ optimization status (Y = join eliminated)",
+        [q.name for q in queries.UAJ_SUITE],
+        queries.PROFILE_ORDER,
+        observed,
+        expected,
+    )
+    write_report("table1_uaj", report)
+    assert observed == expected
+
+
+def _exec_case(db, sql, optimize):
+    plan = db.plan_for(sql, optimize=optimize)
+    return lambda: run_exec(db, plan)
+
+
+def test_uaj1_execution_optimized(tpch_bench_db, benchmark):
+    sql = queries.UAJ_SUITE[0].sql
+    result = benchmark(_exec_case(tpch_bench_db, sql, True))
+
+
+def test_uaj1_execution_unoptimized(tpch_bench_db, benchmark):
+    sql = queries.UAJ_SUITE[0].sql
+    benchmark(_exec_case(tpch_bench_db, sql, False))
+
+
+def test_uaj2a_execution_optimized(tpch_bench_db, benchmark):
+    sql = queries.UAJ_SUITE[4].sql
+    benchmark(_exec_case(tpch_bench_db, sql, True))
+
+
+def test_uaj2a_execution_unoptimized(tpch_bench_db, benchmark):
+    sql = queries.UAJ_SUITE[4].sql
+    benchmark(_exec_case(tpch_bench_db, sql, False))
+
+
+def test_uaj_results_identical(tpch_bench_db, benchmark):
+    """Correctness guard, timed only to satisfy --benchmark-only."""
+
+    def check():
+        for query in queries.UAJ_SUITE:
+            optimized = tpch_bench_db.query(query.sql)
+            unoptimized = tpch_bench_db.query(query.sql, optimize=False)
+            assert sorted(map(repr, optimized.rows)) == sorted(
+                map(repr, unoptimized.rows)
+            ), query.name
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

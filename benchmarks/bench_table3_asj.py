@@ -1,0 +1,72 @@
+"""E3 — Table 3: ASJ optimization status (Fig. 10a/b/c).
+
+Regenerates the 3x5 matrix and times the execution payoff of removing a
+used augmentation self-join.
+"""
+
+from repro.algebra.ops import Scan
+from repro.bench import format_matrix, write_report
+from repro.workloads import queries
+from conftest import run_exec
+
+
+def compute_matrix(db):
+    observed = []
+    for query in queries.ASJ_SUITE:
+        row = ""
+        for profile in queries.PROFILE_ORDER:
+            db.set_profile(profile)
+            plan = db.plan_for(query.sql)
+            customer_scans = sum(
+                1 for n in plan.walk()
+                if isinstance(n, Scan) and n.schema.name == "customer"
+            )
+            row += "Y" if customer_scans <= 1 else "-"
+        observed.append(row)
+    db.set_profile("hana")
+    return observed
+
+
+def test_table3_matrix(tpch_bench_db, benchmark):
+    observed = benchmark(compute_matrix, tpch_bench_db)
+    expected = [q.expected for q in queries.ASJ_SUITE]
+    report = format_matrix(
+        "Table 3 — ASJ optimization status (Y = self-join rewired away)",
+        [q.name for q in queries.ASJ_SUITE],
+        queries.PROFILE_ORDER,
+        observed,
+        expected,
+    )
+    write_report("table3_asj", report)
+    assert observed == expected
+
+
+def test_fig10a_execution_optimized(tpch_bench_db, benchmark):
+    plan = tpch_bench_db.plan_for(queries.ASJ_SUITE[0].sql, optimize=True)
+    benchmark(lambda: run_exec(tpch_bench_db, plan))
+
+
+def test_fig10a_execution_unoptimized(tpch_bench_db, benchmark):
+    plan = tpch_bench_db.plan_for(queries.ASJ_SUITE[0].sql, optimize=False)
+    benchmark(lambda: run_exec(tpch_bench_db, plan))
+
+
+def test_fig10b_execution_optimized(tpch_bench_db, benchmark):
+    plan = tpch_bench_db.plan_for(queries.ASJ_SUITE[1].sql, optimize=True)
+    benchmark(lambda: run_exec(tpch_bench_db, plan))
+
+
+def test_fig10b_execution_unoptimized(tpch_bench_db, benchmark):
+    plan = tpch_bench_db.plan_for(queries.ASJ_SUITE[1].sql, optimize=False)
+    benchmark(lambda: run_exec(tpch_bench_db, plan))
+
+
+def test_asj_results_identical(tpch_bench_db, benchmark):
+    def check():
+        for query in queries.ASJ_SUITE + [queries.ASJ_NEGATIVE]:
+            a = tpch_bench_db.query(query.sql)
+            b = tpch_bench_db.query(query.sql, optimize=False)
+            assert sorted(map(repr, a.rows)) == sorted(map(repr, b.rows)), query.name
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,96 @@
+"""E4 — Table 4: UAJ optimization with Union All (paper §6.2, Fig. 12).
+
+Regenerates the 2x5 matrix (rows labeled as in the paper: the union
+patterns of Fig. 11a/b) and times the payoff of eliminating a union-typed
+augmenter.
+"""
+
+from repro.algebra.ops import Join
+from repro.bench import format_matrix, write_report
+from repro.workloads import queries
+from conftest import run_exec
+
+
+def compute_matrix(db):
+    observed = []
+    for query in queries.UNION_UAJ_SUITE:
+        row = ""
+        for profile in queries.PROFILE_ORDER:
+            db.set_profile(profile)
+            plan = db.plan_for(query.sql)
+            row += "Y" if not any(isinstance(n, Join) for n in plan.walk()) else "-"
+        observed.append(row)
+    db.set_profile("hana")
+    return observed
+
+
+def test_table4_matrix(tpch_bench_db, benchmark):
+    observed = benchmark(compute_matrix, tpch_bench_db)
+    expected = [q.expected for q in queries.UNION_UAJ_SUITE]
+    report = format_matrix(
+        "Table 4 — UAJ optimization status for Union All",
+        [q.name for q in queries.UNION_UAJ_SUITE],
+        queries.PROFILE_ORDER,
+        observed,
+        expected,
+    )
+    write_report("table4_unionall", report)
+    assert observed == expected
+
+
+def test_fig11a_execution_optimized(tpch_bench_db, benchmark):
+    plan = tpch_bench_db.plan_for(queries.UNION_UAJ_SUITE[0].sql, optimize=True)
+    benchmark(lambda: run_exec(tpch_bench_db, plan))
+
+
+def test_fig11a_execution_unoptimized(tpch_bench_db, benchmark):
+    plan = tpch_bench_db.plan_for(queries.UNION_UAJ_SUITE[0].sql, optimize=False)
+    benchmark(lambda: run_exec(tpch_bench_db, plan))
+
+
+def test_fig11b_execution_optimized(tpch_bench_db, benchmark):
+    plan = tpch_bench_db.plan_for(queries.UNION_UAJ_SUITE[1].sql, optimize=True)
+    benchmark(lambda: run_exec(tpch_bench_db, plan))
+
+
+def test_fig11b_execution_unoptimized(tpch_bench_db, benchmark):
+    plan = tpch_bench_db.plan_for(queries.UNION_UAJ_SUITE[1].sql, optimize=False)
+    benchmark(lambda: run_exec(tpch_bench_db, plan))
+
+
+def test_fig13_patterns(tpch_bench_db, benchmark):
+    """Fig. 13a + both Fig. 13b flavours: plans and results."""
+    from repro.algebra.ops import Join as JoinOp
+
+    def check():
+        outcomes = {}
+        for query in (queries.FIG13A, queries.FIG13B_CASE_JOIN, queries.FIG13B_PLAIN):
+            tpch_bench_db.set_profile("hana")
+            plan = tpch_bench_db.plan_for(query.sql)
+            joins = sum(1 for n in plan.walk() if isinstance(n, JoinOp))
+            a = tpch_bench_db.query(query.sql)
+            b = tpch_bench_db.query(query.sql, optimize=False)
+            assert sorted(map(repr, a.rows)) == sorted(map(repr, b.rows)), query.name
+            outcomes[query.name] = joins
+        return outcomes
+
+    outcomes = benchmark.pedantic(check, rounds=1, iterations=1)
+    lines = ["Fig. 13 — ASJ with Union All (HANA profile)", ""]
+    for name, joins in outcomes.items():
+        lines.append(f"{name:28} remaining joins: {joins} (expected 0)")
+    write_report("fig13_union_asj", "\n".join(lines))
+    assert all(j == 0 for j in outcomes.values())
+
+
+def test_union_results_identical(tpch_bench_db, benchmark):
+    def check():
+        for query in queries.UNION_UAJ_SUITE:
+            for profile in queries.PROFILE_ORDER:
+                tpch_bench_db.set_profile(profile)
+                a = tpch_bench_db.query(query.sql)
+                b = tpch_bench_db.query(query.sql, optimize=False)
+                assert sorted(a.rows) == sorted(b.rows), (query.name, profile)
+        tpch_bench_db.set_profile("hana")
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

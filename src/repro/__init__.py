@@ -1,0 +1,33 @@
+"""repro — reproduction of the SIGMOD-Companion '25 paper
+"Enterprise Application-Database Co-Innovation for HTAP: A Virtual Data
+Model and Its Query Optimization Needs" (Kim et al.).
+
+Public API highlights:
+
+- :class:`repro.Database` — an embedded in-memory columnar HTAP engine with
+  MVCC, SQL, views, and the paper's optimizer (UAJ / ASJ / Union-All rules,
+  limit pushdown, precision-loss aggregation pushdown, expression macros,
+  declared join cardinalities, case join).
+- :mod:`repro.vdm` — a CDS-style Virtual Data Model layer: entities with
+  associations, layered views, upgrade-safe custom-field extension, draft
+  tables, and data access control.
+- :mod:`repro.workloads` — TPC-H-subset and S/4-style synthetic workloads.
+- :mod:`repro.optimizer.profiles` — capability profiles reproducing the
+  paper's five-system comparison (Tables 1-4).
+"""
+
+from .database import Database  # noqa: F401
+from .engine import QueryResult  # noqa: F401
+from .errors import (  # noqa: F401
+    BindError,
+    CatalogError,
+    ConstraintError,
+    ExecutionError,
+    OptimizerError,
+    ReproError,
+    SqlSyntaxError,
+    TransactionError,
+    TypeCheckError,
+)
+
+__version__ = "1.0.0"

@@ -1,0 +1,130 @@
+"""Interactive SQL shell:  python -m repro
+
+A minimal REPL over :class:`repro.Database` for exploring the engine and
+the paper's optimizations.  Dot-commands:
+
+  .help                     this text
+  .profile [name]           show / set the optimizer profile
+  .explain <sql>            optimized plan
+  .explain! <sql>           unoptimized (bound) plan
+  .stats <sql>              plan statistics (the Fig. 3-style counters)
+  .verify <sql>             §7.3 declared-cardinality verification
+  .tables / .views          catalog listing
+  .demo                     load a small demo schema
+  .quit
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import Database
+from .errors import ReproError
+
+
+def format_result(result, max_rows: int = 50) -> str:
+    if not result.column_names:
+        return "(no columns)"
+    rows = result.rows[:max_rows]
+    headers = result.column_names
+    widths = [
+        max(len(h), *(len(str(r[i])) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    if len(result.rows) > max_rows:
+        lines.append(f"... ({len(result.rows)} rows total)")
+    else:
+        lines.append(f"({len(result.rows)} row(s))")
+    return "\n".join(lines)
+
+
+DEMO_SQL = [
+    "create table customer (c_id int primary key, c_name varchar(30), c_tier int)",
+    "create table orders (o_id int primary key, o_cust int not null, "
+    "o_total decimal(12,2), o_status varchar(1) not null)",
+    "insert into customer values (1,'ACME',1),(2,'Globex',2),(3,'Initech',1)",
+    "insert into orders values (10,1,100.00,'N'),(11,1,250.50,'P'),"
+    "(12,2,75.25,'N'),(13,3,990.00,'P')",
+    "create view orderview as select o.o_id, o.o_total, o.o_status, c.c_name "
+    "from orders o left outer many to one join customer c on o.o_cust = c.c_id",
+]
+
+
+def run_command(db: Database, line: str) -> bool:
+    """Handle one input line; returns False to exit."""
+    stripped = line.strip()
+    if not stripped:
+        return True
+    if stripped in (".quit", ".exit", "\\q"):
+        return False
+    try:
+        if stripped == ".help":
+            print(__doc__)
+        elif stripped.startswith(".profile"):
+            parts = stripped.split(None, 1)
+            if len(parts) == 2:
+                db.set_profile(parts[1])
+            print(f"optimizer profile: {db.profile}")
+        elif stripped.startswith(".explain!"):
+            print(db.explain(stripped[len(".explain!"):].strip(), optimize=False))
+        elif stripped.startswith(".explain"):
+            print(db.explain(stripped[len(".explain"):].strip()))
+        elif stripped.startswith(".stats"):
+            sql = stripped[len(".stats"):].strip()
+            print("bound    :", db.plan_statistics(sql, optimize=False).summary())
+            print("optimized:", db.plan_statistics(sql).summary())
+        elif stripped.startswith(".verify"):
+            from .tools import verify_join_cardinalities
+
+            print(verify_join_cardinalities(db, stripped[len(".verify"):].strip()).summary())
+        elif stripped == ".tables":
+            for table in db.catalog.tables():
+                print(f"  {table.schema.name}  ({len(table)} row versions)")
+        elif stripped == ".views":
+            for view in db.catalog.views():
+                print(f"  {view.name}")
+        elif stripped == ".demo":
+            for sql in DEMO_SQL:
+                db.execute(sql)
+            print("demo schema loaded: customer, orders, orderview")
+        elif stripped.startswith("."):
+            print(f"unknown command {stripped.split()[0]!r}; try .help")
+        else:
+            outcome = db.execute(stripped.rstrip(";"))
+            if outcome is None:
+                print("ok")
+            elif isinstance(outcome, int):
+                print(f"{outcome} row(s) affected")
+            else:
+                print(format_result(outcome))
+    except ReproError as error:
+        print(f"error: {error}")
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    print("repro — HTAP engine with the VDM optimizer "
+          "(.help for commands, .demo for sample data)")
+    db = Database()
+    try:
+        while True:
+            try:
+                line = input("repro> ")
+            except EOFError:
+                break
+            if not run_command(db, line):
+                break
+    except KeyboardInterrupt:
+        pass
+    print("bye")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Logical algebra: typed, column-id based relational operator trees.
+
+Every operator output column carries a plan-unique integer **column id**
+(cid); expressions reference cids rather than names.  All optimizer rewrites
+preserve the cids of retained columns, which is what makes join elimination
+and self-join rewiring (the paper's UAJ/ASJ optimizations) local,
+compositional transformations.
+"""
+
+from .expr import (  # noqa: F401
+    AggCall,
+    Call,
+    Case,
+    Cast,
+    ColRef,
+    Const,
+    Expr,
+    conjuncts,
+    make_and,
+    referenced_cids,
+    rewrite_expr,
+    substitute_cids,
+)
+from .ops import (  # noqa: F401
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    JoinType,
+    Limit,
+    LogicalOp,
+    OutputCol,
+    Project,
+    Scan,
+    Sort,
+    SortKey,
+    UnionAll,
+)
+from .binder import Binder  # noqa: F401
+from .printer import explain, plan_stats, PlanStats  # noqa: F401

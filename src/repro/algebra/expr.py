@@ -1,0 +1,281 @@
+"""Algebra-level expression IR.
+
+Unlike the parse-tree (:mod:`repro.sql.ast`), these expressions are *bound*:
+column references carry a plan-unique column id (cid) plus type and
+nullability, and every node knows its result type.  Structural equality
+(frozen dataclasses) is used heavily by the optimizer — e.g. to match
+predicate conjuncts for the ASJ subsumption check (paper Fig. 10c).
+
+Operator calls are normalized into :class:`Call` nodes whose ``op`` is either
+a symbolic operator (``=``, ``AND``, ``+`` ...) or an upper-case function
+name (``ROUND``, ``COALESCE`` ...).  Aggregates are :class:`AggCall` and only
+appear inside :class:`repro.algebra.ops.Aggregate` nodes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from ..datatypes import BOOLEAN, DataType
+
+# Plan-unique column id source.  Ids only need to be unique within a process;
+# a global counter keeps the binder and rewrite rules free of allocator
+# plumbing.
+_cid_counter = itertools.count(1)
+
+
+def next_cid() -> int:
+    """Allocate a fresh column id."""
+    return next(_cid_counter)
+
+
+class Expr:
+    """Base class for bound scalar expressions."""
+
+    __slots__ = ()
+
+    data_type: DataType
+    nullable: bool
+
+
+@dataclass(frozen=True)
+class ColRef(Expr):
+    """Reference to a column by id."""
+
+    cid: int
+    name: str
+    data_type: DataType
+    nullable: bool = True
+
+    def __str__(self) -> str:
+        return f"{self.name}#{self.cid}"
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A constant value."""
+
+    value: object
+    data_type: DataType
+
+    @property
+    def nullable(self) -> bool:  # type: ignore[override]
+        return self.value is None
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """Operator or scalar-function application."""
+
+    op: str
+    args: tuple[Expr, ...]
+    data_type: DataType
+    nullable: bool = True
+
+    def __str__(self) -> str:
+        if self.op in _INFIX_OPS:
+            return f"({f' {self.op} '.join(str(a) for a in self.args)})"
+        if self.op == "ISNULL":
+            return f"({self.args[0]} IS NULL)"
+        if self.op == "ISNOTNULL":
+            return f"({self.args[0]} IS NOT NULL)"
+        return f"{self.op}({', '.join(str(a) for a in self.args)})"
+
+
+_INFIX_OPS = {
+    "=", "<>", "<", "<=", ">", ">=", "AND", "OR",
+    "+", "-", "*", "/", "%", "||", "LIKE", "IN",
+}
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    """Searched CASE expression."""
+
+    branches: tuple[tuple[Expr, Expr], ...]
+    else_value: Expr | None
+    data_type: DataType
+    nullable: bool = True
+
+    def __str__(self) -> str:
+        body = " ".join(f"WHEN {c} THEN {v}" for c, v in self.branches)
+        tail = f" ELSE {self.else_value}" if self.else_value is not None else ""
+        return f"CASE {body}{tail} END"
+
+
+@dataclass(frozen=True)
+class Cast(Expr):
+    """Explicit type conversion."""
+
+    arg: Expr
+    data_type: DataType
+    nullable: bool = True
+
+    def __str__(self) -> str:
+        return f"CAST({self.arg} AS {self.data_type})"
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expr):
+    """A bound, uncorrelated scalar subquery.
+
+    The executor resolves these to constants (under the query's snapshot)
+    before evaluation; optimizer passes treat the node as an opaque,
+    column-free expression.
+    """
+
+    plan: object  # LogicalOp; typed loosely to avoid an import cycle
+    data_type: DataType
+    nullable: bool = True
+
+    def __str__(self) -> str:
+        return "scalar_subquery(...)"
+
+    def __eq__(self, other: object) -> bool:  # identity: plans are unique
+        return self is other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+@dataclass(frozen=True)
+class AggCall:
+    """A bound aggregate call (COUNT/SUM/MIN/MAX/AVG).
+
+    ``func`` is ``COUNT_STAR`` for ``COUNT(*)``.  ``allow_precision_loss``
+    is the paper's §7.1 opt-in: when set, the optimizer may commute the
+    aggregate with decimal rounding in its argument.
+    """
+
+    func: str
+    arg: Expr | None
+    data_type: DataType
+    distinct: bool = False
+    allow_precision_loss: bool = False
+
+    def __str__(self) -> str:
+        inner = "*" if self.arg is None else str(self.arg)
+        prefix = "DISTINCT " if self.distinct else ""
+        name = "COUNT" if self.func == "COUNT_STAR" else self.func
+        suffix = " /*apl*/" if self.allow_precision_loss else ""
+        return f"{name}({prefix}{inner}){suffix}"
+
+
+# ---------------------------------------------------------------------------
+# Traversal / rewriting helpers
+# ---------------------------------------------------------------------------
+
+
+def children_of(expr: Expr) -> tuple[Expr, ...]:
+    if isinstance(expr, Call):
+        return expr.args
+    if isinstance(expr, Cast):
+        return (expr.arg,)
+    if isinstance(expr, Case):
+        parts: list[Expr] = []
+        for cond, value in expr.branches:
+            parts.append(cond)
+            parts.append(value)
+        if expr.else_value is not None:
+            parts.append(expr.else_value)
+        return tuple(parts)
+    return ()
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Pre-order traversal of an expression tree."""
+    yield expr
+    for child in children_of(expr):
+        yield from walk(child)
+
+
+def referenced_cids(expr: Expr | None) -> frozenset[int]:
+    """All column ids referenced anywhere in ``expr``."""
+    if expr is None:
+        return frozenset()
+    return frozenset(node.cid for node in walk(expr) if isinstance(node, ColRef))
+
+
+def rewrite_expr(expr: Expr, fn: Callable[[Expr], Expr | None]) -> Expr:
+    """Bottom-up rewrite: ``fn`` may return a replacement or None to keep.
+
+    Children are rewritten first, then ``fn`` is applied to the rebuilt node.
+    """
+    if isinstance(expr, Call):
+        new_args = tuple(rewrite_expr(a, fn) for a in expr.args)
+        if new_args != expr.args:
+            expr = Call(expr.op, new_args, expr.data_type, expr.nullable)
+    elif isinstance(expr, Cast):
+        new_arg = rewrite_expr(expr.arg, fn)
+        if new_arg is not expr.arg:
+            expr = Cast(new_arg, expr.data_type, expr.nullable)
+    elif isinstance(expr, Case):
+        new_branches = tuple(
+            (rewrite_expr(c, fn), rewrite_expr(v, fn)) for c, v in expr.branches
+        )
+        new_else = rewrite_expr(expr.else_value, fn) if expr.else_value is not None else None
+        if new_branches != expr.branches or new_else is not expr.else_value:
+            expr = Case(new_branches, new_else, expr.data_type, expr.nullable)
+    replacement = fn(expr)
+    return expr if replacement is None else replacement
+
+
+def substitute_cids(expr: Expr, mapping: dict[int, Expr]) -> Expr:
+    """Replace every ``ColRef`` whose cid is in ``mapping``."""
+    if not mapping:
+        return expr
+
+    def replace(node: Expr) -> Expr | None:
+        if isinstance(node, ColRef):
+            return mapping.get(node.cid)
+        return None
+
+    return rewrite_expr(expr, replace)
+
+
+def conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a predicate into its top-level AND-conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, Call) and expr.op == "AND":
+        result: list[Expr] = []
+        for arg in expr.args:
+            result.extend(conjuncts(arg))
+        return result
+    return [expr]
+
+
+def make_and(parts: Iterable[Expr]) -> Expr | None:
+    """Combine predicates with AND; None for an empty input."""
+    items = [p for p in parts if p is not None]
+    if not items:
+        return None
+    result = items[0]
+    for part in items[1:]:
+        result = Call("AND", (result, part), BOOLEAN, nullable=False)
+    return result
+
+
+def true_const() -> Const:
+    return Const(True, BOOLEAN)
+
+
+def false_const() -> Const:
+    return Const(False, BOOLEAN)
+
+
+def is_const_true(expr: Expr | None) -> bool:
+    return isinstance(expr, Const) and expr.value is True
+
+
+def is_const_false(expr: Expr | None) -> bool:
+    return isinstance(expr, Const) and expr.value is False

@@ -1,0 +1,424 @@
+"""Logical relational operators.
+
+Operators form trees (conceptually DAGs — plan statistics report both the
+tree and the structurally-shared size, matching the paper's Fig. 3 narrative
+of 62 unshared vs 47 shared table instances).
+
+Invariant maintained by the binder and every rewrite rule: **an operator's
+output columns keep their cids across rewrites** for as long as the column
+survives, so parent expressions never need patching when a subtree is
+simplified.  New columns get fresh cids from :func:`repro.algebra.expr.next_cid`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Iterator, Sequence
+
+from ..catalog.schema import TableSchema
+from ..errors import OptimizerError
+from ..sql.ast import JoinCardinality
+from .expr import AggCall, ColRef, Expr, next_cid
+
+
+@dataclass(frozen=True)
+class OutputCol:
+    """One output column of a logical operator."""
+
+    cid: int
+    name: str
+    data_type: object  # DataType; loose to avoid import noise in repr
+    nullable: bool = True
+
+    def as_ref(self) -> ColRef:
+        return ColRef(self.cid, self.name, self.data_type, self.nullable)  # type: ignore[arg-type]
+
+    def renamed(self, name: str) -> "OutputCol":
+        return OutputCol(self.cid, name, self.data_type, self.nullable)
+
+    def as_nullable(self) -> "OutputCol":
+        return self if self.nullable else OutputCol(self.cid, self.name, self.data_type, True)
+
+
+class LogicalOp:
+    """Base class for logical operators."""
+
+    output: tuple[OutputCol, ...]
+
+    @property
+    def children(self) -> tuple["LogicalOp", ...]:
+        raise NotImplementedError
+
+    def with_children(self, children: Sequence["LogicalOp"]) -> "LogicalOp":
+        raise NotImplementedError
+
+    # -- column helpers ----------------------------------------------------
+
+    @property
+    def output_cids(self) -> frozenset[int]:
+        return frozenset(col.cid for col in self.output)
+
+    def find_col(self, cid: int) -> OutputCol:
+        for col in self.output:
+            if col.cid == cid:
+                return col
+        raise OptimizerError(f"column #{cid} not in output of {type(self).__name__}")
+
+    def label(self) -> str:
+        """Short human-readable description used by EXPLAIN."""
+        return type(self).__name__
+
+    def walk(self) -> Iterator["LogicalOp"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass(eq=False)
+class Scan(LogicalOp):
+    """Scan of a base table.  Each Scan is a distinct *table instance*;
+    ``instance`` disambiguates multiple scans of the same table, which the
+    ASJ rules depend on."""
+
+    schema: TableSchema
+    instance: int
+    output: tuple[OutputCol, ...]
+
+    _next_instance = 0
+
+    @classmethod
+    def create(cls, schema: TableSchema) -> "Scan":
+        output = tuple(
+            OutputCol(next_cid(), col.name, col.data_type, col.nullable)
+            for col in schema.columns
+        )
+        cls._next_instance += 1
+        return cls(schema, cls._next_instance, output)
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return ()
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Scan":
+        assert not children
+        return self
+
+    def column_cid(self, name: str) -> int:
+        lowered = name.lower()
+        for col in self.output:
+            if col.name == lowered:
+                return col.cid
+        raise OptimizerError(f"no column {name!r} in scan of {self.schema.name!r}")
+
+    def label(self) -> str:
+        return f"Scan({self.schema.name})"
+
+
+@dataclass(eq=False)
+class OneRow(LogicalOp):
+    """A single row with no columns: the FROM-less SELECT source."""
+
+    def __post_init__(self) -> None:
+        self.output = ()
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return ()
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "OneRow":
+        assert not children
+        return self
+
+    def label(self) -> str:
+        return "OneRow"
+
+
+@dataclass(eq=False)
+class Project(LogicalOp):
+    """Projection: each output column is defined by an expression over the
+    child's columns."""
+
+    child: LogicalOp
+    items: tuple[tuple[OutputCol, Expr], ...]
+
+    def __post_init__(self) -> None:
+        self.output = tuple(col for col, _ in self.items)
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Project":
+        (child,) = children
+        return Project(child, self.items)
+
+    def is_identity(self) -> bool:
+        """True when this projection just passes the child through unchanged."""
+        if len(self.items) != len(self.child.output):
+            return False
+        return all(
+            isinstance(expr, ColRef)
+            and expr.cid == child_col.cid
+            and col.cid == child_col.cid
+            and col.name == child_col.name
+            for (col, expr), child_col in zip(self.items, self.child.output)
+        )
+
+    def label(self) -> str:
+        return f"Project[{len(self.items)} cols]"
+
+
+@dataclass(eq=False)
+class Filter(LogicalOp):
+    """Row selection; output columns are exactly the child's."""
+
+    child: LogicalOp
+    predicate: Expr
+
+    def __post_init__(self) -> None:
+        self.output = self.child.output
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Filter":
+        (child,) = children
+        return Filter(child, self.predicate)
+
+    def label(self) -> str:
+        return f"Filter[{self.predicate}]"
+
+
+class JoinType(Enum):
+    INNER = "INNER"
+    LEFT_OUTER = "LEFT OUTER"
+    SEMI = "SEMI"    # EXISTS / IN (subquery): output = left columns only
+    ANTI = "ANTI"    # NOT EXISTS / NOT IN: output = left columns only
+
+
+@dataclass(eq=False)
+class Join(LogicalOp):
+    """Binary join.
+
+    ``declared`` is the §7.3 cardinality specification, trusted (not
+    enforced) by the optimizer.  ``case_join`` marks the paper's §6.3 SQL
+    extension: semantically a LEFT OUTER join, but with declared ASJ intent —
+    the optimizer preserves the augmenter's Union All subgraph and runs the
+    extended ASJ recognition on it.  ``null_aware`` applies to ANTI joins
+    from ``NOT IN``: a NULL probe value or any NULL in the subquery makes
+    membership UNKNOWN, which filters the row.
+    """
+
+    join_type: JoinType
+    left: LogicalOp
+    right: LogicalOp
+    condition: Expr | None
+    declared: JoinCardinality | None = None
+    case_join: bool = False
+    null_aware: bool = False
+
+    def __post_init__(self) -> None:
+        if self.join_type in (JoinType.SEMI, JoinType.ANTI):
+            self.output = self.left.output
+            return
+        right_cols = self.right.output
+        if self.join_type is JoinType.LEFT_OUTER:
+            right_cols = tuple(col.as_nullable() for col in right_cols)
+        self.output = self.left.output + right_cols
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Join":
+        left, right = children
+        return Join(self.join_type, left, right, self.condition, self.declared,
+                    self.case_join, self.null_aware)
+
+    def label(self) -> str:
+        kind = "CaseJoin" if self.case_join else self.join_type.value.title().replace(" ", "")
+        card = f" {self.declared}" if self.declared else ""
+        cond = f" on {self.condition}" if self.condition is not None else ""
+        return f"{kind}Join{card}{cond}"
+
+
+@dataclass(eq=False)
+class Aggregate(LogicalOp):
+    """Hash aggregation.
+
+    ``group_cids`` reference child output columns (the binder pre-projects
+    computed keys); their OutputCols are passed through with unchanged cids,
+    which makes "group keys are unique" a trivially sound derivation.
+    """
+
+    child: LogicalOp
+    group_cids: tuple[int, ...]
+    aggs: tuple[tuple[OutputCol, AggCall], ...]
+
+    def __post_init__(self) -> None:
+        key_cols = tuple(self.child.find_col(cid) for cid in self.group_cids)
+        self.output = key_cols + tuple(col for col, _ in self.aggs)
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Aggregate":
+        (child,) = children
+        return Aggregate(child, self.group_cids, self.aggs)
+
+    def label(self) -> str:
+        aggs = ", ".join(str(call) for _, call in self.aggs)
+        return f"Aggregate[keys={len(self.group_cids)}; {aggs}]"
+
+
+@dataclass(eq=False)
+class UnionAll(LogicalOp):
+    """Bag union of two or more children.
+
+    Output columns have fresh cids; ``child_maps[i][pos]`` is the cid in
+    child ``i`` feeding output position ``pos``.
+    """
+
+    inputs: tuple[LogicalOp, ...]
+    output: tuple[OutputCol, ...]
+    child_maps: tuple[tuple[int, ...], ...]
+
+    @classmethod
+    def create(cls, inputs: Sequence[LogicalOp], names: Sequence[str] | None = None) -> "UnionAll":
+        from ..datatypes import common_super_type
+
+        first = inputs[0]
+        arity = len(first.output)
+        for child in inputs[1:]:
+            if len(child.output) != arity:
+                raise OptimizerError("UNION ALL children must have equal arity")
+        cols: list[OutputCol] = []
+        for pos in range(arity):
+            data_type = first.output[pos].data_type
+            nullable = any(c.output[pos].nullable for c in inputs)
+            for child in inputs[1:]:
+                data_type = common_super_type(data_type, child.output[pos].data_type)  # type: ignore[arg-type]
+            name = names[pos] if names else first.output[pos].name
+            cols.append(OutputCol(next_cid(), name, data_type, nullable))
+        child_maps = tuple(
+            tuple(child.output[pos].cid for pos in range(arity)) for child in inputs
+        )
+        return cls(tuple(inputs), tuple(cols), child_maps)
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return self.inputs
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "UnionAll":
+        return UnionAll(tuple(children), self.output, self.child_maps)
+
+    def label(self) -> str:
+        return f"UnionAll[{len(self.inputs)} children]"
+
+
+@dataclass(eq=False)
+class Distinct(LogicalOp):
+    """Duplicate elimination over all output columns."""
+
+    child: LogicalOp
+
+    def __post_init__(self) -> None:
+        self.output = self.child.output
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Distinct":
+        (child,) = children
+        return Distinct(child)
+
+
+@dataclass(frozen=True)
+class SortKey:
+    cid: int
+    ascending: bool = True
+
+
+@dataclass(eq=False)
+class Sort(LogicalOp):
+    """Total order by one or more child columns (NULLs sort last)."""
+
+    child: LogicalOp
+    keys: tuple[SortKey, ...]
+
+    def __post_init__(self) -> None:
+        self.output = self.child.output
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Sort":
+        (child,) = children
+        return Sort(child, self.keys)
+
+    def label(self) -> str:
+        keys = ", ".join(f"#{k.cid}{'' if k.ascending else ' desc'}" for k in self.keys)
+        return f"Sort[{keys}]"
+
+
+@dataclass(eq=False)
+class Limit(LogicalOp):
+    """LIMIT/OFFSET; the paper's paging-query building block (§4.4)."""
+
+    child: LogicalOp
+    limit: int | None
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        self.output = self.child.output
+
+    @property
+    def children(self) -> tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Limit":
+        (child,) = children
+        return Limit(child, self.limit, self.offset)
+
+    def label(self) -> str:
+        return f"Limit[{self.limit} offset {self.offset}]"
+
+
+def rewrite_op_exprs(op: LogicalOp, fn) -> LogicalOp:
+    """Rebuild a plan bottom-up, applying ``fn`` to every held expression.
+
+    ``fn`` receives an expression and returns a (possibly identical)
+    expression.  Operators without expressions pass through; children are
+    rewritten first.
+    """
+    children = [rewrite_op_exprs(child, fn) for child in op.children]
+    op = op.with_children(children)
+    if isinstance(op, Project):
+        items = tuple((col, fn(expr)) for col, expr in op.items)
+        return Project(op.child, items)
+    if isinstance(op, Filter):
+        return Filter(op.child, fn(op.predicate))
+    if isinstance(op, Join) and op.condition is not None:
+        return Join(op.join_type, op.left, op.right, fn(op.condition),
+                    op.declared, op.case_join, op.null_aware)
+    if isinstance(op, Aggregate):
+        aggs = tuple(
+            (col, AggCall(call.func,
+                          None if call.arg is None else fn(call.arg),
+                          call.data_type, call.distinct,
+                          call.allow_precision_loss))
+            for col, call in op.aggs
+        )
+        return Aggregate(op.child, op.group_cids, aggs)
+    return op
+
+
+def identity_project(child: LogicalOp, cids: Sequence[int] | None = None) -> Project:
+    """Build a pass-through projection over ``child`` (optionally a subset)."""
+    cols = child.output if cids is None else tuple(child.find_col(c) for c in cids)
+    return Project(child, tuple((col, col.as_ref()) for col in cols))

@@ -1,0 +1,684 @@
+"""Derived plan properties: unique keys, constant columns, provenance.
+
+This module is the analytical heart of the paper's optimizations:
+
+- **unique keys** decide whether a join is *purely augmentative* (UAJ, §4.2):
+  AJ 2a-1 comes from declared PK/UNIQUE constraints, AJ 2a-2 from grouping
+  keys, AJ 2a-3 from constant-restricted composite keys, and §6.2's patterns
+  from Union All structure (disjoint subsets, branch ids);
+- **constant columns** feed AJ 2a-3 and the branch-id union key (Fig. 12b);
+- **provenance** traces an output column back to a specific base-table scan
+  instance, which the ASJ rules (§5) need to rewire augmenter fields into
+  the anchor.
+
+Every derivation step is gated by a named *capability* so the optimizer
+profiles of §4.3 (Table 1) can model systems that implement only part of
+the reasoning.  :data:`ALL_CAPABILITIES` lists them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..sql.ast import CardinalityBound
+from .expr import Call, ColRef, Const, Expr, conjuncts
+from .ops import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    JoinType,
+    Limit,
+    LogicalOp,
+    Project,
+    Scan,
+    Sort,
+    UnionAll,
+)
+
+# -- capability names ----------------------------------------------------------
+
+CAP_UNIQUE_FROM_PK = "unique_from_pk"
+CAP_UNIQUE_FROM_GROUPBY = "unique_from_groupby"
+CAP_UNIQUE_VIA_CONST_FILTER = "unique_via_const_filter"
+CAP_UNIQUE_THROUGH_JOIN_TABLE = "unique_through_join_table"
+CAP_UNIQUE_THROUGH_JOIN_GROUPBY = "unique_through_join_groupby"
+CAP_UNIQUE_THROUGH_ORDER_LIMIT = "unique_through_order_limit"
+CAP_UNIQUE_FROM_DISTINCT = "unique_from_distinct"
+CAP_UNIQUE_THROUGH_UNION_DISJOINT = "unique_through_union_disjoint"
+CAP_UNIQUE_THROUGH_UNION_BRANCHID = "unique_through_union_branchid"
+CAP_UNIQUE_FROM_DECLARED = "unique_from_declared"
+
+UNIQUENESS_CAPABILITIES = frozenset(
+    {
+        CAP_UNIQUE_FROM_PK,
+        CAP_UNIQUE_FROM_GROUPBY,
+        CAP_UNIQUE_VIA_CONST_FILTER,
+        CAP_UNIQUE_THROUGH_JOIN_TABLE,
+        CAP_UNIQUE_THROUGH_JOIN_GROUPBY,
+        CAP_UNIQUE_THROUGH_ORDER_LIMIT,
+        CAP_UNIQUE_FROM_DISTINCT,
+        CAP_UNIQUE_THROUGH_UNION_DISJOINT,
+        CAP_UNIQUE_THROUGH_UNION_BRANCHID,
+        CAP_UNIQUE_FROM_DECLARED,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where an output column's value comes from: a specific scan instance's
+    column, possibly NULL-extended by an intervening left outer join."""
+
+    scan: Scan
+    column: str
+    outer_nulled: bool = False
+
+
+class DerivationContext:
+    """Caps-gated property derivation with per-node memoization."""
+
+    def __init__(self, caps: frozenset[str]):
+        self.caps = caps
+        # Caches key on id(op) and keep the op alive in the value so a
+        # garbage-collected node's id can never be reused for a wrong hit.
+        self._keys_cache: dict[int, tuple[LogicalOp, set[frozenset[int]]]] = {}
+        self._const_cache: dict[int, tuple[LogicalOp, dict[int, object]]] = {}
+        self._prov_cache: dict[int, tuple[LogicalOp, dict[int, Provenance]]] = {}
+
+    def has(self, cap: str) -> bool:
+        return cap in self.caps
+
+    # -- unique keys -----------------------------------------------------------
+
+    def unique_keys(self, op: LogicalOp) -> set[frozenset[int]]:
+        """All derivable unique keys of ``op``'s output.
+
+        A key is a set of cids such that no two output rows agree on all of
+        them with every value non-NULL (the join-matching notion of
+        uniqueness: an equi-join on a key matches at most one row).
+        """
+        cached = self._keys_cache.get(id(op))
+        if cached is not None and cached[0] is op:
+            return cached[1]
+        keys = self._derive_keys(op)
+        keys = _minimize(keys)
+        self._keys_cache[id(op)] = (op, keys)
+        return keys
+
+    def _derive_keys(self, op: LogicalOp) -> set[frozenset[int]]:
+        if isinstance(op, Scan):
+            if not self.has(CAP_UNIQUE_FROM_PK):
+                return set()
+            keys: set[frozenset[int]] = set()
+            for constraint in op.schema.unique_constraints:
+                keys.add(frozenset(op.column_cid(c) for c in constraint.columns))
+            return keys
+        if isinstance(op, Filter):
+            keys = set(self.unique_keys(op.child))
+            if self.has(CAP_UNIQUE_VIA_CONST_FILTER):
+                consts = frozenset(self.constants(op).keys())
+                if consts:
+                    for key in list(keys):
+                        reduced = key - consts
+                        if reduced != key:
+                            keys.add(reduced)
+            return keys
+        if isinstance(op, Project):
+            # A child key survives when every key column passes through
+            # (possibly under a new cid, e.g. after a union collapse).
+            mapping: dict[int, int] = {}
+            for col, expr in op.items:
+                if isinstance(expr, ColRef) and expr.cid not in mapping:
+                    mapping[expr.cid] = col.cid
+            keys = set()
+            for key in self.unique_keys(op.child):
+                if all(cid in mapping for cid in key):
+                    keys.add(frozenset(mapping[cid] for cid in key))
+            return keys
+        if isinstance(op, (Sort, Limit)):
+            if not self.has(CAP_UNIQUE_THROUGH_ORDER_LIMIT):
+                return set()
+            return set(self.unique_keys(op.child))
+        if isinstance(op, Distinct):
+            keys = set(self.unique_keys(op.child))
+            if self.has(CAP_UNIQUE_FROM_DISTINCT):
+                keys.add(frozenset(op.output_cids))
+            return keys
+        if isinstance(op, Aggregate):
+            keys = set()
+            if self.has(CAP_UNIQUE_FROM_GROUPBY) and op.group_cids:
+                keys.add(frozenset(op.group_cids))
+                group_set = frozenset(op.group_cids)
+                for child_key in self.unique_keys(op.child):
+                    if child_key <= group_set:
+                        keys.add(child_key)
+            return keys
+        if isinstance(op, Join):
+            return self._derive_join_keys(op)
+        if isinstance(op, UnionAll):
+            return self._derive_union_keys(op)
+        return set()
+
+    def _derive_join_keys(self, op: Join) -> set[frozenset[int]]:
+        left_keys = self.unique_keys(op.left)
+        if op.join_type in (JoinType.SEMI, JoinType.ANTI):
+            # Pure filters over the left side: every left key survives.
+            return set(left_keys)
+        right_keys = self.unique_keys(op.right)
+        left_equi, right_equi = equi_join_cids(op)
+        keys: set[frozenset[int]] = set()
+
+        declared_right_one = self.has(CAP_UNIQUE_FROM_DECLARED) and (
+            op.declared is not None
+            and op.declared.right in (CardinalityBound.ONE, CardinalityBound.EXACT_ONE)
+        )
+        declared_left_one = self.has(CAP_UNIQUE_FROM_DECLARED) and (
+            op.declared is not None
+            and op.declared.left in (CardinalityBound.ONE, CardinalityBound.EXACT_ONE)
+        )
+
+        # Left keys survive when the right side matches at most once (no
+        # duplication; a subset of unique rows stays unique, so filtering is
+        # irrelevant for the *key* property).  The capability gating the step
+        # depends on what the preserved side looks like — systems differ in
+        # whether they track uniqueness through joins over plain tables vs.
+        # over aggregated subqueries (Table 1's 1a/2a/3a split).
+        if left_keys and (declared_right_one or any(k <= frozenset(right_equi) for k in right_keys)):
+            cap = (
+                CAP_UNIQUE_THROUGH_JOIN_GROUPBY
+                if _contains_aggregate(op.left)
+                else CAP_UNIQUE_THROUGH_JOIN_TABLE
+            )
+            if self.has(cap):
+                keys |= left_keys
+        if right_keys and (declared_left_one or any(k <= frozenset(left_equi) for k in left_keys)):
+            cap = (
+                CAP_UNIQUE_THROUGH_JOIN_GROUPBY
+                if _contains_aggregate(op.right)
+                else CAP_UNIQUE_THROUGH_JOIN_TABLE
+            )
+            if self.has(cap):
+                keys |= right_keys
+        # Composite keys identify the (l, r) pair; always sound.
+        for lk in left_keys:
+            for rk in right_keys:
+                keys.add(lk | rk)
+        return keys
+
+    def _derive_union_keys(self, op: UnionAll) -> set[frozenset[int]]:
+        keys: set[frozenset[int]] = set()
+        if self.has(CAP_UNIQUE_THROUGH_UNION_DISJOINT):
+            keys |= self._union_disjoint_keys(op)
+        if self.has(CAP_UNIQUE_THROUGH_UNION_BRANCHID):
+            keys |= self._union_branchid_keys(op)
+        return keys
+
+    def _union_disjoint_keys(self, op: UnionAll) -> set[frozenset[int]]:
+        """Fig. 12a: Union All of *disjoint selections over the same core*
+        preserves the core's keys.
+
+        Two recognizers: (a) children peel (Project/Filter)* down to scans of
+        the same table — the common shape after view inlining and filter
+        pushdown; (b) children are Filter stacks over structurally identical
+        complex cores.
+        """
+        keys = self._union_disjoint_scan_keys(op)
+        if keys:
+            return keys
+        from .printer import structural_signature
+
+        cores: list[LogicalOp] = []
+        predicate_sets: list[list[Expr]] = []
+        for child in op.inputs:
+            core, predicates = _strip_filters(child)
+            cores.append(core)
+            predicate_sets.append(predicates)
+        signatures = {structural_signature(core) for core in cores}
+        if len(signatures) != 1:
+            return set()
+        if not _pairwise_disjoint(predicate_sets, cores):
+            return set()
+        # Map a core key (cids of child 0's core) through the union output.
+        first_core = cores[0]
+        first_map = op.child_maps[0]
+        # Output position for each core cid of child 0 (filters pass cids
+        # through unchanged, so the child cid IS the core cid).
+        pos_of_cid = {cid: pos for pos, cid in enumerate(first_map)}
+        # Positions must carry the *same* core column in every child:
+        # identical structure means positional correspondence.
+        keys: set[frozenset[int]] = set()
+        core_index_of = {c.cid: i for i, c in enumerate(first_core.output)}
+        for key in self.unique_keys(first_core):
+            positions = []
+            valid = True
+            for cid in key:
+                pos = pos_of_cid.get(cid)
+                if pos is None:
+                    valid = False
+                    break
+                # Verify positional correspondence in every other child.
+                core_pos = core_index_of.get(cid)
+                if core_pos is None:
+                    valid = False
+                    break
+                for child_index in range(1, len(op.inputs)):
+                    mapped = op.child_maps[child_index][pos]
+                    other_core = cores[child_index]
+                    if (
+                        core_pos >= len(other_core.output)
+                        or other_core.output[core_pos].cid != mapped
+                    ):
+                        valid = False
+                        break
+                if not valid:
+                    break
+                positions.append(pos)
+            if valid:
+                keys.add(frozenset(op.output[p].cid for p in positions))
+        return keys
+
+    def _union_disjoint_scan_keys(self, op: UnionAll) -> set[frozenset[int]]:
+        """Recognizer (a) for Fig. 12a: children peel to scans of one table
+        with pairwise disjoint selections; the table's keys survive when
+        their columns pass through at common output positions."""
+        from ..optimizer.augmentation import augmenter_view
+
+        if not self.has(CAP_UNIQUE_FROM_PK):
+            return set()
+        views = []
+        for child in op.inputs:
+            view = augmenter_view(child)
+            if view is None:
+                return set()
+            views.append(view)
+        if len({v.scan.schema.name for v in views}) != 1:
+            return set()
+        if not _pairwise_disjoint([v.filters for v in views], []):
+            return set()
+        keys: set[frozenset[int]] = set()
+        child_count = len(views)
+        for constraint in views[0].scan.schema.unique_constraints:
+            positions = []
+            ok = True
+            for column in constraint.columns:
+                found = None
+                for pos in range(len(op.output)):
+                    if all(
+                        views[i].base_column(op.child_maps[i][pos]) == column
+                        for i in range(child_count)
+                    ):
+                        found = pos
+                        break
+                if found is None:
+                    ok = False
+                    break
+                positions.append(found)
+            if ok:
+                keys.add(frozenset(op.output[p].cid for p in positions))
+        return keys
+
+    def _union_branchid_keys(self, op: UnionAll) -> set[frozenset[int]]:
+        """Fig. 12b: a constant branch-id column with distinct values per
+        child, combined with a per-child key, is unique across the union."""
+        arity = len(op.output)
+        child_consts = [self.constants_of(child) for child in op.inputs]
+        # Branch-id candidate positions: constant in every child, values all
+        # distinct across children.
+        bid_positions: list[int] = []
+        for pos in range(arity):
+            values = []
+            ok = True
+            for child_index, child in enumerate(op.inputs):
+                cid = op.child_maps[child_index][pos]
+                if cid not in child_consts[child_index]:
+                    ok = False
+                    break
+                values.append(child_consts[child_index][cid])
+            if ok and len(set(map(repr, values))) == len(values) and all(
+                v is not None for v in values
+            ):
+                bid_positions.append(pos)
+        if not bid_positions:
+            return set()
+        keys: set[frozenset[int]] = set()
+        # For each child, keys expressed as output-position sets.
+        child_key_positions: list[set[frozenset[int]]] = []
+        for child_index, child in enumerate(op.inputs):
+            mapping = op.child_maps[child_index]
+            pos_of = {}
+            for pos, cid in enumerate(mapping):
+                pos_of.setdefault(cid, pos)
+            positions: set[frozenset[int]] = set()
+            for key in self.unique_keys(child):
+                if all(cid in pos_of for cid in key):
+                    positions.add(frozenset(pos_of[cid] for cid in key))
+            child_key_positions.append(positions)
+        if any(not p for p in child_key_positions):
+            return set()
+        # Common position-sets that are keys in every child.
+        common = set.intersection(*child_key_positions)
+        for bid in bid_positions:
+            for position_key in common:
+                keys.add(
+                    frozenset({op.output[bid].cid})
+                    | frozenset(op.output[p].cid for p in position_key)
+                )
+        return keys
+
+    # -- constants ------------------------------------------------------------
+
+    def constants(self, op: LogicalOp) -> dict[int, object]:
+        """cid -> value for columns provably constant in ``op``'s output."""
+        cached = self._const_cache.get(id(op))
+        if cached is not None and cached[0] is op:
+            return cached[1]
+        consts = self._derive_constants(op)
+        self._const_cache[id(op)] = (op, consts)
+        return consts
+
+    # Alias used where "constants of some child" reads better.
+    def constants_of(self, op: LogicalOp) -> dict[int, object]:
+        return self.constants(op)
+
+    def _derive_constants(self, op: LogicalOp) -> dict[int, object]:
+        if isinstance(op, Filter):
+            consts = dict(self.constants(op.child))
+            for conjunct in conjuncts(op.predicate):
+                pair = _const_equality(conjunct)
+                if pair is not None:
+                    consts[pair[0]] = pair[1]
+            return consts
+        if isinstance(op, Project):
+            child_consts = self.constants(op.child)
+            consts: dict[int, object] = {}
+            for col, expr in op.items:
+                if isinstance(expr, Const) and expr.value is not None:
+                    consts[col.cid] = expr.value
+                elif isinstance(expr, ColRef) and expr.cid in child_consts:
+                    consts[col.cid] = child_consts[expr.cid]
+            return consts
+        if isinstance(op, (Sort, Limit, Distinct)):
+            return dict(self.constants(op.child))
+        if isinstance(op, Aggregate):
+            child_consts = self.constants(op.child)
+            return {cid: child_consts[cid] for cid in op.group_cids if cid in child_consts}
+        if isinstance(op, Join):
+            consts = dict(self.constants(op.left))
+            if op.join_type is JoinType.INNER:
+                # Right-side constants survive only when no NULL extension
+                # can occur, i.e. inner joins.
+                consts.update(self.constants(op.right))
+            return consts
+        if isinstance(op, UnionAll):
+            consts = {}
+            for pos in range(len(op.output)):
+                values = []
+                ok = True
+                for child_index, child in enumerate(op.inputs):
+                    child_consts = self.constants(child)
+                    cid = op.child_maps[child_index][pos]
+                    if cid not in child_consts:
+                        ok = False
+                        break
+                    values.append(child_consts[cid])
+                if ok and len({repr(v) for v in values}) == 1:
+                    consts[op.output[pos].cid] = values[0]
+            return consts
+        return {}
+
+    # -- provenance ------------------------------------------------------------
+
+    def provenance(self, op: LogicalOp) -> dict[int, Provenance]:
+        """cid -> base column provenance (single-source pass-throughs only)."""
+        cached = self._prov_cache.get(id(op))
+        if cached is not None and cached[0] is op:
+            return cached[1]
+        prov = self._derive_provenance(op)
+        self._prov_cache[id(op)] = (op, prov)
+        return prov
+
+    def _derive_provenance(self, op: LogicalOp) -> dict[int, Provenance]:
+        if isinstance(op, Scan):
+            return {
+                col.cid: Provenance(op, col.name) for col in op.output
+            }
+        if isinstance(op, (Filter, Sort, Limit, Distinct)):
+            return self.provenance(op.child)
+        if isinstance(op, Project):
+            child_prov = self.provenance(op.child)
+            result: dict[int, Provenance] = {}
+            for col, expr in op.items:
+                if isinstance(expr, ColRef) and expr.cid in child_prov:
+                    result[col.cid] = child_prov[expr.cid]
+            return result
+        if isinstance(op, Join):
+            result = dict(self.provenance(op.left))
+            if op.join_type in (JoinType.SEMI, JoinType.ANTI):
+                return result  # right columns are not in the output
+            right_prov = self.provenance(op.right)
+            if op.join_type is JoinType.LEFT_OUTER:
+                right_prov = {
+                    cid: Provenance(p.scan, p.column, outer_nulled=True)
+                    for cid, p in right_prov.items()
+                }
+            result.update(right_prov)
+            return result
+        # Aggregation and Union All block scalar provenance; the union-aware
+        # ASJ logic inspects children directly.
+        return {}
+
+    # -- scan-level filters (ASJ subsumption, Fig. 10c) ----------------------------
+
+    def filters_over_scan(self, op: LogicalOp, scan: Scan) -> set[str]:
+        """Normalized conjuncts applied within ``op`` that restrict rows of
+        ``scan`` (referencing only that scan's columns)."""
+        collected: set[str] = set()
+
+        def visit(node: LogicalOp) -> None:
+            if isinstance(node, Filter):
+                prov = self.provenance(node.child)
+                for conjunct in conjuncts(node.predicate):
+                    signature = _normalize_conjunct(conjunct, prov, scan)
+                    if signature is not None:
+                        collected.add(signature)
+            for child in node.children:
+                visit(child)
+
+        visit(op)
+        return collected
+
+
+# ---------------------------------------------------------------------------
+# module helpers
+# ---------------------------------------------------------------------------
+
+
+def equi_join_cids(op: Join) -> tuple[list[int], list[int]]:
+    """Left/right cids of plain column-to-column equi conjuncts."""
+    left_cids = op.left.output_cids
+    right_cids = op.right.output_cids
+    left: list[int] = []
+    right: list[int] = []
+    for conjunct in conjuncts(op.condition):
+        if isinstance(conjunct, Call) and conjunct.op == "=" and len(conjunct.args) == 2:
+            a, b = conjunct.args
+            if isinstance(a, ColRef) and isinstance(b, ColRef):
+                if a.cid in left_cids and b.cid in right_cids:
+                    left.append(a.cid)
+                    right.append(b.cid)
+                elif a.cid in right_cids and b.cid in left_cids:
+                    left.append(b.cid)
+                    right.append(a.cid)
+    return left, right
+
+
+def residual_conjuncts(op: Join) -> list[Expr]:
+    """Join conjuncts that are not plain column equi comparisons."""
+    left_cids = op.left.output_cids
+    right_cids = op.right.output_cids
+    residual = []
+    for conjunct in conjuncts(op.condition):
+        if isinstance(conjunct, Call) and conjunct.op == "=" and len(conjunct.args) == 2:
+            a, b = conjunct.args
+            if isinstance(a, ColRef) and isinstance(b, ColRef):
+                if (a.cid in left_cids and b.cid in right_cids) or (
+                    a.cid in right_cids and b.cid in left_cids
+                ):
+                    continue
+        residual.append(conjunct)
+    return residual
+
+
+def _contains_aggregate(op: LogicalOp) -> bool:
+    return any(isinstance(node, Aggregate) for node in op.walk())
+
+
+def _minimize(keys: set[frozenset[int]]) -> set[frozenset[int]]:
+    """Drop keys that are supersets of other keys."""
+    minimal = set()
+    for key in keys:
+        if not any(other < key for other in keys):
+            minimal.add(key)
+    return minimal
+
+
+def _const_equality(conjunct: Expr) -> tuple[int, object] | None:
+    if isinstance(conjunct, Call) and conjunct.op == "=" and len(conjunct.args) == 2:
+        a, b = conjunct.args
+        if isinstance(a, ColRef) and isinstance(b, Const) and b.value is not None:
+            return a.cid, b.value
+        if isinstance(b, ColRef) and isinstance(a, Const) and a.value is not None:
+            return b.cid, a.value
+    return None
+
+
+def _strip_filters(op: LogicalOp) -> tuple[LogicalOp, list[Expr]]:
+    predicates: list[Expr] = []
+    node = op
+    while isinstance(node, Filter):
+        predicates.extend(conjuncts(node.predicate))
+        node = node.child
+    return node, predicates
+
+
+def _comparison_constraint(conjunct: Expr) -> tuple[str, str, object] | None:
+    """Parse ``col <op> const`` into (column_name, op, value)."""
+    if not (isinstance(conjunct, Call) and conjunct.op in ("=", "<", "<=", ">", ">=")):
+        return None
+    if len(conjunct.args) != 2:
+        return None
+    a, b = conjunct.args
+    flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+    if isinstance(a, ColRef) and isinstance(b, Const) and b.value is not None:
+        return (a.name, conjunct.op, b.value)
+    if isinstance(b, ColRef) and isinstance(a, Const) and a.value is not None:
+        return (b.name, flip[conjunct.op], a.value)
+    return None
+
+
+def _pairwise_disjoint(predicate_sets: list[list[Expr]], cores: list[LogicalOp]) -> bool:
+    """Conservative disjointness of the children's selection predicates.
+
+    Two children are disjoint when, on some shared column (matched by name —
+    the cores are structurally identical), their constraints cannot both
+    hold: different equality constants, or an equality outside the other's
+    range, or non-overlapping ranges.
+    """
+    parsed = []
+    for predicates in predicate_sets:
+        constraints: dict[str, list[tuple[str, object]]] = {}
+        for conjunct in predicates:
+            parsed_constraint = _comparison_constraint(conjunct)
+            if parsed_constraint is not None:
+                name, operator, value = parsed_constraint
+                constraints.setdefault(name, []).append((operator, value))
+        parsed.append(constraints)
+    for i in range(len(parsed)):
+        for j in range(i + 1, len(parsed)):
+            if not _constraints_disjoint(parsed[i], parsed[j]):
+                return False
+    return True
+
+
+def _constraints_disjoint(
+    a: dict[str, list[tuple[str, object]]], b: dict[str, list[tuple[str, object]]]
+) -> bool:
+    for column in set(a) & set(b):
+        if _column_disjoint(a[column], b[column]):
+            return True
+    return False
+
+
+def _column_disjoint(ca: list[tuple[str, object]], cb: list[tuple[str, object]]) -> bool:
+    def bounds(constraints):
+        eq = None
+        low = None  # (value, inclusive)
+        high = None
+        for operator, value in constraints:
+            if operator == "=":
+                eq = value
+            elif operator in (">", ">="):
+                candidate = (value, operator == ">=")
+                if low is None or candidate[0] > low[0]:
+                    low = candidate
+            elif operator in ("<", "<="):
+                candidate = (value, operator == "<=")
+                if high is None or candidate[0] < high[0]:
+                    high = candidate
+        return eq, low, high
+
+    try:
+        eq_a, low_a, high_a = bounds(ca)
+        eq_b, low_b, high_b = bounds(cb)
+        if eq_a is not None and eq_b is not None:
+            return eq_a != eq_b
+        if eq_a is not None:
+            return _outside(eq_a, low_b, high_b)
+        if eq_b is not None:
+            return _outside(eq_b, low_a, high_a)
+        # range vs range: disjoint when one's lower bound exceeds the
+        # other's upper bound.
+        for low, high in ((low_a, high_b), (low_b, high_a)):
+            if low is not None and high is not None:
+                if low[0] > high[0]:
+                    return True
+                if low[0] == high[0] and not (low[1] and high[1]):
+                    return True
+        return False
+    except TypeError:
+        return False  # incomparable constant types
+
+
+def _outside(value: object, low, high) -> bool:
+    if low is not None:
+        if value < low[0] or (value == low[0] and not low[1]):
+            return True
+    if high is not None:
+        if value > high[0] or (value == high[0] and not high[1]):
+            return True
+    return False
+
+
+def _normalize_conjunct(
+    conjunct: Expr, prov: dict[int, Provenance], scan: Scan
+) -> str | None:
+    """Render a conjunct in table-column space when every referenced column
+    traces to ``scan`` (same table name); None otherwise."""
+    from .expr import rewrite_expr
+
+    ok = True
+
+    def check(node: Expr) -> Expr | None:
+        nonlocal ok
+        if isinstance(node, ColRef):
+            p = prov.get(node.cid)
+            if p is None or p.scan is not scan:
+                ok = False
+                return None
+            return ColRef(0, f"{p.scan.schema.name}.{p.column}", node.data_type, node.nullable)
+        return None
+
+    normalized = rewrite_expr(conjunct, check)
+    return str(normalized) if ok else None

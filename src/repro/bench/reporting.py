@@ -1,0 +1,47 @@
+"""Reporting helpers for the benchmark harness.
+
+Every benchmark regenerating a paper artifact writes a plain-text report to
+``benchmarks/results/<name>.txt`` (and echoes it) so EXPERIMENTS.md can
+quote the measured output next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def write_report(name: str, text: str) -> pathlib.Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text, encoding="utf-8")
+    print(f"\n[{name}]\n{text}")
+    return path
+
+
+def format_matrix(
+    title: str,
+    row_names: Sequence[str],
+    col_names: Sequence[str],
+    observed: Sequence[str],
+    expected: Sequence[str],
+) -> str:
+    """Render an observed-vs-paper capability matrix."""
+    width = max(len(r) for r in row_names) + 2
+    lines = [title, ""]
+    header = " " * width + "".join(f"{c:>10}" for c in col_names) + "   paper  status"
+    lines.append(header)
+    for name, got, want in zip(row_names, observed, expected):
+        cells = "".join(f"{c:>10}" for c in got)
+        status = "match" if got == want else f"MISMATCH (expected {want})"
+        lines.append(f"{name:<{width}}{cells}   {want:>5}  {status}")
+    all_match = all(g == w for g, w in zip(observed, expected))
+    lines.append("")
+    lines.append(
+        "RESULT: matrix reproduced cell-for-cell"
+        if all_match
+        else "RESULT: DEVIATION from the paper's matrix"
+    )
+    return "\n".join(lines)

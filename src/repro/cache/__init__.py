@@ -1,0 +1,10 @@
+"""Cached views (paper §3).
+
+"Note that views can be materialized for query performance.  SAP HANA
+provides static cached views (SCV) and dynamic cached views (DCV).  They
+are primarily materialized in memory and thus called cached views.  SCV is
+refreshed periodically, providing a delayed snapshot of view.  DCV is
+incrementally maintained, providing the up-to-date snapshot."
+"""
+
+from .cached_views import CachedViewManager, CachedViewInfo  # noqa: F401

@@ -1,0 +1,291 @@
+"""Static and dynamic cached views (paper §3).
+
+- A **static cached view (SCV)** materializes a view's result into a cache
+  table.  It serves a *delayed snapshot*: reads are table scans; freshness
+  is whatever the last :meth:`CachedViewManager.refresh` produced.  Staleness
+  is detectable via base-table modification counters.
+
+- A **dynamic cached view (DCV)** is an incrementally maintained aggregate
+  cache over a single base table (``select keys..., aggs... from t [where p]
+  group by keys``).  New base rows merge into the aggregate state in O(new
+  rows); deletes force a recompute (the classic incremental-view-maintenance
+  trade-off for MIN/MAX without auxiliary structures).  Reads first apply
+  pending increments, so a DCV serves the *up-to-date snapshot*.
+
+Both caches are exposed as ordinary tables in the catalog (``<name>``), so
+the full SQL surface works on top of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..algebra.binder import Binder
+from ..algebra.ops import Aggregate, Filter, LogicalOp, Project, Scan
+from ..catalog.schema import ColumnSchema, TableSchema
+from ..database import Database
+from ..errors import CatalogError, ExecutionError
+from ..sql import ast, parse_statement
+
+
+@dataclass
+class CachedViewInfo:
+    """Bookkeeping for one cached view."""
+
+    name: str
+    kind: str                      # "static" | "dynamic"
+    query_sql: str
+    base_tables: tuple[str, ...]
+    refreshed_at_version: dict[str, int] = field(default_factory=dict)
+    refresh_count: int = 0
+    # DCV-only:
+    processed_rows: dict[str, int] = field(default_factory=dict)
+
+
+class CachedViewManager:
+    """Creates, refreshes, and maintains cached views for one database."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        self._views: dict[str, CachedViewInfo] = {}
+
+    # -- shared helpers ------------------------------------------------------
+
+    def info(self, name: str) -> CachedViewInfo:
+        try:
+            return self._views[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no cached view {name!r}") from None
+
+    def _base_tables(self, query_sql: str) -> tuple[str, ...]:
+        plan = self._bind(query_sql)
+        return tuple(sorted({
+            n.schema.name for n in plan.walk() if isinstance(n, Scan)
+        }))
+
+    def _bind(self, query_sql: str) -> LogicalOp:
+        statement = parse_statement(query_sql)
+        if not isinstance(statement, ast.Query):
+            raise CatalogError("cached views require a SELECT query")
+        return Binder(self.db.catalog).bind_query(statement)
+
+    def _table_version(self, table: str) -> int:
+        """A cheap modification counter: total row versions ever created
+        plus deletions observed (monotone under any change)."""
+        storage = self.db.catalog.table(table)
+        deletes = sum(1 for d in storage.deleted_tids if d != 0)
+        return len(storage) + deletes
+
+    def _materialize_schema(self, name: str, plan: LogicalOp) -> TableSchema:
+        columns = [
+            ColumnSchema(col.name, col.data_type, nullable=True)  # type: ignore[arg-type]
+            for col in plan.output
+        ]
+        return TableSchema(name, columns, [])
+
+    def is_stale(self, name: str) -> bool:
+        """Has any base table changed since the last refresh?"""
+        info = self.info(name)
+        return any(
+            self._table_version(t) != info.refreshed_at_version.get(t, -1)
+            for t in info.base_tables
+        )
+
+    def drop(self, name: str) -> None:
+        info = self.info(name)
+        self.db.catalog.drop_table(info.name)
+        del self._views[info.name]
+
+    # -- static cached views -----------------------------------------------------
+
+    def create_static(self, name: str, query_sql: str) -> CachedViewInfo:
+        """Materialize ``query_sql`` into cache table ``name`` (an SCV)."""
+        lowered = name.lower()
+        if lowered in self._views:
+            raise CatalogError(f"cached view {name!r} already exists")
+        plan = self._bind(query_sql)
+        schema = self._materialize_schema(lowered, plan)
+        self.db.create_table_from_schema(schema)
+        info = CachedViewInfo(lowered, "static", query_sql,
+                              self._base_tables(query_sql))
+        self._views[lowered] = info
+        self.refresh(lowered)
+        return info
+
+    def refresh(self, name: str) -> int:
+        """Re-materialize an SCV (or fully rebuild a DCV); returns rows."""
+        info = self.info(name)
+        result = self.db.query(info.query_sql)
+        storage = self.db.catalog.table(info.name)
+        # Rebuild in place: clear + bulk load (outside user transactions, as
+        # a maintenance operation).
+        txn = self.db.begin()
+        try:
+            for row_id in storage.visible_row_ids(txn):
+                storage.delete_row(txn, row_id)
+        finally:
+            self.db.commit(txn)
+        storage.bulk_load(result.rows, merge=True)
+        for table in info.base_tables:
+            info.refreshed_at_version[table] = self._table_version(table)
+        if info.kind == "dynamic":
+            base = info.base_tables[0]
+            info.processed_rows[base] = len(self.db.catalog.table(base))
+        info.refresh_count += 1
+        return len(result.rows)
+
+    # -- dynamic cached views ------------------------------------------------------
+
+    _ADDITIVE = {"COUNT", "COUNT_STAR", "SUM", "MIN", "MAX"}
+
+    def create_dynamic(self, name: str, query_sql: str) -> CachedViewInfo:
+        """Create an incrementally maintained aggregate cache (a DCV).
+
+        The query must be a single-table GROUP BY with COUNT/SUM/MIN/MAX
+        aggregates (AVG can be phrased as SUM/COUNT).  Anything else raises.
+        """
+        lowered = name.lower()
+        if lowered in self._views:
+            raise CatalogError(f"cached view {name!r} already exists")
+        plan = self._bind(query_sql)
+        self._validate_dynamic_shape(plan)
+        schema = self._materialize_schema(lowered, plan)
+        self.db.create_table_from_schema(schema)
+        info = CachedViewInfo(lowered, "dynamic", query_sql,
+                              self._base_tables(query_sql))
+        self._views[lowered] = info
+        self.refresh(lowered)
+        return info
+
+    def _validate_dynamic_shape(self, plan: LogicalOp) -> None:
+        node = plan
+        if isinstance(node, Project):
+            if not all(
+                type(expr).__name__ == "ColRef" for _, expr in node.items
+            ):
+                raise CatalogError(
+                    "dynamic cached views allow only plain columns in the select list"
+                )
+            node = node.child
+        if not isinstance(node, Aggregate):
+            raise CatalogError("dynamic cached views require a GROUP BY query")
+        for _, call in node.aggs:
+            if call.func not in self._ADDITIVE or call.distinct:
+                raise CatalogError(
+                    f"aggregate {call.func} is not incrementally maintainable"
+                )
+        below = node.child
+        if isinstance(below, Filter):
+            below = below.child
+        if not isinstance(below, Scan):
+            raise CatalogError("dynamic cached views must aggregate one base table")
+
+    def apply_increments(self, name: str) -> int:
+        """Fold base rows added since the last maintenance into the cache.
+
+        Returns the number of new base rows processed.  If deletions
+        happened, falls back to a full refresh (MIN/MAX are not reversible).
+        """
+        info = self.info(name)
+        if info.kind != "dynamic":
+            raise ExecutionError(f"{name!r} is a static cached view; use refresh()")
+        base = info.base_tables[0]
+        storage = self.db.catalog.table(base)
+        deletes = sum(1 for d in storage.deleted_tids if d != 0)
+        if deletes and self._table_version(base) != info.refreshed_at_version.get(base):
+            self.refresh(name)
+            return 0
+        processed = info.processed_rows.get(base, 0)
+        total = len(storage)
+        if total <= processed:
+            return 0
+        # Aggregate ONLY the new slice by rewriting the query with a row
+        # window — we reuse the engine by materializing the slice into a
+        # temp table with the base schema.
+        new_rows = total - processed
+        slice_rows = [
+            [storage.column(c.name).get(i) for c in storage.schema.columns]
+            for i in range(processed, total)
+        ]
+        delta_table = f"_dcv_delta_{info.name}"
+        if self.db.catalog.has_table(delta_table):
+            self.db.catalog.drop_table(delta_table)
+        delta_schema = TableSchema(
+            delta_table,
+            [ColumnSchema(c.name, c.data_type, True) for c in storage.schema.columns],
+            [],
+        )
+        self.db.create_table_from_schema(delta_schema)
+        self.db.catalog.table(delta_table).bulk_load(slice_rows, merge=False)
+        delta_sql = _replace_table(info.query_sql, base, delta_table)
+        delta_result = self.db.query(delta_sql)
+        self._merge_delta_groups(info, delta_result)
+        self.db.catalog.drop_table(delta_table)
+        info.processed_rows[base] = total
+        info.refreshed_at_version[base] = self._table_version(base)
+        return new_rows
+
+    def _merge_delta_groups(self, info: CachedViewInfo, delta_result) -> None:
+        cache = self.db.catalog.table(info.name)
+        plan = self._bind(info.query_sql)
+        node = plan.child if isinstance(plan, Project) else plan
+        assert isinstance(node, Aggregate)
+        key_count = len(node.group_cids)
+        agg_funcs = [call.func for _, call in node.aggs]
+
+        txn = self.db.begin()
+        try:
+            existing: dict[tuple, tuple[int, list]] = {}
+            for row_id in cache.visible_row_ids(txn):
+                row = [cache.column(c.name).get(row_id) for c in cache.schema.columns]
+                existing[tuple(row[:key_count])] = (row_id, row)
+            for delta_row in delta_result.rows:
+                key = tuple(delta_row[:key_count])
+                if key not in existing:
+                    cache.insert(txn, list(delta_row))
+                    continue
+                row_id, row = existing[key]
+                merged = list(row)
+                for index, func in enumerate(agg_funcs):
+                    position = key_count + index
+                    old, new = row[position], delta_row[position]
+                    merged[position] = _merge_agg(func, old, new)
+                new_id = cache.update_row(txn, row_id, merged)
+                existing[key] = (new_id, merged)
+        except Exception:
+            self.db.rollback(txn)
+            raise
+        self.db.commit(txn)
+
+    def query_fresh(self, name: str, sql: str | None = None):
+        """Query a cached view at its freshness contract.
+
+        DCV: pending increments are applied first (up-to-date snapshot).
+        SCV: served as-is (delayed snapshot).
+        """
+        info = self.info(name)
+        if info.kind == "dynamic":
+            self.apply_increments(name)
+        return self.db.query(sql or f"select * from {info.name}")
+
+
+def _merge_agg(func: str, old, new):
+    if old is None:
+        return new
+    if new is None:
+        return old
+    if func in ("COUNT", "COUNT_STAR", "SUM"):
+        return old + new
+    if func == "MIN":
+        return min(old, new)
+    if func == "MAX":
+        return max(old, new)
+    raise ExecutionError(f"unmergeable aggregate {func!r}")
+
+
+def _replace_table(query_sql: str, table: str, replacement: str) -> str:
+    """Swap the base table name in a DCV definition (word-boundary safe)."""
+    import re
+
+    return re.sub(rf"\b{re.escape(table)}\b", replacement, query_sql,
+                  flags=re.IGNORECASE)

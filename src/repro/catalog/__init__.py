@@ -1,0 +1,10 @@
+"""Catalog: schema metadata, constraint bookkeeping, views, and macros."""
+
+from .schema import (  # noqa: F401
+    ColumnSchema,
+    ForeignKey,
+    TableSchema,
+    ViewSchema,
+    UniqueConstraint,
+)
+from .catalog import Catalog  # noqa: F401

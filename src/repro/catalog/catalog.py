@@ -1,0 +1,97 @@
+"""The catalog: name -> table/view resolution and DDL bookkeeping."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import CatalogError
+from .schema import TableSchema, ViewSchema
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..storage.table import ColumnTable
+
+
+class Catalog:
+    """Holds all tables and views of one database instance.
+
+    Tables are stored together with their storage handle
+    (:class:`repro.storage.table.ColumnTable`); views are stored as parsed
+    ASTs and inlined at bind time.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, "ColumnTable"] = {}
+        self._views: dict[str, ViewSchema] = {}
+
+    # -- tables ---------------------------------------------------------
+
+    def create_table(self, table: "ColumnTable", if_not_exists: bool = False) -> None:
+        name = table.schema.name
+        if name in self._tables or name in self._views:
+            if if_not_exists:
+                return
+            raise CatalogError(f"object {name!r} already exists")
+        self._tables[name] = table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        lowered = name.lower()
+        if lowered not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError(f"no table {name!r}")
+        del self._tables[lowered]
+
+    def table(self, name: str) -> "ColumnTable":
+        lowered = name.lower()
+        try:
+            return self._tables[lowered]
+        except KeyError:
+            raise CatalogError(f"no table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_schema(self, name: str) -> TableSchema:
+        return self.table(name).schema
+
+    def tables(self) -> Iterator["ColumnTable"]:
+        return iter(self._tables.values())
+
+    # -- views ------------------------------------------------------------
+
+    def create_view(self, view: ViewSchema, or_replace: bool = False) -> None:
+        if view.name in self._tables:
+            raise CatalogError(f"table {view.name!r} already exists")
+        if view.name in self._views and not or_replace:
+            raise CatalogError(f"view {view.name!r} already exists")
+        self._views[view.name] = view
+
+    def drop_view(self, name: str, if_exists: bool = False) -> None:
+        lowered = name.lower()
+        if lowered not in self._views:
+            if if_exists:
+                return
+            raise CatalogError(f"no view {name!r}")
+        del self._views[lowered]
+
+    def view(self, name: str) -> ViewSchema:
+        lowered = name.lower()
+        try:
+            return self._views[lowered]
+        except KeyError:
+            raise CatalogError(f"no view {name!r}") from None
+
+    def has_view(self, name: str) -> bool:
+        return name.lower() in self._views
+
+    def views(self) -> Iterator[ViewSchema]:
+        return iter(self._views.values())
+
+    def resolve(self, name: str) -> "ColumnTable | ViewSchema":
+        """Resolve ``name`` to a table or a view, tables first."""
+        lowered = name.lower()
+        if lowered in self._tables:
+            return self._tables[lowered]
+        if lowered in self._views:
+            return self._views[lowered]
+        raise CatalogError(f"no table or view named {name!r}")

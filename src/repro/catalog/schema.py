@@ -1,0 +1,130 @@
+"""Schema metadata objects stored in the catalog.
+
+All names are stored lower-cased; SQL identifiers are case-insensitive in
+this dialect (quoted identifiers preserve case in the AST but fold here,
+which is sufficient for the reproduced workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datatypes import DataType
+from ..errors import CatalogError
+
+
+@dataclass(frozen=True)
+class ColumnSchema:
+    """One column of a base table."""
+
+    name: str
+    data_type: DataType
+    nullable: bool = True
+
+
+@dataclass(frozen=True)
+class UniqueConstraint:
+    """A PRIMARY KEY or UNIQUE constraint over one or more columns."""
+
+    columns: tuple[str, ...]
+    is_primary: bool = False
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key constraint: ``columns`` reference ``ref_table(ref_columns)``.
+
+    The paper notes FKs are rare in the SAP ecosystem (AJ 1a); they are
+    supported so that the AJ 1a derivation path can be exercised.
+    """
+
+    columns: tuple[str, ...]
+    ref_table: str
+    ref_columns: tuple[str, ...]
+
+
+@dataclass
+class TableSchema:
+    """Metadata for a base table."""
+
+    name: str
+    columns: list[ColumnSchema]
+    unique_constraints: list[UniqueConstraint] = field(default_factory=list)
+    foreign_keys: list[ForeignKey] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.name = self.name.lower()
+        self.columns = [
+            ColumnSchema(c.name.lower(), c.data_type, c.nullable) for c in self.columns
+        ]
+        seen: set[str] = set()
+        for column in self.columns:
+            if column.name in seen:
+                raise CatalogError(f"duplicate column {column.name!r} in table {self.name!r}")
+            seen.add(column.name)
+        self.unique_constraints = [
+            UniqueConstraint(tuple(c.lower() for c in u.columns), u.is_primary)
+            for u in self.unique_constraints
+        ]
+        for constraint in self.unique_constraints:
+            for col in constraint.columns:
+                if col not in seen:
+                    raise CatalogError(
+                        f"constraint references unknown column {col!r} in {self.name!r}"
+                    )
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def primary_key(self) -> tuple[str, ...] | None:
+        for constraint in self.unique_constraints:
+            if constraint.is_primary:
+                return constraint.columns
+        return None
+
+    def column(self, name: str) -> ColumnSchema:
+        lowered = name.lower()
+        for col in self.columns:
+            if col.name == lowered:
+                return col
+        raise CatalogError(f"no column {name!r} in table {self.name!r}")
+
+    def column_index(self, name: str) -> int:
+        lowered = name.lower()
+        for index, col in enumerate(self.columns):
+            if col.name == lowered:
+                return index
+        raise CatalogError(f"no column {name!r} in table {self.name!r}")
+
+    def has_column(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(c.name == lowered for c in self.columns)
+
+    def unique_column_sets(self) -> list[frozenset[str]]:
+        """All declared unique column sets (PK included)."""
+        return [frozenset(u.columns) for u in self.unique_constraints]
+
+
+@dataclass
+class ViewSchema:
+    """Metadata for a SQL view.
+
+    ``query`` is the parsed AST of the defining query (views are always
+    inlined at bind time — the paper's VDM relies on the optimizer
+    simplifying unfolded views, so there is no view materialization in the
+    default path).  ``macros`` holds §7.2 expression macros by name.
+    ``sql`` preserves the original text for introspection.
+    """
+
+    name: str
+    query: object  # ast.Query; typed loosely to avoid an import cycle
+    column_names: tuple[str, ...] = ()
+    macros: dict[str, object] = field(default_factory=dict)  # name -> ast.Expr
+    sql: str = ""
+
+    def __post_init__(self) -> None:
+        self.name = self.name.lower()
+        self.column_names = tuple(c.lower() for c in self.column_names)
+        self.macros = {k.lower(): v for k, v in self.macros.items()}

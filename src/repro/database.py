@@ -1,0 +1,303 @@
+"""The `Database` facade: the library's main entry point.
+
+Example::
+
+    from repro import Database
+
+    db = Database()
+    db.execute("create table t (id int primary key, v decimal(15,2))")
+    db.execute("insert into t values (1, 10.50), (2, 20.00)")
+    result = db.query("select sum(v) from t")
+    print(result.rows)          # [(Decimal('30.50'),)]
+    print(db.explain("select id from t"))
+
+The optimizer profile (default ``"hana"``) controls which of the paper's
+rewrites run — see :mod:`repro.optimizer.profiles` for the Table 1–4
+capability models.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .algebra import Binder, explain as explain_plan, plan_stats
+from .algebra.binder import RelationBinding, Scope
+from .algebra.ops import LogicalOp, Scan
+from .catalog import Catalog
+from .catalog.schema import (
+    ColumnSchema,
+    ForeignKey,
+    TableSchema,
+    UniqueConstraint,
+    ViewSchema,
+)
+from .engine import Chunk, Executor, QueryResult
+from .engine.eval import evaluate, evaluate_predicate
+from .errors import BindError, CatalogError, ExecutionError
+from .sql import ast, parse_statement
+from .storage import ColumnTable, Transaction, TransactionManager, WriteAheadLog
+
+
+class Database:
+    """An embedded HTAP database instance."""
+
+    def __init__(self, profile: str = "hana", wal_enabled: bool = True):
+        self.wal = WriteAheadLog() if wal_enabled else None
+        self.txn_manager = TransactionManager(self.wal)
+        self.catalog = Catalog()
+        self._executor = Executor(self.catalog)
+        self._profile_name = profile
+
+    # -- profiles -------------------------------------------------------------
+
+    @property
+    def profile(self) -> str:
+        return self._profile_name
+
+    def set_profile(self, name: str) -> None:
+        """Select the optimizer capability profile (hana/postgres/x/y/z/none)."""
+        from .optimizer.profiles import get_profile
+
+        get_profile(name)  # validate
+        self._profile_name = name
+
+    # -- transactions -----------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        return self.txn_manager.begin()
+
+    def commit(self, txn: Transaction) -> None:
+        self.txn_manager.commit(txn)
+
+    def rollback(self, txn: Transaction) -> None:
+        self.txn_manager.rollback(txn)
+
+    # -- statement routing ---------------------------------------------------------
+
+    def execute(self, sql: str, txn: Transaction | None = None):
+        """Execute one SQL statement.
+
+        Returns a :class:`QueryResult` for queries, an affected-row count for
+        DML, and None for DDL.
+        """
+        statement = parse_statement(sql)
+        if isinstance(statement, ast.Query):
+            return self._run_query(statement, txn)
+        if isinstance(statement, ast.CreateTable):
+            return self._create_table(statement)
+        if isinstance(statement, ast.CreateView):
+            return self._create_view(statement, sql)
+        if isinstance(statement, ast.DropStatement):
+            return self._drop(statement)
+        if isinstance(statement, ast.Insert):
+            return self._with_txn(txn, lambda t: self._insert(statement, t))
+        if isinstance(statement, ast.Update):
+            return self._with_txn(txn, lambda t: self._update(statement, t))
+        if isinstance(statement, ast.Delete):
+            return self._with_txn(txn, lambda t: self._delete(statement, t))
+        raise ExecutionError(f"unsupported statement {type(statement).__name__}")
+
+    def query(self, sql: str, txn: Transaction | None = None, optimize: bool = True) -> QueryResult:
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.Query):
+            raise ExecutionError("query() expects a SELECT statement")
+        return self._run_query(statement, txn, optimize)
+
+    def _run_query(
+        self, query: ast.Query, txn: Transaction | None, optimize: bool = True
+    ) -> QueryResult:
+        plan = self.plan_for(query, optimize)
+        if txn is not None:
+            return self._executor.execute(plan, txn)
+        snapshot = self.begin()
+        try:
+            return self._executor.execute(plan, snapshot)
+        finally:
+            self.commit(snapshot)
+
+    # -- planning ------------------------------------------------------------------
+
+    def bind(self, sql_or_query: "str | ast.Query") -> LogicalOp:
+        """Parse (if needed) and bind a query without optimizing it."""
+        query = (
+            parse_statement(sql_or_query) if isinstance(sql_or_query, str) else sql_or_query
+        )
+        if not isinstance(query, ast.Query):
+            raise BindError("bind() expects a query")
+        return Binder(self.catalog).bind_query(query)
+
+    def plan_for(self, sql_or_query: "str | ast.Query", optimize: bool = True) -> LogicalOp:
+        plan = self.bind(sql_or_query)
+        if optimize:
+            from .optimizer.pipeline import optimize_plan
+
+            plan = optimize_plan(plan, self._profile_name, self)
+        return plan
+
+    def explain(self, sql: str, optimize: bool = True) -> str:
+        return explain_plan(self.plan_for(sql, optimize))
+
+    def plan_statistics(self, sql: str, optimize: bool = True):
+        return plan_stats(self.plan_for(sql, optimize))
+
+    # -- DDL ----------------------------------------------------------------------
+
+    def _create_table(self, statement: ast.CreateTable) -> None:
+        columns = [
+            ColumnSchema(c.name, c.data_type, c.nullable and not c.primary_key)
+            for c in statement.columns
+        ]
+        constraints: list[UniqueConstraint] = []
+        for c in statement.columns:
+            if c.primary_key:
+                constraints.append(UniqueConstraint((c.name,), is_primary=True))
+            elif c.unique:
+                constraints.append(UniqueConstraint((c.name,)))
+        for tc in statement.constraints:
+            constraints.append(
+                UniqueConstraint(tc.columns, is_primary=(tc.kind == "PRIMARY KEY"))
+            )
+        if sum(1 for u in constraints if u.is_primary) > 1:
+            raise CatalogError(f"multiple primary keys on {statement.name!r}")
+        schema = TableSchema(statement.name, columns, constraints)
+        table = ColumnTable(schema, self.txn_manager, self.wal)
+        self.catalog.create_table(table, statement.if_not_exists)
+
+    def create_table_from_schema(self, schema: TableSchema) -> ColumnTable:
+        """Programmatic DDL used by the workload generators and the VDM."""
+        table = ColumnTable(schema, self.txn_manager, self.wal)
+        self.catalog.create_table(table)
+        return table
+
+    def _create_view(self, statement: ast.CreateView, sql: str) -> None:
+        view = ViewSchema(
+            statement.name,
+            statement.query,
+            statement.column_names,
+            {m.name: m.expr for m in statement.macros},
+            sql,
+        )
+        # Validate by binding now so broken views fail at CREATE time.
+        bound = Binder(self.catalog).bind_query(statement.query)
+        if statement.column_names and len(statement.column_names) != len(bound.output):
+            raise CatalogError(
+                f"view {statement.name!r} declares {len(statement.column_names)} "
+                f"columns but its query produces {len(bound.output)}"
+            )
+        self.catalog.create_view(view, statement.or_replace)
+
+    def _drop(self, statement: ast.DropStatement) -> None:
+        if statement.kind == "TABLE":
+            self.catalog.drop_table(statement.name, statement.if_exists)
+        else:
+            self.catalog.drop_view(statement.name, statement.if_exists)
+
+    # -- DML ------------------------------------------------------------------------
+
+    def _with_txn(self, txn: Transaction | None, action) -> int:
+        if txn is not None:
+            return action(txn)
+        auto = self.begin()
+        try:
+            result = action(auto)
+        except Exception:
+            self.txn_manager.rollback(auto)
+            raise
+        self.commit(auto)
+        return result
+
+    def _insert(self, statement: ast.Insert, txn: Transaction) -> int:
+        table = self.catalog.table(statement.table)
+        schema = table.schema
+        if statement.columns:
+            positions = [schema.column_index(c) for c in statement.columns]
+        else:
+            positions = list(range(len(schema.columns)))
+
+        def build_row(values: Sequence[object]) -> list[object]:
+            if len(values) != len(positions):
+                raise ExecutionError(
+                    f"INSERT expects {len(positions)} values, got {len(values)}"
+                )
+            row: list[object] = [None] * len(schema.columns)
+            for position, value in zip(positions, values):
+                row[position] = value
+            return row
+
+        count = 0
+        if statement.query is not None:
+            result = self._run_query(statement.query, txn)
+            for row_values in result.rows:
+                table.insert(txn, build_row(row_values))
+                count += 1
+            return count
+        binder = Binder(self.catalog)
+        empty_scope = Scope([])
+        one_row = Chunk({}, 1)
+        for value_row in statement.rows:
+            values = []
+            for value_ast in value_row:
+                bound = binder._bind_scalar(value_ast, empty_scope, allow_agg=False)
+                values.append(evaluate(bound, one_row)[0])
+            table.insert(txn, build_row(values))
+            count += 1
+        return count
+
+    def _update(self, statement: ast.Update, txn: Transaction) -> int:
+        table = self.catalog.table(statement.table)
+        scan = Scan.create(table.schema)
+        scope = Scope([RelationBinding(table.schema.name, scan.output)])
+        binder = Binder(self.catalog)
+        row_ids = table.visible_row_ids(txn)
+        names = [c.name for c in table.schema.columns]
+        values = [[table.column(n).get(i) for i in row_ids] for n in names]
+        chunk = Chunk({col.cid: vals for col, vals in zip(scan.output, values)}, len(row_ids))
+        if statement.where is not None:
+            predicate = binder._bind_scalar(statement.where, scope, allow_agg=False)
+            hits = evaluate_predicate(predicate, chunk)
+        else:
+            hits = list(range(len(row_ids)))
+        assignments = []
+        for name, expr_ast in statement.assignments:
+            index = table.schema.column_index(name)
+            bound = binder._bind_scalar(expr_ast, scope, allow_agg=False)
+            assignments.append((index, evaluate(bound, chunk)))
+        count = 0
+        for position in hits:
+            row = [chunk.column(col.cid)[position] for col in scan.output]
+            for index, new_values in assignments:
+                row[index] = new_values[position]
+            table.update_row(txn, row_ids[position], row)
+            count += 1
+        return count
+
+    def _delete(self, statement: ast.Delete, txn: Transaction) -> int:
+        table = self.catalog.table(statement.table)
+        scan = Scan.create(table.schema)
+        scope = Scope([RelationBinding(table.schema.name, scan.output)])
+        binder = Binder(self.catalog)
+        row_ids = table.visible_row_ids(txn)
+        if statement.where is not None:
+            names = [c.name for c in table.schema.columns]
+            values = [[table.column(n).get(i) for i in row_ids] for n in names]
+            chunk = Chunk(
+                {col.cid: vals for col, vals in zip(scan.output, values)}, len(row_ids)
+            )
+            predicate = binder._bind_scalar(statement.where, scope, allow_agg=False)
+            hits = evaluate_predicate(predicate, chunk)
+        else:
+            hits = list(range(len(row_ids)))
+        for position in hits:
+            table.delete_row(txn, row_ids[position])
+        return len(hits)
+
+    # -- bulk utilities ----------------------------------------------------------------
+
+    def bulk_load(self, table_name: str, rows: Iterable[Sequence[object]], merge: bool = True) -> int:
+        """Load rows outside transactions (generator fast path)."""
+        return self.catalog.table(table_name).bulk_load(rows, merge)
+
+    def merge_all(self) -> None:
+        """Run a delta merge on every table."""
+        for table in self.catalog.tables():
+            table.merge_delta()

@@ -1,0 +1,46 @@
+"""Columnar batches flowing between operators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Chunk:
+    """A materialized columnar result: cid -> dense value list.
+
+    ``row_count`` is explicit so zero-column results (e.g. the input of a
+    bare ``COUNT(*)`` after full pruning) still carry cardinality.
+    """
+
+    columns: dict[int, list]
+    row_count: int
+
+    @classmethod
+    def empty(cls, cids: list[int] | None = None) -> "Chunk":
+        return cls({cid: [] for cid in (cids or [])}, 0)
+
+    def column(self, cid: int) -> list:
+        return self.columns[cid]
+
+    def has_column(self, cid: int) -> bool:
+        return cid in self.columns
+
+    def take(self, indices: list[int]) -> "Chunk":
+        """Row selection by position."""
+        return Chunk(
+            {cid: [col[i] for i in indices] for cid, col in self.columns.items()},
+            len(indices),
+        )
+
+    def slice(self, start: int, stop: int | None) -> "Chunk":
+        stop = self.row_count if stop is None else min(stop, self.row_count)
+        start = min(start, self.row_count)
+        return Chunk(
+            {cid: col[start:stop] for cid, col in self.columns.items()},
+            max(0, stop - start),
+        )
+
+    def rows(self, cids: list[int]) -> list[tuple]:
+        cols = [self.columns[cid] for cid in cids]
+        return list(zip(*cols)) if cols else [() for _ in range(self.row_count)]

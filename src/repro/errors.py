@@ -1,0 +1,55 @@
+"""Exception hierarchy shared across the engine.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch one base class.  The hierarchy mirrors the stages of query
+processing: lexing/parsing, binding (name resolution), catalog/DDL,
+optimization, execution, and transactions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SqlSyntaxError(ReproError):
+    """Raised by the lexer or parser on malformed SQL.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token when
+    known, so error messages can point at the source text.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = f" at line {line}, column {column}" if line is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class BindError(ReproError):
+    """Raised during AST -> algebra binding: unknown names, ambiguity, arity."""
+
+
+class CatalogError(ReproError):
+    """Raised for DDL problems: duplicate/missing tables, views, or columns."""
+
+
+class ConstraintError(ReproError):
+    """Raised when a data modification violates a declared constraint."""
+
+
+class OptimizerError(ReproError):
+    """Raised when the optimizer produces or detects an inconsistent plan."""
+
+
+class ExecutionError(ReproError):
+    """Raised by the execution engine for runtime failures."""
+
+
+class TransactionError(ReproError):
+    """Raised for illegal transaction state transitions or conflicts."""
+
+
+class TypeCheckError(ReproError):
+    """Raised when expression operands have incompatible SQL types."""

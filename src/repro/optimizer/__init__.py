@@ -1,0 +1,10 @@
+"""Rule-based query optimizer implementing the paper's rewrite families.
+
+Entry point: :func:`repro.optimizer.pipeline.optimize_plan`.  Which rewrites
+run is controlled by a capability profile (:mod:`repro.optimizer.profiles`);
+the ``hana`` profile enables everything, and the other profiles model the
+systems of the paper's Tables 1-4.
+"""
+
+from .pipeline import optimize_plan  # noqa: F401
+from .profiles import OptimizerProfile, get_profile, PROFILES  # noqa: F401

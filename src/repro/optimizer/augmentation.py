@@ -1,0 +1,219 @@
+"""Augmentation-join classification (paper §4.2).
+
+A join ``L ⟕ R`` / ``L ⋈ R`` is an **augmentation join** when it neither
+filters nor duplicates rows of ``L``:
+
+- AJ 1 (inner, 1..m : 1..1): a match is *guaranteed and unique* — via a
+  foreign-key constraint into the augmenter's key (AJ 1a), an inner
+  equi-self-join on key (AJ 1b), or a declared ``... TO EXACT ONE``
+  cardinality (§7.3);
+- AJ 2 (left outer, 1..m : 0..1): a match is *at most unique* — via a
+  unique key on the augmenter's join columns (AJ 2a, with the 2a-1/2a-2/2a-3
+  uniqueness sources handled by property derivation), a declared ``... TO
+  ONE`` cardinality, or a provably empty augmenter (AJ 2b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..algebra.expr import ColRef, Const, Expr, conjuncts
+from ..algebra.ops import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    JoinType,
+    Limit,
+    LogicalOp,
+    Project,
+    Scan,
+    Sort,
+    UnionAll,
+)
+from ..algebra.properties import (
+    CAP_UNIQUE_FROM_DECLARED,
+    DerivationContext,
+    equi_join_cids,
+    residual_conjuncts,
+)
+from ..sql.ast import CardinalityBound
+from .profiles import CAP_UAJ_INNER
+
+
+@dataclass(frozen=True)
+class AugmentationInfo:
+    """Evidence that a join is purely augmentative."""
+
+    kind: str  # "left_outer_unique" | "declared" | "fk" | "self_join" | "empty"
+
+
+def is_augmentation_join(join: Join, ctx: DerivationContext) -> AugmentationInfo | None:
+    """Classify ``join``; None when augmentation cannot be proven."""
+    if join.join_type is JoinType.LEFT_OUTER:
+        return _classify_left_outer(join, ctx)
+    if join.join_type is JoinType.INNER:
+        return _classify_inner(join, ctx)
+    return None  # SEMI/ANTI filter by construction: never augmentation
+
+
+def _declared_right(join: Join, ctx: DerivationContext) -> CardinalityBound | None:
+    if join.declared is None or not ctx.has(CAP_UNIQUE_FROM_DECLARED):
+        return None
+    return join.declared.right
+
+
+def _classify_left_outer(join: Join, ctx: DerivationContext) -> AugmentationInfo | None:
+    declared = _declared_right(join, ctx)
+    if declared in (CardinalityBound.ONE, CardinalityBound.EXACT_ONE):
+        return AugmentationInfo("declared")
+    if is_provably_empty(join.right):
+        return AugmentationInfo("empty")
+    _, right_equi = equi_join_cids(join)
+    if not right_equi:
+        return None
+    right_keys = ctx.unique_keys(join.right)
+    if any(key <= frozenset(right_equi) for key in right_keys):
+        # Residual (non-equi) conjuncts only reduce matches; with uniqueness
+        # already established, at most one match survives — still AJ 2.
+        return AugmentationInfo("left_outer_unique")
+    return None
+
+
+def _classify_inner(join: Join, ctx: DerivationContext) -> AugmentationInfo | None:
+    declared = _declared_right(join, ctx)
+    if declared is CardinalityBound.EXACT_ONE:
+        return AugmentationInfo("declared")
+    if not ctx.has(CAP_UAJ_INNER):
+        return None
+    if residual_conjuncts(join):
+        return None  # residual predicates can break the exactly-one lower bound
+    left_equi, right_equi = equi_join_cids(join)
+    if not right_equi:
+        return None
+    right_keys = ctx.unique_keys(join.right)
+    if not any(key <= frozenset(right_equi) for key in right_keys):
+        return None
+    # Uniqueness holds; now establish the guaranteed match (lower bound 1).
+    view = augmenter_view(join.right)
+    if view is None or view.filters:
+        return None  # a filtered augmenter can miss matches
+    prov = ctx.provenance(join.left)
+    left_sources: list[tuple[str, str, bool, bool]] = []  # (table, column, nullable, outer)
+    for cid in left_equi:
+        p = prov.get(cid)
+        if p is None:
+            return None
+        base_nullable = p.scan.schema.column(p.column).nullable
+        left_sources.append((p.scan.schema.name, p.column, base_nullable, p.outer_nulled))
+    if any(nullable or outer for _, _, nullable, outer in left_sources):
+        return None  # a NULL key would find no match and filter the row
+    right_columns = [view.base_column(cid) for cid in right_equi]
+    if any(c is None for c in right_columns):
+        return None
+    # AJ 1b: inner equi-self-join on the augmenter table's unique key.
+    same_table = all(t == view.scan.schema.name for t, _, _, _ in left_sources)
+    columns_match = [c for c in right_columns] == [c for _, c, _, _ in left_sources]
+    if same_table and columns_match:
+        return AugmentationInfo("self_join")
+    # AJ 1a: a foreign key from the anchor columns to the augmenter's key.
+    by_table: dict[str, list[tuple[str, str]]] = {}
+    for (table, column, _, _), right_col in zip(left_sources, right_columns):
+        by_table.setdefault(table, []).append((column, right_col))
+    if len(by_table) == 1:
+        ((table, pairs),) = by_table.items()
+        left_cols = tuple(c for c, _ in pairs)
+        right_cols = tuple(c for _, c in pairs)
+        for scan in join.left.walk():
+            if isinstance(scan, Scan) and scan.schema.name == table:
+                for fk in scan.schema.foreign_keys:
+                    if (
+                        fk.ref_table == view.scan.schema.name
+                        and tuple(sorted(zip(fk.columns, fk.ref_columns)))
+                        == tuple(sorted(zip(left_cols, right_cols)))
+                    ):
+                        return AugmentationInfo("fk")
+                break
+    return None
+
+
+# ---------------------------------------------------------------------------
+# augmenter structural view
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AugmenterView:
+    """A see-through view of an augmenter subtree: Projects and Filters
+    peeled down to a base Scan, with a pass-through column map."""
+
+    scan: Scan
+    # augmenter-output cid -> base column name, for plain pass-throughs
+    passthrough: dict[int, str] = field(default_factory=dict)
+    filters: list[Expr] = field(default_factory=list)
+
+    def base_column(self, cid: int) -> str | None:
+        return self.passthrough.get(cid)
+
+
+def augmenter_view(op: LogicalOp) -> AugmenterView | None:
+    """Peel Project/Filter layers down to a Scan; None for anything else."""
+    filters: list[Expr] = []
+    # mapping: current-level cid -> expression over the next level down
+    layers: list[dict[int, Expr]] = []
+    node = op
+    while True:
+        if isinstance(node, Scan):
+            scan = node
+            break
+        if isinstance(node, Filter):
+            filters.extend(conjuncts(node.predicate))
+            node = node.child
+            continue
+        if isinstance(node, Project):
+            layers.append({col.cid: expr for col, expr in node.items})
+            node = node.child
+            continue
+        return None
+    scan_cols = {col.cid: col.name for col in scan.output}
+
+    def resolve(cid: int, level: int) -> str | None:
+        """Resolve a cid produced at projection ``level`` (0 = op output)
+        down to a scan column name, following pass-through ColRefs."""
+        if level == len(layers):
+            return scan_cols.get(cid)
+        expr = layers[level].get(cid)
+        if isinstance(expr, ColRef):
+            return resolve(expr.cid, level + 1)
+        return None
+
+    passthrough: dict[int, str] = {}
+    for col in op.output:
+        name = resolve(col.cid, 0)
+        if name is not None:
+            passthrough[col.cid] = name
+    return AugmenterView(scan, passthrough, filters)
+
+
+def is_provably_empty(op: LogicalOp) -> bool:
+    """Conservative emptiness proof (AJ 2b: ``R ⟕ ∅``)."""
+    if isinstance(op, Filter):
+        predicate = op.predicate
+        if isinstance(predicate, Const) and predicate.value in (False, None):
+            return True
+        return is_provably_empty(op.child)
+    if isinstance(op, (Project, Sort, Distinct)):
+        return is_provably_empty(op.child)
+    if isinstance(op, Limit):
+        if op.limit == 0:
+            return True
+        return is_provably_empty(op.child)
+    if isinstance(op, Join):
+        if op.join_type is JoinType.INNER:
+            return is_provably_empty(op.left) or is_provably_empty(op.right)
+        return is_provably_empty(op.left)
+    if isinstance(op, UnionAll):
+        return all(is_provably_empty(child) for child in op.inputs)
+    if isinstance(op, Aggregate):
+        return bool(op.group_cids) and is_provably_empty(op.child)
+    return False

@@ -1,0 +1,141 @@
+"""Cost-based join ordering (greedy, left-deep).
+
+After the heuristic rewrites, maximal regions of INNER equi-joins are
+flattened into (relations, conjuncts) and rebuilt left-deep: start from the
+smallest estimated relation, repeatedly extend with the connected relation
+minimizing the estimated intermediate size (cross products only when
+forced).  Mirrors the paper's description of SAP HANA's pipeline: heuristic
+rewriting first, then a cost-based phase over alternatives (§2.2).
+
+Safety rules:
+
+- only INNER joins participate; LEFT OUTER / case joins are region borders;
+- joins carrying a declared cardinality (§7.3) are region borders too — the
+  declaration is positional evidence tied to that join's sides;
+- the region's original output column order is restored by an identity
+  projection, so parents (which reference cids) are unaffected either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algebra.expr import Expr, make_and, referenced_cids
+from ..algebra.ops import Join, JoinType, LogicalOp, Project
+from ..algebra.properties import conjuncts
+from .cost import CardinalityEstimator
+from .stats import StatisticsProvider
+
+
+@dataclass
+class _Region:
+    relations: list[LogicalOp]
+    predicates: list[Expr]
+
+
+def reorder_joins(plan: LogicalOp, catalog) -> LogicalOp:
+    estimator = CardinalityEstimator(StatisticsProvider(catalog))
+    return _rewrite(plan, estimator)
+
+
+def _rewrite(op: LogicalOp, estimator: CardinalityEstimator) -> LogicalOp:
+    if _is_reorderable(op):
+        region = _flatten(op, estimator)
+        if len(region.relations) > 2:
+            rebuilt = _greedy_build(region, estimator)
+            if rebuilt is not None:
+                return _restore_output(op, rebuilt)
+    children = [_rewrite(child, estimator) for child in op.children]
+    return op.with_children(children)
+
+
+def _is_reorderable(op: LogicalOp) -> bool:
+    return (
+        isinstance(op, Join)
+        and op.join_type is JoinType.INNER
+        and op.declared is None
+        and not op.case_join
+        and op.condition is not None
+    )
+
+
+def _flatten(op: LogicalOp, estimator: CardinalityEstimator) -> _Region:
+    relations: list[LogicalOp] = []
+    predicates: list[Expr] = []
+
+    def visit(node: LogicalOp) -> None:
+        if _is_reorderable(node):
+            assert isinstance(node, Join)
+            visit(node.left)
+            visit(node.right)
+            predicates.extend(conjuncts(node.condition))
+        else:
+            relations.append(_rewrite(node, estimator))
+
+    visit(op)
+    return _Region(relations, predicates)
+
+
+def _greedy_build(region: _Region, estimator: CardinalityEstimator) -> LogicalOp | None:
+    remaining = list(region.relations)
+    pending = list(region.predicates)
+    sizes = {id(r): estimator.estimate(r) for r in remaining}
+
+    def applicable(predicates: list[Expr], available: frozenset[int]):
+        ready, later = [], []
+        for predicate in predicates:
+            (ready if referenced_cids(predicate) <= available else later).append(predicate)
+        return ready, later
+
+    # Seed: the smallest relation.
+    current = min(remaining, key=lambda r: sizes[id(r)])
+    remaining.remove(current)
+    available = frozenset(current.output_cids)
+
+    while remaining:
+        best = None
+        best_size = None
+        best_ready: list[Expr] = []
+        for candidate in remaining:
+            candidate_cols = frozenset(candidate.output_cids)
+            ready, _ = applicable(pending, available | candidate_cols)
+            connected = any(
+                referenced_cids(p) & available and referenced_cids(p) & candidate_cols
+                for p in ready
+            )
+            # Estimate joined size crudely: product shrunk by join predicates.
+            size = sizes[id(candidate)]
+            estimated = (
+                estimator.estimate(current) * size
+            )
+            if connected:
+                estimated = estimated / max(size, 1.0)  # roughly |current|
+            if not connected:
+                estimated *= 10  # discourage cross products
+            if best is None or estimated < best_size:
+                best = candidate
+                best_size = estimated
+                best_ready = ready
+        assert best is not None
+        remaining.remove(best)
+        condition = make_and(best_ready)
+        for predicate in best_ready:
+            pending.remove(predicate)
+        current = Join(JoinType.INNER, current, best, condition)
+        available = frozenset(current.output_cids)
+
+    if pending:
+        # Predicates referencing nothing available (shouldn't happen) — bail.
+        leftovers = [p for p in pending if not referenced_cids(p) <= available]
+        if leftovers:
+            return None
+        from ..algebra.ops import Filter
+
+        current = Filter(current, make_and(pending))  # type: ignore[arg-type]
+    return current
+
+
+def _restore_output(original: LogicalOp, rebuilt: LogicalOp) -> LogicalOp:
+    """Identity projection restoring the original column order."""
+    items = tuple((col, col.as_ref()) for col in original.output)
+    return Project(rebuilt, items)

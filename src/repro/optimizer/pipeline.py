@@ -1,0 +1,67 @@
+"""The optimizer pipeline: ordered rewrite passes run to a fixpoint.
+
+Pass order (mirroring the paper's description of SAP HANA's heuristic
+rewrite phase in §2.2):
+
+1. cleanup      — constant folding / operator collapsing
+2. filter push  — predicates migrate toward scans
+3. simplify     — pruning + UAJ + ASJ + Union All interplay
+4. limit push   — paging limits move below augmentation joins
+5. agg push     — precision-loss aggregation rewrites
+
+Steps 1-5 repeat until the plan's structural signature stabilizes (UAJ
+removal routinely exposes further opportunities in deep VDM stacks).
+"""
+
+from __future__ import annotations
+
+from ..algebra.ops import LogicalOp
+from ..algebra.printer import structural_signature
+from .profiles import (
+    CAP_FILTER_PUSHDOWN,
+    CAP_JOIN_REORDER,
+    OptimizerProfile,
+    get_profile,
+)
+from .rules.agg_pushdown import push_aggregates
+from .rules.cleanup import cleanup_plan
+from .rules.filter_pushdown import push_filters
+from .rules.limit_pushdown import push_limits
+from .rules.simplify_joins import SimplifyContext, simplify_plan
+
+MAX_ITERATIONS = 5
+
+
+def optimize_plan(
+    plan: LogicalOp, profile: "str | OptimizerProfile", db=None
+) -> LogicalOp:
+    """Optimize ``plan`` under a capability profile.
+
+    ``db`` is accepted for interface stability (cost-based decisions could
+    consult statistics); the implemented rules are purely structural.
+    """
+    resolved = get_profile(profile) if isinstance(profile, str) else profile
+    if not resolved.caps:
+        return plan
+    signature = structural_signature(plan)
+    for _ in range(MAX_ITERATIONS):
+        sctx = SimplifyContext(resolved)
+        plan = cleanup_plan(plan, sctx)
+        if resolved.has(CAP_FILTER_PUSHDOWN):
+            plan = push_filters(plan)
+        plan = simplify_plan(plan, SimplifyContext(resolved))
+        plan = cleanup_plan(plan, SimplifyContext(resolved))
+        plan = push_limits(plan, SimplifyContext(resolved))
+        plan = push_aggregates(plan, SimplifyContext(resolved))
+        new_signature = structural_signature(plan)
+        if new_signature == signature:
+            break
+        signature = new_signature
+    # Cost-based phase: greedy reordering of the surviving inner-join
+    # regions (the paper's §2.2 heuristic-then-cost-based pipeline).
+    if resolved.has(CAP_JOIN_REORDER) and db is not None:
+        from .join_order import reorder_joins
+
+        plan = reorder_joins(plan, db.catalog)
+        plan = cleanup_plan(plan, SimplifyContext(resolved))
+    return plan

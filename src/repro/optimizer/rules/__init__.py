@@ -1,0 +1,11 @@
+"""Rewrite-rule families, one module per paper section:
+
+- :mod:`simplify_joins` — projection pruning + UAJ (§4) + ASJ (§5) + the
+  Union All interplay (§6), in one top-down required-columns pass;
+- :mod:`cleanup` — constant folding, operator collapsing, distinct
+  elimination;
+- :mod:`filter_pushdown` — standard predicate pushdown;
+- :mod:`limit_pushdown` — limit across augmentation joins (§4.4);
+- :mod:`agg_pushdown` — aggregation pushdown across decimal rounding
+  (§7.1) and through augmentation joins.
+"""

@@ -1,0 +1,269 @@
+"""Bottom-up cleanup: constant folding and operator collapsing.
+
+Runs between the structural passes to keep plans in a normal form the other
+rules can pattern-match on:
+
+- fold constant subexpressions (``1 = 1`` -> ``TRUE``), simplify boolean
+  connectives;
+- drop ``Filter(TRUE)``; merge stacked Filters;
+- collapse ``Project(Project(...))``; drop identity Projects;
+- merge stacked Limits;
+- remove ``DISTINCT`` when the input is already unique on the visible
+  columns (a by-product of the same uniqueness derivation UAJ uses).
+"""
+
+from __future__ import annotations
+
+from ...algebra.expr import (
+    Call,
+    Case,
+    Cast,
+    ColRef,
+    Const,
+    Expr,
+    referenced_cids,
+    rewrite_expr,
+    substitute_cids,
+)
+from ...algebra.ops import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    JoinType,
+    Limit,
+    LogicalOp,
+    Project,
+    Sort,
+    UnionAll,
+)
+from ...datatypes import BOOLEAN
+from ...errors import ExecutionError
+from ..profiles import CAP_DISTINCT_ELIM, CAP_SIMPLIFY, CAP_UNION_PRUNE
+from .simplify_joins import SimplifyContext
+
+
+def cleanup_plan(plan: LogicalOp, sctx: SimplifyContext) -> LogicalOp:
+    if not sctx.has(CAP_SIMPLIFY):
+        return plan
+    return _cleanup(plan, sctx)
+
+
+def _cleanup(op: LogicalOp, sctx: SimplifyContext) -> LogicalOp:
+    children = [_cleanup(child, sctx) for child in op.children]
+    op = op.with_children(children)
+
+    if isinstance(op, Filter):
+        predicate = fold_expr(op.predicate)
+        if isinstance(predicate, Const) and predicate.value is True:
+            return op.child
+        if isinstance(op.child, Filter):
+            merged = Call(
+                "AND", (op.child.predicate, predicate), BOOLEAN, nullable=True
+            )
+            return _cleanup(Filter(op.child.child, fold_expr(merged)), sctx)
+        return Filter(op.child, predicate)
+
+    if isinstance(op, Project):
+        items = tuple((col, fold_expr(expr)) for col, expr in op.items)
+        op = Project(op.child, items)
+        if isinstance(op.child, Project):
+            inner = {col.cid: expr for col, expr in op.child.items}
+            composed = tuple(
+                (col, fold_expr(substitute_cids(expr, inner))) for col, expr in op.items
+            )
+            return _cleanup(Project(op.child.child, composed), sctx)
+        if op.is_identity():
+            return op.child
+        return op
+
+    if isinstance(op, Limit):
+        if isinstance(op.child, Limit):
+            inner = op.child
+            offset = inner.offset + op.offset
+            bounds = []
+            if inner.limit is not None:
+                bounds.append(max(inner.limit - op.offset, 0))
+            if op.limit is not None:
+                bounds.append(op.limit)
+            limit = min(bounds) if bounds else None
+            return Limit(inner.child, limit, offset)
+        return op
+
+    if isinstance(op, Distinct) and sctx.has(CAP_DISTINCT_ELIM):
+        visible = frozenset(op.output_cids)
+        keys = sctx.derivation.unique_keys(op.child)
+        if any(key <= visible for key in keys):
+            return op.child
+        return op
+
+    if isinstance(op, Join) and op.condition is not None:
+        return _normalize_join(op)
+
+    if isinstance(op, UnionAll) and sctx.has(CAP_UNION_PRUNE):
+        return _prune_union(op)
+
+    return op
+
+
+def _prune_union(op: UnionAll) -> LogicalOp:
+    """Drop provably empty Union All children; collapse a 1-child union.
+
+    This is how a branch-id filter eliminates a draft-pattern union: a
+    pushed-down ``bid = 1`` becomes constant FALSE in every other branch
+    (paper Fig. 4: "the five-way Union All ... is removed").
+    """
+    from ..augmentation import is_provably_empty
+
+    alive = [
+        (child, mapping)
+        for child, mapping in zip(op.inputs, op.child_maps)
+        if not is_provably_empty(child)
+    ]
+    if len(alive) == len(op.inputs):
+        return op
+    if not alive:
+        alive = [(op.inputs[0], op.child_maps[0])]  # keep one empty child
+    if len(alive) == 1:
+        child, mapping = alive[0]
+        items = tuple(
+            (out_col, child.find_col(cid).as_ref())
+            for out_col, cid in zip(op.output, mapping)
+        )
+        return Project(child, items)
+    return UnionAll(
+        tuple(c for c, _ in alive), op.output, tuple(m for _, m in alive)
+    )
+
+
+def _normalize_join(op: Join) -> Join:
+    """Fold the condition and move single-side conjuncts into child Filters.
+
+    For a LEFT OUTER join, a conjunct over only the augmenter's columns is
+    equivalent to pre-filtering the augmenter (unmatched rows NULL-extend
+    either way); this exposes constant restrictions like ``u.bid = 1``
+    (Fig. 12b) to the uniqueness derivation.  For INNER joins both sides
+    move.  Left-side conjuncts of a LEFT OUTER join must stay: they decide
+    match vs NULL-extension, not row survival.
+    """
+    from ...algebra.expr import conjuncts, make_and
+
+    folded = fold_expr(op.condition)
+    keep: list[Expr] = []
+    to_left: list[Expr] = []
+    to_right: list[Expr] = []
+    left_cids = op.left.output_cids
+    right_cids = op.right.output_cids
+    # Left-side conjuncts may only move for joins where "no match" means
+    # "row dropped" (INNER, SEMI).  For LEFT OUTER they decide match vs.
+    # NULL-extension; for ANTI a failing left conjunct KEEPS the row.
+    left_movable = op.join_type in (JoinType.INNER, JoinType.SEMI)
+    for conjunct in conjuncts(folded):
+        refs = referenced_cids(conjunct)
+        if refs and refs <= right_cids:
+            to_right.append(conjunct)
+        elif refs and refs <= left_cids and left_movable:
+            to_left.append(conjunct)
+        else:
+            keep.append(conjunct)
+    if not to_left and not to_right:
+        if folded is op.condition:
+            return op
+        return Join(op.join_type, op.left, op.right, folded, op.declared,
+                    op.case_join, op.null_aware)
+    left = op.left if not to_left else Filter(op.left, make_and(to_left))
+    right = op.right if not to_right else Filter(op.right, make_and(to_right))
+    condition = make_and(keep)
+    return Join(op.join_type, left, right, condition, op.declared,
+                op.case_join, op.null_aware)
+
+
+# ---------------------------------------------------------------------------
+# constant folding
+# ---------------------------------------------------------------------------
+
+
+def fold_expr(expr: Expr) -> Expr:
+    """Bottom-up constant folding with boolean short-circuit simplification."""
+
+    def fold(node: Expr) -> Expr | None:
+        if isinstance(node, Call):
+            simplified = _simplify_boolean(node)
+            if simplified is not None:
+                return simplified
+            if node.op == "AND" or node.op == "OR":
+                return None
+            if all(isinstance(a, Const) for a in node.args):
+                return _eval_const_call(node)
+        if isinstance(node, Cast) and isinstance(node.arg, Const):
+            try:
+                value = node.data_type.validate(node.arg.value)
+            except Exception:
+                return None
+            return Const(value, node.data_type)
+        return None
+
+    return rewrite_expr(expr, fold)
+
+
+def _simplify_boolean(node: Call) -> Expr | None:
+    if node.op == "AND":
+        parts = []
+        for arg in node.args:
+            if isinstance(arg, Const):
+                if arg.value is False:
+                    return Const(False, BOOLEAN)
+                if arg.value is True:
+                    continue
+            parts.append(arg)
+        if not parts:
+            return Const(True, BOOLEAN)
+        if len(parts) == 1:
+            return parts[0]
+        if len(parts) != len(node.args):
+            return _chain("AND", parts)
+        return None
+    if node.op == "OR":
+        parts = []
+        for arg in node.args:
+            if isinstance(arg, Const):
+                if arg.value is True:
+                    return Const(True, BOOLEAN)
+                if arg.value is False:
+                    continue
+            parts.append(arg)
+        if not parts:
+            return Const(False, BOOLEAN)
+        if len(parts) == 1:
+            return parts[0]
+        if len(parts) != len(node.args):
+            return _chain("OR", parts)
+        return None
+    if node.op == "NOT" and isinstance(node.args[0], Const):
+        value = node.args[0].value
+        return Const(None if value is None else not value, BOOLEAN)
+    return None
+
+
+def _chain(op: str, parts: list[Expr]) -> Expr:
+    """Left-deep binary chain (the evaluator treats AND/OR as binary)."""
+    result = parts[0]
+    for part in parts[1:]:
+        result = Call(op, (result, part), BOOLEAN, nullable=True)
+    return result
+
+
+def _eval_const_call(node: Call) -> Expr | None:
+    """Evaluate a call over constants via the engine's own evaluator."""
+    from ...engine.chunk import Chunk
+    from ...engine.eval import evaluate
+
+    if referenced_cids(node):
+        return None
+    try:
+        value = evaluate(node, Chunk({}, 1))[0]
+    except ExecutionError:
+        return None  # e.g. division by zero: leave for runtime
+    except Exception:
+        return None
+    return Const(value, node.data_type)

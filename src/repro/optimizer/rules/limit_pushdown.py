@@ -1,0 +1,84 @@
+"""Limit pushdown across augmentation joins (paper §4.4, Fig. 6, Table 2).
+
+Paging queries (``select * from V limit 100 offset 1``) dominate UI data
+access in S/4HANA.  Because an augmentation join neither filters nor
+duplicates anchor rows, a LIMIT above it can move to the anchor side —
+which, in turn, shrinks every operator below (e.g. the probe side of hash
+joins).  SAP HANA is the only evaluated system implementing this (Table 2).
+
+Rules (top-down, to fixpoint within the traversal):
+
+- ``Limit(Project(x))``       -> ``Project(Limit(x))``           (always)
+- ``Limit(Join_aug(L, R))``   -> ``Join_aug(Limit(L), R)``       (cap: limit_pushdown_aj)
+- ``Limit(Sort(Join_aug))``   -> ``Join_aug(Limit(Sort(L)), R)`` when all
+  sort keys come from the anchor (top-N pushdown)
+- ``Limit(UnionAll(...))``    -> children pre-limited to limit+offset, outer
+  Limit retained (cap: limit_pushdown_union)
+"""
+
+from __future__ import annotations
+
+from ...algebra.ops import Join, Limit, LogicalOp, Project, Sort, UnionAll
+from ..augmentation import is_augmentation_join
+from ..profiles import CAP_LIMIT_PUSHDOWN_AJ, CAP_LIMIT_PUSHDOWN_UNION
+from .simplify_joins import SimplifyContext
+
+
+def push_limits(plan: LogicalOp, sctx: SimplifyContext) -> LogicalOp:
+    return _push(plan, sctx)
+
+
+def _push(op: LogicalOp, sctx: SimplifyContext) -> LogicalOp:
+    if isinstance(op, Limit):
+        rewritten = _push_one_limit(op, sctx)
+        if rewritten is not None:
+            return _push(rewritten, sctx)
+    children = [_push(child, sctx) for child in op.children]
+    return op.with_children(children)
+
+
+def _push_one_limit(op: Limit, sctx: SimplifyContext) -> LogicalOp | None:
+    child = op.child
+
+    if isinstance(child, Project):
+        return Project(Limit(child.child, op.limit, op.offset), child.items)
+
+    if isinstance(child, Join) and sctx.has(CAP_LIMIT_PUSHDOWN_AJ):
+        if is_augmentation_join(child, sctx.derivation) is not None:
+            pushed = Limit(child.left, op.limit, op.offset)
+            return child.with_children([pushed, child.right])
+
+    if (
+        isinstance(child, Sort)
+        and isinstance(child.child, Join)
+        and sctx.has(CAP_LIMIT_PUSHDOWN_AJ)
+    ):
+        join = child.child
+        anchor_cids = join.left.output_cids
+        if all(k.cid in anchor_cids for k in child.keys) and (
+            is_augmentation_join(join, sctx.derivation) is not None
+        ):
+            pushed = Limit(Sort(join.left, child.keys), op.limit, op.offset)
+            return join.with_children([pushed, join.right])
+
+    if isinstance(child, UnionAll) and sctx.has(CAP_LIMIT_PUSHDOWN_UNION):
+        if op.limit is None:
+            return None
+        bound = op.limit + op.offset
+        new_children = []
+        changed = False
+        for grandchild in child.inputs:
+            if isinstance(grandchild, Limit) and (
+                grandchild.offset == 0
+                and grandchild.limit is not None
+                and grandchild.limit <= bound
+            ):
+                new_children.append(grandchild)
+            else:
+                new_children.append(Limit(grandchild, bound, 0))
+                changed = True
+        if not changed:
+            return None
+        return Limit(child.with_children(new_children), op.limit, op.offset)
+
+    return None

@@ -1,0 +1,693 @@
+"""The core simplification pass: pruning, UAJ elimination, ASJ rewiring.
+
+One top-down traversal carries the set of *required* column ids.  At each
+join it decides, in order:
+
+1. **AJ 2b** — left outer join with a provably empty augmenter: replace the
+   augmenter's columns with NULL literals (paper §4.2, case AJ 2b);
+2. **ASJ** — self-join on key whose augmenter fields can be rewired into the
+   anchor (paper §5.3, Fig. 10a-c), including the Union All variants of
+   §6.3 (Fig. 13a: union in the anchor; Fig. 13b: union on both sides, via
+   the case join's declared intent or the structural heuristic);
+3. **UAJ** — the augmenter contributes no required columns and the join is
+   purely augmentative: drop it (paper §4.3, Fig. 5).
+
+All rewrites preserve the cids of surviving columns, so parents never need
+patching; replaced augmenter columns are re-defined under the original cid
+by a compensating Project.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...algebra.expr import Call, ColRef, Const, Expr, conjuncts, next_cid, referenced_cids
+from ...algebra.ops import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    JoinType,
+    Limit,
+    LogicalOp,
+    OutputCol,
+    Project,
+    Scan,
+    Sort,
+    UnionAll,
+)
+from ...algebra.properties import DerivationContext
+from ...errors import OptimizerError
+from ..augmentation import (
+    AugmenterView,
+    augmenter_view,
+    is_augmentation_join,
+    is_provably_empty,
+)
+from ..profiles import (
+    CAP_ASJ,
+    CAP_ASJ_UNION_ANCHOR,
+    CAP_ASJ_UNION_HEURISTIC,
+    CAP_CASE_JOIN,
+    CAP_PRUNE,
+    CAP_UAJ,
+    CAP_UAJ_EMPTY,
+    OptimizerProfile,
+)
+
+
+class SimplifyContext:
+    """Per-optimization state: profile + property derivation caches."""
+
+    def __init__(self, profile: OptimizerProfile):
+        self.profile = profile
+        self.derivation = DerivationContext(profile.caps)
+
+    def has(self, cap: str) -> bool:
+        return self.profile.has(cap)
+
+
+def simplify_plan(plan: LogicalOp, sctx: SimplifyContext) -> LogicalOp:
+    required = frozenset(col.cid for col in plan.output)
+    return _simplify(plan, required, sctx)
+
+
+# ---------------------------------------------------------------------------
+# dispatch
+# ---------------------------------------------------------------------------
+
+
+def _simplify(op: LogicalOp, required: frozenset[int], sctx: SimplifyContext) -> LogicalOp:
+    if not op.children and not isinstance(op, Scan):
+        return op  # leaf sources (OneRow) pass through
+    if isinstance(op, Scan):
+        return op
+    if isinstance(op, Project):
+        return _simplify_project(op, required, sctx)
+    if isinstance(op, Filter):
+        child_required = required | referenced_cids(op.predicate)
+        return Filter(_simplify(op.child, child_required, sctx), op.predicate)
+    if isinstance(op, Sort):
+        child_required = required | frozenset(k.cid for k in op.keys)
+        return Sort(_simplify(op.child, child_required, sctx), op.keys)
+    if isinstance(op, Limit):
+        return Limit(_simplify(op.child, required, sctx), op.limit, op.offset)
+    if isinstance(op, Distinct):
+        # DISTINCT semantics depend on every output column: no pruning below.
+        child_required = frozenset(op.child.output_cids)
+        return Distinct(_simplify(op.child, child_required, sctx))
+    if isinstance(op, Aggregate):
+        return _simplify_aggregate(op, required, sctx)
+    if isinstance(op, UnionAll):
+        return _simplify_union(op, required, sctx)
+    if isinstance(op, Join):
+        return _simplify_join(op, required, sctx)
+    raise OptimizerError(f"cannot simplify {type(op).__name__}")
+
+
+def _simplify_project(op: Project, required: frozenset[int], sctx: SimplifyContext) -> Project:
+    if sctx.has(CAP_PRUNE):
+        items = tuple(item for item in op.items if item[0].cid in required)
+    else:
+        items = op.items
+    child_required = frozenset()
+    for _, expr in items:
+        child_required |= referenced_cids(expr)
+    return Project(_simplify(op.child, child_required, sctx), items)
+
+
+def _simplify_aggregate(op: Aggregate, required: frozenset[int], sctx: SimplifyContext) -> Aggregate:
+    if sctx.has(CAP_PRUNE):
+        aggs = tuple(item for item in op.aggs if item[0].cid in required)
+        if not aggs and not op.group_cids and op.aggs:
+            aggs = op.aggs[:1]  # keep cardinality semantics of a global aggregate
+    else:
+        aggs = op.aggs
+    child_required = frozenset(op.group_cids)
+    for _, call in aggs:
+        if call.arg is not None:
+            child_required |= referenced_cids(call.arg)
+    return Aggregate(_simplify(op.child, child_required, sctx), op.group_cids, aggs)
+
+
+def _simplify_union(op: UnionAll, required: frozenset[int], sctx: SimplifyContext) -> UnionAll:
+    if sctx.has(CAP_PRUNE):
+        positions = [pos for pos, col in enumerate(op.output) if col.cid in required]
+    else:
+        positions = list(range(len(op.output)))
+    new_children = []
+    new_maps = []
+    for child, mapping in zip(op.inputs, op.child_maps):
+        child_required = frozenset(mapping[pos] for pos in positions)
+        new_children.append(_simplify(child, child_required, sctx))
+        new_maps.append(tuple(mapping[pos] for pos in positions))
+    return UnionAll(
+        tuple(new_children),
+        tuple(op.output[pos] for pos in positions),
+        tuple(new_maps),
+    )
+
+
+# ---------------------------------------------------------------------------
+# joins
+# ---------------------------------------------------------------------------
+
+
+def _simplify_join(op: Join, required: frozenset[int], sctx: SimplifyContext) -> LogicalOp:
+    left_cids = op.left.output_cids
+    right_cids = op.right.output_cids
+    right_used = required & right_cids
+
+    # AJ 2b: left outer join with a provably empty augmenter — every anchor
+    # row is NULL-augmented, so the augmenter columns are literal NULLs.
+    if (
+        op.join_type is JoinType.LEFT_OUTER
+        and sctx.has(CAP_UAJ_EMPTY)
+        and is_provably_empty(op.right)
+    ):
+        left = _simplify(op.left, required & left_cids, sctx)
+        items = [(col, col.as_ref()) for col in left.output if col.cid in required]
+        for col in op.output:
+            if col.cid in right_used:
+                items.append((col, Const(None, col.data_type)))  # type: ignore[arg-type]
+        return Project(left, tuple(items))
+
+    # ASJ: removable even when augmenter fields are used (§5.2).
+    if sctx.has(CAP_ASJ):
+        rewritten = _try_asj(op, required, sctx)
+        if rewritten is not None:
+            return rewritten
+
+    # UAJ: unused augmenter + pure augmentation -> drop the join (§4.3).
+    if not right_used and sctx.has(CAP_UAJ):
+        if is_augmentation_join(op, sctx.derivation) is not None:
+            return _simplify(op.left, required & left_cids, sctx)
+
+    condition_refs = referenced_cids(op.condition)
+    left_required = (required | condition_refs) & left_cids
+    right_required = (required | condition_refs) & right_cids
+    return Join(
+        op.join_type,
+        _simplify(op.left, left_required, sctx),
+        _simplify(op.right, right_required, sctx),
+        op.condition,
+        op.declared,
+        op.case_join,
+        op.null_aware,
+    )
+
+
+# ---------------------------------------------------------------------------
+# ASJ machinery
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _EquiPair:
+    left: ColRef
+    right: ColRef
+
+
+def _plain_equi_pairs(op: Join) -> list[_EquiPair] | None:
+    """All conjuncts as ColRef-to-ColRef equi pairs; None if anything else.
+
+    ASJ removal requires the join condition to be *exactly* a key-match so
+    that, for the matching row, every conjunct is automatically satisfied.
+    """
+    left_cids = op.left.output_cids
+    right_cids = op.right.output_cids
+    pairs: list[_EquiPair] = []
+    for conjunct in conjuncts(op.condition):
+        if not (isinstance(conjunct, Call) and conjunct.op == "=" and len(conjunct.args) == 2):
+            return None
+        a, b = conjunct.args
+        if not (isinstance(a, ColRef) and isinstance(b, ColRef)):
+            return None
+        if a.cid in left_cids and b.cid in right_cids:
+            pairs.append(_EquiPair(a, b))
+        elif b.cid in left_cids and a.cid in right_cids:
+            pairs.append(_EquiPair(b, a))
+        else:
+            return None
+    return pairs or None
+
+
+def _try_asj(op: Join, required: frozenset[int], sctx: SimplifyContext) -> LogicalOp | None:
+    if op.join_type not in (JoinType.INNER, JoinType.LEFT_OUTER):
+        return None
+    pairs = _plain_equi_pairs(op)
+    if pairs is None:
+        return None
+    view = augmenter_view(op.right)
+    if view is not None:
+        result = _try_scalar_asj(op, view, pairs, required, sctx)
+        if result is not None:
+            return result
+        if sctx.has(CAP_ASJ_UNION_ANCHOR):
+            return _try_union_anchor_asj(op, view, pairs, required, sctx)
+        return None
+    if isinstance(op.right, UnionAll) and (
+        (op.case_join and sctx.has(CAP_CASE_JOIN)) or sctx.has(CAP_ASJ_UNION_HEURISTIC)
+    ):
+        return _try_union_augmenter_asj(op, pairs, required, sctx)
+    return None
+
+
+def _augmenter_key_ok(op: Join, pairs: list[_EquiPair], sctx: SimplifyContext) -> bool:
+    """Right side must be unique on the equi columns."""
+    right_equi = frozenset(p.right.cid for p in pairs)
+    keys = sctx.derivation.unique_keys(op.right)
+    return any(key <= right_equi for key in keys)
+
+
+def _try_scalar_asj(
+    op: Join,
+    view: AugmenterView,
+    pairs: list[_EquiPair],
+    required: frozenset[int],
+    sctx: SimplifyContext,
+) -> LogicalOp | None:
+    if not _augmenter_key_ok(op, pairs, sctx):
+        return None
+    d = sctx.derivation
+    prov = d.provenance(op.left)
+
+    anchor_scan: Scan | None = None
+    for pair in pairs:
+        base_name = view.base_column(pair.right.cid)
+        if base_name is None:
+            return None
+        p = prov.get(pair.left.cid)
+        if (
+            p is None
+            or p.scan.schema.name != view.scan.schema.name
+            or p.column != base_name
+        ):
+            return None
+        if op.join_type is JoinType.INNER:
+            # An inner self-join filters anchor rows whose key is NULL or
+            # NULL-extended; removal is only sound when that cannot happen.
+            if p.outer_nulled or p.scan.schema.column(p.column).nullable:
+                return None
+        else:
+            # Left outer: a NULL base key would be NULL-augmented for real
+            # but rewired to the base row's values — unsound unless the base
+            # column is NOT NULL.  outer_nulled is fine (all columns of the
+            # scan are NULL together).
+            if p.scan.schema.column(p.column).nullable:
+                return None
+        if anchor_scan is None:
+            anchor_scan = p.scan
+        elif anchor_scan is not p.scan:
+            return None
+    assert anchor_scan is not None
+
+    # Fig 10c: the augmenter's selection must be subsumed by the anchor's.
+    aug_filters = d.filters_over_scan(op.right, view.scan)
+    anchor_filters = d.filters_over_scan(op.left, anchor_scan)
+    if not aug_filters <= anchor_filters:
+        return None
+
+    right_used = sorted(required & op.right.output_cids)
+    needed_names: dict[int, str] = {}
+    for cid in right_used:
+        name = view.base_column(cid)
+        if name is None:
+            return None
+        needed_names[cid] = name
+
+    # Rewire: expose each needed base column from the anchor scan instance.
+    anchor = op.left
+    exposed: dict[int, int] = {}
+    for cid, name in needed_names.items():
+        result = _expose_column(anchor, anchor_scan, name)
+        if result is None:
+            return None
+        anchor, exposed_cid = result
+        exposed[cid] = exposed_cid
+
+    child_required = (required & op.left.output_cids) | frozenset(exposed.values())
+    anchor = _simplify(anchor, child_required, sctx)
+    items: list[tuple[OutputCol, Expr]] = [
+        (col, col.as_ref()) for col in anchor.output if col.cid in required
+    ]
+    for cid in right_used:
+        out_col = op.find_col(cid)
+        source = anchor.find_col(exposed[cid])
+        items.append((out_col, source.as_ref()))
+    return Project(anchor, tuple(items))
+
+
+def _expose_column(
+    op: LogicalOp, scan: Scan, name: str
+) -> tuple[LogicalOp, int] | None:
+    """Rebuild ``op`` so that column ``name`` of ``scan`` appears in its
+    output; returns the new subtree and the exposed cid.
+
+    Projection operators are widened with a pass-through item (the paper:
+    "projection operations don't block ASJ optimization because an optimizer
+    can modify them to expose un-projected fields").  Aggregations, DISTINCT,
+    and Union All block scalar exposure.
+    """
+    if op is scan:
+        return op, scan.column_cid(name)
+    if isinstance(op, Project):
+        result = _expose_column(op.child, scan, name)
+        if result is None:
+            return None
+        child, cid = result
+        for col, expr in op.items:
+            if isinstance(expr, ColRef) and expr.cid == cid:
+                return Project(child, op.items), col.cid
+        extra_col = child.find_col(cid)
+        return Project(child, op.items + ((extra_col, extra_col.as_ref()),)), cid
+    if isinstance(op, (Filter, Sort, Limit)):
+        result = _expose_column(op.children[0], scan, name)
+        if result is None:
+            return None
+        child, cid = result
+        return op.with_children([child]), cid
+    if isinstance(op, Join):
+        for index, side in enumerate(op.children):
+            if _contains_scan(side, scan):
+                result = _expose_column(side, scan, name)
+                if result is None:
+                    return None
+                new_side, cid = result
+                children = list(op.children)
+                children[index] = new_side
+                return op.with_children(children), cid
+        return None
+    return None  # Aggregate / Distinct / UnionAll block exposure
+
+
+def _contains_scan(op: LogicalOp, scan: Scan) -> bool:
+    return any(node is scan for node in op.walk())
+
+
+# -- Fig 13a: Union All in the anchor ------------------------------------------
+
+
+def _try_union_anchor_asj(
+    op: Join,
+    view: AugmenterView,
+    pairs: list[_EquiPair],
+    required: frozenset[int],
+    sctx: SimplifyContext,
+) -> LogicalOp | None:
+    if not isinstance(op.left, UnionAll):
+        return None
+    if not _augmenter_key_ok(op, pairs, sctx):
+        return None
+    union = op.left
+    d = sctx.derivation
+
+    position_of = {col.cid: pos for pos, col in enumerate(union.output)}
+    pair_info: list[tuple[int, str]] = []  # (union output position, base column)
+    for pair in pairs:
+        base_name = view.base_column(pair.right.cid)
+        pos = position_of.get(pair.left.cid)
+        if base_name is None or pos is None:
+            return None
+        pair_info.append((pos, base_name))
+
+    # Per anchor child: locate its scan of the augmenter table and verify
+    # provenance + NOT NULL + filter subsumption.
+    child_scans: list[Scan] = []
+    aug_filters = d.filters_over_scan(op.right, view.scan)
+    for child_index, child in enumerate(union.inputs):
+        mapping = union.child_maps[child_index]
+        prov = d.provenance(child)
+        scan_for_child: Scan | None = None
+        for pos, base_name in pair_info:
+            p = prov.get(mapping[pos])
+            if (
+                p is None
+                or p.scan.schema.name != view.scan.schema.name
+                or p.column != base_name
+                or p.scan.schema.column(p.column).nullable
+            ):
+                return None
+            if op.join_type is JoinType.INNER and p.outer_nulled:
+                return None
+            if scan_for_child is None:
+                scan_for_child = p.scan
+            elif scan_for_child is not p.scan:
+                return None
+        assert scan_for_child is not None
+        if not aug_filters <= d.filters_over_scan(child, scan_for_child):
+            return None
+        child_scans.append(scan_for_child)
+
+    right_used = sorted(required & op.right.output_cids)
+    needed_names = []
+    for cid in right_used:
+        name = view.base_column(cid)
+        if name is None:
+            return None
+        needed_names.append((cid, name))
+
+    # Expose each needed column in every union child and widen the union.
+    new_children = list(union.inputs)
+    new_maps = [list(m) for m in union.child_maps]
+    new_cols: list[OutputCol] = []
+    exposed_for: dict[int, int] = {}  # right cid -> new union output cid
+    for cid, name in needed_names:
+        per_child_cids: list[int] = []
+        for child_index in range(len(new_children)):
+            result = _expose_column(new_children[child_index], child_scans[child_index], name)
+            if result is None:
+                return None
+            new_children[child_index], exposed_cid = result
+            per_child_cids.append(exposed_cid)
+        out = op.find_col(cid)
+        new_col = OutputCol(next_cid(), out.name, out.data_type, out.nullable)
+        new_cols.append(new_col)
+        exposed_for[cid] = new_col.cid
+        for child_index in range(len(new_children)):
+            new_maps[child_index].append(per_child_cids[child_index])
+
+    widened = UnionAll(
+        tuple(new_children),
+        union.output + tuple(new_cols),
+        tuple(tuple(m) for m in new_maps),
+    )
+    child_required = (required & union.output_cids) | frozenset(exposed_for.values())
+    simplified = _simplify(widened, child_required, sctx)
+    items: list[tuple[OutputCol, Expr]] = [
+        (col, col.as_ref()) for col in simplified.output if col.cid in required
+    ]
+    for cid, _ in needed_names:
+        out_col = op.find_col(cid)
+        source = simplified.find_col(exposed_for[cid])
+        items.append((out_col, source.as_ref()))
+    return Project(simplified, tuple(items))
+
+
+# -- Fig 13b: Union All on both sides (case join / heuristic) --------------------
+
+
+def _try_union_augmenter_asj(
+    op: Join,
+    pairs: list[_EquiPair],
+    required: frozenset[int],
+    sctx: SimplifyContext,
+) -> LogicalOp | None:
+    if not isinstance(op.right, UnionAll) or not isinstance(op.left, UnionAll):
+        return None
+    if op.join_type is not JoinType.LEFT_OUTER:
+        return None
+    if not _augmenter_key_ok(op, pairs, sctx):
+        return None
+    d = sctx.derivation
+    aug = op.right
+    anchor = op.left
+    canonical_only = not (op.case_join and sctx.has(CAP_CASE_JOIN))
+
+    # Analyze augmenter branches.  The structural heuristic (no declared
+    # intent) only accepts bare canonical branches; with a case join,
+    # filtered branches are allowed and verified by subsumption against the
+    # matched anchor branch (paper §6.3: the declared intent justifies the
+    # more expensive recognition).
+    branch_views: list[AugmenterView] = []
+    branch_consts: list[dict[int, object]] = []
+    branch_filters: list[set[str]] = []
+    for child in aug.inputs:
+        if canonical_only and not _is_canonical_branch(child):
+            return None
+        view = augmenter_view(child)
+        if view is None:
+            return None
+        branch_views.append(view)
+        branch_consts.append(d.constants(child))
+        branch_filters.append(d.filters_over_scan(child, view.scan))
+
+    aug_position_of = {col.cid: pos for pos, col in enumerate(aug.output)}
+    anchor_position_of = {col.cid: pos for pos, col in enumerate(anchor.output)}
+
+    # Classify equi pairs into the branch-id pair and key pairs.
+    bid_pair: tuple[int, int] | None = None  # (anchor position, aug position)
+    key_pairs: list[tuple[int, int, list[str]]] = []  # (anchor pos, aug pos, per-branch col)
+    for pair in pairs:
+        anchor_pos = anchor_position_of.get(pair.left.cid)
+        aug_pos = aug_position_of.get(pair.right.cid)
+        if anchor_pos is None or aug_pos is None:
+            return None
+        branch_cids = [aug.child_maps[j][aug_pos] for j in range(len(aug.inputs))]
+        if all(cid in branch_consts[j] for j, cid in enumerate(branch_cids)):
+            values = [branch_consts[j][cid] for j, cid in enumerate(branch_cids)]
+            if len({repr(v) for v in values}) == len(values):
+                if bid_pair is not None:
+                    return None
+                bid_pair = (anchor_pos, aug_pos)
+                continue
+        per_branch_cols = []
+        for j, cid in enumerate(branch_cids):
+            name = branch_views[j].base_column(cid)
+            if name is None:
+                return None
+            per_branch_cols.append(name)
+        key_pairs.append((anchor_pos, aug_pos, per_branch_cols))
+    if bid_pair is None or not key_pairs:
+        return None
+
+    bid_values = [
+        branch_consts[j][aug.child_maps[j][bid_pair[1]]] for j in range(len(aug.inputs))
+    ]
+    bid_out_cid = aug.output[bid_pair[1]].cid
+
+    # Match each anchor child to an augmenter branch by its bid constant.
+    anchor_branch: list[int | None] = []
+    anchor_scans: list[Scan | None] = []
+    for child_index, child in enumerate(anchor.inputs):
+        consts = d.constants(child)
+        mapping = anchor.child_maps[child_index]
+        bid_cid = mapping[bid_pair[0]]
+        if bid_cid not in consts:
+            return None
+        value = consts[bid_cid]
+        branch = next(
+            (j for j, bv in enumerate(bid_values) if repr(bv) == repr(value)), None
+        )
+        anchor_branch.append(branch)
+        if branch is None:
+            anchor_scans.append(None)  # no branch matches: NULL augmentation
+            continue
+        prov = d.provenance(child)
+        scan_for_child: Scan | None = None
+        for anchor_pos, _aug_pos, per_branch_cols in key_pairs:
+            p = prov.get(mapping[anchor_pos])
+            expected_table = branch_views[branch].scan.schema.name
+            expected_column = per_branch_cols[branch]
+            if (
+                p is None
+                or p.scan.schema.name != expected_table
+                or p.column != expected_column
+                or p.scan.schema.column(p.column).nullable
+            ):
+                return None
+            if scan_for_child is None:
+                scan_for_child = p.scan
+            elif scan_for_child is not p.scan:
+                return None
+        assert scan_for_child is not None
+        # Fig. 10c generalized per branch: the matched augmenter branch's
+        # selection must be subsumed by this anchor child's selection.
+        if not branch_filters[branch] <= d.filters_over_scan(child, scan_for_child):
+            return None
+        anchor_scans.append(scan_for_child)
+
+    # Needed augmenter columns: pass-throughs per branch (the bid column
+    # rewires to the anchor's own bid column — only sound when every anchor
+    # child matched a branch; an unmatched child would see a NULL bid).
+    right_used = sorted(required & op.right.output_cids)
+    if bid_out_cid in right_used and any(b is None for b in anchor_branch):
+        return None
+    needed: list[tuple[int, list[str]]] = []  # (right cid, per-branch base column)
+    for cid in right_used:
+        if cid == bid_out_cid:
+            continue
+        pos = aug_position_of[cid]
+        per_branch = []
+        for j in range(len(aug.inputs)):
+            name = branch_views[j].base_column(aug.child_maps[j][pos])
+            if name is None:
+                return None
+            per_branch.append(name)
+        needed.append((cid, per_branch))
+
+    new_children = list(anchor.inputs)
+    new_maps = [list(m) for m in anchor.child_maps]
+    new_cols: list[OutputCol] = []
+    exposed_for: dict[int, int] = {}
+    for cid, per_branch in needed:
+        per_child_cids: list[int] = []
+        for child_index in range(len(new_children)):
+            branch = anchor_branch[child_index]
+            if branch is None:
+                # No matching branch: this child's rows are NULL-augmented.
+                wrapped, null_cid = _append_null_column(
+                    new_children[child_index], op.find_col(cid)
+                )
+                new_children[child_index] = wrapped
+                per_child_cids.append(null_cid)
+                continue
+            result = _expose_column(
+                new_children[child_index],
+                anchor_scans[child_index],  # type: ignore[arg-type]
+                per_branch[branch],
+            )
+            if result is None:
+                return None
+            new_children[child_index], exposed_cid = result
+            per_child_cids.append(exposed_cid)
+        out = op.find_col(cid)
+        new_col = OutputCol(next_cid(), out.name, out.data_type, out.nullable)
+        new_cols.append(new_col)
+        exposed_for[cid] = new_col.cid
+        for child_index in range(len(new_children)):
+            new_maps[child_index].append(per_child_cids[child_index])
+
+    widened = UnionAll(
+        tuple(new_children),
+        anchor.output + tuple(new_cols),
+        tuple(tuple(m) for m in new_maps),
+    )
+    child_required = (required & anchor.output_cids) | frozenset(exposed_for.values())
+    if bid_out_cid in right_used:
+        child_required |= {anchor.output[bid_pair[0]].cid}
+    simplified = _simplify(widened, child_required, sctx)
+    items: list[tuple[OutputCol, Expr]] = [
+        (col, col.as_ref()) for col in simplified.output if col.cid in required
+    ]
+    for cid in right_used:
+        out_col = op.find_col(cid)
+        if cid == bid_out_cid:
+            source = simplified.find_col(anchor.output[bid_pair[0]].cid)
+        else:
+            source = simplified.find_col(exposed_for[cid])
+        items.append((out_col, source.as_ref()))
+    return Project(simplified, tuple(items))
+
+
+def _append_null_column(
+    child: LogicalOp, template: OutputCol
+) -> tuple[LogicalOp, int]:
+    """Wrap ``child`` in a Project adding a NULL column shaped like
+    ``template`` (fresh cid)."""
+    new_col = OutputCol(next_cid(), template.name, template.data_type, True)
+    items = tuple((col, col.as_ref()) for col in child.output) + (
+        (new_col, Const(None, template.data_type)),  # type: ignore[arg-type]
+    )
+    return Project(child, items), new_col.cid
+
+
+def _is_canonical_branch(op: LogicalOp) -> bool:
+    """The structural heuristic (no declared intent, Fig. 14a) only
+    recognizes augmenter branches of the canonical shape ``Project(Scan)``
+    whose items are plain column references or constants."""
+    if isinstance(op, Scan):
+        return True
+    if isinstance(op, Project) and isinstance(op.child, Scan):
+        return all(isinstance(expr, (ColRef, Const)) for _, expr in op.items)
+    return False

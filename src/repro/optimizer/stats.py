@@ -1,0 +1,59 @@
+"""Table statistics for cost estimation.
+
+SAP HANA's cost-based phase "relies on data statistics to compute the cost
+of alternative query execution plans" (§2.2).  We provide the equivalents:
+per-table row counts and per-column distinct-count estimates, computed from
+the column store (the dictionary of the main fragment gives exact distinct
+counts for merged data; the delta is estimated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..catalog.catalog import Catalog
+
+
+@dataclass
+class TableStats:
+    """Statistics snapshot for one table."""
+
+    name: str
+    row_count: int
+    distinct: dict[str, int] = field(default_factory=dict)
+
+    def ndv(self, column: str) -> int:
+        """Number of distinct values (>= 1 so selectivities stay finite)."""
+        return max(self.distinct.get(column.lower(), self.row_count or 1), 1)
+
+
+class StatisticsProvider:
+    """Computes and caches :class:`TableStats` from storage."""
+
+    def __init__(self, catalog: Catalog):
+        self._catalog = catalog
+        self._cache: dict[str, tuple[int, TableStats]] = {}
+
+    def table_stats(self, name: str) -> TableStats:
+        lowered = name.lower()
+        table = self._catalog.table(lowered)
+        version = len(table)
+        cached = self._cache.get(lowered)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        stats = TableStats(
+            lowered,
+            row_count=table.estimated_row_count(),
+            distinct={
+                col.name: table.estimated_distinct(col.name)
+                for col in table.schema.columns
+            },
+        )
+        self._cache[lowered] = (version, stats)
+        return stats
+
+    def invalidate(self, name: str | None = None) -> None:
+        if name is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(name.lower(), None)

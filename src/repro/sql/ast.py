@@ -1,0 +1,402 @@
+"""Parse-tree (AST) node definitions.
+
+These nodes are a faithful syntactic representation; no name resolution or
+type checking happens here.  The binder (:mod:`repro.algebra.binder`) turns
+them into the logical algebra.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..datatypes import DataType
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for syntactic expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ColumnName(Expr):
+    """A possibly-qualified column reference like ``o.o_orderkey``."""
+
+    name: str
+    qualifier: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``t.*`` in a select list (or ``COUNT(*)``)."""
+
+    qualifier: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.*" if self.qualifier else "*"
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant: number, string, boolean, or NULL."""
+
+    value: object
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Binary operator: arithmetic, comparison, AND/OR, LIKE, ``||``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary operator: NOT, unary minus."""
+
+    op: str
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expr):
+    """Function or aggregate call.
+
+    ``distinct`` marks ``COUNT(DISTINCT x)``-style calls.  Aggregates are not
+    distinguished syntactically; the binder decides based on the function
+    name.  ``ALLOW_PRECISION_LOSS`` and ``EXPRESSION_MACRO`` arrive as plain
+    calls, too.
+    """
+
+    name: str
+    args: tuple[Expr, ...]
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.name}({prefix}{inner})"
+
+
+@dataclass(frozen=True)
+class CaseWhen(Expr):
+    """``CASE [WHEN cond THEN value]... [ELSE value] END`` (searched form)."""
+
+    branches: tuple[tuple[Expr, Expr], ...]
+    else_value: Expr | None = None
+
+    def __str__(self) -> str:
+        body = " ".join(f"WHEN {c} THEN {v}" for c, v in self.branches)
+        tail = f" ELSE {self.else_value}" if self.else_value is not None else ""
+        return f"CASE {body}{tail} END"
+
+
+@dataclass(frozen=True)
+class CastExpr(Expr):
+    """``CAST(expr AS type)``."""
+
+    operand: Expr
+    target: DataType
+
+    def __str__(self) -> str:
+        return f"CAST({self.operand} AS {self.target})"
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr [NOT] IN (v1, v2, ...)`` with literal/scalar items."""
+
+    operand: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(i) for i in self.items)
+        word = "NOT IN" if self.negated else "IN"
+        return f"({self.operand} {word} ({inner}))"
+
+
+@dataclass(frozen=True)
+class BetweenExpr(Expr):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def __str__(self) -> str:
+        word = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return f"({self.operand} {word} {self.low} AND {self.high})"
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expr
+    negated: bool = False
+
+    def __str__(self) -> str:
+        word = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand} {word})"
+
+
+@dataclass(frozen=True)
+class ExistsExpr(Expr):
+    """``[NOT] EXISTS (subquery)`` — allowed as a WHERE conjunct."""
+
+    query: "Query"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        word = "NOT EXISTS" if self.negated else "EXISTS"
+        return f"{word}(<subquery>)"
+
+
+@dataclass(frozen=True)
+class ScalarQuery(Expr):
+    """``(subquery)`` in expression position: must yield one row, one column
+    (zero rows evaluate to NULL)."""
+
+    query: "Query"
+
+    def __str__(self) -> str:
+        return "(<scalar subquery>)"
+
+
+@dataclass(frozen=True)
+class InSubquery(Expr):
+    """``expr [NOT] IN (subquery)`` — allowed as a WHERE conjunct."""
+
+    operand: Expr
+    query: "Query"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        word = "NOT IN" if self.negated else "IN"
+        return f"({self.operand} {word} (<subquery>))"
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+
+class Statement:
+    """Base class for top-level statements."""
+
+    __slots__ = ()
+
+
+class Query(Statement):
+    """Base class for things usable as a query body (Select or SetOp)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One select-list entry: an expression with an optional alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    expr: Expr
+    ascending: bool = True
+
+
+class JoinKind(Enum):
+    INNER = "INNER"
+    LEFT_OUTER = "LEFT OUTER"
+    CROSS = "CROSS"
+    # HANA-style declared ASJ intent (paper §6.3).  Semantically a LEFT OUTER
+    # join; the flag instructs the optimizer to preserve the augmenter
+    # subgraph and attempt ASJ elimination aggressively.
+    CASE_JOIN = "CASE JOIN"
+
+
+class CardinalityBound(Enum):
+    """One side of a declared join cardinality (paper §7.3)."""
+
+    EXACT_ONE = "EXACT ONE"  # 1..1
+    ONE = "ONE"              # 0..1
+    MANY = "MANY"            # 0..N
+
+
+@dataclass(frozen=True)
+class JoinCardinality:
+    """Declared cardinality, e.g. ``MANY TO ONE`` = left MANY, right ONE."""
+
+    left: CardinalityBound
+    right: CardinalityBound
+
+    def __str__(self) -> str:
+        return f"{self.left.value} TO {self.right.value}"
+
+
+class TableExpr:
+    """Base class for FROM-clause items."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class TableRef(TableExpr):
+    """A base table or view reference with an optional alias."""
+
+    name: str
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class DerivedTable(TableExpr):
+    """A parenthesized subquery in FROM, with a mandatory alias."""
+
+    query: "Query"
+    alias: str
+
+
+@dataclass(frozen=True)
+class JoinClause(TableExpr):
+    """A join between two table expressions."""
+
+    kind: JoinKind
+    left: TableExpr
+    right: TableExpr
+    condition: Expr | None = None
+    cardinality: JoinCardinality | None = None
+
+
+@dataclass(frozen=True)
+class Select(Query):
+    """A single SELECT block."""
+
+    items: tuple[SelectItem, ...]
+    from_clause: TableExpr | None = None
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int | None = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class SetOp(Query):
+    """A set operation; only UNION ALL is supported (the paper's subject)."""
+
+    op: str  # "UNION ALL"
+    left: Query
+    right: Query
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    offset: int | None = None
+
+
+# ---------------------------------------------------------------------------
+# DDL / DML
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """Column definition in CREATE TABLE."""
+
+    name: str
+    data_type: DataType
+    nullable: bool = True
+    primary_key: bool = False
+    unique: bool = False
+
+
+@dataclass(frozen=True)
+class TableConstraint:
+    """Table-level PRIMARY KEY / UNIQUE constraint."""
+
+    kind: str  # "PRIMARY KEY" | "UNIQUE"
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    name: str
+    columns: tuple[ColumnDef, ...]
+    constraints: tuple[TableConstraint, ...] = ()
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class ExprMacroDef:
+    """One entry of ``WITH EXPRESSION MACROS (expr AS name, ...)`` (§7.2)."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class CreateView(Statement):
+    name: str
+    query: Query
+    column_names: tuple[str, ...] = ()
+    or_replace: bool = False
+    macros: tuple[ExprMacroDef, ...] = ()
+
+
+@dataclass(frozen=True)
+class DropStatement(Statement):
+    kind: str  # "TABLE" | "VIEW"
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    table: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Expr, ...], ...] = ()
+    query: Query | None = None
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    table: str
+    assignments: tuple[tuple[str, Expr], ...] = ()
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    table: str
+    where: Expr | None = None

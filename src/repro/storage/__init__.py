@@ -1,0 +1,19 @@
+"""In-memory columnar storage substrate.
+
+Models the storage architecture the paper describes for SAP HANA (§2.2):
+
+- column tables with a read-optimized, dictionary-encoded **main** fragment
+  and a write-optimized append-only **delta** fragment, merged on demand
+  (:mod:`repro.storage.column`, :mod:`repro.storage.table`);
+- MVCC snapshot isolation so analytical reads run concurrently with
+  transactional writes (:mod:`repro.storage.mvcc`);
+- ARIES-style write-ahead logging with replay recovery
+  (:mod:`repro.storage.wal`);
+- a page-buffer simulation of the Native Storage Extension
+  (:mod:`repro.storage.nse`).
+"""
+
+from .column import ColumnFragments, DeltaFragment, MainFragment  # noqa: F401
+from .mvcc import Transaction, TransactionManager, TransactionStatus  # noqa: F401
+from .table import ColumnTable  # noqa: F401
+from .wal import LogRecord, WriteAheadLog  # noqa: F401

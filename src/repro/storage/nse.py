@@ -1,0 +1,108 @@
+"""Native Storage Extension (NSE) simulation: page-wise column access.
+
+The paper (§2.2) describes NSE as a page-oriented layout for warm data: only
+accessed pages are loaded into an in-memory buffer and evicted as needed,
+instead of loading entire columns.  This module simulates that behaviour so
+the storage ablation can contrast fully in-memory columns against page-wise
+access under a constrained buffer:
+
+- a column's rows are split into fixed-size pages;
+- a :class:`PageBuffer` holds at most ``capacity`` pages with LRU eviction;
+- reads count hits/misses (a miss models an I/O).
+
+Switching a column between in-memory and page-wise is a metadata flip,
+mirroring the paper's "change the metadata and reload" description.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from .column import ColumnFragments
+
+DEFAULT_PAGE_ROWS = 1024
+
+
+@dataclass
+class BufferStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class PageBuffer:
+    """A shared LRU buffer of column pages."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("buffer capacity must be positive")
+        self.capacity = capacity
+        self._pages: OrderedDict[tuple[int, int], list[object]] = OrderedDict()
+        self.stats = BufferStats()
+
+    def get(self, key: tuple[int, int], loader) -> list[object]:
+        page = self._pages.get(key)
+        if page is not None:
+            self._pages.move_to_end(key)
+            self.stats.hits += 1
+            return page
+        self.stats.misses += 1
+        page = loader()
+        self._pages[key] = page
+        if len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)
+            self.stats.evictions += 1
+        return page
+
+    def resident_pages(self) -> int:
+        return len(self._pages)
+
+
+class PagedColumn:
+    """Page-wise access wrapper over a column's fragments.
+
+    ``store_id`` disambiguates columns sharing one buffer.  The backing
+    fragments stay authoritative; the pages are decoded copies, as in a
+    buffer pool.
+    """
+
+    _next_store_id = 0
+
+    def __init__(
+        self,
+        fragments: ColumnFragments,
+        buffer: PageBuffer,
+        page_rows: int = DEFAULT_PAGE_ROWS,
+    ):
+        self._fragments = fragments
+        self._buffer = buffer
+        self._page_rows = page_rows
+        self._store_id = PagedColumn._next_store_id
+        PagedColumn._next_store_id += 1
+
+    def get(self, row: int) -> object:
+        page_no = row // self._page_rows
+        page = self._buffer.get(
+            (self._store_id, page_no), lambda: self._load_page(page_no)
+        )
+        return page[row % self._page_rows]
+
+    def values(self) -> list[object]:
+        return [self.get(i) for i in range(len(self._fragments))]
+
+    def _load_page(self, page_no: int) -> list[object]:
+        start = page_no * self._page_rows
+        end = min(start + self._page_rows, len(self._fragments))
+        return [self._fragments.get(i) for i in range(start, end)]
+
+    def __len__(self) -> int:
+        return len(self._fragments)

@@ -1,0 +1,3 @@
+"""Operational tools accompanying the engine."""
+
+from .cardinality_check import CardinalityReport, verify_join_cardinalities  # noqa: F401

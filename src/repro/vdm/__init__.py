@@ -1,0 +1,26 @@
+"""The Virtual Data Model (VDM) layer (paper §2.3, §3).
+
+A CDS-inspired modeling layer on top of the SQL engine:
+
+- :mod:`repro.vdm.cds` — entities, elements, and associations with declared
+  cardinalities; path expressions (``customer.name``) compile to
+  augmentation joins;
+- :mod:`repro.vdm.model` — the layered view registry (basic / composite /
+  consumption) with nesting-depth accounting;
+- :mod:`repro.vdm.compiler` — CDS definitions -> SQL views;
+- :mod:`repro.vdm.extension` — the §5 custom-fields extension: add fields to
+  a table and expose them through an upgrade-safe augmentation self-join
+  (plain or case join, with the draft-pattern union variant of §6.3);
+- :mod:`repro.vdm.draft` — the active/draft table pattern (§6.1, Fig. 11b);
+- :mod:`repro.vdm.dac` — record-level data access control filters (§3);
+- :mod:`repro.vdm.generator` — a synthetic VDM generator for benchmarks;
+- :mod:`repro.vdm.journal` — the JournalEntryItemBrowser analog with
+  Fig. 3's structural statistics.
+"""
+
+from .cds import Association, Cardinality, Element, Entity  # noqa: F401
+from .model import ViewLayer, VdmView, VirtualDataModel  # noqa: F401
+from .compiler import compile_entity_view, deploy_entity  # noqa: F401
+from .extension import CustomFieldsExtension  # noqa: F401
+from .draft import DraftPattern  # noqa: F401
+from .dac import AccessControl, DacPolicy  # noqa: F401

@@ -1,0 +1,139 @@
+"""CDS-style data modeling: entities, elements, associations.
+
+The paper (§2.3): *"VDM views are modeled in CDS and deployed as SQL views
+into the database. ... VDM views are enriched with semantical information
+and connected to other VDM views by CDS associations.  These associations
+can be used in a CDS path notation to add fields from the associated view —
+an easy and convenient way to join a view and project columns from it."*
+
+An :class:`Entity` describes a database table with business-named elements;
+an :class:`Association` declares a typed, cardinality-annotated relationship
+that the compiler turns into a (many-to-one left outer) augmentation join
+whenever a path expression uses it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..catalog.schema import ColumnSchema, TableSchema, UniqueConstraint
+from ..datatypes import DataType
+from ..errors import CatalogError
+
+
+class Cardinality(Enum):
+    """Association cardinality as declared in CDS (paper §7.3 semantics)."""
+
+    MANY_TO_ONE = "many to one"            # 0..1 target rows per source row
+    MANY_TO_EXACT_ONE = "many to exact one"  # exactly 1 target row
+    ONE_TO_MANY = "one to many"
+    ONE_TO_ONE = "one to one"
+
+    @property
+    def is_to_one(self) -> bool:
+        return self in (
+            Cardinality.MANY_TO_ONE,
+            Cardinality.MANY_TO_EXACT_ONE,
+            Cardinality.ONE_TO_ONE,
+        )
+
+
+@dataclass(frozen=True)
+class Element:
+    """One element (column) of an entity."""
+
+    name: str
+    data_type: DataType
+    key: bool = False
+    not_null: bool = False
+    label: str | None = None  # business-facing description
+
+
+@dataclass(frozen=True)
+class Association:
+    """A named link to another entity, usable in path expressions."""
+
+    name: str
+    target: str  # target entity name
+    on: tuple[tuple[str, str], ...]  # (local element, target element) pairs
+    cardinality: Cardinality = Cardinality.MANY_TO_ONE
+
+
+@dataclass
+class Entity:
+    """A CDS entity: a table definition plus associations and labels."""
+
+    name: str
+    elements: list[Element]
+    associations: list[Association] = field(default_factory=list)
+    unique: list[tuple[str, ...]] = field(default_factory=list)  # extra unique sets
+
+    def __post_init__(self) -> None:
+        self.name = self.name.lower()
+        names = [e.name.lower() for e in self.elements]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"duplicate element names in entity {self.name!r}")
+        by_name = set(names)
+        for assoc in self.associations:
+            for local, _ in assoc.on:
+                if local.lower() not in by_name:
+                    raise CatalogError(
+                        f"association {assoc.name!r} uses unknown element {local!r}"
+                    )
+
+    @property
+    def key_elements(self) -> tuple[str, ...]:
+        return tuple(e.name.lower() for e in self.elements if e.key)
+
+    def association(self, name: str) -> Association:
+        lowered = name.lower()
+        for assoc in self.associations:
+            if assoc.name.lower() == lowered:
+                return assoc
+        raise CatalogError(f"no association {name!r} on entity {self.name!r}")
+
+    def element(self, name: str) -> Element:
+        lowered = name.lower()
+        for element in self.elements:
+            if element.name.lower() == lowered:
+                return element
+        raise CatalogError(f"no element {name!r} on entity {self.name!r}")
+
+    def to_table_schema(self) -> TableSchema:
+        """The backing table schema for this entity."""
+        columns = [
+            ColumnSchema(e.name, e.data_type, nullable=not (e.key or e.not_null))
+            for e in self.elements
+        ]
+        constraints = []
+        if self.key_elements:
+            constraints.append(UniqueConstraint(self.key_elements, is_primary=True))
+        for unique_set in self.unique:
+            constraints.append(UniqueConstraint(tuple(c.lower() for c in unique_set)))
+        return TableSchema(self.name, columns, constraints)
+
+
+@dataclass(frozen=True)
+class PathField:
+    """A field exposed by a view: either a local element or a one-step
+    association path (``association.element``), optionally aliased."""
+
+    path: str
+    alias: str | None = None
+
+    @property
+    def is_association_path(self) -> bool:
+        return "." in self.path
+
+    def parts(self) -> tuple[str, str | None]:
+        if self.is_association_path:
+            association, element = self.path.split(".", 1)
+            return association, element
+        return self.path, None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias.lower()
+        return self.path.replace(".", "_").lower()

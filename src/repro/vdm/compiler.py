@@ -1,0 +1,120 @@
+"""CDS entity/view -> SQL compilation.
+
+``compile_entity_view`` is where the paper's central VDM mechanism lives:
+every association used by a path expression becomes a **left outer
+many-to-one join** (an augmentation join, §4.2), annotated with the declared
+cardinality so the optimizer can prove augmentation even without unique
+constraints (§7.3).  Unused associations cost nothing — if a query over the
+view does not touch an association's fields, the UAJ rule removes the join.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..database import Database
+from ..errors import CatalogError
+from .cds import Cardinality, Entity, PathField
+
+_CARDINALITY_SQL = {
+    Cardinality.MANY_TO_ONE: "left outer many to one join",
+    Cardinality.MANY_TO_EXACT_ONE: "left outer many to exact one join",
+    Cardinality.ONE_TO_ONE: "left outer one to one join",
+    Cardinality.ONE_TO_MANY: "left outer join",
+}
+
+
+def deploy_entity(db: Database, entity: Entity) -> None:
+    """Create the backing table for an entity."""
+    db.create_table_from_schema(entity.to_table_schema())
+
+
+def compile_entity_view(
+    view_name: str,
+    entity: Entity,
+    fields: Sequence[PathField | str],
+    entities: dict[str, Entity],
+    where: str | None = None,
+) -> str:
+    """Compile a basic view over ``entity`` exposing ``fields``.
+
+    ``fields`` may be local element names or one-step association paths
+    (``"soldtoparty.name as customername"`` style is expressed as
+    ``PathField("soldtoparty.name", "customername")``).
+    """
+    normalized = [f if isinstance(f, PathField) else PathField(f) for f in fields]
+    used_associations: list[str] = []
+    select_items: list[str] = []
+    for field in normalized:
+        head, element = field.parts()
+        if element is None:
+            entity.element(head)  # validate
+            select_items.append(f"b.{head} as {field.output_name}")
+        else:
+            association = entity.association(head)
+            target = entities.get(association.target.lower())
+            if target is None:
+                raise CatalogError(
+                    f"association {head!r} targets unknown entity {association.target!r}"
+                )
+            target.element(element)  # validate
+            alias = f"a_{association.name.lower()}"
+            if association.name.lower() not in used_associations:
+                used_associations.append(association.name.lower())
+            select_items.append(f"{alias}.{element} as {field.output_name}")
+
+    join_clauses: list[str] = []
+    for name in used_associations:
+        association = entity.association(name)
+        if not association.cardinality.is_to_one:
+            raise CatalogError(
+                f"path expressions over to-many association {name!r} are not supported"
+            )
+        alias = f"a_{name}"
+        condition = " and ".join(
+            f"b.{local} = {alias}.{remote}" for local, remote in association.on
+        )
+        join_sql = _CARDINALITY_SQL[association.cardinality]
+        join_clauses.append(
+            f"  {join_sql} {association.target.lower()} {alias} on {condition}"
+        )
+
+    sql_lines = [f"create view {view_name.lower()} as"]
+    sql_lines.append("select " + ", ".join(select_items))
+    sql_lines.append(f"from {entity.name} b")
+    sql_lines.extend(join_clauses)
+    if where:
+        sql_lines.append(f"where {where}")
+    return "\n".join(sql_lines)
+
+
+def compile_join_view(
+    view_name: str,
+    base_view: str,
+    base_fields: Sequence[str],
+    augmentations: Iterable[tuple[str, Sequence[str], str, str]],
+    where: str | None = None,
+    cardinality_sql: str = "left outer many to one join",
+) -> str:
+    """Compile a composite/consumption view joining ``base_view`` with
+    augmenter views.
+
+    ``augmentations`` yields ``(view, fields, local_expr, remote_expr)``
+    tuples; each becomes one declared many-to-one left outer join — the
+    paper's expansive-join-view construction (§4.1).
+    """
+    select_items = [f"b.{f}" for f in base_fields]
+    joins = []
+    for index, (view, fields, local, remote) in enumerate(augmentations):
+        alias = f"j{index}"
+        select_items.extend(f"{alias}.{f}" for f in fields)
+        joins.append(
+            f"  {cardinality_sql} {view} {alias} on b.{local} = {alias}.{remote}"
+        )
+    sql_lines = [f"create view {view_name.lower()} as"]
+    sql_lines.append("select " + ", ".join(select_items))
+    sql_lines.append(f"from {base_view} b")
+    sql_lines.extend(joins)
+    if where:
+        sql_lines.append(f"where {where}")
+    return "\n".join(sql_lines)

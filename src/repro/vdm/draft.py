@@ -1,0 +1,100 @@
+"""The draft-table pattern (paper §6.1, Fig. 11b).
+
+Cloud apps are stateless at the server but stateful for the user: in-flight
+("draft") business documents live in a separate table next to the active
+one.  Analytical queries read only the active table; operational queries see
+the logical table ``active ∪ draft``, expressed as a branch-id-tagged
+UNION ALL — exactly the shape whose uniqueness derivation Fig. 12b requires
+(``(bid, key)`` is unique because the bid separates the branches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..catalog.schema import ColumnSchema, TableSchema, UniqueConstraint
+from ..database import Database
+from ..datatypes import varchar
+
+ACTIVE_BID = 1
+DRAFT_BID = 2
+
+
+@dataclass
+class DraftPattern:
+    """An active/draft table pair plus its logical union view."""
+
+    db: Database
+    active_table: str
+    draft_table: str
+    union_view: str
+    key_columns: tuple[str, ...]
+    columns: tuple[str, ...]
+
+    @classmethod
+    def create(cls, db: Database, active_table: str, union_view: str | None = None) -> "DraftPattern":
+        """Create the draft twin of ``active_table`` and deploy the logical
+        union view ``<active>_with_draft`` (or ``union_view``)."""
+        active = db.catalog.table_schema(active_table)
+        draft_name = f"{active.name}_draft"
+        draft_columns = [
+            ColumnSchema(c.name, c.data_type, c.nullable) for c in active.columns
+        ]
+        # Draft rows additionally carry the editing session.
+        draft_columns.append(ColumnSchema("draft_session", varchar(32)))
+        constraints = [
+            UniqueConstraint(u.columns, u.is_primary) for u in active.unique_constraints
+        ]
+        db.create_table_from_schema(TableSchema(draft_name, draft_columns, constraints))
+
+        key = active.primary_key or ()
+        names = tuple(c.name for c in active.columns)
+        view_name = (union_view or f"{active.name}_with_draft").lower()
+        columns_sql = ", ".join(names)
+        sql = (
+            f"create view {view_name} as\n"
+            f"select {ACTIVE_BID} as bid_, {columns_sql} from {active.name}\n"
+            "union all\n"
+            f"select {DRAFT_BID} as bid_, {columns_sql} from {draft_name}"
+        )
+        db.execute(sql)
+        return cls(db, active.name, draft_name, view_name, key, names)
+
+    def save_draft(self, row: dict[str, object], session: str) -> None:
+        """Store an in-progress document version in the draft table."""
+        names = list(self.columns) + ["draft_session"]
+        values = [row.get(c) for c in self.columns] + [session]
+        placeholders = ", ".join(_sql_literal(v) for v in values)
+        self.db.execute(
+            f"insert into {self.draft_table} ({', '.join(names)}) values ({placeholders})"
+        )
+
+    def activate(self, key_value: dict[str, object]) -> int:
+        """Promote a draft row to the active table and drop the draft."""
+        predicate = " and ".join(
+            f"{k} = {_sql_literal(v)}" for k, v in key_value.items()
+        )
+        rows = self.db.query(
+            f"select {', '.join(self.columns)} from {self.draft_table} where {predicate}"
+        )
+        count = 0
+        for row in rows.rows:
+            placeholders = ", ".join(_sql_literal(v) for v in row)
+            self.db.execute(
+                f"insert into {self.active_table} ({', '.join(self.columns)}) "
+                f"values ({placeholders})"
+            )
+            count += 1
+        self.db.execute(f"delete from {self.draft_table} where {predicate}")
+        return count
+
+
+def _sql_literal(value: object) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)

@@ -1,0 +1,245 @@
+"""Synthetic VDM generator.
+
+Builds parameterized VDM view populations for the benchmarks:
+
+- :func:`SyntheticVdm.build_views` — the Fig. 14 population: N consumption
+  views of varying size, each shaped like the paper's draft-pattern views
+  (a top-level Union All of an active and a draft branch, each branch
+  augmenting a fact table with many-to-one dimension joins), plus the two
+  §5/§6.3 extension variants (plain left outer join vs. declared-intent
+  case join) over a mix of canonical and non-canonical augmenters;
+- :func:`build_wide_view` — the ablation A1 shape: one fact table with a
+  configurable number of unused augmentation joins.
+
+Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..database import Database
+from ..datatypes import INTEGER, decimal_type, varchar
+from .draft import ACTIVE_BID, DRAFT_BID
+from .extension import CustomFieldsExtension
+
+
+@dataclass
+class GeneratedView:
+    """Metadata for one generated consumption view and its extensions."""
+
+    name: str
+    fact_table: str
+    draft_table: str
+    extended_plain: str   # extension via plain LEFT OUTER JOIN (Fig. 14a)
+    extended_case: str    # extension via CASE JOIN (Fig. 14b)
+    rows: int
+    dim_count: int
+    canonical: bool       # augmenter branches in canonical (Project/Scan) shape
+
+
+class SyntheticVdm:
+    """Deterministic generator of a synthetic VDM population."""
+
+    def __init__(self, db: Database, seed: int = 42):
+        self.db = db
+        self.rng = random.Random(seed)
+        self._dims: list[str] = []
+
+    # -- shared dimension pool --------------------------------------------------
+
+    def build_dimensions(self, count: int = 12, rows: int = 200) -> list[str]:
+        """Create ``count`` shared dimension tables with ``rows`` rows each."""
+        for index in range(count):
+            name = f"dim_{index}"
+            self.db.execute(
+                f"create table {name} (dkey int primary key, "
+                f"dname varchar(30), dgroup int not null)"
+            )
+            self.db.bulk_load(
+                name,
+                [(k, f"{name}_v{k}", k % 10) for k in range(rows)],
+            )
+            self._dims.append(name)
+        return list(self._dims)
+
+    # -- Fig. 14 population --------------------------------------------------------
+
+    def build_views(
+        self,
+        count: int = 100,
+        min_rows: int = 50,
+        max_rows: int = 4000,
+        min_dims: int = 2,
+        max_dims: int = 6,
+        canonical_ratio: float = 0.5,
+        dim_rows: int = 200,
+    ) -> list[GeneratedView]:
+        """Create ``count`` draft-pattern consumption views + extensions.
+
+        Row counts are log-spaced between ``min_rows`` and ``max_rows`` so
+        execution times spread over the axes like the paper's Fig. 14
+        scatter plots.
+        """
+        if not self._dims:
+            self.build_dimensions(rows=dim_rows)
+        extension = CustomFieldsExtension(self.db)
+        views: list[GeneratedView] = []
+        for index in range(count):
+            fraction = index / max(count - 1, 1)
+            rows = int(
+                math.exp(
+                    math.log(min_rows)
+                    + fraction * (math.log(max_rows) - math.log(min_rows))
+                )
+            )
+            dim_count = self.rng.randint(min_dims, max_dims)
+            canonical = self.rng.random() < canonical_ratio
+            views.append(
+                self._build_one(index, rows, dim_count, canonical, extension, dim_rows)
+            )
+        return views
+
+    def _build_one(
+        self,
+        index: int,
+        rows: int,
+        dim_count: int,
+        canonical: bool,
+        extension: CustomFieldsExtension,
+        dim_rows: int,
+    ) -> GeneratedView:
+        fact = f"fact_{index}"
+        draft = f"{fact}_draft"
+        dims = self.rng.sample(self._dims, dim_count)
+        dim_cols = ", ".join(f"dk{i} int not null" for i in range(dim_count))
+        self.db.execute(
+            f"create table {fact} (fkey int primary key, amount decimal(15,2), "
+            f"qty int, {dim_cols})"
+        )
+        self.db.execute(
+            f"create table {draft} (fkey int primary key, amount decimal(15,2), "
+            f"qty int, {dim_cols}, draft_session varchar(32))"
+        )
+        rng = self.rng
+
+        def fact_row(key: int) -> tuple:
+            return (
+                key,
+                f"{rng.randint(1, 99999)}.{rng.randint(0, 99):02d}",
+                rng.randint(1, 100),
+                *[rng.randrange(dim_rows) for _ in range(dim_count)],
+            )
+
+        self.db.bulk_load(fact, [fact_row(k) for k in range(rows)])
+        draft_rows = max(rows // 20, 1)
+        self.db.bulk_load(
+            draft,
+            [fact_row(rows + k) + (f"session{k}",) for k in range(draft_rows)],
+        )
+
+        # Custom field (added BEFORE the views so extensions can expose it).
+        extension.add_custom_field(fact, "zz_custom", varchar(20))
+        extension.add_custom_field(draft, "zz_custom", varchar(20))
+
+        base_cols = "fkey, amount, qty, " + ", ".join(f"dk{i}" for i in range(dim_count))
+        view = f"v_{index}"
+        # Non-canonical views carry a (business-rule) selection in every
+        # branch of the logical table; the extension replicates it.  This is
+        # the shape the structural ASJ heuristic cannot handle (Fig. 14a)
+        # but the declared-intent case join can (Fig. 14b).
+        branch_filter = None if canonical else "qty >= 0"
+
+        def branch(table: str, bid: int) -> str:
+            joins = "\n".join(
+                f"  left outer many to one join {dim} d{i} on b.dk{i} = d{i}.dkey"
+                for i, dim in enumerate(dims)
+            )
+            dim_fields = ", ".join(
+                f"d{i}.dname as dname{i}, d{i}.dgroup as dgroup{i}"
+                for i in range(dim_count)
+            )
+            cols = ", ".join(f"b.{c.strip()}" for c in base_cols.split(","))
+            where = "\nwhere b.qty >= 0" if branch_filter else ""
+            return (
+                f"select {bid} as bid_, {cols}, {dim_fields}\n"
+                f"from {table} b\n{joins}{where}"
+            )
+
+        self.db.execute(
+            f"create view {view} as\n{branch(fact, ACTIVE_BID)}\n"
+            f"union all\n{branch(draft, DRAFT_BID)}"
+        )
+
+        key_map = [("fkey", "fkey")]
+        ext_plain = f"{view}_ext_plain"
+        ext_case = f"{view}_ext_case"
+        pattern = _FakeDraft(self.db, fact, draft)
+        extension.extend_draft_view(
+            ext_plain, view, pattern, key_map, ["zz_custom"],
+            use_case_join=False, branch_filter=branch_filter,
+        )
+        extension.extend_draft_view(
+            ext_case, view, pattern, key_map, ["zz_custom"],
+            use_case_join=True, branch_filter=branch_filter,
+        )
+        return GeneratedView(
+            view, fact, draft, ext_plain, ext_case, rows, dim_count, canonical
+        )
+
+
+class _FakeDraft:
+    """Adapter exposing the DraftPattern attribute surface the extension
+    needs, for table pairs created directly by the generator."""
+
+    def __init__(self, db: Database, active: str, draft: str):
+        self.db = db
+        self.active_table = active
+        self.draft_table = draft
+
+
+def build_wide_view(
+    db: Database,
+    name: str,
+    join_count: int,
+    fact_rows: int = 5000,
+    dim_rows: int = 100,
+    seed: int = 7,
+) -> str:
+    """Ablation A1: one expansive view with ``join_count`` augmentation
+    joins, of which a query typically uses none (paper §4.1: views join
+    over 100 tables; queries touch 10-20 fields)."""
+    rng = random.Random(seed)
+    fact = f"{name}_fact"
+    columns = ", ".join(f"k{i} int not null" for i in range(join_count))
+    prefix = f", {columns}" if join_count else ""
+    db.execute(f"create table {fact} (fkey int primary key, amount decimal(15,2){prefix})")
+    db.bulk_load(
+        fact,
+        [
+            (
+                key,
+                f"{rng.randint(1, 9999)}.00",
+                *[rng.randrange(dim_rows) for _ in range(join_count)],
+            )
+            for key in range(fact_rows)
+        ],
+    )
+    joins = []
+    fields = ["b.fkey", "b.amount"]
+    for index in range(join_count):
+        dim = f"{name}_dim_{index}"
+        db.execute(f"create table {dim} (dkey int primary key, dval varchar(20))")
+        db.bulk_load(dim, [(k, f"val{k}") for k in range(dim_rows)])
+        joins.append(
+            f"  left outer many to one join {dim} d{index} on b.k{index} = d{index}.dkey"
+        )
+        fields.append(f"d{index}.dval as dval{index}")
+    sql = (
+        f"create view {name} as\nselect {', '.join(fields)}\nfrom {fact} b\n"
+        + "\n".join(joins)
+    )
+    db.execute(sql)
+    return name

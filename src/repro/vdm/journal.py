@@ -1,0 +1,371 @@
+"""JournalEntryItemBrowser analog (paper §3, Figs. 3-4).
+
+Builds a synthetic S/4-style financial model around an ACDOCA-like
+universal journal table and deploys a VDM stack whose *unoptimized* plan for
+``select * from journalentryitembrowser`` matches the structural statistics
+the paper reports for Fig. 3:
+
+- 47 table instances in the shared (DAG) plan, 62 when unshared,
+- 49 joins,
+- one five-way UNION ALL, one GROUP BY, one DISTINCT,
+- record-wise DAC filters over the supplier (LFA1) and customer (KNA1)
+  augmenters — which is why Fig. 4's optimized ``count(*)`` plan retains
+  exactly those two joins.
+
+Structure (every component mirrors a pattern from the paper):
+
+- core: ``acdoca ⋈ company ⋈ ledger`` (the composite interface view), with
+  declared ``many to exact one`` inner joins;
+- 30 many-to-one left outer augmentation joins in the consumption view:
+  2 DAC-relevant singles (lfa1/kna1), 2 plain singles, 15 two-table basic
+  views, 6 uses of one shared address view, 2 uses of a shared cost-object
+  view (itself nesting the address view — the DAG sharing of Fig. 3), one
+  GROUP BY totals view (AJ 2a-2), one DISTINCT currency view, and one
+  five-way UNION ALL business-partner view (Fig. 11c).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..database import Database
+from .dac import AccessControl, DacPolicy
+from .model import VdmView, ViewLayer, VirtualDataModel
+
+# The Fig. 3 structural targets (validated by tests and the E5 benchmark).
+FIG3_EXPECTED = {
+    "shared_tables": 47,
+    "unshared_tables": 62,
+    "shared_joins": 49,
+    "union_alls": 1,
+    "union_children": 5,
+    "group_bys": 1,
+    "distincts": 1,
+}
+
+# 15 master-data "double" views: (name, text-table suffix, acdoca fk column)
+_DOUBLES = [
+    "costcenter", "profitcenter", "glaccount", "plant", "material",
+    "segment", "funcarea", "bizarea", "project", "wbselement",
+    "salesorg", "paymentterms", "housebank", "taxcode", "tradepartner",
+]
+
+_SINGLES = ["controlarea", "docstatus"]
+
+# Six address-role columns on acdoca, all joining the shared address view.
+_ADDRESS_ROLES = ["shipaddr", "billaddr", "payeraddr", "vendoraddr", "plantaddr", "compaddr"]
+
+_COST_OBJECT_ROLES = ["costobj", "altcostobj"]
+
+_PARTNER_KINDS = ["vendorbp", "custbp", "employeebp", "bankbp", "taxauthbp"]
+
+
+@dataclass
+class JournalModel:
+    """Builder for the JournalEntryItemBrowser analog."""
+
+    db: Database
+    rows: int = 2000
+    dim_rows: int = 50
+    seed: int = 3
+    consumption_view: str = "journalentryitem"
+    browser_view: str = "journalentryitembrowser"
+    vdm: VirtualDataModel = field(init=False)
+    access_control: AccessControl = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.vdm = VirtualDataModel(self.db)
+        self.access_control = AccessControl(self.db)
+
+    # -- public API --------------------------------------------------------
+
+    def build(self) -> "JournalModel":
+        self._create_master_data()
+        self._create_acdoca()
+        self._deploy_views()
+        self._deploy_dac()
+        return self
+
+    # -- tables ---------------------------------------------------------------
+
+    def _create_master_data(self) -> None:
+        db = self.db
+        rng = random.Random(self.seed)
+        n = self.dim_rows
+
+        db.execute("create table company (company_id int primary key, company_name varchar(40), country varchar(3))")
+        db.bulk_load("company", [(i, f"Company {i}", "DE") for i in range(5)])
+        db.execute("create table ledger (ledger_id int primary key, ledger_name varchar(40))")
+        db.bulk_load("ledger", [(i, f"Ledger {i}") for i in range(3)])
+
+        # DAC-relevant masters: supplier (LFA1 analog) and customer (KNA1).
+        db.execute(
+            "create table lfa1 (supplier_id int primary key, supplier_name varchar(40), "
+            "authgroup varchar(8))"
+        )
+        db.bulk_load(
+            "lfa1", [(i, f"Supplier {i}", f"G{i % 3}") for i in range(n)]
+        )
+        db.execute(
+            "create table kna1 (customer_id int primary key, customer_name varchar(40), "
+            "authgroup varchar(8))"
+        )
+        db.bulk_load(
+            "kna1", [(i, f"Customer {i}", f"G{i % 3}") for i in range(n)]
+        )
+
+        for name in _SINGLES:
+            db.execute(
+                f"create table {name} (id int primary key, descr varchar(40))"
+            )
+            db.bulk_load(name, [(i, f"{name} {i}") for i in range(n)])
+
+        for name in _DOUBLES:
+            db.execute(f"create table {name} (id int primary key, code varchar(12), textid int not null)")
+            db.execute(f"create table {name}_text (id int primary key, text varchar(40))")
+            db.bulk_load(f"{name}_text", [(i, f"{name} text {i}") for i in range(n)])
+            db.bulk_load(name, [(i, f"{name[:3].upper()}{i:04d}", i % n) for i in range(n)])
+
+        db.execute("create table address (addr_id int primary key, street varchar(40), country_id int not null)")
+        db.execute("create table country (country_id int primary key, country_name varchar(30))")
+        db.bulk_load("country", [(i, f"Country {i}") for i in range(20)])
+        db.bulk_load("address", [(i, f"Street {i}", i % 20) for i in range(n)])
+
+        db.execute("create table costobject (co_id int primary key, co_code varchar(12), co_addr int not null)")
+        db.bulk_load("costobject", [(i, f"CO{i:04d}", i % n) for i in range(n)])
+
+        # GROUP BY augmenter source: document flow steps.
+        db.execute("create table docflow (dockey int not null, step int not null, flowamount decimal(15,2), primary key (dockey, step))")
+        flow_rows = []
+        for dockey in range(self.rows // 2):
+            for step in range(rng.randint(1, 3)):
+                flow_rows.append((dockey, step, f"{rng.randint(1, 999)}.00"))
+        db.bulk_load("docflow", flow_rows)
+
+        # DISTINCT augmenter source: exchange rates.
+        db.execute("create table exchrates (currkey int not null, ratedate int not null, rate decimal(15,6), primary key (currkey, ratedate))")
+        db.bulk_load(
+            "exchrates",
+            [(c, d, f"1.{c:02d}{d:02d}") for c in range(20) for d in range(3)],
+        )
+
+        # Five-way union sources (Fig. 11c: one logical business partner,
+        # five subclasses in separate tables).
+        for kind in _PARTNER_KINDS:
+            db.execute(
+                f"create table {kind} (pid int primary key, pname varchar(40))"
+            )
+            db.bulk_load(kind, [(i, f"{kind} {i}") for i in range(30)])
+
+    def _create_acdoca(self) -> None:
+        rng = random.Random(self.seed + 1)
+        n = self.dim_rows
+        columns = [
+            "acdockey int primary key",
+            "dockey int not null",
+            "company_id int not null",
+            "ledger_id int not null",
+            "supplier_id int",
+            "customer_id int",
+            "partnertype varchar(1) not null",
+            "partnerid int not null",
+            "currkey int not null",
+            "amount decimal(15,2)",
+            "quantity int",
+            "postingyear int not null",
+        ]
+        columns += [f"{s}_id int not null" for s in _SINGLES]
+        columns += [f"{d}_id int not null" for d in _DOUBLES]
+        columns += [f"{role}_id int not null" for role in _ADDRESS_ROLES]
+        columns += [f"{role}_id int not null" for role in _COST_OBJECT_ROLES]
+        self.db.execute(f"create table acdoca ({', '.join(columns)})")
+
+        partner_types = ["V", "C", "E", "B", "T"]
+        rows = []
+        for key in range(self.rows):
+            row = [
+                key,
+                key % max(self.rows // 2, 1),
+                key % 5,
+                key % 3,
+                rng.randrange(n) if rng.random() < 0.7 else None,
+                rng.randrange(n) if rng.random() < 0.7 else None,
+                partner_types[key % 5],
+                rng.randrange(30),
+                rng.randrange(20),
+                f"{rng.randint(1, 99999)}.{rng.randint(0, 99):02d}",
+                rng.randint(1, 500),
+                2020 + key % 5,
+            ]
+            row += [rng.randrange(n) for _ in _SINGLES]
+            row += [rng.randrange(n) for _ in _DOUBLES]
+            row += [rng.randrange(n) for _ in _ADDRESS_ROLES]
+            row += [rng.randrange(n) for _ in _COST_OBJECT_ROLES]
+            rows.append(tuple(row))
+        self.db.bulk_load("acdoca", rows)
+
+    # -- views ----------------------------------------------------------------
+
+    def _deploy_views(self) -> None:
+        vdm = self.vdm
+        aj = "left outer many to one join"
+
+        # Basic layer: renaming views over the journal table, stacked to
+        # reach the paper's interface-view nesting depth.
+        vdm.deploy(VdmView(
+            "v_acdoca_raw", ViewLayer.BASIC,
+            "create view v_acdoca_raw as select * from acdoca",
+            ("acdoca",), "raw journal line items",
+        ))
+        vdm.deploy(VdmView(
+            "v_acdoca_core", ViewLayer.BASIC,
+            "create view v_acdoca_core as select * from v_acdoca_raw",
+            ("v_acdoca_raw",), "journal line items, technical fields mapped",
+        ))
+        vdm.deploy(VdmView(
+            "v_acdoca_semantic", ViewLayer.BASIC,
+            "create view v_acdoca_semantic as select * from v_acdoca_core",
+            ("v_acdoca_core",), "journal line items with business semantics",
+        ))
+        vdm.deploy(VdmView(
+            "v_acdoca_std", ViewLayer.BASIC,
+            "create view v_acdoca_std as select * from v_acdoca_semantic",
+            ("v_acdoca_semantic",), "standardized journal line items",
+        ))
+
+        # Shared address view (used six times; Fig. 3's DAG sharing).
+        vdm.deploy(VdmView(
+            "v_address", ViewLayer.BASIC,
+            "create view v_address as "
+            "select a.addr_id, a.street, c.country_name "
+            f"from address a {aj} country c on a.country_id = c.country_id",
+            ("address", "country"), "postal address with country",
+        ))
+
+        # Shared cost-object view (nests the address view).
+        vdm.deploy(VdmView(
+            "v_costobject", ViewLayer.BASIC,
+            "create view v_costobject as "
+            "select co.co_id, co.co_code, ad.street as co_street, "
+            "ad.country_name as co_country "
+            f"from costobject co {aj} v_address ad on co.co_addr = ad.addr_id",
+            ("costobject", "v_address"), "cost object with address",
+        ))
+
+        # 15 two-table master-data views.
+        for name in _DOUBLES:
+            vdm.deploy(VdmView(
+                f"v_{name}", ViewLayer.BASIC,
+                f"create view v_{name} as "
+                f"select m.id as {name}_key, m.code as {name}_code, "
+                f"t.text as {name}_text "
+                f"from {name} m {aj} {name}_text t on m.textid = t.id",
+                (name, f"{name}_text"), f"{name} master data",
+            ))
+
+        # GROUP BY augmenter (AJ 2a-2): per-document flow totals.
+        vdm.deploy(VdmView(
+            "v_doctotals", ViewLayer.BASIC,
+            "create view v_doctotals as "
+            "select dockey as flow_dockey, sum(flowamount) as flowtotal, "
+            "count(*) as flowsteps from docflow group by dockey",
+            ("docflow",), "document flow totals",
+        ))
+
+        # DISTINCT augmenter: currencies with known exchange rates.
+        vdm.deploy(VdmView(
+            "v_knowncurrencies", ViewLayer.BASIC,
+            "create view v_knowncurrencies as select distinct currkey from exchrates",
+            ("exchrates",), "currencies with exchange rates",
+        ))
+
+        # Five-way UNION ALL business-partner view (Fig. 11c).
+        union_parts = []
+        for kind, tag in zip(_PARTNER_KINDS, ["V", "C", "E", "B", "T"]):
+            union_parts.append(
+                f"select '{tag}' as ptype, pid as pkey, pname from {kind}"
+            )
+        vdm.deploy(VdmView(
+            "v_businesspartner", ViewLayer.BASIC,
+            "create view v_businesspartner as " + " union all ".join(union_parts),
+            tuple(_PARTNER_KINDS), "unified business partner",
+        ))
+
+        # Composite interface view: acdoca ⋈ company ⋈ ledger.
+        vdm.deploy(VdmView(
+            "v_journal_interface", ViewLayer.COMPOSITE,
+            "create view v_journal_interface as "
+            "select b.*, c.company_name, l.ledger_name "
+            "from v_acdoca_std b "
+            "inner many to exact one join company c on b.company_id = c.company_id "
+            "inner many to exact one join ledger l on b.ledger_id = l.ledger_id",
+            ("v_acdoca_std", "company", "ledger"), "journal interface view",
+        ))
+
+        # Consumption view: the 30 augmentation joins.
+        selects = ["b.*"]
+        joins = []
+
+        def add(view: str, alias: str, condition: str, fields: list[str]) -> None:
+            joins.append(f"  {aj} {view} {alias} on {condition}")
+            selects.extend(fields)
+
+        add("lfa1", "sup", "b.supplier_id = sup.supplier_id",
+            ["sup.supplier_name", "sup.authgroup as supplierauthgroup"])
+        add("kna1", "cus", "b.customer_id = cus.customer_id",
+            ["cus.customer_name", "cus.authgroup as customerauthgroup"])
+        for name in _SINGLES:
+            add(name, f"s_{name}", f"b.{name}_id = s_{name}.id",
+                [f"s_{name}.descr as {name}_descr"])
+        for name in _DOUBLES:
+            add(f"v_{name}", f"d_{name}", f"b.{name}_id = d_{name}.{name}_key",
+                [f"d_{name}.{name}_code", f"d_{name}.{name}_text"])
+        for role in _ADDRESS_ROLES:
+            add("v_address", f"ad_{role}", f"b.{role}_id = ad_{role}.addr_id",
+                [f"ad_{role}.street as {role}_street",
+                 f"ad_{role}.country_name as {role}_country"])
+        for role in _COST_OBJECT_ROLES:
+            add("v_costobject", f"co_{role}", f"b.{role}_id = co_{role}.co_id",
+                [f"co_{role}.co_code as {role}_code",
+                 f"co_{role}.co_country as {role}_country"])
+        add("v_doctotals", "fl", "b.dockey = fl.flow_dockey",
+            ["fl.flowtotal", "fl.flowsteps"])
+        add("v_knowncurrencies", "kc", "b.currkey = kc.currkey",
+            ["kc.currkey as knowncurrkey"])
+        add("v_businesspartner", "bp",
+            "b.partnertype = bp.ptype and b.partnerid = bp.pkey",
+            ["bp.pname as partnername"])
+
+        sql = (
+            f"create view {self.consumption_view} as\n"
+            "select " + ",\n       ".join(selects) + "\n"
+            "from v_journal_interface b\n" + "\n".join(joins)
+        )
+        deps = tuple(
+            ["v_journal_interface", "lfa1", "kna1"] + _SINGLES
+            + [f"v_{d}" for d in _DOUBLES]
+            + ["v_address", "v_costobject", "v_doctotals",
+               "v_knowncurrencies", "v_businesspartner"]
+        )
+        vdm.deploy(VdmView(self.consumption_view, ViewLayer.CONSUMPTION, sql, deps,
+                           "journal entry item consumption view"))
+
+    def _deploy_dac(self) -> None:
+        """Record-wise access control over the supplier/customer augmenters
+        (the Fig. 4 joins that survive count(*) optimization)."""
+        self.access_control.register(
+            self.consumption_view,
+            DacPolicy("supplier-auth",
+                      "supplierauthgroup = :suppliergroup or supplierauthgroup is null"),
+        )
+        self.access_control.register(
+            self.consumption_view,
+            DacPolicy("customer-auth",
+                      "customerauthgroup = :customergroup or customerauthgroup is null"),
+        )
+        self.access_control.deploy_protected_view(
+            self.browser_view,
+            self.consumption_view,
+            {"suppliergroup": "G1", "customergroup": "G1"},
+        )

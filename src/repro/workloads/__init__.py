@@ -1,0 +1,15 @@
+"""Workloads: schemas, deterministic data generators, and the paper's
+query suite.
+
+- :mod:`repro.workloads.tpch` — the TPC-H subset used by Fig. 5 (§4.3):
+  primary keys as in the benchmark, foreign keys omitted;
+- :mod:`repro.workloads.s4` — S/4-style sales-order data for the §7
+  experiments (precision loss, expression macros, declared cardinality);
+- :mod:`repro.workloads.queries` — every query the paper evaluates
+  (UAJ 1..1b, Fig. 6, Fig. 10a-c, Fig. 12a/b, Fig. 13a/b), with the
+  expected per-system outcomes of Tables 1-4.
+"""
+
+from .tpch import create_tpch_schema, load_tpch  # noqa: F401
+from .s4 import create_sales_schema, load_sales  # noqa: F401
+from . import queries  # noqa: F401

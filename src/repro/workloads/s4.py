@@ -1,0 +1,76 @@
+"""S/4-style sales data for the §7 experiments.
+
+- ``salesorderitem``: line items with decimal prices for the §7.1
+  precision-loss experiment (tax/rounding per line item vs. once per
+  aggregate) and §7.2 macro examples;
+- ``exchangerate``: date-dependent currency conversion, the paper's other
+  §7.1 rounding scenario;
+- ``businessplace``: a dimension WITHOUT declared uniqueness but with unique
+  data, the §7.3 declared-cardinality scenario (apps avoid constraints and
+  validate at transaction end, §4.5).
+"""
+
+from __future__ import annotations
+
+import random
+from decimal import Decimal
+
+from ..database import Database
+
+
+def create_sales_schema(db: Database) -> None:
+    db.execute(
+        "create table salesorderitem ("
+        "so_id int not null, so_item int not null, "
+        "material varchar(18), plant_id int not null, place_id int not null, "
+        "price decimal(15,2), quantity int, currency varchar(3), "
+        "orderdate date, primary key (so_id, so_item))"
+    )
+    db.execute(
+        "create table exchangerate ("
+        "fromcurr varchar(3) not null, ratedate date not null, "
+        "rate decimal(15,6), primary key (fromcurr, ratedate))"
+    )
+    # Deliberately constraint-free: uniqueness of place_id holds in the
+    # data but is not declared (§7.3).
+    db.execute(
+        "create table businessplace (place_id int, place_name varchar(40), region varchar(10))"
+    )
+
+
+def load_sales(db: Database, orders: int = 2000, seed: int = 11) -> int:
+    """Load ``orders`` sales orders (1-4 items each); returns item count."""
+    rng = random.Random(seed)
+    currencies = ["USD", "EUR", "JPY", "GBP"]
+    places = 50
+
+    db.bulk_load(
+        "businessplace",
+        [(i, f"Place {i}", f"R{i % 7}") for i in range(places)],
+    )
+    rate_rows = []
+    for currency in currencies:
+        for day in range(1, 29):
+            rate_rows.append(
+                (currency, f"2025-06-{day:02d}", Decimal(rng.randint(800000, 1200000)) / 1000000)
+            )
+    db.bulk_load("exchangerate", rate_rows)
+
+    item_rows = []
+    for so in range(orders):
+        for item in range(1, rng.randint(1, 4) + 1):
+            item_rows.append(
+                (
+                    so,
+                    item,
+                    f"MAT{rng.randint(0, 500):05d}",
+                    rng.randrange(20),
+                    rng.randrange(places),
+                    Decimal(rng.randint(100, 9999999)) / 100,
+                    rng.randint(1, 50),
+                    currencies[so % 4],
+                    f"2025-06-{1 + so % 28:02d}",
+                )
+            )
+    db.bulk_load("salesorderitem", item_rows)
+    return len(item_rows)

@@ -1,0 +1,183 @@
+"""TPC-H subset schema and deterministic data generator.
+
+The paper's Fig. 5 experiment (§4.3) creates "a TPC-H schema with primary
+keys" and notes that the "optional foreign-key constraints are omitted" —
+deliberately, because the SAP ecosystem avoids FKs (§4.5) and the UAJ
+derivations under test rely on uniqueness, not referential integrity.  We
+reproduce exactly that: PKs only; ``with_foreign_keys=True`` adds them for
+the AJ 1a tests.
+
+The generator is a scaled-down, seeded analog of dbgen: value distributions
+are simplified but referential relationships hold (every ``l_orderkey``
+exists in orders, etc.), which the execution-correctness tests rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from decimal import Decimal
+
+from ..catalog.schema import ForeignKey
+from ..database import Database
+
+_DDL = [
+    "create table region (r_regionkey int primary key, r_name varchar(25), r_comment varchar(152))",
+    "create table nation (n_nationkey int primary key, n_name varchar(25), n_regionkey int not null, n_comment varchar(152))",
+    "create table customer (c_custkey int primary key, c_name varchar(25), c_address varchar(40), c_nationkey int not null, c_phone varchar(15), c_acctbal decimal(15,2), c_mktsegment varchar(10))",
+    "create table supplier (s_suppkey int primary key, s_name varchar(25), s_address varchar(40), s_nationkey int not null, s_acctbal decimal(15,2))",
+    "create table part (p_partkey int primary key, p_name varchar(55), p_brand varchar(10), p_type varchar(25), p_size int, p_retailprice decimal(15,2))",
+    "create table partsupp (ps_partkey int not null, ps_suppkey int not null, ps_availqty int, ps_supplycost decimal(15,2), primary key (ps_partkey, ps_suppkey))",
+    "create table orders (o_orderkey int primary key, o_custkey int not null, o_orderstatus varchar(1), o_totalprice decimal(15,2), o_orderdate date, o_orderpriority varchar(15))",
+    "create table lineitem (l_orderkey int not null, l_linenumber int not null, l_partkey int not null, l_suppkey int not null, l_quantity decimal(15,2), l_extendedprice decimal(15,2), l_discount decimal(15,2), l_tax decimal(15,2), l_returnflag varchar(1), l_shipdate date, primary key (l_orderkey, l_linenumber))",
+]
+
+_FOREIGN_KEYS = {
+    "nation": [ForeignKey(("n_regionkey",), "region", ("r_regionkey",))],
+    "customer": [ForeignKey(("c_nationkey",), "nation", ("n_nationkey",))],
+    "supplier": [ForeignKey(("s_nationkey",), "nation", ("n_nationkey",))],
+    "orders": [ForeignKey(("o_custkey",), "customer", ("c_custkey",))],
+    "lineitem": [
+        ForeignKey(("l_orderkey",), "orders", ("o_orderkey",)),
+    ],
+}
+
+TABLES = [
+    "region", "nation", "customer", "supplier", "part", "partsupp",
+    "orders", "lineitem",
+]
+
+
+def create_tpch_schema(db: Database, with_foreign_keys: bool = False) -> None:
+    """Create the TPC-H subset tables (PKs always; FKs optional)."""
+    for ddl in _DDL:
+        db.execute(ddl)
+    if with_foreign_keys:
+        for table, fks in _FOREIGN_KEYS.items():
+            db.catalog.table_schema(table).foreign_keys.extend(fks)
+
+
+def load_tpch(db: Database, scale: float = 0.01, seed: int = 20250607) -> dict[str, int]:
+    """Load deterministic data; ``scale=1.0`` would be ~150k customers.
+
+    Returns a table -> row-count map.
+    """
+    rng = random.Random(seed)
+    counts: dict[str, int] = {}
+
+    regions = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+    db.bulk_load("region", [(i, name, f"region {name}") for i, name in enumerate(regions)])
+    counts["region"] = len(regions)
+
+    n_nations = 25
+    db.bulk_load(
+        "nation",
+        [(i, f"NATION{i:02d}", i % 5, f"nation {i}") for i in range(n_nations)],
+    )
+    counts["nation"] = n_nations
+
+    n_customers = max(int(150_000 * scale), 10)
+    segments = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+    db.bulk_load(
+        "customer",
+        [
+            (
+                i,
+                f"Customer#{i:09d}",
+                f"Addr {i}",
+                rng.randrange(n_nations),
+                f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+                Decimal(rng.randint(-99999, 999999)) / 100,
+                segments[i % 5],
+            )
+            for i in range(n_customers)
+        ],
+    )
+    counts["customer"] = n_customers
+
+    n_suppliers = max(int(10_000 * scale), 5)
+    db.bulk_load(
+        "supplier",
+        [
+            (
+                i,
+                f"Supplier#{i:09d}",
+                f"SAddr {i}",
+                rng.randrange(n_nations),
+                Decimal(rng.randint(-99999, 999999)) / 100,
+            )
+            for i in range(n_suppliers)
+        ],
+    )
+    counts["supplier"] = n_suppliers
+
+    n_parts = max(int(200_000 * scale), 20)
+    db.bulk_load(
+        "part",
+        [
+            (
+                i,
+                f"part name {i}",
+                f"Brand#{i % 25}",
+                f"TYPE {i % 150}",
+                1 + i % 50,
+                Decimal(90000 + (i % 20000)) / 100,
+            )
+            for i in range(n_parts)
+        ],
+    )
+    counts["part"] = n_parts
+
+    partsupp_rows = []
+    for part in range(n_parts):
+        for k in range(2):
+            partsupp_rows.append(
+                (
+                    part,
+                    (part + k * 7) % n_suppliers,
+                    rng.randint(1, 9999),
+                    Decimal(rng.randint(100, 100000)) / 100,
+                )
+            )
+    db.bulk_load("partsupp", partsupp_rows)
+    counts["partsupp"] = len(partsupp_rows)
+
+    n_orders = max(int(1_500_000 * scale) // 10, 30)
+    statuses = ["O", "F", "P"]
+    db.bulk_load(
+        "orders",
+        [
+            (
+                i,
+                rng.randrange(n_customers),
+                statuses[i % 3],
+                Decimal(rng.randint(1000, 50000000)) / 100,
+                f"199{2 + i % 7}-{1 + i % 12:02d}-{1 + i % 28:02d}",
+                f"{1 + i % 5}-PRIORITY",
+            )
+            for i in range(n_orders)
+        ],
+    )
+    counts["orders"] = n_orders
+
+    lineitem_rows = []
+    flags = ["N", "R", "A"]
+    for order in range(n_orders):
+        for line in range(1, rng.randint(1, 5) + 1):
+            part = rng.randrange(n_parts)
+            lineitem_rows.append(
+                (
+                    order,
+                    line,
+                    part,
+                    (part + 7) % n_suppliers,
+                    Decimal(rng.randint(100, 5000)) / 100,
+                    Decimal(rng.randint(90000, 9000000)) / 100,
+                    Decimal(rng.randint(0, 10)) / 100,
+                    Decimal(rng.randint(0, 8)) / 100,
+                    flags[order % 3],
+                    f"199{2 + order % 7}-{1 + line % 12:02d}-{1 + order % 28:02d}",
+                )
+            )
+    db.bulk_load("lineitem", lineitem_rows)
+    counts["lineitem"] = len(lineitem_rows)
+    return counts

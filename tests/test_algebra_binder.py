@@ -1,0 +1,338 @@
+"""Binder tests: name resolution, aggregation, views, macros, unions."""
+
+import pytest
+
+from repro import Database
+from repro.algebra import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    JoinType,
+    Limit,
+    Project,
+    Scan,
+    Sort,
+    UnionAll,
+)
+from repro.errors import BindError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "create table orders (o_orderkey int primary key, o_custkey int not null, "
+        "o_totalprice decimal(15,2), o_status varchar(1))"
+    )
+    database.execute(
+        "create table customer (c_custkey int primary key, c_name varchar(25), "
+        "c_nationkey int)"
+    )
+    return database
+
+
+def ops_of(plan, kind):
+    return [n for n in plan.walk() if isinstance(n, kind)]
+
+
+class TestNameResolution:
+    def test_unqualified_column(self, db):
+        plan = db.bind("select o_orderkey from orders")
+        assert plan.output[0].name == "o_orderkey"
+
+    def test_qualified_column(self, db):
+        plan = db.bind("select o.o_orderkey from orders o")
+        assert plan.output[0].name == "o_orderkey"
+
+    def test_unknown_column(self, db):
+        with pytest.raises(BindError):
+            db.bind("select nothere from orders")
+
+    def test_unknown_table(self, db):
+        with pytest.raises(BindError):
+            db.bind("select x from ghost")
+
+    def test_unknown_alias(self, db):
+        with pytest.raises(BindError):
+            db.bind("select z.o_orderkey from orders o")
+
+    def test_duplicate_alias_rejected(self, db):
+        with pytest.raises(BindError):
+            db.bind("select 1 as x from orders o join customer o on 1 = 1")
+
+    def test_ambiguity_across_joined_tables(self, db):
+        db.execute("create table orders2 (o_orderkey int primary key, extra int)")
+        with pytest.raises(BindError):
+            db.bind(
+                "select o_orderkey from orders join orders2 "
+                "on orders.o_orderkey = orders2.o_orderkey"
+            )
+
+    def test_star_expansion_order(self, db):
+        plan = db.bind("select * from orders")
+        assert [c.name for c in plan.output] == [
+            "o_orderkey", "o_custkey", "o_totalprice", "o_status",
+        ]
+
+    def test_qualified_star(self, db):
+        plan = db.bind(
+            "select c.* from orders o join customer c on o.o_custkey = c.c_custkey"
+        )
+        assert [c.name for c in plan.output] == ["c_custkey", "c_name", "c_nationkey"]
+
+    def test_output_alias(self, db):
+        plan = db.bind("select o_orderkey as k from orders")
+        assert plan.output[0].name == "k"
+
+    def test_generated_name_for_expression(self, db):
+        plan = db.bind("select o_totalprice * 2 from orders")
+        assert plan.output[0].name == "c0"
+
+    def test_cids_stable_through_passthrough(self, db):
+        plan = db.bind("select o_orderkey from orders")
+        scan = ops_of(plan, Scan)[0]
+        assert plan.output[0].cid == scan.column_cid("o_orderkey")
+
+
+class TestJoins:
+    def test_join_types(self, db):
+        inner = db.bind("select 1 as x from orders o join customer c on o.o_custkey = c.c_custkey")
+        assert ops_of(inner, Join)[0].join_type is JoinType.INNER
+        left = db.bind(
+            "select 1 as x from orders o left join customer c on o.o_custkey = c.c_custkey"
+        )
+        assert ops_of(left, Join)[0].join_type is JoinType.LEFT_OUTER
+
+    def test_case_join_flag(self, db):
+        plan = db.bind(
+            "select 1 as x from orders o case join customer c on o.o_custkey = c.c_custkey"
+        )
+        join = ops_of(plan, Join)[0]
+        assert join.case_join and join.join_type is JoinType.LEFT_OUTER
+
+    def test_declared_cardinality_attached(self, db):
+        plan = db.bind(
+            "select 1 as x from orders o left outer many to one join customer c "
+            "on o.o_custkey = c.c_custkey"
+        )
+        assert str(ops_of(plan, Join)[0].declared) == "MANY TO ONE"
+
+    def test_cross_join_has_no_condition(self, db):
+        plan = db.bind("select 1 as x from orders cross join customer")
+        assert ops_of(plan, Join)[0].condition is None
+
+    def test_left_outer_nullability(self, db):
+        plan = db.bind(
+            "select c.c_name from orders o left join customer c on o.o_custkey = c.c_custkey"
+        )
+        assert plan.output[0].nullable
+
+    def test_non_boolean_condition_rejected(self, db):
+        with pytest.raises(BindError):
+            db.bind("select 1 as x from orders o join customer c on o.o_custkey + 1")
+
+
+class TestAggregation:
+    def test_group_by_plain_column(self, db):
+        plan = db.bind("select o_custkey, count(*) from orders group by o_custkey")
+        agg = ops_of(plan, Aggregate)[0]
+        assert len(agg.group_cids) == 1 and len(agg.aggs) == 1
+
+    def test_group_by_expression_gets_preprojected(self, db):
+        plan = db.bind(
+            "select o_totalprice * 2, sum(o_totalprice) from orders group by o_totalprice * 2"
+        )
+        agg = ops_of(plan, Aggregate)[0]
+        assert isinstance(agg.child, Project)
+
+    def test_non_grouped_column_rejected(self, db):
+        with pytest.raises(BindError):
+            db.bind("select o_status, count(*) from orders group by o_custkey")
+
+    def test_expression_over_group_key_allowed(self, db):
+        plan = db.bind("select o_custkey + 1, count(*) from orders group by o_custkey")
+        assert ops_of(plan, Aggregate)
+
+    def test_having_binds_aggregates(self, db):
+        plan = db.bind(
+            "select o_custkey from orders group by o_custkey having sum(o_totalprice) > 10"
+        )
+        having = [n for n in plan.walk() if isinstance(n, Filter)]
+        assert having
+
+    def test_having_without_group_rejected(self, db):
+        with pytest.raises(BindError):
+            db.bind("select o_custkey from orders having o_custkey > 1")
+
+    def test_duplicate_aggregates_deduped(self, db):
+        plan = db.bind(
+            "select sum(o_totalprice), sum(o_totalprice) + 1 from orders"
+        )
+        agg = ops_of(plan, Aggregate)[0]
+        assert len(agg.aggs) == 1
+
+    def test_count_star_and_count_distinct(self, db):
+        plan = db.bind("select count(*), count(distinct o_custkey) from orders")
+        agg = ops_of(plan, Aggregate)[0]
+        funcs = [(c.func, c.distinct) for _, c in agg.aggs]
+        assert ("COUNT_STAR", False) in funcs and ("COUNT", True) in funcs
+
+    def test_aggregate_in_where_rejected(self, db):
+        with pytest.raises(BindError):
+            db.bind("select o_custkey from orders where sum(o_totalprice) > 1")
+
+    def test_nested_aggregate_rejected(self, db):
+        with pytest.raises(BindError):
+            db.bind("select sum(count(*)) from orders group by o_custkey")
+
+    def test_allow_precision_loss_sets_flag(self, db):
+        plan = db.bind(
+            "select allow_precision_loss(sum(round(o_totalprice, 0))) from orders"
+        )
+        agg = ops_of(plan, Aggregate)[0]
+        assert agg.aggs[0][1].allow_precision_loss
+
+    def test_allow_precision_loss_outside_agg_rejected(self, db):
+        with pytest.raises(BindError):
+            db.bind("select allow_precision_loss(o_totalprice) from orders")
+
+
+class TestOrderLimitDistinct:
+    def test_order_by_output_alias(self, db):
+        plan = db.bind("select o_totalprice as p from orders order by p desc")
+        assert ops_of(plan, Sort)
+
+    def test_order_by_hidden_column(self, db):
+        plan = db.bind("select o_orderkey from orders order by o_totalprice")
+        assert ops_of(plan, Sort)
+        assert [c.name for c in plan.output] == ["o_orderkey"]
+
+    def test_order_by_expression(self, db):
+        plan = db.bind("select o_orderkey from orders order by o_totalprice * -1")
+        assert ops_of(plan, Sort)
+
+    def test_order_by_projected_qualified_column(self, db):
+        plan = db.bind("select o.o_orderkey from orders o order by o.o_orderkey")
+        sort = ops_of(plan, Sort)[0]
+        assert sort.keys[0].cid == plan.output[0].cid
+
+    def test_limit_offset(self, db):
+        plan = db.bind("select o_orderkey from orders limit 7 offset 2")
+        limit = ops_of(plan, Limit)[0]
+        assert (limit.limit, limit.offset) == (7, 2)
+
+    def test_distinct(self, db):
+        plan = db.bind("select distinct o_status from orders")
+        assert ops_of(plan, Distinct)
+
+
+class TestViewsAndMacros:
+    def test_view_inlined(self, db):
+        db.execute("create view big_orders as select * from orders where o_totalprice > 100")
+        plan = db.bind("select o_orderkey from big_orders")
+        assert ops_of(plan, Scan)[0].schema.name == "orders"
+
+    def test_view_column_rename(self, db):
+        db.execute("create view vo (k, c) as select o_orderkey, o_custkey from orders")
+        plan = db.bind("select k from vo")
+        assert plan.output[0].name == "k"
+
+    def test_view_rename_arity_mismatch(self, db):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            db.execute("create view bad (a, b, c) as select o_orderkey from orders")
+
+    def test_nested_views(self, db):
+        db.execute("create view v1 as select * from orders")
+        db.execute("create view v2 as select * from v1 where o_totalprice > 0")
+        plan = db.bind("select o_orderkey from v2")
+        assert ops_of(plan, Scan)[0].schema.name == "orders"
+
+    def test_macro_expansion(self, db):
+        db.execute(
+            "create view vo as select * from orders "
+            "with expression macros (sum(o_totalprice) as total)"
+        )
+        plan = db.bind("select o_custkey, expression_macro(total) from vo group by o_custkey")
+        agg = ops_of(plan, Aggregate)[0]
+        assert agg.aggs[0][1].func == "SUM"
+
+    def test_unknown_macro(self, db):
+        db.execute("create view vo as select * from orders")
+        with pytest.raises(BindError):
+            db.bind("select expression_macro(ghost) from vo group by o_custkey")
+
+    def test_macro_in_where_is_scalar_error(self, db):
+        db.execute(
+            "create view vo as select * from orders "
+            "with expression macros (sum(o_totalprice) as total)"
+        )
+        with pytest.raises(BindError):
+            db.bind("select o_custkey from vo where expression_macro(total) > 1 group by o_custkey")
+
+
+class TestUnionAll:
+    def test_union_flattened(self, db):
+        plan = db.bind(
+            "select o_orderkey from orders union all select o_orderkey from orders "
+            "union all select o_orderkey from orders"
+        )
+        union = ops_of(plan, UnionAll)[0]
+        assert len(union.inputs) == 3
+
+    def test_union_arity_mismatch(self, db):
+        with pytest.raises(BindError):
+            db.bind("select o_orderkey from orders union all select o_orderkey, o_custkey from orders")
+
+    def test_union_names_from_left(self, db):
+        plan = db.bind("select o_orderkey as k from orders union all select o_custkey from orders")
+        assert plan.output[0].name == "k"
+
+    def test_union_order_by_output_name(self, db):
+        plan = db.bind(
+            "select o_orderkey as k from orders union all select o_custkey from orders "
+            "order by k limit 2"
+        )
+        assert ops_of(plan, Sort) and ops_of(plan, Limit)
+
+    def test_union_order_by_unknown_name(self, db):
+        with pytest.raises(BindError):
+            db.bind(
+                "select o_orderkey from orders union all select o_custkey from orders "
+                "order by ghost"
+            )
+
+    def test_union_type_unification(self, db):
+        plan = db.bind("select o_totalprice from orders union all select o_custkey from orders")
+        from repro.datatypes import TypeKind
+        assert plan.output[0].data_type.kind is TypeKind.DECIMAL
+
+
+class TestMisc:
+    def test_select_without_from(self, db):
+        assert db.query("select 1 as x").rows == [(1,)]
+        assert db.query("select 2 * 3 as x, null as y").rows == [(6, None)]
+
+    def test_recursive_view_rejected(self, db):
+        # simulate a would-be recursive definition by registering manually
+        from repro.catalog.schema import ViewSchema
+        from repro.sql import parse_statement
+        query = parse_statement("select * from loopy")
+        db.catalog.create_view(ViewSchema("loopy", query))
+        with pytest.raises(BindError):
+            db.bind("select * from loopy")
+
+    def test_where_requires_boolean(self, db):
+        with pytest.raises(BindError):
+            db.bind("select o_orderkey from orders where o_custkey + 1")
+
+    def test_between_desugars_to_comparisons(self, db):
+        plan = db.bind("select o_orderkey from orders where o_totalprice between 1 and 2")
+        predicate = ops_of(plan, Filter)[0].predicate
+        assert predicate.op == "AND"
+
+    def test_date_arithmetic_rejected(self, db):
+        db.execute("create table d (dt date)")
+        with pytest.raises(BindError):
+            db.bind("select dt + 1 from d")

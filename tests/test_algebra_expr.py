@@ -1,0 +1,130 @@
+"""Expression-IR utility tests: traversal, rewriting, conjunct handling."""
+
+from repro.algebra.expr import (
+    Call,
+    Case,
+    Cast,
+    ColRef,
+    Const,
+    conjuncts,
+    is_const_false,
+    is_const_true,
+    make_and,
+    next_cid,
+    referenced_cids,
+    rewrite_expr,
+    substitute_cids,
+    walk,
+)
+from repro.datatypes import BOOLEAN, INTEGER, varchar
+
+
+def col(cid, name="c"):
+    return ColRef(cid, name, INTEGER, True)
+
+
+def eq(a, b):
+    return Call("=", (a, b), BOOLEAN, True)
+
+
+class TestTraversal:
+    def test_walk_preorder(self):
+        expr = Call("+", (col(1), Call("*", (col(2), Const(3, INTEGER)), INTEGER)), INTEGER)
+        kinds = [type(e).__name__ for e in walk(expr)]
+        assert kinds == ["Call", "ColRef", "Call", "ColRef", "Const"]
+
+    def test_referenced_cids(self):
+        expr = Call("AND", (eq(col(1), Const(1, INTEGER)), eq(col(2), col(3))), BOOLEAN)
+        assert referenced_cids(expr) == frozenset({1, 2, 3})
+
+    def test_referenced_cids_none(self):
+        assert referenced_cids(None) == frozenset()
+
+    def test_case_children(self):
+        expr = Case(((eq(col(1), Const(0, INTEGER)), col(2)),), col(3), INTEGER)
+        assert referenced_cids(expr) == frozenset({1, 2, 3})
+
+    def test_cast_children(self):
+        expr = Cast(col(7), varchar(5))
+        assert referenced_cids(expr) == frozenset({7})
+
+
+class TestRewriting:
+    def test_substitute_cids(self):
+        expr = Call("+", (col(1), col(2)), INTEGER)
+        replaced = substitute_cids(expr, {1: Const(9, INTEGER)})
+        assert referenced_cids(replaced) == frozenset({2})
+        assert "9" in str(replaced)
+
+    def test_substitute_empty_mapping_is_identity(self):
+        expr = col(1)
+        assert substitute_cids(expr, {}) is expr
+
+    def test_rewrite_bottom_up(self):
+        expr = Call("+", (Const(1, INTEGER), Const(2, INTEGER)), INTEGER)
+
+        def fold(node):
+            if isinstance(node, Call) and all(
+                isinstance(a, Const) for a in node.args
+            ):
+                return Const(sum(a.value for a in node.args), INTEGER)
+            return None
+
+        nested = Call("+", (expr, Const(4, INTEGER)), INTEGER)
+        assert rewrite_expr(nested, fold).value == 7
+
+    def test_rewrite_inside_case(self):
+        expr = Case(((eq(col(1), Const(0, INTEGER)), col(2)),), None, INTEGER)
+        replaced = substitute_cids(expr, {2: Const(5, INTEGER)})
+        assert referenced_cids(replaced) == frozenset({1})
+
+
+class TestPredicateHelpers:
+    def test_conjuncts_flatten(self):
+        a, b, c = (eq(col(i), Const(i, INTEGER)) for i in (1, 2, 3))
+        tree = Call("AND", (Call("AND", (a, b), BOOLEAN), c), BOOLEAN)
+        assert conjuncts(tree) == [a, b, c]
+
+    def test_conjuncts_none(self):
+        assert conjuncts(None) == []
+
+    def test_make_and_roundtrip(self):
+        parts = [eq(col(1), Const(1, INTEGER)), eq(col(2), Const(2, INTEGER))]
+        combined = make_and(parts)
+        assert conjuncts(combined) == parts
+
+    def test_make_and_single_and_empty(self):
+        single = eq(col(1), Const(1, INTEGER))
+        assert make_and([single]) is single
+        assert make_and([]) is None
+
+    def test_const_predicates(self):
+        assert is_const_true(Const(True, BOOLEAN))
+        assert is_const_false(Const(False, BOOLEAN))
+        assert not is_const_true(Const(False, BOOLEAN))
+
+
+class TestMisc:
+    def test_next_cid_monotone(self):
+        first = next_cid()
+        second = next_cid()
+        assert second > first
+
+    def test_str_rendering(self):
+        expr = Call(
+            "AND",
+            (
+                Call("ISNULL", (col(1, "a"),), BOOLEAN, False),
+                Call("IN", (col(2, "b"), Const(1, INTEGER)), BOOLEAN),
+            ),
+            BOOLEAN,
+        )
+        text = str(expr)
+        assert "IS NULL" in text and "IN" in text
+
+    def test_const_str_escaping(self):
+        assert str(Const("o'brien", varchar(None))) == "'o'brien'"
+        assert str(Const(None, varchar(None))) == "NULL"
+
+    def test_colref_str(self):
+        assert str(col(42, "price")) == "price#42"

@@ -1,0 +1,120 @@
+"""EXPLAIN rendering and plan-statistics tests (incl. DAG sharing)."""
+
+import pytest
+
+from repro import Database
+from repro.algebra import explain, plan_stats
+from repro.algebra.printer import structural_signature
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("create table t (k int primary key, a int, b varchar(5))")
+    database.execute("create table u (k int primary key, x int)")
+    return database
+
+
+class TestExplain:
+    def test_tree_indentation(self, db):
+        text = db.explain("select k from t where a > 1", optimize=False)
+        lines = text.splitlines()
+        assert lines[0].startswith("Project")
+        assert lines[1].startswith("  Filter")
+        assert lines[2].startswith("    Scan(t)")
+
+    def test_show_columns(self, db):
+        plan = db.bind("select k from t")
+        text = explain(plan, show_columns=True)
+        assert "-> [k#" in text
+
+    def test_join_label_contains_condition(self, db):
+        text = db.explain(
+            "select 1 as x from t join u on t.k = u.k", optimize=False
+        )
+        assert "InnerJoin on" in text
+
+    def test_cardinality_shown(self, db):
+        text = db.explain(
+            "select 1 as x from t left outer many to one join u on t.k = u.k",
+            optimize=False,
+        )
+        assert "MANY TO ONE" in text
+
+    def test_case_join_label(self, db):
+        text = db.explain(
+            "select 1 as x from t case join u on t.k = u.k", optimize=False
+        )
+        assert "CaseJoin" in text
+
+
+class TestPlanStats:
+    def test_counts(self, db):
+        stats = db.plan_statistics(
+            "select a, count(*) from t join u on t.k = u.k "
+            "where t.b = 'x' group by a order by a limit 3",
+            optimize=False,
+        )
+        assert stats.table_instances == 2
+        assert stats.joins == 1
+        assert stats.group_bys == 1
+        assert stats.filters == 1
+        assert stats.sorts == 1
+        assert stats.limits == 1
+
+    def test_union_counts(self, db):
+        stats = db.plan_statistics(
+            "select k from t union all select k from t union all select k from u",
+            optimize=False,
+        )
+        assert stats.union_alls == 1
+        assert stats.union_all_children == 3
+
+    def test_summary_text(self, db):
+        summary = db.plan_statistics("select k from t", optimize=False).summary()
+        assert "table instances" in summary and "joins" in summary
+
+
+class TestSharing:
+    def test_identical_subqueries_share(self, db):
+        db.execute("create view sub as select t.k, u.x from t join u on t.k = u.k")
+        stats = db.plan_statistics(
+            "select a.k from sub a join sub b on a.k = b.k", optimize=False
+        )
+        # tree: 4 scans; DAG: the two identical `sub` subtrees share -> 2
+        assert stats.table_instances == 4
+        assert stats.shared_table_instances == 2
+        assert stats.joins == 3
+        assert stats.shared_joins == 2  # the inner join of `sub` counted once
+
+    def test_bare_scans_do_not_share(self, db):
+        stats = db.plan_statistics(
+            "select a.k from t a join t b on a.k = b.k", optimize=False
+        )
+        # the paper counts repeated table instances separately
+        assert stats.shared_table_instances == 2
+
+    def test_different_filters_do_not_share(self, db):
+        stats = db.plan_statistics(
+            "select * from (select k from t where a > 1) x "
+            "join (select k from t where a > 2) y on x.k = y.k",
+            optimize=False,
+        )
+        assert stats.shared_table_instances == 2
+
+
+class TestStructuralSignature:
+    def test_cid_erasure(self, db):
+        plan_a = db.bind("select k from t where a = 1")
+        plan_b = db.bind("select k from t where a = 1")
+        assert structural_signature(plan_a) == structural_signature(plan_b)
+
+    def test_different_constants_differ(self, db):
+        plan_a = db.bind("select k from t where a = 1")
+        plan_b = db.bind("select k from t where a = 2")
+        assert structural_signature(plan_a) != structural_signature(plan_b)
+
+    def test_different_tables_differ(self, db):
+        plan_a = db.bind("select k from t")
+        plan_b = db.bind("select k from u")
+        assert structural_signature(plan_a) != structural_signature(plan_b)

@@ -1,0 +1,274 @@
+"""Property-derivation tests: unique keys, constants, provenance.
+
+These are the derivations behind the paper's AJ classification (§4.2):
+AJ 2a-1 (PK), AJ 2a-2 (group key), AJ 2a-3 (constant-restricted composite
+key), plus the Union All extensions of §6.2.
+"""
+
+import pytest
+
+from repro import Database
+from repro.algebra.ops import Join, Scan, UnionAll
+from repro.algebra.properties import (
+    CAP_UNIQUE_FROM_GROUPBY,
+    CAP_UNIQUE_FROM_PK,
+    CAP_UNIQUE_THROUGH_JOIN_TABLE,
+    CAP_UNIQUE_THROUGH_ORDER_LIMIT,
+    CAP_UNIQUE_THROUGH_UNION_BRANCHID,
+    CAP_UNIQUE_THROUGH_UNION_DISJOINT,
+    CAP_UNIQUE_VIA_CONST_FILTER,
+    DerivationContext,
+    equi_join_cids,
+    residual_conjuncts,
+)
+from repro.optimizer.profiles import get_profile
+
+ALL = get_profile("hana").caps
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "create table t (key int primary key, a int not null, b int, c varchar(5))"
+    )
+    database.execute(
+        "create table pair (x int not null, y int not null, v int, primary key (x, y))"
+    )
+    database.execute("create table other (okey int primary key, t_key int not null)")
+    return database
+
+
+def keys_of(db, sql, caps=ALL):
+    plan = db.bind(sql)
+    ctx = DerivationContext(frozenset(caps))
+    name_of = {c.cid: c.name for c in plan.output}
+    return {frozenset(name_of.get(cid, cid) for cid in key)
+            for key in ctx.unique_keys(plan)
+            if all(cid in name_of for cid in key)}
+
+
+class TestScanAndFilterKeys:
+    def test_primary_key_derived(self, db):
+        assert frozenset({"key"}) in keys_of(db, "select * from t")
+
+    def test_no_cap_no_keys(self, db):
+        assert keys_of(db, "select * from t", caps=set()) == set()
+
+    def test_composite_key(self, db):
+        assert frozenset({"x", "y"}) in keys_of(db, "select * from pair")
+
+    def test_projection_drops_broken_keys(self, db):
+        assert keys_of(db, "select x, v from pair") == set()
+
+    def test_projection_keeps_covered_keys(self, db):
+        assert frozenset({"x", "y"}) in keys_of(db, "select x, y from pair")
+
+    def test_const_filter_reduces_composite_key(self, db):
+        # AJ 2a-3: (x, y) unique and y = 1 -> x unique
+        keys = keys_of(db, "select * from pair where y = 1")
+        assert frozenset({"x"}) in keys
+
+    def test_const_filter_gated_by_cap(self, db):
+        caps = ALL - {CAP_UNIQUE_VIA_CONST_FILTER}
+        keys = keys_of(db, "select * from pair where y = 1", caps)
+        assert frozenset({"x"}) not in keys
+
+    def test_filter_on_non_key_col_keeps_keys(self, db):
+        assert frozenset({"key"}) in keys_of(db, "select * from t where b > 5")
+
+    def test_renamed_passthrough_keeps_key(self, db):
+        assert frozenset({"k2"}) in keys_of(db, "select key as k2, a from t")
+
+
+class TestDerivedRelationKeys:
+    def test_group_by_key(self, db):
+        keys = keys_of(db, "select b, count(*) as n from t group by b")
+        assert frozenset({"b"}) in keys
+
+    def test_group_by_gated(self, db):
+        caps = ALL - {CAP_UNIQUE_FROM_GROUPBY}
+        assert keys_of(db, "select b, count(*) as n from t group by b", caps) == set()
+
+    def test_distinct_key(self, db):
+        assert frozenset({"b"}) in keys_of(db, "select distinct b from t")
+
+    def test_order_limit_preserves_key(self, db):
+        keys = keys_of(db, "select key, a from t order by a limit 5")
+        assert frozenset({"key"}) in keys
+
+    def test_order_limit_gated(self, db):
+        caps = ALL - {CAP_UNIQUE_THROUGH_ORDER_LIMIT}
+        keys = keys_of(db, "select key, a from t order by a limit 5", caps)
+        assert frozenset({"key"}) not in keys
+
+    def test_key_through_join_when_other_side_unique(self, db):
+        keys = keys_of(
+            db,
+            "select o.okey, t.key from other o join t on o.t_key = t.key",
+        )
+        assert frozenset({"okey"}) in keys
+
+    def test_key_not_preserved_when_other_side_not_unique(self, db):
+        keys = keys_of(
+            db,
+            "select o.okey, t.b from other o join t on o.t_key = t.b",
+        )
+        assert frozenset({"okey"}) not in keys
+        # but the composite pair key still identifies the output row
+        assert frozenset({"okey", "t", "key"}) not in keys  # sanity: no phantom
+
+    def test_join_key_gated_by_table_cap(self, db):
+        caps = ALL - {CAP_UNIQUE_THROUGH_JOIN_TABLE}
+        keys = keys_of(
+            db, "select o.okey, t.key from other o join t on o.t_key = t.key", caps
+        )
+        assert frozenset({"okey"}) not in keys
+
+    def test_declared_cardinality_substitutes_uniqueness(self, db):
+        db.execute("create table nodecl (z int, w int)")  # no constraints at all
+        keys = keys_of(
+            db,
+            "select o.okey from other o left outer many to one join nodecl n "
+            "on o.t_key = n.z",
+        )
+        assert frozenset({"okey"}) in keys
+
+
+class TestUnionKeys:
+    def test_disjoint_union_preserves_key(self, db):
+        keys = keys_of(
+            db,
+            "select key, b from t where b < 10 "
+            "union all select key, b from t where b >= 10",
+        )
+        assert frozenset({"key"}) in keys
+
+    def test_overlapping_union_no_key(self, db):
+        keys = keys_of(
+            db,
+            "select key, b from t where b < 10 "
+            "union all select key, b from t where b >= 5",
+        )
+        assert frozenset({"key"}) not in keys
+
+    def test_union_without_filters_no_key(self, db):
+        keys = keys_of(db, "select key from t union all select key from t")
+        assert frozenset({"key"}) not in keys
+
+    def test_disjoint_equality_constants(self, db):
+        keys = keys_of(
+            db,
+            "select key, c from t where c = 'A' union all select key, c from t where c = 'B'",
+        )
+        assert frozenset({"key"}) in keys
+
+    def test_disjoint_gated(self, db):
+        caps = ALL - {CAP_UNIQUE_THROUGH_UNION_DISJOINT}
+        keys = keys_of(
+            db,
+            "select key, b from t where b < 10 union all select key, b from t where b >= 10",
+            caps,
+        )
+        assert frozenset({"key"}) not in keys
+
+    def test_branchid_union_key(self, db):
+        db.execute("create table t2 (key int primary key, a int)")
+        keys = keys_of(
+            db,
+            "select 1 as bid, key from t union all select 2 as bid, key from t2",
+        )
+        assert frozenset({"bid", "key"}) in keys
+
+    def test_branchid_same_constant_no_key(self, db):
+        db.execute("create table t3 (key int primary key, a int)")
+        keys = keys_of(
+            db,
+            "select 1 as bid, key from t union all select 1 as bid, key from t3",
+        )
+        assert frozenset({"bid", "key"}) not in keys
+
+    def test_branchid_gated(self, db):
+        db.execute("create table t4 (key int primary key, a int)")
+        caps = ALL - {CAP_UNIQUE_THROUGH_UNION_BRANCHID}
+        keys = keys_of(
+            db,
+            "select 1 as bid, key from t union all select 2 as bid, key from t4",
+            caps,
+        )
+        assert frozenset({"bid", "key"}) not in keys
+
+
+class TestConstantsAndProvenance:
+    def test_filter_constant_derived(self, db):
+        plan = db.bind("select * from t where b = 7 and a > 1")
+        ctx = DerivationContext(ALL)
+        consts = ctx.constants(plan)
+        name_of = {c.cid: c.name for c in plan.output}
+        assert {name_of[cid]: v for cid, v in consts.items()} == {"b": 7}
+
+    def test_project_constant(self, db):
+        plan = db.bind("select 5 as five, key from t")
+        ctx = DerivationContext(ALL)
+        assert 5 in ctx.constants(plan).values()
+
+    def test_outer_join_drops_right_constants(self, db):
+        plan = db.bind(
+            "select * from other o left join (select key, b from t where b = 3) s "
+            "on o.t_key = s.key"
+        )
+        ctx = DerivationContext(ALL)
+        join = [n for n in plan.walk() if isinstance(n, Join)][0]
+        consts = ctx.constants(join)
+        right_cids = join.right.output_cids
+        assert not any(cid in right_cids for cid in consts)
+
+    def test_provenance_through_join_and_project(self, db):
+        plan = db.bind(
+            "select o.okey, t.key as tk from other o join t on o.t_key = t.key"
+        )
+        ctx = DerivationContext(ALL)
+        prov = ctx.provenance(plan)
+        by_name = {}
+        for col in plan.output:
+            p = prov.get(col.cid)
+            if p:
+                by_name[col.name] = (p.scan.schema.name, p.column, p.outer_nulled)
+        assert by_name["okey"] == ("other", "okey", False)
+        assert by_name["tk"] == ("t", "key", False)
+
+    def test_provenance_outer_nulled_flag(self, db):
+        plan = db.bind(
+            "select t.b from other o left join t on o.t_key = t.key"
+        )
+        ctx = DerivationContext(ALL)
+        p = ctx.provenance(plan)[plan.output[0].cid]
+        assert p.outer_nulled
+
+    def test_provenance_blocked_by_aggregate(self, db):
+        plan = db.bind("select b, count(*) as n from t group by b")
+        ctx = DerivationContext(ALL)
+        assert ctx.provenance(plan) == {}
+
+    def test_computed_column_has_no_provenance(self, db):
+        plan = db.bind("select key + 1 as k1 from t")
+        ctx = DerivationContext(ALL)
+        assert plan.output[0].cid not in ctx.provenance(plan)
+
+
+class TestJoinHelpers:
+    def test_equi_join_cids_extraction(self, db):
+        plan = db.bind(
+            "select 1 as one_ from other o join t on o.t_key = t.key and o.okey > t.b"
+        )
+        join = [n for n in plan.walk() if isinstance(n, Join)][0]
+        left, right = equi_join_cids(join)
+        assert len(left) == 1 and len(right) == 1
+        assert len(residual_conjuncts(join)) == 1
+
+    def test_swapped_sides_normalized(self, db):
+        plan = db.bind("select 1 as x from other o join t on t.key = o.t_key")
+        join = [n for n in plan.walk() if isinstance(n, Join)][0]
+        left, right = equi_join_cids(join)
+        assert left[0] in join.left.output_cids
+        assert right[0] in join.right.output_cids

@@ -1,0 +1,187 @@
+"""Cached-view tests (paper §3: SCV delayed snapshots, DCV up-to-date)."""
+
+import decimal
+
+import pytest
+
+from repro import Database
+from repro.cache import CachedViewManager
+from repro.errors import CatalogError, ExecutionError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "create table tx (txid int primary key, acct int not null, amt decimal(10,2))"
+    )
+    database.bulk_load("tx", [(i, i % 4, f"{i}.50") for i in range(20)])
+    return database
+
+
+AGG_SQL = "select acct, count(*) as n, sum(amt) as total from tx group by acct"
+
+
+class TestStaticCachedViews:
+    def test_create_materializes(self, db):
+        manager = CachedViewManager(db)
+        manager.create_static("scv_totals", AGG_SQL)
+        rows = db.query("select * from scv_totals order by acct").rows
+        assert len(rows) == 4 and rows[0][1] == 5
+
+    def test_delayed_snapshot_semantics(self, db):
+        manager = CachedViewManager(db)
+        manager.create_static("scv_totals", AGG_SQL)
+        db.execute("insert into tx values (100, 0, 10.00)")
+        stale = db.query("select n from scv_totals where acct = 0").scalar()
+        assert stale == 5  # still the old snapshot
+        assert manager.is_stale("scv_totals")
+        manager.refresh("scv_totals")
+        fresh = db.query("select n from scv_totals where acct = 0").scalar()
+        assert fresh == 6
+        assert not manager.is_stale("scv_totals")
+
+    def test_staleness_detects_deletes(self, db):
+        manager = CachedViewManager(db)
+        manager.create_static("scv_totals", AGG_SQL)
+        db.execute("delete from tx where txid = 3")
+        assert manager.is_stale("scv_totals")
+
+    def test_scv_of_join_query(self, db):
+        db.execute("create table acct (aid int primary key, aname varchar(10))")
+        db.bulk_load("acct", [(i, f"A{i}") for i in range(4)])
+        manager = CachedViewManager(db)
+        manager.create_static(
+            "scv_join",
+            "select a.aname, sum(t.amt) as total from tx t "
+            "join acct a on t.acct = a.aid group by a.aname",
+        )
+        assert len(db.query("select * from scv_join").rows) == 4
+        assert manager.info("scv_join").base_tables == ("acct", "tx")
+
+    def test_duplicate_name_rejected(self, db):
+        manager = CachedViewManager(db)
+        manager.create_static("c1", AGG_SQL)
+        with pytest.raises(CatalogError):
+            manager.create_static("c1", AGG_SQL)
+
+    def test_drop(self, db):
+        manager = CachedViewManager(db)
+        manager.create_static("c1", AGG_SQL)
+        manager.drop("c1")
+        assert not db.catalog.has_table("c1")
+        with pytest.raises(CatalogError):
+            manager.info("c1")
+
+    def test_refresh_count(self, db):
+        manager = CachedViewManager(db)
+        info = manager.create_static("c1", AGG_SQL)
+        manager.refresh("c1")
+        assert info.refresh_count == 2
+
+
+class TestDynamicCachedViews:
+    def test_incremental_insert_maintenance(self, db):
+        manager = CachedViewManager(db)
+        manager.create_dynamic("dcv_totals", AGG_SQL)
+        db.execute("insert into tx values (200, 1, 5.25), (201, 1, 4.75)")
+        processed = manager.apply_increments("dcv_totals")
+        assert processed == 2
+        row = db.query(
+            "select n, total from dcv_totals where acct = 1"
+        ).rows[0]
+        expect = db.query(
+            "select count(*), sum(amt) from tx where acct = 1"
+        ).rows[0]
+        assert row == expect
+
+    def test_new_group_appears(self, db):
+        manager = CachedViewManager(db)
+        manager.create_dynamic("dcv_totals", AGG_SQL)
+        db.execute("insert into tx values (300, 9, 1.00)")
+        manager.apply_increments("dcv_totals")
+        assert db.query("select n from dcv_totals where acct = 9").scalar() == 1
+
+    def test_query_fresh_is_up_to_date(self, db):
+        manager = CachedViewManager(db)
+        manager.create_dynamic("dcv_totals", AGG_SQL)
+        db.execute("insert into tx values (400, 2, 2.00)")
+        result = manager.query_fresh(
+            "dcv_totals", "select n from dcv_totals where acct = 2"
+        )
+        assert result.scalar() == 6
+
+    def test_min_max_merge(self, db):
+        manager = CachedViewManager(db)
+        manager.create_dynamic(
+            "dcv_minmax",
+            "select acct, min(amt) as lo, max(amt) as hi from tx group by acct",
+        )
+        db.execute("insert into tx values (500, 0, 0.01), (501, 0, 999.99)")
+        manager.apply_increments("dcv_minmax")
+        lo, hi = db.query("select lo, hi from dcv_minmax where acct = 0").rows[0]
+        assert (lo, hi) == (decimal.Decimal("0.01"), decimal.Decimal("999.99"))
+
+    def test_delete_falls_back_to_recompute(self, db):
+        manager = CachedViewManager(db)
+        info = manager.create_dynamic("dcv_totals", AGG_SQL)
+        db.execute("delete from tx where txid = 0")
+        manager.apply_increments("dcv_totals")
+        assert info.refresh_count == 2  # full refresh happened
+        n = db.query("select n from dcv_totals where acct = 0").scalar()
+        assert n == db.query("select count(*) from tx where acct = 0").scalar()
+
+    def test_dcv_with_filter(self, db):
+        manager = CachedViewManager(db)
+        manager.create_dynamic(
+            "dcv_big",
+            "select acct, count(*) as n from tx where amt > 5 group by acct",
+        )
+        db.execute("insert into tx values (600, 0, 100.00), (601, 0, 1.00)")
+        manager.apply_increments("dcv_big")
+        n = db.query("select n from dcv_big where acct = 0").scalar()
+        assert n == db.query(
+            "select count(*) from tx where amt > 5 and acct = 0"
+        ).scalar()
+
+    def test_idempotent_when_no_changes(self, db):
+        manager = CachedViewManager(db)
+        manager.create_dynamic("dcv_totals", AGG_SQL)
+        assert manager.apply_increments("dcv_totals") == 0
+
+    def test_join_query_rejected(self, db):
+        db.execute("create table acct (aid int primary key)")
+        manager = CachedViewManager(db)
+        with pytest.raises(CatalogError):
+            manager.create_dynamic(
+                "bad",
+                "select acct, count(*) as n from tx join acct on tx.acct = acct.aid "
+                "group by acct",
+            )
+
+    def test_avg_rejected(self, db):
+        manager = CachedViewManager(db)
+        with pytest.raises(CatalogError):
+            manager.create_dynamic(
+                "bad", "select acct, avg(amt) as a from tx group by acct"
+            )
+
+    def test_non_aggregate_rejected(self, db):
+        manager = CachedViewManager(db)
+        with pytest.raises(CatalogError):
+            manager.create_dynamic("bad", "select txid, amt from tx")
+
+    def test_apply_increments_on_scv_rejected(self, db):
+        manager = CachedViewManager(db)
+        manager.create_static("c1", AGG_SQL)
+        with pytest.raises(ExecutionError):
+            manager.apply_increments("c1")
+
+    def test_repeated_increments_accumulate_correctly(self, db):
+        manager = CachedViewManager(db)
+        manager.create_dynamic("dcv_totals", AGG_SQL)
+        for batch in range(3):
+            db.execute(f"insert into tx values ({700 + batch}, 3, 1.00)")
+            manager.apply_increments("dcv_totals")
+        n = db.query("select n from dcv_totals where acct = 3").scalar()
+        assert n == db.query("select count(*) from tx where acct = 3").scalar()

@@ -1,0 +1,123 @@
+"""Unit tests for catalog schema objects and the catalog registry."""
+
+import pytest
+
+from repro.catalog import Catalog, ColumnSchema, TableSchema, UniqueConstraint, ViewSchema
+from repro.datatypes import INTEGER, varchar
+from repro.errors import CatalogError
+from repro.storage import ColumnTable, TransactionManager
+
+
+def make_table(name="t", txns=None):
+    schema = TableSchema(
+        name,
+        [ColumnSchema("id", INTEGER, False), ColumnSchema("v", varchar(10))],
+        [UniqueConstraint(("id",), True)],
+    )
+    return ColumnTable(schema, txns or TransactionManager())
+
+
+class TestTableSchema:
+    def test_names_lower_cased(self):
+        schema = TableSchema("T", [ColumnSchema("A", INTEGER)], [])
+        assert schema.name == "t" and schema.columns[0].name == "a"
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [ColumnSchema("a", INTEGER), ColumnSchema("A", INTEGER)])
+
+    def test_constraint_unknown_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [ColumnSchema("a", INTEGER)],
+                        [UniqueConstraint(("nope",))])
+
+    def test_primary_key_lookup(self):
+        schema = TableSchema(
+            "t",
+            [ColumnSchema("a", INTEGER), ColumnSchema("b", INTEGER)],
+            [UniqueConstraint(("b",)), UniqueConstraint(("a",), is_primary=True)],
+        )
+        assert schema.primary_key == ("a",)
+
+    def test_no_primary_key_is_none(self):
+        schema = TableSchema("t", [ColumnSchema("a", INTEGER)])
+        assert schema.primary_key is None
+
+    def test_column_index_and_has_column(self):
+        schema = TableSchema("t", [ColumnSchema("a", INTEGER), ColumnSchema("b", INTEGER)])
+        assert schema.column_index("B") == 1
+        assert schema.has_column("A") and not schema.has_column("c")
+
+    def test_unknown_column_raises(self):
+        schema = TableSchema("t", [ColumnSchema("a", INTEGER)])
+        with pytest.raises(CatalogError):
+            schema.column("zzz")
+
+    def test_unique_column_sets(self):
+        schema = TableSchema(
+            "t",
+            [ColumnSchema("a", INTEGER), ColumnSchema("b", INTEGER)],
+            [UniqueConstraint(("a", "b"), True)],
+        )
+        assert schema.unique_column_sets() == [frozenset({"a", "b"})]
+
+
+class TestCatalog:
+    def test_create_and_resolve_table(self):
+        catalog = Catalog()
+        table = make_table()
+        catalog.create_table(table)
+        assert catalog.table("T") is table
+        assert catalog.has_table("t")
+        assert catalog.resolve("t") is table
+
+    def test_duplicate_table_rejected(self):
+        catalog = Catalog()
+        catalog.create_table(make_table())
+        with pytest.raises(CatalogError):
+            catalog.create_table(make_table())
+
+    def test_if_not_exists_is_noop(self):
+        catalog = Catalog()
+        catalog.create_table(make_table())
+        catalog.create_table(make_table(), if_not_exists=True)  # no raise
+
+    def test_drop_table(self):
+        catalog = Catalog()
+        catalog.create_table(make_table())
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+        with pytest.raises(CatalogError):
+            catalog.drop_table("t")
+        catalog.drop_table("t", if_exists=True)  # no raise
+
+    def test_views_registry(self):
+        catalog = Catalog()
+        view = ViewSchema("V", query=None, column_names=("A", "B"))
+        catalog.create_view(view)
+        assert catalog.view("v").column_names == ("a", "b")
+        with pytest.raises(CatalogError):
+            catalog.create_view(ViewSchema("v", query=None))
+        catalog.create_view(ViewSchema("v", query=None), or_replace=True)
+
+    def test_view_name_conflicts_with_table(self):
+        catalog = Catalog()
+        catalog.create_table(make_table())
+        with pytest.raises(CatalogError):
+            catalog.create_view(ViewSchema("t", query=None))
+
+    def test_drop_view(self):
+        catalog = Catalog()
+        catalog.create_view(ViewSchema("v", query=None))
+        catalog.drop_view("v")
+        with pytest.raises(CatalogError):
+            catalog.drop_view("v")
+        catalog.drop_view("v", if_exists=True)
+
+    def test_resolve_missing(self):
+        with pytest.raises(CatalogError):
+            Catalog().resolve("ghost")
+
+    def test_macros_lower_cased(self):
+        view = ViewSchema("v", query=None, macros={"Margin": object()})
+        assert "margin" in view.macros

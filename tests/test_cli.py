@@ -1,0 +1,109 @@
+"""Tests for the interactive shell (python -m repro)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro import Database
+from repro.__main__ import DEMO_SQL, format_result, run_command
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    for sql in DEMO_SQL:
+        database.execute(sql)
+    return database
+
+
+class TestRunCommand:
+    def test_query_prints_table(self, db, capsys):
+        assert run_command(db, "select c_name from customer order by c_id")
+        out = capsys.readouterr().out
+        assert "ACME" in out and "3 row(s)" in out
+
+    def test_ddl_prints_ok(self, db, capsys):
+        run_command(db, "create table t (a int)")
+        assert "ok" in capsys.readouterr().out
+
+    def test_dml_prints_count(self, db, capsys):
+        run_command(db, "update orders set o_status = 'X' where o_id = 10")
+        assert "1 row(s) affected" in capsys.readouterr().out
+
+    def test_explain_commands(self, db, capsys):
+        run_command(db, ".explain select o_id from orderview")
+        optimized = capsys.readouterr().out
+        run_command(db, ".explain! select o_id from orderview")
+        unoptimized = capsys.readouterr().out
+        assert "Join" not in optimized
+        assert "Join" in unoptimized
+
+    def test_stats_command(self, db, capsys):
+        run_command(db, ".stats select o_id from orderview")
+        out = capsys.readouterr().out
+        assert "bound" in out and "optimized" in out
+
+    def test_profile_switch(self, db, capsys):
+        run_command(db, ".profile postgres")
+        assert "postgres" in capsys.readouterr().out
+        assert db.profile == "postgres"
+
+    def test_verify_command(self, db, capsys):
+        run_command(
+            db,
+            ".verify select o.o_id from orders o left outer many to one join "
+            "customer c on o.o_cust = c.c_id",
+        )
+        assert "OK" in capsys.readouterr().out
+
+    def test_tables_and_views(self, db, capsys):
+        run_command(db, ".tables")
+        run_command(db, ".views")
+        out = capsys.readouterr().out
+        assert "orders" in out and "orderview" in out
+
+    def test_error_reported_not_raised(self, db, capsys):
+        assert run_command(db, "select nothere from orders")
+        assert "error:" in capsys.readouterr().out
+
+    def test_unknown_dot_command(self, db, capsys):
+        run_command(db, ".wat")
+        assert "unknown command" in capsys.readouterr().out
+
+    def test_quit(self, db):
+        assert run_command(db, ".quit") is False
+
+    def test_empty_line(self, db):
+        assert run_command(db, "   ")
+
+    def test_semicolon_tolerated(self, db, capsys):
+        run_command(db, "select count(*) from orders;")
+        assert "1 row(s)" in capsys.readouterr().out
+
+
+class TestFormatting:
+    def test_format_result_truncates(self, db):
+        result = db.query("select o_id from orders")
+        text = format_result(result, max_rows=2)
+        assert "4 rows total" in text
+
+    def test_format_alignment(self, db):
+        result = db.query("select c_id, c_name from customer order by c_id")
+        lines = format_result(result).splitlines()
+        assert lines[0].startswith("c_id")
+        assert set(lines[1]) <= {"-", " "}
+
+
+def test_shell_end_to_end():
+    script = ".demo\nselect count(*) from orderview\n.quit\n"
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro"],
+        input=script,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0
+    assert "demo schema loaded" in completed.stdout
+    assert "bye" in completed.stdout

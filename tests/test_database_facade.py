@@ -1,0 +1,145 @@
+"""Database-facade tests: DDL lifecycle, error paths, HTAP integration."""
+
+import pytest
+
+from repro import Database
+from repro.errors import (
+    BindError,
+    CatalogError,
+    ConstraintError,
+    ExecutionError,
+    OptimizerError,
+    SqlSyntaxError,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("create table t (k int primary key, v varchar(10))")
+    database.execute("insert into t values (1, 'one'), (2, 'two')")
+    return database
+
+
+class TestDdlLifecycle:
+    def test_drop_table(self, db):
+        db.execute("drop table t")
+        with pytest.raises(BindError):
+            db.query("select * from t")
+
+    def test_drop_missing_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("drop table ghost")
+        db.execute("drop table if exists ghost")  # no raise
+
+    def test_create_or_replace_view(self, db):
+        db.execute("create view v as select k from t")
+        db.execute("create or replace view v as select v from t")
+        assert db.query("select * from v").column_names == ["v"]
+
+    def test_duplicate_view_rejected(self, db):
+        db.execute("create view v as select k from t")
+        with pytest.raises(CatalogError):
+            db.execute("create view v as select k from t")
+
+    def test_drop_view(self, db):
+        db.execute("create view v as select k from t")
+        db.execute("drop view v")
+        with pytest.raises(BindError):
+            db.query("select * from v")
+
+    def test_create_table_if_not_exists(self, db):
+        db.execute("create table if not exists t (other int)")
+        # original schema survives
+        assert db.catalog.table_schema("t").has_column("v")
+
+    def test_broken_view_rejected_at_create(self, db):
+        with pytest.raises(BindError):
+            db.execute("create view broken as select nothere from t")
+
+    def test_multiple_primary_keys_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("create table bad (a int primary key, b int primary key)")
+
+    def test_syntax_error_surfaces(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("selek * from t")
+
+    def test_query_rejects_ddl(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("create table x (a int)")
+
+
+class TestProfiles:
+    def test_default_profile(self):
+        assert Database().profile == "hana"
+
+    def test_constructor_profile(self):
+        assert Database(profile="postgres").profile == "postgres"
+
+    def test_invalid_profile_rejected(self, db):
+        with pytest.raises(OptimizerError):
+            db.set_profile("db2")
+
+    def test_none_profile_executes_bound_plan(self, db):
+        db.set_profile("none")
+        assert len(db.query("select * from t").rows) == 2
+
+
+class TestHtapIntegration:
+    def test_analytics_during_writes(self, db):
+        reader = db.begin()
+        baseline = db.query("select count(*) from t", txn=reader).scalar()
+        writer = db.begin()
+        for i in range(10, 15):
+            db.execute(f"insert into t values ({i}, 'w{i}')", txn=writer)
+        # the analytical snapshot is unaffected mid-write and post-commit
+        assert db.query("select count(*) from t", txn=reader).scalar() == baseline
+        db.commit(writer)
+        assert db.query("select count(*) from t", txn=reader).scalar() == baseline
+        db.commit(reader)
+        assert db.query("select count(*) from t").scalar() == baseline + 5
+
+    def test_merge_all(self, db):
+        db.merge_all()
+        assert db.catalog.table("t").delta_size == 0
+        assert db.query("select count(*) from t").scalar() == 2
+
+    def test_bulk_load_visible_everywhere(self, db):
+        db.bulk_load("t", [(100, "bulk")])
+        assert db.query("select v from t where k = 100").scalar() == "bulk"
+
+    def test_constraint_violation_in_multi_row_insert_rolls_back(self, db):
+        with pytest.raises(ConstraintError):
+            db.execute("insert into t values (50, 'ok'), (1, 'dup')")
+        # the first row must not have leaked out of the aborted transaction
+        assert db.query("select count(*) from t where k = 50").scalar() == 0
+
+    def test_wal_records_full_session(self):
+        database = Database()  # wal on
+        database.execute("create table w (a int)")
+        database.execute("insert into w values (1)")
+        kinds = [r.kind for r in database.wal.records()]
+        assert kinds == ["insert", "commit"]
+
+    def test_wal_disabled(self):
+        database = Database(wal_enabled=False)
+        assert database.wal is None
+        database.execute("create table w (a int)")
+        database.execute("insert into w values (1)")  # still works
+
+
+class TestPlanApis:
+    def test_bind_rejects_non_query(self, db):
+        with pytest.raises(BindError):
+            db.bind("insert into t values (9, 'x')")
+
+    def test_explain_optimize_flag(self, db):
+        db.execute("create table dim (k int primary key, d varchar(5))")
+        sql = "select t.k from t left join dim on t.k = dim.k"
+        assert "Join" in db.explain(sql, optimize=False)
+        assert "Join" not in db.explain(sql)
+
+    def test_plan_statistics_api(self, db):
+        stats = db.plan_statistics("select * from t", optimize=False)
+        assert stats.table_instances == 1

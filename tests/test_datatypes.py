@@ -1,0 +1,136 @@
+"""Unit tests for the SQL type system."""
+
+import datetime
+import decimal
+
+import pytest
+
+from repro.datatypes import (
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    INTEGER,
+    DataType,
+    TypeKind,
+    common_super_type,
+    decimal_type,
+    type_of_literal,
+    varchar,
+)
+from repro.errors import TypeCheckError
+
+
+class TestValidation:
+    def test_integer_accepts_int(self):
+        assert INTEGER.validate(42) == 42
+
+    def test_integer_accepts_numeric_string(self):
+        assert INTEGER.validate("17") == 17
+
+    def test_integer_accepts_integral_float(self):
+        assert INTEGER.validate(3.0) == 3
+
+    def test_integer_rejects_fractional_float(self):
+        with pytest.raises(TypeCheckError):
+            INTEGER.validate(3.5)
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(TypeCheckError):
+            INTEGER.validate(True)
+
+    def test_null_passes_any_type(self):
+        for ty in (INTEGER, DOUBLE, DATE, BOOLEAN, varchar(5), decimal_type(10, 2)):
+            assert ty.validate(None) is None
+
+    def test_decimal_quantizes_to_scale(self):
+        ty = decimal_type(10, 2)
+        assert ty.validate("1.005") == decimal.Decimal("1.01")  # half-up
+
+    def test_decimal_accepts_int(self):
+        assert decimal_type(10, 2).validate(7) == decimal.Decimal("7.00")
+
+    def test_decimal_rejects_garbage(self):
+        with pytest.raises(TypeCheckError):
+            decimal_type(10, 2).validate("not a number")
+
+    def test_varchar_length_enforced(self):
+        assert varchar(3).validate("abc") == "abc"
+        with pytest.raises(TypeCheckError):
+            varchar(3).validate("abcd")
+
+    def test_varchar_unbounded(self):
+        assert varchar(None).validate("x" * 1000) == "x" * 1000
+
+    def test_date_from_iso_string(self):
+        assert DATE.validate("2025-06-15") == datetime.date(2025, 6, 15)
+
+    def test_date_from_datetime(self):
+        value = datetime.datetime(2025, 6, 15, 12, 30)
+        assert DATE.validate(value) == datetime.date(2025, 6, 15)
+
+    def test_date_rejects_bad_string(self):
+        with pytest.raises(TypeCheckError):
+            DATE.validate("June 15")
+
+    def test_boolean_strict(self):
+        assert BOOLEAN.validate(True) is True
+        with pytest.raises(TypeCheckError):
+            BOOLEAN.validate(1)
+
+    def test_double_accepts_decimal(self):
+        assert DOUBLE.validate(decimal.Decimal("1.5")) == 1.5
+
+
+class TestTypeAlgebra:
+    def test_str_rendering(self):
+        assert str(decimal_type(15, 2)) == "DECIMAL(15, 2)"
+        assert str(varchar(30)) == "VARCHAR(30)"
+        assert str(INTEGER) == "INTEGER"
+
+    def test_is_numeric(self):
+        assert INTEGER.is_numeric and DOUBLE.is_numeric and decimal_type().is_numeric
+        assert not varchar(5).is_numeric and not DATE.is_numeric
+
+    def test_common_super_type_widening(self):
+        assert common_super_type(INTEGER, BIGINT).kind is TypeKind.BIGINT
+        assert common_super_type(BIGINT, decimal_type(10, 2)).kind is TypeKind.DECIMAL
+        assert common_super_type(decimal_type(10, 2), DOUBLE).kind is TypeKind.DOUBLE
+
+    def test_common_super_type_decimal_params(self):
+        merged = common_super_type(decimal_type(10, 2), decimal_type(15, 4))
+        assert (merged.precision, merged.scale) == (15, 4)
+
+    def test_common_super_type_varchar_lengths(self):
+        assert common_super_type(varchar(5), varchar(9)).length == 9
+        assert common_super_type(varchar(5), varchar(None)).length is None
+
+    def test_common_super_type_incompatible(self):
+        with pytest.raises(TypeCheckError):
+            common_super_type(INTEGER, varchar(5))
+
+    def test_equality_is_structural(self):
+        assert decimal_type(10, 2) == DataType(TypeKind.DECIMAL, precision=10, scale=2)
+
+
+class TestLiteralInference:
+    def test_small_int(self):
+        assert type_of_literal(5).kind is TypeKind.INTEGER
+
+    def test_large_int_is_bigint(self):
+        assert type_of_literal(2**40).kind is TypeKind.BIGINT
+
+    def test_decimal_scale_inferred(self):
+        ty = type_of_literal(decimal.Decimal("1.25"))
+        assert ty.kind is TypeKind.DECIMAL and ty.scale == 2
+
+    def test_float_is_double(self):
+        assert type_of_literal(1.5).kind is TypeKind.DOUBLE
+
+    def test_bool_before_int(self):
+        assert type_of_literal(True).kind is TypeKind.BOOLEAN
+
+    def test_string_and_date_and_null(self):
+        assert type_of_literal("x").kind is TypeKind.VARCHAR
+        assert type_of_literal(datetime.date(2025, 1, 1)).kind is TypeKind.DATE
+        assert type_of_literal(None).kind is TypeKind.VARCHAR

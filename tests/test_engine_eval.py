@@ -1,0 +1,179 @@
+"""Expression evaluation tests: SQL NULL semantics, rounding, functions."""
+
+import datetime
+import decimal
+
+import pytest
+
+from repro import Database
+from repro.engine.eval import sql_round
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.execute("create table onerow (x int)")
+    database.execute("insert into onerow values (1)")
+    return database
+
+
+def scalar(db, expr):
+    return db.query(f"select {expr} as v from onerow").scalar()
+
+
+class TestArithmetic:
+    def test_basic_ops(self, db):
+        assert scalar(db, "1 + 2 * 3") == 7
+        assert scalar(db, "(10 - 4) / 2") == 3.0
+        assert scalar(db, "7 % 3") == 1
+
+    def test_decimal_exactness(self, db):
+        assert scalar(db, "0.1 + 0.2") == decimal.Decimal("0.3")
+
+    def test_decimal_division_exact(self, db):
+        assert scalar(db, "1.0 / 3") == decimal.Decimal(1) / decimal.Decimal(3)
+
+    def test_division_by_zero_raises(self, db):
+        from repro.errors import ExecutionError
+        with pytest.raises(ExecutionError):
+            db.query("select x / 0 from onerow", optimize=False)
+
+    def test_unary_minus(self, db):
+        assert scalar(db, "-(1 + 2)") == -3
+
+    def test_null_propagates(self, db):
+        assert scalar(db, "null + 1") is None
+        assert scalar(db, "1 * null") is None
+
+
+class TestComparisonsAndLogic:
+    def test_comparisons(self, db):
+        assert scalar(db, "1 < 2") is True
+        assert scalar(db, "2 <= 1") is False
+        assert scalar(db, "'a' <> 'b'") is True
+
+    def test_mixed_numeric_comparison(self, db):
+        assert scalar(db, "1 = 1.0") is True
+
+    def test_null_comparison_is_null(self, db):
+        assert scalar(db, "null = 1") is None
+        assert scalar(db, "null <> null") is None
+
+    def test_three_valued_and(self, db):
+        assert scalar(db, "false and null") is False
+        assert scalar(db, "true and null") is None
+        assert scalar(db, "true and true") is True
+
+    def test_three_valued_or(self, db):
+        assert scalar(db, "true or null") is True
+        assert scalar(db, "false or null") is None
+        assert scalar(db, "false or false") is False
+
+    def test_not_null(self, db):
+        assert scalar(db, "not null") is None
+
+    def test_is_null(self, db):
+        assert scalar(db, "null is null") is True
+        assert scalar(db, "1 is not null") is True
+
+    def test_in_list(self, db):
+        assert scalar(db, "2 in (1, 2, 3)") is True
+        assert scalar(db, "9 in (1, 2, 3)") is False
+
+    def test_in_list_null_semantics(self, db):
+        assert scalar(db, "9 in (1, null)") is None
+        assert scalar(db, "1 in (1, null)") is True
+        assert scalar(db, "null in (1, 2)") is None
+
+    def test_between(self, db):
+        assert scalar(db, "2 between 1 and 3") is True
+        assert scalar(db, "0 not between 1 and 3") is True
+
+    def test_like(self, db):
+        assert scalar(db, "'hello' like 'he%'") is True
+        assert scalar(db, "'hello' like 'h_llo'") is True
+        assert scalar(db, "'hello' like 'x%'") is False
+        assert scalar(db, "'a.c' like 'a.c'") is True  # dot is literal
+
+    def test_case_when(self, db):
+        assert scalar(db, "case when 1 > 2 then 'a' when 2 > 1 then 'b' else 'c' end") == "b"
+        assert scalar(db, "case when false then 1 end") is None
+
+
+class TestRounding:
+    """§7.1: rounding is commercial (half-up) and exact over DECIMAL."""
+
+    def test_paper_example_tax(self):
+        assert sql_round(decimal.Decimal("13.1945"), 2) == decimal.Decimal("13.19")
+
+    def test_paper_example_non_distributive(self):
+        one = sql_round(decimal.Decimal("1.3"), 0) + sql_round(decimal.Decimal("2.4"), 0)
+        other = sql_round(decimal.Decimal("1.3") + decimal.Decimal("2.4"), 0)
+        assert (one, other) == (decimal.Decimal("3"), decimal.Decimal("4"))
+
+    def test_half_up_not_bankers(self):
+        assert sql_round(decimal.Decimal("2.5"), 0) == 3
+        assert sql_round(decimal.Decimal("3.5"), 0) == 4
+
+    def test_round_null(self):
+        assert sql_round(None, 2) is None
+
+    def test_round_int_and_float(self):
+        assert sql_round(7, 2) == 7
+        assert sql_round(1.005, 2) == pytest.approx(1.01)
+
+    def test_negative_digits(self):
+        assert sql_round(decimal.Decimal("1234"), -2) == decimal.Decimal("1200")
+
+    def test_sql_round_via_query(self, db):
+        assert scalar(db, "round(1.005, 2)") == decimal.Decimal("1.01")
+        assert scalar(db, "round(2.5)") == decimal.Decimal("3")
+
+
+class TestScalarFunctions:
+    def test_abs_floor_ceil(self, db):
+        assert scalar(db, "abs(-4)") == 4
+        assert scalar(db, "floor(1.7)") == 1
+        assert scalar(db, "ceil(1.2)") == 2
+
+    def test_coalesce_and_ifnull(self, db):
+        assert scalar(db, "coalesce(null, null, 3)") == 3
+        assert scalar(db, "ifnull(null, 'd')") == "d"
+        assert scalar(db, "coalesce(null, null)") is None
+
+    def test_nullif(self, db):
+        assert scalar(db, "nullif(1, 1)") is None
+        assert scalar(db, "nullif(1, 2)") == 1
+
+    def test_string_functions(self, db):
+        assert scalar(db, "upper('ab')") == "AB"
+        assert scalar(db, "lower('AB')") == "ab"
+        assert scalar(db, "length('abc')") == 3
+        assert scalar(db, "substr('hello', 2, 3)") == "ell"
+        assert scalar(db, "substr('hello', 3)") == "llo"
+        assert scalar(db, "concat('a', 'b', 'c')") == "abc"
+
+    def test_concat_operator_null(self, db):
+        assert scalar(db, "'a' || null") is None
+        assert scalar(db, "'a' || 'b'") == "ab"
+
+    def test_date_parts(self, db):
+        assert scalar(db, "year(cast('2025-06-15' as date))") == 2025
+        assert scalar(db, "month(cast('2025-06-15' as date))") == 6
+        assert scalar(db, "dayofmonth(cast('2025-06-15' as date))") == 15
+
+    def test_cast(self, db):
+        assert scalar(db, "cast('12' as int)") == 12
+        assert scalar(db, "cast(1 as varchar(5))") == "1"
+        assert scalar(db, "cast('2025-01-02' as date)") == datetime.date(2025, 1, 2)
+        assert scalar(db, "cast(null as int)") is None
+
+    def test_unknown_function_rejected(self, db):
+        from repro.errors import BindError
+        with pytest.raises(BindError):
+            db.query("select frobnicate(x) from onerow")
+
+    def test_wrong_arity_rejected(self, db):
+        from repro.errors import BindError
+        with pytest.raises(BindError):
+            db.query("select round(x, 1, 2, 3) from onerow")

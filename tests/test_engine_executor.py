@@ -1,0 +1,251 @@
+"""Executor tests: joins, aggregation, sorting, limits, unions, DML."""
+
+import decimal
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "create table emp (eid int primary key, name varchar(20), dept int, "
+        "salary decimal(10,2), manager int)"
+    )
+    database.execute("create table dept (did int primary key, dname varchar(20))")
+    database.execute("insert into dept values (1, 'eng'), (2, 'sales')")
+    database.execute(
+        "insert into emp values "
+        "(1, 'ann', 1, 100.00, null), (2, 'bob', 1, 80.00, 1), "
+        "(3, 'cid', 2, 90.00, 1), (4, 'dee', null, 70.00, 2)"
+    )
+    return database
+
+
+class TestScanFilterProject:
+    def test_full_scan(self, db):
+        assert len(db.query("select * from emp").rows) == 4
+
+    def test_filter(self, db):
+        rows = db.query("select name from emp where salary > 85").rows
+        assert sorted(r[0] for r in rows) == ["ann", "cid"]
+
+    def test_filter_null_is_dropped(self, db):
+        rows = db.query("select name from emp where dept = 1").rows
+        assert sorted(r[0] for r in rows) == ["ann", "bob"]  # dee's NULL dept filtered
+
+    def test_projection_expression(self, db):
+        rows = db.query("select salary * 2 as s2 from emp where eid = 1").rows
+        assert rows[0][0] == decimal.Decimal("200.00")
+
+    def test_empty_result(self, db):
+        assert db.query("select * from emp where eid = 999").rows == []
+
+
+class TestJoins:
+    def test_inner_join(self, db):
+        rows = db.query(
+            "select e.name, d.dname from emp e join dept d on e.dept = d.did"
+        ).rows
+        assert sorted(rows) == [("ann", "eng"), ("bob", "eng"), ("cid", "sales")]
+
+    def test_left_outer_join_null_extension(self, db):
+        rows = db.query(
+            "select e.name, d.dname from emp e left join dept d on e.dept = d.did"
+        ).rows
+        assert ("dee", None) in rows and len(rows) == 4
+
+    def test_null_keys_never_match(self, db):
+        db.execute("insert into dept values (3, null)")
+        rows = db.query(
+            "select e.name from emp e join dept d on e.dept = d.did where e.eid = 4"
+        ).rows
+        assert rows == []
+
+    def test_self_join(self, db):
+        rows = db.query(
+            "select e.name, m.name from emp e join emp m on e.manager = m.eid"
+        ).rows
+        assert sorted(rows) == [("bob", "ann"), ("cid", "ann"), ("dee", "bob")]
+
+    def test_cross_join(self, db):
+        assert len(db.query("select 1 as x from emp cross join dept").rows) == 8
+
+    def test_residual_predicate(self, db):
+        rows = db.query(
+            "select e.name from emp e join emp m on e.manager = m.eid "
+            "and e.salary < m.salary"
+        ).rows
+        assert sorted(r[0] for r in rows) == ["bob", "cid", "dee"]
+
+    def test_left_outer_residual_unmatched(self, db):
+        rows = db.query(
+            "select e.name, m.name from emp e left join emp m on e.manager = m.eid "
+            "and m.salary > 95",
+            optimize=False,
+        ).rows
+        named = dict(rows)
+        assert named["bob"] == "ann" and named["dee"] is None
+
+    def test_non_equi_join(self, db):
+        rows = db.query(
+            "select e.name from emp e join dept d on e.salary > 85 and d.did = 1"
+        ).rows
+        assert sorted(r[0] for r in rows) == ["ann", "cid"]
+
+    def test_mixed_type_key_match(self, db):
+        db.execute("create table keys (k decimal(10,2))")
+        db.execute("insert into keys values (1.00)")
+        rows = db.query("select e.name from emp e join keys on e.eid = keys.k").rows
+        assert rows == [("ann",)]
+
+
+class TestAggregation:
+    def test_global_aggregates(self, db):
+        row = db.query(
+            "select count(*), sum(salary), min(salary), max(salary), avg(salary) from emp"
+        ).rows[0]
+        assert row[0] == 4
+        assert row[1] == decimal.Decimal("340.00")
+        assert row[2] == decimal.Decimal("70.00")
+        assert row[3] == decimal.Decimal("100.00")
+        assert row[4] == decimal.Decimal("85.00")
+
+    def test_group_by(self, db):
+        rows = dict(db.query("select dept, count(*) from emp group by dept").rows)
+        assert rows == {1: 2, 2: 1, None: 1}
+
+    def test_count_ignores_nulls(self, db):
+        assert db.query("select count(dept) from emp").scalar() == 3
+
+    def test_count_distinct(self, db):
+        assert db.query("select count(distinct dept) from emp").scalar() == 2
+
+    def test_sum_empty_is_null_count_zero(self, db):
+        row = db.query("select sum(salary), count(*) from emp where eid > 100").rows[0]
+        assert row == (None, 0)
+
+    def test_group_empty_input_no_rows(self, db):
+        rows = db.query("select dept, count(*) from emp where eid > 100 group by dept").rows
+        assert rows == []
+
+    def test_having(self, db):
+        rows = db.query(
+            "select dept, count(*) as n from emp group by dept having count(*) > 1"
+        ).rows
+        assert rows == [(1, 2)]
+
+    def test_avg_distinct(self, db):
+        db.execute("create table v (x int)")
+        db.execute("insert into v values (1), (1), (3)")
+        assert db.query("select avg(distinct x) from v").scalar() == 2.0
+
+    def test_sum_distinct(self, db):
+        db.execute("create table w (x int)")
+        db.execute("insert into w values (2), (2), (3)")
+        assert db.query("select sum(distinct x) from w").scalar() == 5
+
+
+class TestSortLimitDistinctUnion:
+    def test_order_by_asc_desc(self, db):
+        names = [r[0] for r in db.query("select name from emp order by salary desc").rows]
+        assert names == ["ann", "cid", "bob", "dee"]
+
+    def test_nulls_last(self, db):
+        depts = [r[0] for r in db.query("select dept from emp order by dept").rows]
+        assert depts == [1, 1, 2, None]
+        depts = [r[0] for r in db.query("select dept from emp order by dept desc").rows]
+        assert depts == [2, 1, 1, None]
+
+    def test_multi_key_sort(self, db):
+        rows = db.query("select dept, name from emp order by dept, name desc").rows
+        assert rows[0] == (1, "bob") and rows[1] == (1, "ann")
+
+    def test_limit_offset(self, db):
+        rows = db.query("select eid from emp order by eid limit 2 offset 1").rows
+        assert [r[0] for r in rows] == [2, 3]
+
+    def test_limit_beyond_end(self, db):
+        assert len(db.query("select eid from emp limit 99 offset 2").rows) == 2
+
+    def test_distinct(self, db):
+        rows = db.query("select distinct dept from emp", optimize=False).rows
+        assert sorted((r[0] is None, r[0] or 0) for r in rows) == [(False, 1), (False, 2), (True, 0)]
+
+    def test_union_all_keeps_duplicates(self, db):
+        rows = db.query(
+            "select eid from emp union all select eid from emp", optimize=False
+        ).rows
+        assert len(rows) == 8
+
+    def test_union_with_order_limit(self, db):
+        rows = db.query(
+            "select eid from emp union all select did from dept order by eid desc limit 3",
+            optimize=False,
+        ).rows
+        assert [r[0] for r in rows] == [4, 3, 2]
+
+
+class TestDml:
+    def test_insert_with_column_subset(self, db):
+        db.execute("insert into emp (eid, name) values (10, 'pat')")
+        row = db.query("select dept, salary from emp where eid = 10").rows[0]
+        assert row == (None, None)
+
+    def test_insert_select(self, db):
+        db.execute("create table emp2 (eid int primary key, name varchar(20))")
+        n = db.execute("insert into emp2 select eid, name from emp where dept = 1")
+        assert n == 2
+
+    def test_update_with_expression(self, db):
+        n = db.execute("update emp set salary = salary * 2 where dept = 1")
+        assert n == 2
+        assert db.query("select salary from emp where eid = 1").scalar() == decimal.Decimal("200.00")
+
+    def test_update_all_rows(self, db):
+        assert db.execute("update emp set manager = null") == 4
+
+    def test_delete_where(self, db):
+        assert db.execute("delete from emp where salary < 85") == 2
+        assert db.query("select count(*) from emp").scalar() == 2
+
+    def test_autocommit_rollback_on_error(self, db):
+        from repro.errors import ConstraintError
+        with pytest.raises(ConstraintError):
+            db.execute("insert into emp values (1, 'dup', 1, 1.00, null)")
+        assert db.query("select count(*) from emp").scalar() == 4
+
+    def test_explicit_transaction_visibility(self, db):
+        txn = db.begin()
+        db.execute("insert into emp values (50, 'x', 1, 1.00, null)", txn=txn)
+        assert db.query("select count(*) from emp").scalar() == 4  # not committed
+        assert db.query("select count(*) from emp", txn=txn).scalar() == 5
+        db.commit(txn)
+        assert db.query("select count(*) from emp").scalar() == 5
+
+    def test_explicit_rollback(self, db):
+        txn = db.begin()
+        db.execute("delete from emp", txn=txn)
+        db.rollback(txn)
+        assert db.query("select count(*) from emp").scalar() == 4
+
+
+class TestResultApi:
+    def test_scalar_requires_1x1(self, db):
+        from repro.errors import ExecutionError
+        with pytest.raises(ExecutionError):
+            db.query("select eid from emp").scalar()
+
+    def test_column_accessor(self, db):
+        result = db.query("select eid, name from emp order by eid")
+        assert result.column("name")[0] == "ann"
+
+    def test_to_dicts(self, db):
+        result = db.query("select eid, name from emp where eid = 1")
+        assert result.to_dicts() == [{"eid": 1, "name": "ann"}]
+
+    def test_iteration_and_len(self, db):
+        result = db.query("select eid from emp")
+        assert len(result) == 4 and len(list(result)) == 4

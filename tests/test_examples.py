@@ -1,0 +1,29 @@
+"""Integration: every shipped example must run cleanly."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout  # every example narrates what it does
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names

@@ -1,0 +1,191 @@
+"""ASJ-elimination tests (paper §5): rewiring, subsumption, blockers."""
+
+import pytest
+
+from repro import Database
+from repro.algebra.ops import Join, Scan
+from tests.conftest import assert_equivalent
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "create table t (key int primary key, a int not null, b varchar(10), ext int)"
+    )
+    database.execute(
+        "create table u (ukey int primary key, t_key int not null, uval varchar(10))"
+    )
+    database.execute(
+        "create table nk (key int, a int)"  # nullable, non-unique key
+    )
+    database.bulk_load("t", [(i, i * 2, f"b{i}", i * 100) for i in range(15)])
+    database.bulk_load("u", [(i, i % 15, f"u{i}") for i in range(40)])
+    database.bulk_load("nk", [(i if i % 3 else None, i) for i in range(10)])
+    return database
+
+
+def t_scans(db, sql, table="t", profile="hana"):
+    db.set_profile(profile)
+    return sum(
+        1 for n in db.plan_for(sql).walk()
+        if isinstance(n, Scan) and n.schema.name == table
+    )
+
+
+class TestScalarAsj:
+    def test_basic_self_join_removed_with_rewiring(self, db):
+        sql = (
+            "select v.key, v.a, x.ext from (select key, a from t) v "
+            "left join t x on v.key = x.key"
+        )
+        assert t_scans(db, sql) == 1
+        assert_equivalent(db, sql)
+
+    def test_rewired_values_correct(self, db):
+        sql = (
+            "select v.key, x.ext from (select key from t) v "
+            "left join t x on v.key = x.key"
+        )
+        rows = dict(db.query(sql).rows)
+        assert rows[3] == 300 and rows[7] == 700
+
+    def test_unused_self_join_also_removed(self, db):
+        sql = "select v.key from (select key from t) v left join t x on v.key = x.key"
+        assert t_scans(db, sql) == 1
+
+    def test_anchor_behind_other_joins(self, db):
+        # Fig 10(b): anchor is a subquery with an unrelated join in between
+        sql = (
+            "select vv.key, vv.uval, x.ext from "
+            "(select t.key, u.uval from t join u on t.key = u.t_key) vv "
+            "left join t x on vv.key = x.key"
+        )
+        assert t_scans(db, sql) == 1
+        assert_equivalent(db, sql)
+
+    def test_projection_widening(self, db):
+        # anchor projects ONLY the key; ext must be exposed through the project
+        sql = (
+            "select x.ext from (select key from t) v left join t x on v.key = x.key"
+        )
+        assert t_scans(db, sql) == 1
+        assert_equivalent(db, sql)
+
+    def test_inner_self_join_used_removed(self, db):
+        sql = (
+            "select v.key, x.ext from (select key, a from t) v "
+            "join t x on v.key = x.key"
+        )
+        assert t_scans(db, sql) == 1
+        assert_equivalent(db, sql)
+
+    def test_computed_augmenter_column_blocks(self, db):
+        # ext * 2 is not a pass-through: rewiring impossible, join kept
+        sql = (
+            "select v.key, x.e2 from (select key from t) v "
+            "left join (select key, ext * 2 as e2 from t) x on v.key = x.key"
+        )
+        assert t_scans(db, sql) == 2
+        assert_equivalent(db, sql)
+
+    def test_different_tables_not_asj(self, db):
+        sql = (
+            "select v.ukey, x.ext from (select ukey, t_key from u) v "
+            "left join t x on v.ukey = x.key"
+        )
+        # v.ukey has provenance u.ukey, not t.key: plain join must survive
+        assert t_scans(db, sql, "t") == 1 and t_scans(db, sql, "u") == 1
+        assert_equivalent(db, sql)
+
+    def test_join_on_non_key_column_not_asj(self, db):
+        sql = (
+            "select v.a, x.ext from (select a from t) v "
+            "left join t x on v.a = x.a"
+        )
+        assert t_scans(db, sql) == 2
+        assert_equivalent(db, sql)
+
+    def test_computed_anchor_key_not_asj(self, db):
+        sql = (
+            "select v.k1, x.ext from (select key + 0 as k1 from t) v "
+            "left join t x on v.k1 = x.key"
+        )
+        assert t_scans(db, sql) == 2
+        assert_equivalent(db, sql)
+
+
+class TestSubsumption:
+    def test_identical_filters_removed(self, db):
+        sql = (
+            "select v.key, x.ext from (select key from t where a > 6) v "
+            "left join (select key, ext from t where a > 6) x on v.key = x.key"
+        )
+        assert t_scans(db, sql) == 1
+        assert_equivalent(db, sql)
+
+    def test_anchor_more_restrictive_ok(self, db):
+        sql = (
+            "select v.key, x.ext from (select key from t where a > 6 and b <> 'b9') v "
+            "left join (select key, ext from t where a > 6) x on v.key = x.key"
+        )
+        assert t_scans(db, sql) == 1
+        assert_equivalent(db, sql)
+
+    def test_augmenter_more_restrictive_blocks(self, db):
+        sql = (
+            "select v.key, x.ext from (select key from t) v "
+            "left join (select key, ext from t where a > 6) x on v.key = x.key"
+        )
+        assert t_scans(db, sql) == 2
+        assert_equivalent(db, sql)
+
+    def test_disjoint_filters_block(self, db):
+        sql = (
+            "select v.key, x.ext from (select key from t where a > 10) v "
+            "left join (select key, ext from t where a <= 10) x on v.key = x.key"
+        )
+        assert t_scans(db, sql) == 2
+        assert_equivalent(db, sql)
+
+
+class TestBlockers:
+    def test_aggregation_blocks_exposure(self, db):
+        sql = (
+            "select v.key, x.ext from "
+            "(select key from t group by key) v "
+            "left join t x on v.key = x.key"
+        )
+        # grouping blocks provenance-based rewiring; join must survive
+        assert t_scans(db, sql) == 2
+        assert_equivalent(db, sql)
+
+    def test_nullable_base_key_blocks(self, db):
+        db.execute("create table tn (key int unique, ext int)")
+        db.bulk_load("tn", [(i if i % 2 else None, i) for i in range(8)])
+        sql = (
+            "select v.key, x.ext from (select key from tn) v "
+            "left join tn x on v.key = x.key"
+        )
+        assert t_scans(db, sql, "tn") == 2
+        assert_equivalent(db, sql)
+
+    def test_profile_without_asj_keeps_join(self, db):
+        sql = (
+            "select v.key, x.ext from (select key from t) v "
+            "left join t x on v.key = x.key"
+        )
+        assert t_scans(db, sql, profile="postgres") == 2
+        assert t_scans(db, sql, profile="system_z") == 2
+        db.set_profile("hana")
+
+    def test_outer_nulled_anchor_key_ok_for_left_outer(self, db):
+        # key reaches the anchor through a left outer join: NULL-extended
+        # rows rewire to NULL consistently, removal is sound
+        sql = (
+            "select v.uk, v.tkey, x.ext from "
+            "(select u.ukey as uk, t.key as tkey from u left join t on u.t_key = t.key) v "
+            "left join t x on v.tkey = x.key"
+        )
+        assert t_scans(db, sql) == 1  # only the anchor's own t scan remains
+        assert_equivalent(db, sql)

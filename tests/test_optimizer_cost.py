@@ -1,0 +1,175 @@
+"""Statistics, cardinality estimation, and join-reordering tests."""
+
+import pytest
+
+from repro import Database
+from repro.algebra.ops import Filter, Join, Project, Scan
+from repro.optimizer.cost import CardinalityEstimator, estimate_cardinality
+from repro.optimizer.join_order import reorder_joins
+from repro.optimizer.stats import StatisticsProvider
+from tests.conftest import assert_equivalent
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "create table big (bk int primary key, s int not null, m int not null, v int)"
+    )
+    database.execute("create table mid (mk int primary key, s int not null)")
+    database.execute("create table small (sk int primary key, name varchar(8))")
+    database.bulk_load("big", [(i, i % 20, i % 200, i) for i in range(4000)])
+    database.bulk_load("mid", [(i, i % 20) for i in range(200)])
+    database.bulk_load("small", [(i, f"n{i}") for i in range(20)])
+    return database
+
+
+class TestStatistics:
+    def test_row_count_and_ndv(self, db):
+        provider = StatisticsProvider(db.catalog)
+        stats = provider.table_stats("big")
+        assert stats.row_count == 4000
+        assert stats.ndv("s") == 20
+        assert stats.ndv("bk") == 4000
+
+    def test_cache_invalidation_on_growth(self, db):
+        provider = StatisticsProvider(db.catalog)
+        before = provider.table_stats("small").row_count
+        db.execute("insert into small values (100, 'new')")
+        after = provider.table_stats("small").row_count
+        assert (before, after) == (20, 21)
+
+    def test_explicit_invalidate(self, db):
+        provider = StatisticsProvider(db.catalog)
+        provider.table_stats("small")
+        provider.invalidate("small")
+        provider.invalidate()  # full clear is also fine
+
+    def test_ndv_never_zero(self, db):
+        db.execute("create table empty_t (x int)")
+        provider = StatisticsProvider(db.catalog)
+        assert provider.table_stats("empty_t").ndv("x") == 1
+
+
+class TestCardinality:
+    def estimate(self, db, sql):
+        return estimate_cardinality(db.bind(sql), db.catalog)
+
+    def test_scan(self, db):
+        assert self.estimate(db, "select * from big") == 4000
+
+    def test_equality_filter_uses_ndv(self, db):
+        estimate = self.estimate(db, "select * from big where s = 3")
+        assert estimate == pytest.approx(4000 / 20)
+
+    def test_range_filter(self, db):
+        estimate = self.estimate(db, "select * from big where v > 100")
+        assert estimate == pytest.approx(4000 / 3)
+
+    def test_conjunction_multiplies(self, db):
+        estimate = self.estimate(db, "select * from big where s = 3 and v > 100")
+        assert estimate == pytest.approx(4000 / 20 / 3)
+
+    def test_equi_join_divides_by_ndv(self, db):
+        estimate = self.estimate(
+            db, "select 1 as x from big join mid on big.s = mid.s"
+        )
+        # 4000 * 200 / max(ndv)=20 -> 40000
+        assert estimate == pytest.approx(40000)
+
+    def test_left_outer_at_least_left(self, db):
+        estimate = self.estimate(
+            db,
+            "select 1 as x from big left join small on big.s = small.sk "
+            "where small.name is null",
+        )
+        assert estimate >= 1
+
+    def test_group_by_capped_by_input(self, db):
+        estimate = self.estimate(
+            db, "select s, count(*) from big group by s"
+        )
+        assert estimate == pytest.approx(20)
+
+    def test_limit_caps(self, db):
+        assert self.estimate(db, "select * from big limit 7") == 7
+
+    def test_union_sums(self, db):
+        estimate = self.estimate(
+            db, "select bk from big union all select mk from mid"
+        )
+        assert estimate == pytest.approx(4200)
+
+    def test_global_aggregate_is_one(self, db):
+        assert self.estimate(db, "select count(*) from big") == 1
+
+
+class TestJoinReorder:
+    def join_sequence(self, plan):
+        """Left-deep join order as a list of base-table names."""
+        joins = [n for n in plan.walk() if isinstance(n, Join)]
+        tables = []
+        for node in plan.walk():
+            if isinstance(node, Scan):
+                tables.append(node.schema.name)
+        return tables
+
+    def test_small_relation_seeds_the_order(self, db):
+        sql = (
+            "select big.v from big "
+            "join mid on big.s = mid.s "
+            "join small on mid.s = small.sk "
+            "where small.name = 'n3'"
+        )
+        plan = db.plan_for(sql)
+        tables = self.join_sequence(plan)
+        # the selective/small relations should come before `big`
+        assert tables.index("big") > 0
+
+    def test_reordering_preserves_results(self, db):
+        sql = (
+            "select big.bk, small.name from big "
+            "join mid on big.s = mid.s "
+            "join small on mid.s = small.sk"
+        )
+        assert_equivalent(db, sql)
+
+    def test_outer_join_is_a_region_border(self, db):
+        sql = (
+            "select big.bk from big "
+            "left join mid on big.s = mid.s "
+            "join small on big.s = small.sk"
+        )
+        assert_equivalent(db, sql)
+
+    def test_declared_cardinality_not_reordered(self, db):
+        sql = (
+            "select big.v, mid.s from big "
+            "inner many to exact one join mid on big.s = mid.mk "
+            "join small on big.s = small.sk"
+        )
+        assert_equivalent(db, sql)
+
+    def test_two_way_join_untouched(self, db):
+        sql = "select big.v from big join small on big.s = small.sk"
+        assert_equivalent(db, sql)
+
+    def test_reorder_function_direct(self, db):
+        sql = (
+            "select big.v from big join mid on big.s = mid.s "
+            "join small on mid.s = small.sk"
+        )
+        plan = db.bind(sql)
+        rebuilt = reorder_joins(plan, db.catalog)
+        a = sorted(db.query(sql, optimize=False).rows)
+        txn = db.begin()
+        b = sorted(db._executor.execute(rebuilt, txn).rows)
+        db.commit(txn)
+        assert a == b
+
+    def test_cross_product_region_still_correct(self, db):
+        sql = (
+            "select big.v from big join mid on big.s = mid.s "
+            "cross join small"
+        )
+        assert_equivalent(db, sql)

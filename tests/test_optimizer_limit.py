@@ -1,0 +1,141 @@
+"""Limit-pushdown tests (paper §4.4, Fig. 6, Table 2)."""
+
+import pytest
+
+from repro import Database
+from repro.algebra.ops import Join, Limit, Sort, UnionAll
+from tests.conftest import assert_equivalent
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "create table big (bk int primary key, d int not null, v decimal(10,2))"
+    )
+    database.execute("create table small (k int primary key, name varchar(10))")
+    database.execute("create table multi (k int, name varchar(10))")
+    database.bulk_load("big", [(i, i % 20, f"{i}.00") for i in range(500)])
+    database.bulk_load("small", [(i, f"s{i}") for i in range(20)])
+    database.bulk_load("multi", [(i % 10, f"m{i}") for i in range(30)])
+    return database
+
+
+def limit_below_join(plan):
+    for node in plan.walk():
+        if isinstance(node, Join):
+            return any(isinstance(x, Limit) for x in node.left.walk())
+    return False
+
+
+class TestAcrossAugmentationJoin:
+    def test_pushed_below_aj(self, db):
+        sql = "select * from big b left join small s on b.d = s.k limit 10"
+        assert limit_below_join(db.plan_for(sql))
+        assert len(db.query(sql).rows) == 10
+        assert len(db.query(sql, optimize=False).rows) == 10
+
+    def test_offset_travels_with_limit(self, db):
+        sql = "select * from big b left join small s on b.d = s.k limit 10 offset 5"
+        plan = db.plan_for(sql)
+        limits = [n for n in plan.walk() if isinstance(n, Limit)]
+        assert any(l.offset == 5 and l.limit == 10 for l in limits)
+        assert len(db.query(sql).rows) == 10
+
+    def test_not_pushed_across_expanding_join(self, db):
+        sql = "select * from big b left join multi m on b.d = m.k limit 10"
+        assert not limit_below_join(db.plan_for(sql))
+        assert len(db.query(sql).rows) == 10
+        assert_equivalent(db, "select count(*) from (select * from big b left join multi m on b.d = m.k limit 10) q")
+
+    def test_not_pushed_across_inner_join(self, db):
+        # inner join may filter: limiting the anchor first could starve it
+        sql = "select * from big b join small s on b.d = s.k limit 10"
+        assert not limit_below_join(db.plan_for(sql))
+
+    def test_pushed_across_declared_exact_one_inner(self, db):
+        sql = (
+            "select * from big b inner many to exact one join small s "
+            "on b.d = s.k limit 10"
+        )
+        assert limit_below_join(db.plan_for(sql))
+        assert len(db.query(sql).rows) == 10
+
+    def test_gated_by_profile(self, db):
+        sql = "select * from big b left join small s on b.d = s.k limit 10"
+        for profile in ("postgres", "system_x", "system_y", "system_z"):
+            db.set_profile(profile)
+            assert not limit_below_join(db.plan_for(sql)), profile
+        db.set_profile("hana")
+
+    def test_pushed_through_chain_of_ajs(self, db):
+        db.execute("create table small2 (k int primary key, t varchar(5))")
+        db.bulk_load("small2", [(i, f"t{i}") for i in range(20)])
+        sql = (
+            "select * from big b left join small s on b.d = s.k "
+            "left join small2 s2 on b.d = s2.k limit 7"
+        )
+        plan = db.plan_for(sql)
+        joins = [n for n in plan.walk() if isinstance(n, Join)]
+        innermost_left = joins[-1].left if joins else plan
+        assert any(isinstance(x, Limit) for x in innermost_left.walk())
+        assert len(db.query(sql).rows) == 7
+
+
+class TestTopN:
+    def test_sort_limit_pushed_when_keys_from_anchor(self, db):
+        sql = (
+            "select * from big b left join small s on b.d = s.k "
+            "order by b.bk desc limit 5"
+        )
+        plan = db.plan_for(sql)
+        assert limit_below_join(plan)
+        rows = db.query(sql).rows
+        assert [r[0] for r in rows] == [499, 498, 497, 496, 495]
+
+    def test_sort_on_augmenter_column_not_pushed(self, db):
+        sql = (
+            "select * from big b left join small s on b.d = s.k "
+            "order by s.name limit 5"
+        )
+        assert not limit_below_join(db.plan_for(sql))
+        assert len(db.query(sql).rows) == 5
+
+
+class TestThroughUnion:
+    def test_limit_cloned_into_union_children(self, db):
+        sql = (
+            "select bk from big where d = 1 union all select bk from big where d = 2 "
+            "limit 4"
+        )
+        plan = db.plan_for(sql)
+        union = [n for n in plan.walk() if isinstance(n, UnionAll)][0]
+        assert all(
+            any(isinstance(x, Limit) for x in child.walk()) for child in union.inputs
+        )
+        assert len(db.query(sql).rows) == 4
+
+    def test_outer_limit_retained(self, db):
+        sql = "select bk from big union all select k from small limit 6"
+        plan = db.plan_for(sql)
+        assert isinstance(plan, Limit)
+        assert len(db.query(sql).rows) == 6
+
+
+class TestMergeAndBasics:
+    def test_stacked_limits_merged(self, db):
+        sql = "select * from (select bk from big limit 10 offset 2) q limit 5 offset 1"
+        plan = db.plan_for(sql)
+        limits = [n for n in plan.walk() if isinstance(n, Limit)]
+        assert len(limits) == 1
+        assert (limits[0].limit, limits[0].offset) == (5, 3)
+        rows = db.query(sql).rows
+        assert len(rows) == 5
+
+    def test_stacked_limit_tighter_inner(self, db):
+        sql = "select * from (select bk from big limit 3) q limit 99"
+        assert len(db.query(sql).rows) == 3
+
+    def test_limit_through_project(self, db):
+        sql = "select bk * 2 as b2 from big limit 4"
+        assert len(db.query(sql).rows) == 4

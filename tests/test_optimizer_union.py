@@ -1,0 +1,232 @@
+"""Union All optimization tests (paper §6): UAJ over unions, union-anchor
+ASJ (Fig. 13a), case join / heuristic (Fig. 13b), union pruning."""
+
+import pytest
+
+from repro import Database
+from repro.algebra.ops import Join, Scan, UnionAll
+from tests.conftest import add_vdm_tables, assert_equivalent
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "create table orders (okey int primary key, cust int not null, "
+        "status varchar(1) not null, total decimal(10,2))"
+    )
+    database.bulk_load(
+        "orders", [(i, i % 7, "OFP"[i % 3], f"{i}.50") for i in range(40)]
+    )
+    add_vdm_tables(database)
+    return database
+
+
+def counts(db, sql, profile="hana"):
+    db.set_profile(profile)
+    plan = db.plan_for(sql)
+    joins = sum(1 for n in plan.walk() if isinstance(n, Join))
+    scans = sum(1 for n in plan.walk() if isinstance(n, Scan))
+    unions = sum(1 for n in plan.walk() if isinstance(n, UnionAll))
+    return joins, scans, unions
+
+
+class TestUajOverUnion:
+    def test_disjoint_subsets_removed(self, db):
+        sql = (
+            "select o.okey from orders o left join "
+            "(select okey, total from orders where status = 'O' "
+            " union all select okey, total from orders where status = 'F') u "
+            "on o.okey = u.okey"
+        )
+        assert counts(db, sql) == (0, 1, 0)
+        assert_equivalent(db, sql)
+
+    def test_overlapping_subsets_kept(self, db):
+        sql = (
+            "select o.okey from orders o left join "
+            "(select okey, total from orders where status = 'O' "
+            " union all select okey, total from orders) u "
+            "on o.okey = u.okey"
+        )
+        joins, _, _ = counts(db, sql)
+        assert joins == 1
+        assert_equivalent(db, sql)
+
+    def test_range_disjoint_subsets_removed(self, db):
+        sql = (
+            "select o.okey from orders o left join "
+            "(select okey from orders where cust < 3 "
+            " union all select okey from orders where cust >= 3) u "
+            "on o.okey = u.okey"
+        )
+        assert counts(db, sql)[0] == 0
+        assert_equivalent(db, sql)
+
+    def test_branchid_union_removed(self, db):
+        sql = (
+            "select o.okey from orders o left join "
+            "(select 1 as bid, key, ext from ta "
+            " union all select 2 as bid, key, ext from td) u "
+            "on o.okey = u.key and u.bid = 1"
+        )
+        assert counts(db, sql)[0] == 0
+        assert_equivalent(db, sql)
+
+    def test_branchid_join_on_column_removed_when_unused(self, db):
+        db.execute(
+            "create table docs (dkey int primary key, dtype int not null)"
+        )
+        db.bulk_load("docs", [(i, 1 + i % 2) for i in range(10)])
+        sql = (
+            "select d.dkey from docs d left join "
+            "(select 1 as bid, key, ext from ta "
+            " union all select 2 as bid, key, ext from td) u "
+            "on d.dtype = u.bid and d.dkey = u.key"
+        )
+        assert counts(db, sql)[0] == 0
+        assert_equivalent(db, sql)
+
+    def test_union_used_is_kept(self, db):
+        sql = (
+            "select o.okey, u.ext from orders o left join "
+            "(select 1 as bid, key, ext from ta "
+            " union all select 2 as bid, key, ext from td) u "
+            "on o.okey = u.key and u.bid = 1"
+        )
+        # ext used and this is NOT a self-join: must execute the union join
+        # (the bid=1 restriction may prune the union to one branch, but a
+        # join has to remain)
+        assert counts(db, sql)[0] == 1
+        assert_equivalent(db, sql)
+
+    def test_empty_branch_pruned_by_bid_filter(self, db):
+        sql = (
+            "select o.okey, u.ext from orders o left join "
+            "(select 1 as bid, key, ext from ta "
+            " union all select 2 as bid, key, ext from td) u "
+            "on o.okey = u.key and u.bid = 1"
+        )
+        _, scans, unions = counts(db, sql)
+        assert unions == 0  # the bid = 1 filter eliminated the draft branch
+        assert scans == 2   # orders + ta
+
+
+class TestUnionAnchorAsj:
+    def test_fig13a_removed(self, db):
+        sql = (
+            "select u.key, u.a, x.ext from "
+            "(select key, a from ta where a < 100 "
+            " union all select key, a from ta where a >= 100) u "
+            "left join ta x on u.key = x.key"
+        )
+        joins, scans, _ = counts(db, sql)
+        assert joins == 0 and scans == 2
+        assert_equivalent(db, sql)
+
+    def test_fig13a_values_rewired(self, db):
+        sql = (
+            "select u.key, x.ext from "
+            "(select key, a from ta where a < 100 "
+            " union all select key, a from ta where a >= 100) u "
+            "left join ta x on u.key = x.key"
+        )
+        rows = dict(db.query(sql).rows)
+        assert rows[5] == 500
+
+    def test_fig13a_mixed_tables_blocked(self, db):
+        # one union child scans td, the augmenter is ta: not a self join
+        sql = (
+            "select u.key, x.ext from "
+            "(select key, a from ta union all select key, a from td) u "
+            "left join ta x on u.key = x.key"
+        )
+        assert counts(db, sql)[0] == 1
+        assert_equivalent(db, sql)
+
+    def test_fig13a_gated_by_profile(self, db):
+        sql = (
+            "select u.key, x.ext from "
+            "(select key, a from ta where a < 100 "
+            " union all select key, a from ta where a >= 100) u "
+            "left join ta x on u.key = x.key"
+        )
+        assert counts(db, sql, profile="postgres")[0] == 1
+        db.set_profile("hana")
+
+
+class TestFig13b:
+    CANONICAL = (
+        "select v.bid, v.key, v.a, u.ext from "
+        "(select 1 as bid, key, a from ta union all select 2 as bid, key, a from td) v "
+        "{join} "
+        "(select 1 as bid, key, ext from ta union all select 2 as bid, key, ext from td) u "
+        "on v.bid = u.bid and v.key = u.key"
+    )
+    # Non-canonical: the logical table applies a branch selection, which the
+    # extension replicates.  The structural heuristic rejects filtered
+    # branches; the case join verifies subsumption per matched branch.
+    NON_CANONICAL = (
+        "select v.bid, v.key, v.a, u.ext from "
+        "(select 1 as bid, key, a from ta where a >= 0 "
+        " union all select 2 as bid, key, a from td where a >= 0) v "
+        "{join} "
+        "(select 1 as bid, key, ext from ta where a >= 0 "
+        " union all select 2 as bid, key, ext from td where a >= 0) u "
+        "on v.bid = u.bid and v.key = u.key"
+    )
+
+    def test_case_join_canonical_removed(self, db):
+        sql = self.CANONICAL.format(join="case join")
+        assert counts(db, sql)[0] == 0
+        assert_equivalent(db, sql)
+
+    def test_heuristic_canonical_removed(self, db):
+        sql = self.CANONICAL.format(join="left outer join")
+        assert counts(db, sql)[0] == 0
+        assert_equivalent(db, sql)
+
+    def test_case_join_non_canonical_removed(self, db):
+        sql = self.NON_CANONICAL.format(join="case join")
+        assert counts(db, sql)[0] == 0
+        assert_equivalent(db, sql)
+
+    def test_heuristic_non_canonical_kept(self, db):
+        # the Fig. 14a mechanism: without declared intent, the structural
+        # heuristic gives up on non-canonical branches
+        sql = self.NON_CANONICAL.format(join="left outer join")
+        assert counts(db, sql)[0] == 1
+        assert_equivalent(db, sql)
+
+    def test_case_join_without_cap_still_correct(self, db):
+        sql = self.CANONICAL.format(join="case join")
+        db.set_profile("system_x")
+        try:
+            assert_equivalent(db, sql, profile="system_x")
+        finally:
+            db.set_profile("hana")
+
+    def test_anchor_child_without_matching_branch_gets_nulls(self, db):
+        # anchor has a third branch (bid 3) with no augmenter counterpart
+        sql = (
+            "select v.key, u.ext from "
+            "(select 1 as bid, key from ta union all select 2 as bid, key from td "
+            " union all select 3 as bid, key from ta) v "
+            "case join "
+            "(select 1 as bid, key, ext from ta union all select 2 as bid, key, ext from td) u "
+            "on v.bid = u.bid and v.key = u.key"
+        )
+        assert counts(db, sql)[0] == 0
+        assert_equivalent(db, sql)
+
+    def test_key_mismatch_blocks(self, db):
+        # joins on a non-key column: not unique, not an ASJ
+        sql = (
+            "select v.a, u.ext from "
+            "(select 1 as bid, a from ta union all select 2 as bid, a from td) v "
+            "case join "
+            "(select 1 as bid, a, ext from ta union all select 2 as bid, a, ext from td) u "
+            "on v.bid = u.bid and v.a = u.a"
+        )
+        assert counts(db, sql)[0] == 1
+        assert_equivalent(db, sql)

@@ -1,0 +1,191 @@
+"""Property-based storage tests: encoding round-trips, MVCC vs. a reference
+model, rounding laws, and WAL recovery equivalence."""
+
+import decimal
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.catalog import Catalog
+from repro.catalog.schema import ColumnSchema, TableSchema, UniqueConstraint
+from repro.datatypes import INTEGER, varchar
+from repro.engine.eval import sql_round
+from repro.storage import ColumnTable, TransactionManager, WriteAheadLog
+from repro.storage.column import ColumnFragments, MainFragment
+
+settings.register_profile(
+    "repro-storage",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro-storage")
+
+values_st = st.lists(
+    st.one_of(st.none(), st.integers(-1000, 1000)), max_size=200
+)
+
+
+@given(values=values_st)
+def test_dictionary_encoding_roundtrip(values):
+    fragment = MainFragment(values)
+    assert fragment.values() == values
+    assert fragment.distinct_count() == len({v for v in values if v is not None})
+
+
+@given(base=values_st, appended=values_st)
+def test_fragments_merge_preserves_content(base, appended):
+    fragments = ColumnFragments(base)
+    for value in appended:
+        fragments.append(value)
+    before = fragments.values()
+    fragments.merge()
+    assert fragments.values() == before
+    assert fragments.delta_size == 0
+
+
+@given(
+    value=st.decimals(allow_nan=False, allow_infinity=False,
+                      min_value=-10**9, max_value=10**9),
+    digits=st.integers(-3, 6),
+)
+def test_round_is_idempotent_and_bounded(value, digits):
+    rounded = sql_round(value, digits)
+    assert sql_round(rounded, digits) == rounded
+    quantum = decimal.Decimal(1).scaleb(-digits)
+    assert abs(rounded - value) <= quantum / 2
+
+
+# -- MVCC against a reference model --------------------------------------------
+
+operations_st = st.lists(
+    st.one_of(
+        st.tuples(st.just("begin")),
+        st.tuples(st.just("insert"), st.integers(0, 3), st.integers(0, 50)),
+        st.tuples(st.just("delete"), st.integers(0, 3), st.integers(0, 50)),
+        st.tuples(st.just("commit"), st.integers(0, 3)),
+        st.tuples(st.just("rollback"), st.integers(0, 3)),
+        st.tuples(st.just("snapshot_check"),),
+    ),
+    max_size=40,
+)
+
+
+@given(operations=operations_st)
+def test_mvcc_matches_reference_model(operations):
+    """Replay a random schedule against the engine and a naive model that
+    tracks per-transaction pending sets; committed state must agree, and a
+    snapshot taken at any point must keep seeing its frozen state."""
+    txns = TransactionManager()
+    schema = TableSchema(
+        "m", [ColumnSchema("k", INTEGER, False)], []  # no uniqueness: pure MVCC
+    )
+    table = ColumnTable(schema, txns)
+
+    committed: list[int] = []          # reference committed multiset
+    active = {}                        # slot -> (txn, local inserts, local deletes)
+    snapshots = []                     # (txn, frozen multiset)
+
+    def visible(txn):
+        columns, _ = table.read_columns(txn, ["k"])
+        return sorted(columns[0])
+
+    for operation in operations:
+        kind = operation[0]
+        if kind == "begin":
+            if len(active) < 4:
+                slot = min(set(range(4)) - set(active))
+                active[slot] = (txns.begin(), [], [])
+        elif kind == "insert":
+            _, slot, value = operation
+            if slot in active:
+                txn, inserts, deletes = active[slot]
+                table.insert(txn, (value,))
+                inserts.append(value)
+        elif kind == "delete":
+            _, slot, value = operation
+            if slot in active:
+                txn, inserts, deletes = active[slot]
+                target = None
+                for row_id in table.visible_row_ids(txn):
+                    if table.column("k").get(row_id) == value and (
+                        table.deleted_tids[row_id] == 0
+                        or table.deleted_tids[row_id] == txn.tid
+                    ):
+                        if table.deleted_tids[row_id] == txn.tid:
+                            continue
+                        target = row_id
+                        break
+                if target is not None:
+                    try:
+                        table.delete_row(txn, target)
+                    except Exception:
+                        continue
+                    if value in inserts:
+                        inserts.remove(value)
+                    else:
+                        deletes.append(value)
+        elif kind == "commit":
+            slot = operation[1]
+            if slot in active:
+                txn, inserts, deletes = active.pop(slot)
+                txns.commit(txn)
+                for value in deletes:
+                    committed.remove(value)
+                committed.extend(inserts)
+        elif kind == "rollback":
+            slot = operation[1]
+            if slot in active:
+                txn, _, _ = active.pop(slot)
+                txns.rollback(txn)
+        else:  # snapshot_check
+            reader = txns.begin()
+            snapshots.append((reader, visible(reader)))
+
+    # Frozen snapshots never move.
+    for reader, frozen in snapshots:
+        assert visible(reader) == frozen
+
+    # A fresh snapshot agrees with the reference committed state.
+    # (In-flight transactions' work is invisible.)
+    fresh = txns.begin()
+    assert visible(fresh) == sorted(committed)
+
+
+@given(
+    rows=st.lists(st.tuples(st.integers(0, 30), st.text(max_size=4)),
+                  max_size=25, unique_by=lambda r: r[0]),
+    delete_keys=st.sets(st.integers(0, 30), max_size=10),
+)
+def test_wal_recovery_reproduces_state(rows, delete_keys):
+    def schema():
+        return TableSchema(
+            "w",
+            [ColumnSchema("k", INTEGER, False), ColumnSchema("v", varchar(10))],
+            [UniqueConstraint(("k",), True)],
+        )
+
+    wal = WriteAheadLog()
+    txns = TransactionManager(wal)
+    table = ColumnTable(schema(), txns, wal)
+    txn = txns.begin()
+    row_ids = {}
+    for key, value in rows:
+        row_ids[key] = table.insert(txn, (key, value))
+    txns.commit(txn)
+    txn2 = txns.begin()
+    for key in delete_keys:
+        if key in row_ids:
+            table.delete_row(txn2, row_ids[key])
+    txns.commit(txn2)
+    reader = txns.begin()
+    columns, _ = table.read_columns(reader, ["k", "v"])
+    original = sorted(zip(*columns)) if columns[0] else []
+
+    txns2 = TransactionManager()
+    catalog = Catalog()
+    recovered = ColumnTable(schema(), txns2)
+    catalog.create_table(recovered)
+    wal.recover(catalog, txns2)
+    columns2, _ = recovered.read_columns(txns2.begin(), ["k", "v"])
+    replayed = sorted(zip(*columns2)) if columns2[0] else []
+    assert replayed == original

@@ -1,0 +1,107 @@
+"""Scalar-subquery tests: (select ...) in expression position."""
+
+import decimal
+
+import pytest
+
+from repro import Database
+from repro.errors import BindError, ExecutionError
+from tests.conftest import assert_equivalent
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("create table s (k int primary key, v decimal(10,2), g int not null)")
+    database.execute(
+        "insert into s values (1, 10.00, 1), (2, 20.00, 1), (3, 90.00, 2), (4, 40.00, 2)"
+    )
+    return database
+
+
+class TestBasics:
+    def test_in_where(self, db):
+        rows = db.query("select k from s where v > (select avg(v) from s)").rows
+        assert [r[0] for r in rows] == [3]
+
+    def test_in_select_list(self, db):
+        rows = db.query(
+            "select k, v - (select min(v) from s) as delta from s order by k"
+        ).rows
+        assert rows[0] == (1, decimal.Decimal("0.00"))
+        assert rows[2] == (3, decimal.Decimal("80.00"))
+
+    def test_standalone(self, db):
+        assert db.query("select (select max(v) from s) as mx").scalar() == decimal.Decimal("90.00")
+
+    def test_empty_subquery_is_null(self, db):
+        rows = db.query("select k from s where v = (select v from s where k = 99)").rows
+        assert rows == []
+        value = db.query("select (select v from s where k = 99) as missing").scalar()
+        assert value is None
+
+    def test_multi_row_rejected_at_runtime(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("select k from s where v > (select v from s)")
+
+    def test_multi_column_rejected_at_bind(self, db):
+        with pytest.raises(BindError):
+            db.query("select k from s where v > (select v, g from s)")
+
+    def test_nested_scalar_subqueries(self, db):
+        rows = db.query(
+            "select k from s where v > (select avg(v) from s where g = "
+            "(select min(g) from s))"
+        ).rows
+        assert sorted(r[0] for r in rows) == [2, 3, 4]
+
+    def test_in_having(self, db):
+        rows = db.query(
+            "select g, sum(v) as total from s group by g "
+            "having sum(v) > (select avg(v) from s)"
+        ).rows
+        assert [r[0] for r in rows] == [2]
+
+    def test_subquery_over_view(self, db):
+        db.execute("create view big as select * from s where v > 15")
+        rows = db.query("select k from s where v >= (select min(v) from big)").rows
+        assert sorted(r[0] for r in rows) == [2, 3, 4]
+
+
+class TestTransactionalSemantics:
+    def test_resolved_under_the_query_snapshot(self, db):
+        reader = db.begin()
+        baseline = db.query(
+            "select k from s where v > (select avg(v) from s)", txn=reader
+        ).rows
+        writer = db.begin()
+        db.execute("insert into s values (5, 1000.00, 3)", txn=writer)
+        db.commit(writer)
+        # The reader's snapshot predates the insert: both the outer query
+        # AND the scalar subquery must ignore the new row.
+        again = db.query(
+            "select k from s where v > (select avg(v) from s)", txn=reader
+        ).rows
+        assert again == baseline
+        db.commit(reader)
+        fresh = db.query("select k from s where v > (select avg(v) from s)").rows
+        assert fresh != baseline  # avg moved; only the 1000.00 row exceeds it
+
+
+class TestOptimizerInteraction:
+    def test_equivalence_under_profiles(self, db):
+        sql = "select k from s where v > (select avg(v) from s)"
+        for profile in ("hana", "postgres", "system_x", "none"):
+            assert_equivalent(db, sql, profile)
+
+    def test_with_uaj_elimination(self, db):
+        db.execute("create table dim (k int primary key, d varchar(5))")
+        sql = (
+            "select s.k from s left join dim on s.k = dim.k "
+            "where s.v > (select min(v) from s)"
+        )
+        from repro.algebra.ops import Join, JoinType
+        plan = db.plan_for(sql)
+        types = [n.join_type for n in plan.walk() if isinstance(n, Join)]
+        assert JoinType.LEFT_OUTER not in types
+        assert_equivalent(db, sql)

@@ -1,0 +1,347 @@
+"""Unit tests for the SQL parser (including the HANA-style extensions)."""
+
+import decimal
+
+import pytest
+
+from repro.datatypes import TypeKind
+from repro.errors import SqlSyntaxError
+from repro.sql import ast, parse_expression, parse_sql, parse_statement
+
+
+class TestSelectBasics:
+    def test_minimal_select(self):
+        q = parse_statement("select a from t")
+        assert isinstance(q, ast.Select)
+        assert isinstance(q.items[0].expr, ast.ColumnName)
+        assert isinstance(q.from_clause, ast.TableRef)
+
+    def test_star_and_qualified_star(self):
+        q = parse_statement("select *, t.* from t")
+        assert isinstance(q.items[0].expr, ast.Star)
+        assert q.items[1].expr.qualifier == "t"
+
+    def test_aliases(self):
+        q = parse_statement("select a as x, b y from t tt")
+        assert q.items[0].alias == "x"
+        assert q.items[1].alias == "y"
+        assert q.from_clause.alias == "tt"
+
+    def test_distinct(self):
+        assert parse_statement("select distinct a from t").distinct
+
+    def test_where_group_having(self):
+        q = parse_statement(
+            "select a, count(*) from t where b > 1 group by a having count(*) > 2"
+        )
+        assert q.where is not None
+        assert len(q.group_by) == 1
+        assert q.having is not None
+
+    def test_order_by_directions(self):
+        q = parse_statement("select a from t order by a desc, b asc, c")
+        assert [o.ascending for o in q.order_by] == [False, True, True]
+
+    def test_limit_offset(self):
+        q = parse_statement("select a from t limit 10 offset 5")
+        assert (q.limit, q.offset) == (10, 5)
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("select a from t limit x")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("select a from t garbage garbage")
+
+    def test_script_with_semicolons(self):
+        statements = parse_sql("select a from t; select b from u;")
+        assert len(statements) == 2
+
+
+class TestJoins:
+    def test_inner_join_default(self):
+        q = parse_statement("select * from a join b on a.x = b.y")
+        assert q.from_clause.kind is ast.JoinKind.INNER
+
+    def test_left_outer_join(self):
+        q = parse_statement("select * from a left join b on a.x = b.y")
+        assert q.from_clause.kind is ast.JoinKind.LEFT_OUTER
+        q2 = parse_statement("select * from a left outer join b on a.x = b.y")
+        assert q2.from_clause.kind is ast.JoinKind.LEFT_OUTER
+
+    def test_cross_join(self):
+        q = parse_statement("select * from a cross join b")
+        assert q.from_clause.kind is ast.JoinKind.CROSS
+        assert q.from_clause.condition is None
+
+    def test_join_requires_on(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("select * from a join b")
+
+    def test_case_join(self):
+        q = parse_statement("select * from a case join b on a.x = b.y")
+        assert q.from_clause.kind is ast.JoinKind.CASE_JOIN
+
+    def test_cardinality_specification(self):
+        q = parse_statement(
+            "select * from a left outer many to one join b on a.x = b.y"
+        )
+        card = q.from_clause.cardinality
+        assert card.left is ast.CardinalityBound.MANY
+        assert card.right is ast.CardinalityBound.ONE
+
+    def test_exact_one_cardinality(self):
+        q = parse_statement(
+            "select * from a inner many to exact one join b on a.x = b.y"
+        )
+        assert q.from_clause.cardinality.right is ast.CardinalityBound.EXACT_ONE
+
+    def test_one_to_one_cardinality(self):
+        q = parse_statement("select * from a one to one join b on a.x = b.y")
+        assert q.from_clause.cardinality.left is ast.CardinalityBound.ONE
+
+    def test_join_chain_left_associative(self):
+        q = parse_statement(
+            "select * from a join b on a.x = b.x join c on b.y = c.y"
+        )
+        outer = q.from_clause
+        assert isinstance(outer.left, ast.JoinClause)
+        assert isinstance(outer.right, ast.TableRef) and outer.right.name == "c"
+
+    def test_derived_table(self):
+        q = parse_statement("select * from (select a from t) s")
+        assert isinstance(q.from_clause, ast.DerivedTable)
+        assert q.from_clause.alias == "s"
+
+    def test_derived_table_requires_alias(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("select * from (select a from t)")
+
+    def test_parenthesized_join_tree(self):
+        q = parse_statement("select * from (a join b on a.x = b.x) join c on a.y = c.y")
+        assert isinstance(q.from_clause.left, ast.JoinClause)
+
+
+class TestUnionAll:
+    def test_union_all(self):
+        q = parse_statement("select a from t union all select a from u")
+        assert isinstance(q, ast.SetOp) and q.op == "UNION ALL"
+
+    def test_union_with_order_limit(self):
+        q = parse_statement(
+            "select a from t union all select a from u order by a limit 3"
+        )
+        assert q.limit == 3 and len(q.order_by) == 1
+
+    def test_union_chain(self):
+        q = parse_statement("select a from t union all select a from u union all select a from v")
+        assert isinstance(q.left, ast.SetOp)
+
+    def test_plain_union_unsupported(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("select a from t union select a from u")
+
+
+class TestExpressions:
+    def test_precedence_or_and(self):
+        e = parse_expression("a or b and c")
+        assert e.op == "OR"
+        assert e.right.op == "AND"
+
+    def test_precedence_arith(self):
+        e = parse_expression("1 + 2 * 3")
+        assert e.op == "+" and e.right.op == "*"
+
+    def test_comparison_chain_not_allowed_naturally(self):
+        e = parse_expression("a < b")
+        assert e.op == "<"
+
+    def test_not_equals_normalized(self):
+        assert parse_expression("a != b").op == "<>"
+
+    def test_unary_minus_and_plus(self):
+        assert isinstance(parse_expression("-a"), ast.UnaryOp)
+        assert isinstance(parse_expression("+a"), ast.ColumnName)
+
+    def test_not(self):
+        e = parse_expression("not a = b")
+        assert e.op == "NOT"
+
+    def test_is_null_and_is_not_null(self):
+        assert parse_expression("a is null").negated is False
+        assert parse_expression("a is not null").negated is True
+
+    def test_in_list(self):
+        e = parse_expression("a in (1, 2, 3)")
+        assert isinstance(e, ast.InList) and len(e.items) == 3
+
+    def test_not_in(self):
+        assert parse_expression("a not in (1)").negated
+
+    def test_between(self):
+        e = parse_expression("a between 1 and 10")
+        assert isinstance(e, ast.BetweenExpr)
+
+    def test_not_between(self):
+        assert parse_expression("a not between 1 and 2").negated
+
+    def test_like_and_not_like(self):
+        assert parse_expression("a like 'x%'").op == "LIKE"
+        negated = parse_expression("a not like 'x%'")
+        assert negated.op == "NOT"
+
+    def test_case_when(self):
+        e = parse_expression("case when a > 1 then 'hi' when a > 0 then 'mid' else 'lo' end")
+        assert isinstance(e, ast.CaseWhen) and len(e.branches) == 2
+        assert e.else_value is not None
+
+    def test_case_requires_branch(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_expression("case else 1 end")
+
+    def test_cast(self):
+        e = parse_expression("cast(a as decimal(10, 4))")
+        assert isinstance(e, ast.CastExpr)
+        assert e.target.scale == 4
+
+    def test_cast_varchar(self):
+        assert parse_expression("cast(a as varchar(9))").target.length == 9
+
+    def test_function_call_and_count_star(self):
+        e = parse_expression("count(*)")
+        assert isinstance(e.args[0], ast.Star)
+        e2 = parse_expression("round(x, 2)")
+        assert e2.name == "ROUND" and len(e2.args) == 2
+
+    def test_count_distinct(self):
+        assert parse_expression("count(distinct a)").distinct
+
+    def test_concat_operator(self):
+        assert parse_expression("a || b").op == "||"
+
+    def test_string_literal_and_null_true_false(self):
+        assert parse_expression("'abc'").value == "abc"
+        assert parse_expression("null").value is None
+        assert parse_expression("true").value is True
+        assert parse_expression("false").value is False
+
+    def test_decimal_literal(self):
+        assert parse_expression("1.25").value == decimal.Decimal("1.25")
+
+
+class TestDDL:
+    def test_create_table_with_constraints(self):
+        s = parse_statement(
+            "create table t (a int primary key, b decimal(15,2) not null, "
+            "c varchar(10) unique, d date, primary key (a), unique (b, c))"
+        )
+        assert isinstance(s, ast.CreateTable)
+        assert s.columns[0].primary_key
+        assert not s.columns[1].nullable
+        assert s.columns[2].unique
+        assert s.constraints[0].kind == "PRIMARY KEY"
+        assert s.constraints[1].columns == ("b", "c")
+
+    def test_create_table_if_not_exists(self):
+        s = parse_statement("create table if not exists t (a int)")
+        assert s.if_not_exists
+
+    def test_key_as_column_name(self):
+        s = parse_statement("create table t (key int primary key, a int)")
+        assert s.columns[0].name == "key"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("create table t (a blob)")
+
+    def test_create_view(self):
+        s = parse_statement("create view v as select a from t")
+        assert isinstance(s, ast.CreateView) and not s.or_replace
+
+    def test_create_or_replace_view_with_columns(self):
+        s = parse_statement("create or replace view v (x, y) as select a, b from t")
+        assert s.or_replace and s.column_names == ("x", "y")
+
+    def test_create_view_with_expression_macros(self):
+        s = parse_statement(
+            "create view v as select * from t with expression macros "
+            "(sum(a)/sum(b) as ratio, sum(a) as total)"
+        )
+        assert [m.name for m in s.macros] == ["ratio", "total"]
+
+    def test_drop_table_and_view(self):
+        assert parse_statement("drop table t").kind == "TABLE"
+        s = parse_statement("drop view if exists v")
+        assert s.kind == "VIEW" and s.if_exists
+
+
+class TestDML:
+    def test_insert_values(self):
+        s = parse_statement("insert into t values (1, 'x'), (2, 'y')")
+        assert isinstance(s, ast.Insert) and len(s.rows) == 2
+
+    def test_insert_with_columns(self):
+        s = parse_statement("insert into t (a, b) values (1, 2)")
+        assert s.columns == ("a", "b")
+
+    def test_insert_from_query(self):
+        s = parse_statement("insert into t select a, b from u")
+        assert s.query is not None
+
+    def test_update(self):
+        s = parse_statement("update t set a = a + 1, b = 'x' where c > 0")
+        assert isinstance(s, ast.Update) and len(s.assignments) == 2
+        assert s.where is not None
+
+    def test_delete(self):
+        s = parse_statement("delete from t where a = 1")
+        assert isinstance(s, ast.Delete)
+
+    def test_delete_without_where(self):
+        assert parse_statement("delete from t").where is None
+
+
+class TestSubquerySyntax:
+    def test_exists(self):
+        q = parse_statement("select a from t where exists (select b from u)")
+        assert isinstance(q.where, ast.ExistsExpr) and not q.where.negated
+
+    def test_not_exists(self):
+        q = parse_statement("select a from t where not exists (select b from u)")
+        assert isinstance(q.where, ast.ExistsExpr) and q.where.negated
+
+    def test_in_subquery(self):
+        q = parse_statement("select a from t where a in (select b from u)")
+        assert isinstance(q.where, ast.InSubquery) and not q.where.negated
+
+    def test_not_in_subquery(self):
+        q = parse_statement("select a from t where a not in (select b from u)")
+        assert isinstance(q.where, ast.InSubquery) and q.where.negated
+
+    def test_in_list_still_works(self):
+        q = parse_statement("select a from t where a in (1, 2)")
+        assert isinstance(q.where, ast.InList)
+
+    def test_scalar_subquery_in_comparison(self):
+        q = parse_statement("select a from t where a > (select max(b) from u)")
+        assert isinstance(q.where.right, ast.ScalarQuery)
+
+    def test_scalar_subquery_in_select_list(self):
+        q = parse_statement("select (select max(b) from u) as m from t")
+        assert isinstance(q.items[0].expr, ast.ScalarQuery)
+
+    def test_parenthesized_expression_not_a_subquery(self):
+        e = parse_expression("(1 + 2)")
+        assert isinstance(e, ast.BinaryOp)
+
+
+class TestExtensions:
+    def test_allow_precision_loss_parses_as_call(self):
+        q = parse_statement("select allow_precision_loss(sum(round(p, 2))) from t")
+        call = q.items[0].expr
+        assert call.name == "ALLOW_PRECISION_LOSS"
+
+    def test_expression_macro_reference(self):
+        q = parse_statement("select expression_macro(margin) from v group by k")
+        assert q.items[0].expr.name == "EXPRESSION_MACRO"

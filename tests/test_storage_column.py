@@ -1,0 +1,72 @@
+"""Unit tests for columnar fragments (dictionary main + append delta)."""
+
+from repro.storage.column import ColumnFragments, DeltaFragment, MainFragment
+
+
+class TestMainFragment:
+    def test_roundtrip(self):
+        main = MainFragment([3, 1, 2, 1, None])
+        assert main.values() == [3, 1, 2, 1, None]
+
+    def test_dictionary_is_sorted_and_distinct(self):
+        main = MainFragment(["b", "a", "b", "c"])
+        assert main.dictionary == ["a", "b", "c"]
+        assert main.distinct_count() == 3
+
+    def test_null_encoded_as_negative_code(self):
+        main = MainFragment([None, "x"])
+        assert main.codes[0] == -1
+        assert main.get(0) is None and main.get(1) == "x"
+
+    def test_empty(self):
+        main = MainFragment([])
+        assert len(main) == 0 and main.values() == []
+
+    def test_compression_accounting(self):
+        main = MainFragment(list(range(100)))
+        assert main.memory_codes_bytes() == main.codes.itemsize * 100
+
+
+class TestDeltaFragment:
+    def test_append_and_get(self):
+        delta = DeltaFragment()
+        delta.append("x")
+        delta.append(None)
+        assert len(delta) == 2
+        assert delta.get(0) == "x" and delta.get(1) is None
+
+
+class TestColumnFragments:
+    def test_global_row_addressing(self):
+        fragments = ColumnFragments([10, 20])
+        fragments.append(30)
+        assert [fragments.get(i) for i in range(3)] == [10, 20, 30]
+        assert len(fragments) == 3
+
+    def test_values_spans_both_fragments(self):
+        fragments = ColumnFragments(["a"])
+        fragments.append("b")
+        assert fragments.values() == ["a", "b"]
+        assert list(fragments.iter_values()) == ["a", "b"]
+
+    def test_merge_moves_delta_to_main(self):
+        fragments = ColumnFragments([2, 1])
+        fragments.append(3)
+        fragments.append(1)
+        assert fragments.delta_size == 2
+        fragments.merge()
+        assert fragments.delta_size == 0
+        assert fragments.values() == [2, 1, 3, 1]
+        assert fragments.main.dictionary == [1, 2, 3]
+
+    def test_merge_preserves_nulls(self):
+        fragments = ColumnFragments([None, 5])
+        fragments.append(None)
+        fragments.merge()
+        assert fragments.values() == [None, 5, None]
+
+    def test_merge_is_idempotent(self):
+        fragments = ColumnFragments([1])
+        fragments.merge()
+        fragments.merge()
+        assert fragments.values() == [1]

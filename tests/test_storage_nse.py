@@ -1,0 +1,65 @@
+"""NSE page-buffer simulation tests."""
+
+import pytest
+
+from repro.storage.column import ColumnFragments
+from repro.storage.nse import PageBuffer, PagedColumn
+
+
+def make_paged(rows=100, page_rows=10, capacity=3):
+    fragments = ColumnFragments(list(range(rows)))
+    buffer = PageBuffer(capacity)
+    return PagedColumn(fragments, buffer, page_rows), buffer
+
+
+class TestPageBuffer:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PageBuffer(0)
+
+    def test_miss_then_hit(self):
+        paged, buffer = make_paged()
+        paged.get(0)
+        assert (buffer.stats.misses, buffer.stats.hits) == (1, 0)
+        paged.get(1)  # same page
+        assert (buffer.stats.misses, buffer.stats.hits) == (1, 1)
+
+    def test_lru_eviction(self):
+        paged, buffer = make_paged(capacity=2)
+        paged.get(0)   # page 0
+        paged.get(10)  # page 1
+        paged.get(20)  # page 2 -> evicts page 0
+        assert buffer.stats.evictions == 1
+        assert buffer.resident_pages() == 2
+        paged.get(0)   # page 0 again: miss
+        assert buffer.stats.misses == 4
+
+    def test_lru_recency_updated_on_hit(self):
+        paged, buffer = make_paged(capacity=2)
+        paged.get(0)
+        paged.get(10)
+        paged.get(0)    # touch page 0 -> page 1 is now LRU
+        paged.get(20)   # evicts page 1
+        paged.get(5)    # page 0 still resident: hit
+        assert buffer.stats.hits == 2
+
+    def test_values_correct_under_eviction(self):
+        paged, buffer = make_paged(rows=55, page_rows=7, capacity=2)
+        assert paged.values() == list(range(55))
+
+    def test_hit_ratio(self):
+        paged, buffer = make_paged()
+        for _ in range(4):
+            paged.get(3)
+        assert buffer.stats.hit_ratio == pytest.approx(0.75)
+
+    def test_two_columns_share_one_buffer(self):
+        buffer = PageBuffer(4)
+        a = PagedColumn(ColumnFragments([1, 2, 3]), buffer, 2)
+        b = PagedColumn(ColumnFragments([9, 8, 7]), buffer, 2)
+        assert a.get(0) == 1 and b.get(0) == 9  # no page-key collision
+        assert buffer.stats.misses == 2
+
+    def test_len_delegates(self):
+        paged, _ = make_paged(rows=42)
+        assert len(paged) == 42

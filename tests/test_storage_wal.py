@@ -1,0 +1,154 @@
+"""Write-ahead log and recovery tests."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.catalog.schema import ColumnSchema, TableSchema, UniqueConstraint
+from repro.datatypes import INTEGER, decimal_type, varchar
+from repro.storage import ColumnTable, TransactionManager, WriteAheadLog
+
+
+def schema(name="t"):
+    return TableSchema(
+        name,
+        [ColumnSchema("id", INTEGER, False),
+         ColumnSchema("v", varchar(20)),
+         ColumnSchema("amt", decimal_type(10, 2))],
+        [UniqueConstraint(("id",), True)],
+    )
+
+
+def fresh_system(wal=None):
+    wal = wal if wal is not None else WriteAheadLog()
+    txns = TransactionManager(wal)
+    table = ColumnTable(schema(), txns, wal)
+    return wal, txns, table
+
+
+class TestLogging:
+    def test_insert_logged_before_commit(self):
+        wal, txns, table = fresh_system()
+        txn = txns.begin()
+        table.insert(txn, (1, "a", "10.50"))
+        kinds = [r.kind for r in wal.records()]
+        assert kinds == ["insert"]
+        txns.commit(txn)
+        assert [r.kind for r in wal.records()] == ["insert", "commit"]
+
+    def test_abort_logged(self):
+        wal, txns, table = fresh_system()
+        txn = txns.begin()
+        table.insert(txn, (1, "a", "1.00"))
+        txns.rollback(txn)
+        assert [r.kind for r in wal.records()] == ["insert", "abort"]
+
+    def test_lsns_monotonic(self):
+        wal, txns, table = fresh_system()
+        txn = txns.begin()
+        for i in range(5):
+            table.insert(txn, (i, "x", "1.00"))
+        txns.commit(txn)
+        lsns = [r.lsn for r in wal.records()]
+        assert lsns == sorted(lsns) and len(set(lsns)) == len(lsns)
+
+    def test_delete_logged(self):
+        wal, txns, table = fresh_system()
+        txn = txns.begin()
+        row = table.insert(txn, (1, "a", "1.00"))
+        table.delete_row(txn, row)
+        txns.commit(txn)
+        assert [r.kind for r in wal.records()] == ["insert", "delete", "commit"]
+
+
+def recover_into_fresh(wal):
+    txns = TransactionManager()
+    catalog = Catalog()
+    table = ColumnTable(schema(), txns)
+    catalog.create_table(table)
+    replayed = wal.recover(catalog, txns)
+    return replayed, table, txns
+
+
+class TestRecovery:
+    def test_committed_work_survives(self):
+        wal, txns, table = fresh_system()
+        txn = txns.begin()
+        table.insert(txn, (1, "a", "10.50"))
+        table.insert(txn, (2, "b", "20.00"))
+        txns.commit(txn)
+        replayed, recovered, txns2 = recover_into_fresh(wal)
+        assert replayed == {"t": 2}
+        columns, n = recovered.read_columns(txns2.begin(), ["id", "v"])
+        assert n == 2 and sorted(zip(*columns)) == [(1, "a"), (2, "b")]
+
+    def test_uncommitted_work_discarded(self):
+        wal, txns, table = fresh_system()
+        committed = txns.begin()
+        table.insert(committed, (1, "a", "1.00"))
+        txns.commit(committed)
+        in_flight = txns.begin()
+        table.insert(in_flight, (2, "lost", "2.00"))
+        # crash: no commit record
+        _, recovered, txns2 = recover_into_fresh(wal)
+        columns, n = recovered.read_columns(txns2.begin(), ["id"])
+        assert (n, columns[0]) == (1, [1])
+
+    def test_aborted_work_discarded(self):
+        wal, txns, table = fresh_system()
+        txn = txns.begin()
+        table.insert(txn, (1, "a", "1.00"))
+        txns.rollback(txn)
+        _, recovered, txns2 = recover_into_fresh(wal)
+        assert recovered.visible_row_count(txns2.begin()) == 0
+
+    def test_deletes_replayed(self):
+        wal, txns, table = fresh_system()
+        txn = txns.begin()
+        table.insert(txn, (1, "a", "1.00"))
+        table.insert(txn, (2, "b", "2.00"))
+        txns.commit(txn)
+        txn2 = txns.begin()
+        table.delete_row(txn2, 0)
+        txns.commit(txn2)
+        _, recovered, txns2 = recover_into_fresh(wal)
+        columns, n = recovered.read_columns(txns2.begin(), ["id"])
+        assert (n, columns[0]) == (1, [2])
+
+    def test_row_id_remapping_with_interleaved_uncommitted(self):
+        """Deletes must resolve even when uncommitted inserts consumed
+        row ids in the original execution."""
+        wal, txns, table = fresh_system()
+        ghost = txns.begin()
+        table.insert(ghost, (99, "ghost", "0.00"))  # row id 0, never commits
+        txn = txns.begin()
+        row = table.insert(txn, (1, "a", "1.00"))   # row id 1
+        txns.commit(txn)
+        txn2 = txns.begin()
+        table.delete_row(txn2, row)
+        txns.commit(txn2)
+        _, recovered, txns2 = recover_into_fresh(wal)
+        assert recovered.visible_row_count(txns2.begin()) == 0
+
+    def test_decimal_and_none_payload_roundtrip(self, tmp_path):
+        wal, txns, table = fresh_system()
+        txn = txns.begin()
+        table.insert(txn, (1, None, "12.34"))
+        txns.commit(txn)
+        path = str(tmp_path / "wal.jsonl")
+        wal.dump_jsonl(path)
+        loaded = WriteAheadLog.load_jsonl(path)
+        assert len(loaded) == len(wal)
+        _, recovered, txns2 = recover_into_fresh(loaded)
+        columns, _ = recovered.read_columns(txns2.begin(), ["v", "amt"])
+        assert columns[0] == [None]
+        assert str(columns[1][0]) == "12.34"
+
+    def test_committed_tids(self):
+        wal, txns, table = fresh_system()
+        a = txns.begin()
+        table.insert(a, (1, "x", "1.00"))
+        txns.commit(a)
+        b = txns.begin()
+        table.insert(b, (2, "y", "1.00"))
+        txns.rollback(b)
+        assert wal.committed_tids() == {a.tid}

@@ -1,0 +1,186 @@
+"""CDS modeling and view-compilation tests (paper §2.3)."""
+
+import pytest
+
+from repro import Database
+from repro.datatypes import INTEGER, decimal_type, varchar
+from repro.errors import CatalogError
+from repro.vdm.cds import Association, Cardinality, Element, Entity, PathField
+from repro.vdm.compiler import compile_entity_view, compile_join_view, deploy_entity
+from repro.algebra.ops import Join
+
+
+def sales_entities():
+    customer = Entity(
+        "buscustomer",
+        [
+            Element("cid", INTEGER, key=True),
+            Element("cname", varchar(30)),
+            Element("country", varchar(3)),
+        ],
+    )
+    order = Entity(
+        "busorder",
+        [
+            Element("oid", INTEGER, key=True),
+            Element("cid", INTEGER, not_null=True),
+            Element("total", decimal_type(15, 2)),
+        ],
+        [Association("soldto", "buscustomer", (("cid", "cid"),))],
+    )
+    return {"buscustomer": customer, "busorder": order}
+
+
+class TestEntity:
+    def test_key_elements(self):
+        entities = sales_entities()
+        assert entities["busorder"].key_elements == ("oid",)
+
+    def test_duplicate_elements_rejected(self):
+        with pytest.raises(CatalogError):
+            Entity("e", [Element("a", INTEGER), Element("A", INTEGER)])
+
+    def test_association_over_unknown_element_rejected(self):
+        with pytest.raises(CatalogError):
+            Entity(
+                "e",
+                [Element("a", INTEGER)],
+                [Association("x", "t", (("ghost", "k"),))],
+            )
+
+    def test_to_table_schema(self):
+        schema = sales_entities()["busorder"].to_table_schema()
+        assert schema.primary_key == ("oid",)
+        assert not schema.column("cid").nullable
+
+    def test_unknown_association_lookup(self):
+        with pytest.raises(CatalogError):
+            sales_entities()["busorder"].association("nope")
+
+    def test_cardinality_is_to_one(self):
+        assert Cardinality.MANY_TO_ONE.is_to_one
+        assert Cardinality.MANY_TO_EXACT_ONE.is_to_one
+        assert not Cardinality.ONE_TO_MANY.is_to_one
+
+
+class TestPathField:
+    def test_plain_field(self):
+        field = PathField("total")
+        assert not field.is_association_path
+        assert field.output_name == "total"
+
+    def test_association_path(self):
+        field = PathField("soldto.cname", alias="customername")
+        assert field.is_association_path
+        assert field.parts() == ("soldto", "cname")
+        assert field.output_name == "customername"
+
+    def test_default_path_name(self):
+        assert PathField("soldto.cname").output_name == "soldto_cname"
+
+
+class TestCompiler:
+    def test_path_expression_becomes_augmentation_join(self):
+        db = Database()
+        entities = sales_entities()
+        for entity in entities.values():
+            deploy_entity(db, entity)
+        sql = compile_entity_view(
+            "v_order",
+            entities["busorder"],
+            ["oid", "total", PathField("soldto.cname", "customername")],
+            entities,
+        )
+        db.execute(sql)
+        plan = db.bind("select * from v_order")
+        joins = [n for n in plan.walk() if isinstance(n, Join)]
+        assert len(joins) == 1
+        assert str(joins[0].declared) == "MANY TO ONE"
+
+    def test_unused_association_join_is_optimized_away(self):
+        db = Database()
+        entities = sales_entities()
+        for entity in entities.values():
+            deploy_entity(db, entity)
+        db.execute(
+            compile_entity_view(
+                "v_order",
+                entities["busorder"],
+                ["oid", "total", PathField("soldto.cname", "customername")],
+                entities,
+            )
+        )
+        plan = db.plan_for("select oid, total from v_order")
+        assert not [n for n in plan.walk() if isinstance(n, Join)]
+
+    def test_one_join_per_association_even_for_multiple_fields(self):
+        db = Database()
+        entities = sales_entities()
+        for entity in entities.values():
+            deploy_entity(db, entity)
+        sql = compile_entity_view(
+            "v_order2",
+            entities["busorder"],
+            [
+                "oid",
+                PathField("soldto.cname", "cn"),
+                PathField("soldto.country", "cc"),
+            ],
+            entities,
+        )
+        assert sql.lower().count("join") == 1
+
+    def test_end_to_end_query(self):
+        db = Database()
+        entities = sales_entities()
+        for entity in entities.values():
+            deploy_entity(db, entity)
+        db.execute("insert into buscustomer values (1, 'ACME', 'DE')")
+        db.execute("insert into busorder values (10, 1, 99.50)")
+        db.execute(
+            compile_entity_view(
+                "v_order",
+                entities["busorder"],
+                ["oid", "total", PathField("soldto.cname", "customername")],
+                entities,
+            )
+        )
+        rows = db.query("select * from v_order").rows
+        assert rows[0][2] == "ACME"
+
+    def test_unknown_target_entity_rejected(self):
+        entities = sales_entities()
+        broken = Entity(
+            "b",
+            [Element("k", INTEGER, key=True)],
+            [Association("bad", "ghost", (("k", "k"),))],
+        )
+        with pytest.raises(CatalogError):
+            compile_entity_view("v", broken, [PathField("bad.x")], entities)
+
+    def test_to_many_path_rejected(self):
+        entities = sales_entities()
+        entity = Entity(
+            "c",
+            [Element("k", INTEGER, key=True)],
+            [Association("items", "busorder", (("k", "cid"),), Cardinality.ONE_TO_MANY)],
+        )
+        entities["c"] = entity
+        with pytest.raises(CatalogError):
+            compile_entity_view("v", entity, [PathField("items.total")], entities)
+
+    def test_compile_join_view(self):
+        db = Database()
+        entities = sales_entities()
+        for entity in entities.values():
+            deploy_entity(db, entity)
+        db.execute("insert into buscustomer values (1, 'ACME', 'DE')")
+        db.execute("insert into busorder values (10, 1, 99.50)")
+        sql = compile_join_view(
+            "v_wide",
+            "busorder",
+            ["oid", "total"],
+            [("buscustomer", ["cname"], "cid", "cid")],
+        )
+        db.execute(sql)
+        assert db.query("select cname from v_wide").rows == [("ACME",)]

@@ -1,0 +1,99 @@
+"""Synthetic VDM generator tests (the Fig. 14 population and ablation views)."""
+
+import pytest
+
+from repro import Database
+from repro.algebra.ops import Join, Scan
+from repro.vdm.generator import SyntheticVdm, build_wide_view
+
+
+@pytest.fixture(scope="module")
+def population():
+    db = Database(wal_enabled=False)
+    generator = SyntheticVdm(db, seed=13)
+    views = generator.build_views(count=8, min_rows=60, max_rows=600)
+    return db, views
+
+
+def extension_join_count(db, sql):
+    return sum(
+        1 for n in db.plan_for(sql).walk()
+        if isinstance(n, Join) and "bid_u" in str(n.condition)
+    )
+
+
+class TestPopulation:
+    def test_count_and_determinism(self, population):
+        _, views = population
+        assert len(views) == 8
+        db2 = Database(wal_enabled=False)
+        views2 = SyntheticVdm(db2, seed=13).build_views(
+            count=8, min_rows=60, max_rows=600
+        )
+        assert [v.rows for v in views] == [v.rows for v in views2]
+        assert [v.canonical for v in views] == [v.canonical for v in views2]
+
+    def test_row_counts_log_spaced(self, population):
+        _, views = population
+        rows = [v.rows for v in views]
+        assert abs(rows[0] - 60) <= 1 and abs(rows[-1] - 600) <= 1
+        assert rows == sorted(rows)
+
+    def test_canonical_mix_present(self, population):
+        _, views = population
+        kinds = {v.canonical for v in views}
+        assert kinds == {True, False}
+
+    def test_views_queryable(self, population):
+        db, views = population
+        for view in views[:3]:
+            result = db.query(f"select * from {view.name} limit 5")
+            assert len(result.rows) == 5
+
+    def test_case_join_extension_always_optimized(self, population):
+        db, views = population
+        for view in views:
+            assert extension_join_count(db, f"select * from {view.extended_case} limit 10") == 0
+
+    def test_plain_extension_optimized_iff_canonical(self, population):
+        db, views = population
+        for view in views:
+            joins = extension_join_count(db, f"select * from {view.extended_plain} limit 10")
+            assert joins == (0 if view.canonical else 1), view.name
+
+    def test_extension_results_correct(self, population):
+        db, views = population
+        for view in views[:2] + views[-2:]:
+            for name in (view.extended_plain, view.extended_case):
+                a = db.query(f"select * from {name}")
+                b = db.query(f"select * from {name}", optimize=False)
+                assert sorted(map(repr, a.rows)) == sorted(map(repr, b.rows)), name
+
+    def test_draft_rows_visible_in_view(self, population):
+        db, views = population
+        view = views[0]
+        active = db.query(f"select count(*) from {view.fact_table}").scalar()
+        drafts = db.query(f"select count(*) from {view.draft_table}").scalar()
+        total = db.query(f"select count(*) from {view.name}").scalar()
+        assert total == active + drafts
+
+
+class TestWideView:
+    def test_wide_view_prunes_unused_joins(self):
+        db = Database(wal_enabled=False)
+        build_wide_view(db, "wide", join_count=12, fact_rows=100)
+        unoptimized = db.plan_for("select fkey from wide", optimize=False)
+        optimized = db.plan_for("select fkey from wide")
+        assert sum(1 for n in unoptimized.walk() if isinstance(n, Join)) == 12
+        assert sum(1 for n in optimized.walk() if isinstance(n, Join)) == 0
+
+    def test_wide_view_zero_joins(self):
+        db = Database(wal_enabled=False)
+        build_wide_view(db, "flat", join_count=0, fact_rows=10)
+        assert db.query("select count(*) from flat").scalar() == 10
+
+    def test_wide_view_used_field_keeps_one_join(self):
+        db = Database(wal_enabled=False)
+        build_wide_view(db, "wide2", join_count=5, fact_rows=50)
+        plan = db.plan_for("select fkey, dval3 from wide2")
+        assert sum(1 for n in plan.walk() if isinstance(n, Join)) == 1

@@ -1,0 +1,217 @@
+"""VDM layering, draft pattern, DAC, and custom-fields extension tests."""
+
+import pytest
+
+from repro import Database
+from repro.datatypes import varchar
+from repro.errors import BindError, CatalogError
+from repro.vdm import (
+    AccessControl,
+    CustomFieldsExtension,
+    DacPolicy,
+    DraftPattern,
+    VdmView,
+    ViewLayer,
+    VirtualDataModel,
+)
+from repro.algebra.ops import Join, Scan
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "create table sorder (sokey int primary key, cust varchar(10), "
+        "amount decimal(10,2))"
+    )
+    database.bulk_load("sorder", [(i, f"c{i % 3}", f"{i}.00") for i in range(10)])
+    return database
+
+
+class TestLayers:
+    def test_deploy_and_query(self, db):
+        vdm = VirtualDataModel(db)
+        vdm.deploy(VdmView("b_order", ViewLayer.BASIC,
+                           "create view b_order as select * from sorder", ("sorder",)))
+        assert len(db.query("select * from b_order").rows) == 10
+
+    def test_layer_rules_enforced(self, db):
+        vdm = VirtualDataModel(db)
+        vdm.deploy(VdmView("b1", ViewLayer.BASIC,
+                           "create view b1 as select * from sorder", ("sorder",)))
+        vdm.deploy(VdmView("c1", ViewLayer.CONSUMPTION,
+                           "create view c1 as select * from b1", ("b1",)))
+        with pytest.raises(CatalogError):
+            vdm.deploy(VdmView("b2", ViewLayer.BASIC,
+                               "create view b2 as select * from c1", ("c1",)))
+        with pytest.raises(CatalogError):
+            vdm.deploy(VdmView("m1", ViewLayer.COMPOSITE,
+                               "create view m1 as select * from c1", ("c1",)))
+
+    def test_unknown_dependency_rejected(self, db):
+        vdm = VirtualDataModel(db)
+        with pytest.raises(CatalogError):
+            vdm.deploy(VdmView("x", ViewLayer.BASIC,
+                               "create view x as select * from sorder", ("ghost",)))
+
+    def test_nesting_depth(self, db):
+        vdm = VirtualDataModel(db)
+        vdm.deploy(VdmView("l1", ViewLayer.BASIC,
+                           "create view l1 as select * from sorder", ("sorder",)))
+        vdm.deploy(VdmView("l2", ViewLayer.BASIC,
+                           "create view l2 as select * from l1", ("l1",)))
+        vdm.deploy(VdmView("l3", ViewLayer.COMPOSITE,
+                           "create view l3 as select * from l2", ("l2",)))
+        assert vdm.nesting_depth("l3") == 3
+        assert vdm.nesting_depth("sorder") == 0
+
+    def test_statistics(self, db):
+        vdm = VirtualDataModel(db)
+        vdm.deploy(VdmView("s1", ViewLayer.BASIC,
+                           "create view s1 as select * from sorder", ("sorder",)))
+        stats = vdm.statistics()
+        assert stats["basic"] == 1 and stats["total"] == 1
+        assert stats["max_nesting_depth"] == 1
+
+    def test_view_lookup(self, db):
+        vdm = VirtualDataModel(db)
+        vdm.deploy(VdmView("s1", ViewLayer.BASIC,
+                           "create view s1 as select * from sorder", ("sorder",)))
+        assert vdm.view("S1").layer is ViewLayer.BASIC
+        with pytest.raises(CatalogError):
+            vdm.view("nope")
+        assert len(vdm.views(ViewLayer.BASIC)) == 1
+
+
+class TestDraftPattern:
+    def test_create_builds_twin_and_union_view(self, db):
+        draft = DraftPattern.create(db, "sorder")
+        assert db.catalog.has_table("sorder_draft")
+        assert db.catalog.has_view("sorder_with_draft")
+        rows = db.query("select * from sorder_with_draft").rows
+        assert len(rows) == 10  # draft empty so far
+
+    def test_save_and_activate_draft(self, db):
+        draft = DraftPattern.create(db, "sorder")
+        draft.save_draft({"sokey": 100, "cust": "cX", "amount": "5.00"}, "sess1")
+        rows = db.query("select bid_, sokey from sorder_with_draft where sokey = 100").rows
+        assert rows == [(2, 100)]
+        moved = draft.activate({"sokey": 100})
+        assert moved == 1
+        rows = db.query("select bid_ from sorder_with_draft where sokey = 100").rows
+        assert rows == [(1,)]
+
+    def test_union_view_enables_uaj(self, db):
+        DraftPattern.create(db, "sorder")
+        db.execute("create table fact (fk int primary key, so int not null)")
+        db.bulk_load("fact", [(i, i) for i in range(5)])
+        sql = (
+            "select f.fk from fact f left join sorder_with_draft u "
+            "on f.so = u.sokey and u.bid_ = 1"
+        )
+        plan = db.plan_for(sql)
+        assert not [n for n in plan.walk() if isinstance(n, Join)]
+
+
+class TestDac:
+    def test_policy_rendering(self):
+        policy = DacPolicy("p", "grp = :g or grp is null")
+        assert policy.render({"g": "G1"}) == "grp = 'G1' or grp is null"
+
+    def test_missing_attribute_rejected(self):
+        with pytest.raises(BindError):
+            DacPolicy("p", "grp = :g").render({})
+
+    def test_literal_escaping(self):
+        policy = DacPolicy("p", "grp = :g")
+        assert policy.render({"g": "O'Neil"}) == "grp = 'O''Neil'"
+
+    def test_injection_filters_rows(self, db):
+        control = AccessControl(db)
+        control.register("sorder", DacPolicy("cust-only", "cust = :me"))
+        result = control.query("sorder", {"me": "c1"})
+        assert all(r[1] == "c1" for r in result.rows)
+        assert len(result.rows) == 3
+
+    def test_multiple_policies_conjunctive(self, db):
+        control = AccessControl(db)
+        control.register("sorder", DacPolicy("a", "cust = :me"))
+        control.register("sorder", DacPolicy("b", "amount > :minimum"))
+        result = control.query("sorder", {"me": "c1", "minimum": 3})
+        assert len(result.rows) == 2  # sokey 4 and 7
+
+    def test_no_policy_means_open(self, db):
+        control = AccessControl(db)
+        assert len(control.query("sorder", {}).rows) == 10
+
+    def test_deploy_protected_view(self, db):
+        control = AccessControl(db)
+        control.register("sorder", DacPolicy("cust-only", "cust = :me"))
+        control.deploy_protected_view("sorder_c2", "sorder", {"me": "c2"})
+        assert len(db.query("select * from sorder_c2").rows) == 3
+
+
+class TestCustomFieldsExtension:
+    def test_add_custom_field_and_extend_view(self, db):
+        extension = CustomFieldsExtension(db)
+        extension.add_custom_field("sorder", "zz_region", varchar(10))
+        db.execute("update sorder set zz_region = 'EMEA' where sokey < 5")
+        # the SAP-managed stable view does NOT expose zz_region
+        db.execute("create view stable_v as select sokey, cust from sorder")
+        extension.extend_view(
+            "stable_v_ext", "stable_v", "sorder", [("sokey", "sokey")], ["zz_region"]
+        )
+        rows = dict(
+            (r[0], r[2]) for r in db.query("select * from stable_v_ext").rows
+        )
+        assert rows[1] == "EMEA" and rows[7] is None
+
+    def test_extension_self_join_optimized_out(self, db):
+        extension = CustomFieldsExtension(db)
+        extension.add_custom_field("sorder", "zz_x", varchar(5))
+        db.execute("create view stable_v as select sokey, cust from sorder")
+        extension.extend_view(
+            "stable_v_ext", "stable_v", "sorder", [("sokey", "sokey")], ["zz_x"]
+        )
+        plan = db.plan_for("select * from stable_v_ext")
+        scans = [n for n in plan.walk() if isinstance(n, Scan)]
+        assert len(scans) == 1  # ASJ removed: single scan of sorder
+
+    def test_extension_with_case_join(self, db):
+        extension = CustomFieldsExtension(db)
+        extension.add_custom_field("sorder", "zz_y", varchar(5))
+        db.execute("create view stable_v as select sokey, cust from sorder")
+        sql = extension.extend_view(
+            "stable_v_ext", "stable_v", "sorder", [("sokey", "sokey")], ["zz_y"],
+            use_case_join=True,
+        )
+        assert "case join" in sql
+        plan = db.plan_for("select * from stable_v_ext")
+        assert len([n for n in plan.walk() if isinstance(n, Scan)]) == 1
+
+    def test_extension_correctness(self, db):
+        extension = CustomFieldsExtension(db)
+        extension.add_custom_field("sorder", "zz_z", varchar(5), default="D")
+        db.execute("create view stable_v as select sokey, cust from sorder")
+        extension.extend_view(
+            "stable_v_ext", "stable_v", "sorder", [("sokey", "sokey")], ["zz_z"]
+        )
+        a = db.query("select * from stable_v_ext")
+        b = db.query("select * from stable_v_ext", optimize=False)
+        assert sorted(map(repr, a.rows)) == sorted(map(repr, b.rows))
+
+    def test_draft_extension_round_trip(self, db):
+        extension = CustomFieldsExtension(db)
+        draft = DraftPattern.create(db, "sorder")
+        extension.add_custom_field("sorder", "zz_d", varchar(5))
+        extension.add_custom_field("sorder_draft", "zz_d", varchar(5))
+        extension.extend_draft_view(
+            "wd_ext", "sorder_with_draft", draft,
+            [("sokey", "sokey")], ["zz_d"], use_case_join=True,
+        )
+        a = db.query("select * from wd_ext")
+        b = db.query("select * from wd_ext", optimize=False)
+        assert sorted(map(repr, a.rows)) == sorted(map(repr, b.rows))
+        plan = db.plan_for("select * from wd_ext")
+        # the extension self-join over the union must be gone
+        assert len([n for n in plan.walk() if isinstance(n, Join)]) == 0

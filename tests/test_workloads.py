@@ -1,0 +1,113 @@
+"""Workload generator tests: TPC-H subset, S/4 sales data, cardinality tool."""
+
+import decimal
+
+import pytest
+
+from repro import Database
+from repro.tools import verify_join_cardinalities
+from repro.workloads import create_sales_schema, create_tpch_schema, load_sales, load_tpch
+from repro.workloads.tpch import TABLES
+
+
+class TestTpch:
+    def test_all_tables_created_and_loaded(self, tpch_db):
+        for table in TABLES:
+            assert tpch_db.query(f"select count(*) from {table}").scalar() > 0
+
+    def test_primary_keys_declared(self, tpch_db):
+        assert tpch_db.catalog.table_schema("orders").primary_key == ("o_orderkey",)
+        assert tpch_db.catalog.table_schema("lineitem").primary_key == (
+            "l_orderkey", "l_linenumber",
+        )
+
+    def test_no_foreign_keys_by_default(self, tpch_db):
+        for table in TABLES:
+            assert tpch_db.catalog.table_schema(table).foreign_keys == []
+
+    def test_foreign_keys_optional(self):
+        db = Database(wal_enabled=False)
+        create_tpch_schema(db, with_foreign_keys=True)
+        assert db.catalog.table_schema("orders").foreign_keys
+
+    def test_referential_integrity_of_generated_data(self, tpch_db):
+        dangling = tpch_db.query(
+            "select count(*) from lineitem l left join orders o "
+            "on l.l_orderkey = o.o_orderkey where o.o_orderkey is null"
+        ).scalar()
+        assert dangling == 0
+
+    def test_determinism(self):
+        db1, db2 = Database(wal_enabled=False), Database(wal_enabled=False)
+        for db in (db1, db2):
+            create_tpch_schema(db)
+            load_tpch(db, scale=0.001)
+        a = db1.query("select sum(o_totalprice) from orders").scalar()
+        b = db2.query("select sum(o_totalprice) from orders").scalar()
+        assert a == b
+
+    def test_revenue_query_runs(self, tpch_db):
+        revenue = tpch_db.query(
+            "select sum(l_extendedprice * (1 - l_discount)) from lineitem"
+        ).scalar()
+        assert isinstance(revenue, decimal.Decimal) and revenue > 0
+
+
+class TestSales:
+    def test_loaded(self, sales_db):
+        assert sales_db.query("select count(*) from salesorderitem").scalar() > 400
+
+    def test_businessplace_has_no_constraints_but_unique_data(self, sales_db):
+        schema = sales_db.catalog.table_schema("businessplace")
+        assert schema.unique_constraints == []
+        report = verify_join_cardinalities(
+            sales_db,
+            "select s.so_id from salesorderitem s "
+            "left outer many to one join businessplace p on s.place_id = p.place_id",
+        )
+        assert report.ok
+
+    def test_exchange_rates_by_date(self, sales_db):
+        rate = sales_db.query(
+            "select rate from exchangerate where fromcurr = 'USD' "
+            "and ratedate = cast('2025-06-03' as date)"
+        ).scalar()
+        assert rate is not None
+
+
+class TestCardinalityTool:
+    def test_ok_report_summary(self, tpch_db):
+        report = verify_join_cardinalities(
+            tpch_db,
+            "select o.o_orderkey from orders o "
+            "left outer many to one join customer c on o.o_custkey = c.c_custkey",
+        )
+        assert report.ok and "OK" in report.summary()
+
+    def test_violation_detected(self, tpch_db):
+        report = verify_join_cardinalities(
+            tpch_db,
+            "select l.l_orderkey from orders o "
+            "left outer one to many join lineitem l on o.o_orderkey = l.l_orderkey "
+            "left outer many to one join customer c on o.o_custkey = c.c_nationkey",
+        )
+        assert not report.ok
+        assert report.violations[0].kind == "duplicate_key"
+
+    def test_exact_one_missing_match(self, tpch_db):
+        tpch_db.execute("create table onecust (k int primary key)")
+        tpch_db.execute("insert into onecust values (0)")
+        report = verify_join_cardinalities(
+            tpch_db,
+            "select o.o_orderkey from orders o "
+            "inner many to exact one join onecust s on o.o_custkey = s.k",
+        )
+        assert any(v.kind == "missing_match" for v in report.violations)
+
+    def test_undeclared_joins_not_checked(self, tpch_db):
+        report = verify_join_cardinalities(
+            tpch_db,
+            "select o.o_orderkey from orders o "
+            "join customer c on o.o_custkey = c.c_custkey",
+        )
+        assert report.joins_checked == 0 and report.ok
