@@ -1,16 +1,56 @@
-"""Benchmark fixtures: larger, session-scoped datasets."""
+"""Benchmark fixtures: larger, session-scoped datasets.
+
+Set ``REPRO_DUMP_TRACES=1`` to record a :class:`repro.observability.trace.
+QueryTrace` for every query a benchmark optimizes and dump them (rewrite
+fires, pass changed-flags, iteration counts, convergence — no wall times,
+so the dump is stable across runs) to ``benchmarks/results/traces.json``.
+"""
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
 from repro import Database
 from repro.workloads import create_sales_schema, create_tpch_schema, load_sales, load_tpch
 
+DUMP_TRACES = bool(os.environ.get("REPRO_DUMP_TRACES"))
+RESULTS_DIR = Path(__file__).parent / "results"
+_collected_traces: list[dict] = []
+
+
+class _TraceDumpDatabase(Database):
+    """A Database that archives every query trace for the end-of-session dump."""
+
+    def _absorb_trace(self, tally) -> None:
+        super()._absorb_trace(tally)
+        if tally.enabled:
+            _collected_traces.append(tally.to_dict())
+
+
+def _make_db(**kwargs) -> Database:
+    if not DUMP_TRACES:
+        return Database(**kwargs)
+    db = _TraceDumpDatabase(**kwargs)
+    db.tracing = True
+    return db
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _dump_traces():
+    yield
+    if DUMP_TRACES and _collected_traces:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / "traces.json"
+        path.write_text(json.dumps(_collected_traces, indent=1, default=str))
+
 
 @pytest.fixture(scope="session")
 def tpch_bench_db() -> Database:
-    db = Database(wal_enabled=False)
+    db = _make_db(wal_enabled=False)
     create_tpch_schema(db)
     load_tpch(db, scale=0.01)  # ~1.5k customers / ~4.4k lineitems
     db.execute("create table ta (key int primary key, a int, ext int)")
@@ -22,7 +62,7 @@ def tpch_bench_db() -> Database:
 
 @pytest.fixture(scope="session")
 def sales_bench_db() -> Database:
-    db = Database(wal_enabled=False)
+    db = _make_db(wal_enabled=False)
     create_sales_schema(db)
     load_sales(db, orders=15000)  # ~37k line items
     return db
@@ -32,7 +72,7 @@ def sales_bench_db() -> Database:
 def journal_bench():
     from repro.vdm.journal import JournalModel
 
-    db = Database(wal_enabled=False)
+    db = _make_db(wal_enabled=False)
     model = JournalModel(db, rows=5000).build()
     return db, model
 

@@ -1,17 +1,26 @@
-"""Interactive SQL shell:  python -m repro
+"""Interactive SQL shell and observability CLI:  python -m repro
 
-A minimal REPL over :class:`repro.Database` for exploring the engine and
-the paper's optimizations.  Dot-commands:
+Without arguments, a minimal REPL over :class:`repro.Database` for
+exploring the engine and the paper's optimizations.  Dot-commands:
 
   .help                     this text
   .profile [name]           show / set the optimizer profile
   .explain <sql>            optimized plan
   .explain! <sql>           unoptimized (bound) plan
+  .analyze <sql>            EXPLAIN ANALYZE (actual rows and timings)
+  .trace <sql>              optimize under tracing; print the rewrite trace
   .stats <sql>              plan statistics (the Fig. 3-style counters)
+  .metrics                  engine metrics snapshot
   .verify <sql>             §7.3 declared-cardinality verification
   .tables / .views          catalog listing
   .demo                     load a small demo schema
   .quit
+
+Subcommands (run against the built-in demo schema):
+
+  python -m repro explain [--analyze] [--profile NAME] [--no-optimize] SQL
+  python -m repro trace   [--profile NAME] SQL
+  python -m repro metrics [--profile NAME] [SQL ...]
 """
 
 from __future__ import annotations
@@ -75,6 +84,20 @@ def run_command(db: Database, line: str) -> bool:
             print(db.explain(stripped[len(".explain!"):].strip(), optimize=False))
         elif stripped.startswith(".explain"):
             print(db.explain(stripped[len(".explain"):].strip()))
+        elif stripped.startswith(".analyze"):
+            print(db.explain(stripped[len(".analyze"):].strip(), analyze=True))
+        elif stripped.startswith(".trace"):
+            sql = stripped[len(".trace"):].strip()
+            was_tracing = db.tracing
+            db.tracing = True
+            try:
+                db.query(sql)
+            finally:
+                db.tracing = was_tracing
+            assert db.last_trace is not None
+            print(db.last_trace.report())
+        elif stripped == ".metrics":
+            print(db.metrics.render())
         elif stripped.startswith(".stats"):
             sql = stripped[len(".stats"):].strip()
             print("bound    :", db.plan_statistics(sql, optimize=False).summary())
@@ -108,7 +131,82 @@ def run_command(db: Database, line: str) -> bool:
     return True
 
 
+DEMO_QUERIES = [
+    "select o_id, c_name from orderview where o_status = 'N'",
+    "select o_id, o_total from orderview limit 2",
+    "select count(*) from orderview",
+]
+
+
+def _demo_db(profile: str | None) -> Database:
+    db = Database()
+    if profile:
+        db.set_profile(profile)
+    for sql in DEMO_SQL:
+        db.execute(sql)
+    return db
+
+
+def run_subcommand(argv: list[str]) -> int:
+    """The non-interactive observability surface.
+
+    Runs against the demo schema (customer, orders, orderview) so the
+    commands work out of the box; real applications use the library API.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="HTAP engine observability CLI (runs on the demo schema)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_explain = sub.add_parser("explain", help="print a query plan")
+    p_explain.add_argument("sql", help="SELECT statement over the demo schema")
+    p_explain.add_argument("--analyze", action="store_true",
+                           help="execute and annotate actual rows/timings")
+    p_explain.add_argument("--profile", default=None,
+                           help="optimizer capability profile (default: hana)")
+    p_explain.add_argument("--no-optimize", action="store_true",
+                           help="show the bound plan without optimization")
+
+    p_trace = sub.add_parser("trace", help="print the rewrite trace of a query")
+    p_trace.add_argument("sql")
+    p_trace.add_argument("--profile", default=None)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="run queries (default: a demo workload), dump metrics"
+    )
+    p_metrics.add_argument("sql", nargs="*",
+                           help="queries to run before the snapshot")
+    p_metrics.add_argument("--profile", default=None)
+
+    options = parser.parse_args(argv)
+    try:
+        db = _demo_db(options.profile)
+        if options.command == "explain":
+            print(db.explain(options.sql, optimize=not options.no_optimize,
+                             analyze=options.analyze))
+        elif options.command == "trace":
+            db.tracing = True
+            db.query(options.sql)
+            assert db.last_trace is not None
+            print(db.last_trace.report())
+        else:
+            for sql in options.sql or DEMO_QUERIES:
+                db.query(sql)
+            print(db.metrics.render())
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv:
+        return run_subcommand(argv)
     print("repro — HTAP engine with the VDM optimizer "
           "(.help for commands, .demo for sample data)")
     db = Database()

@@ -27,13 +27,23 @@ from .ops import (
 )
 
 
-def explain(op: LogicalOp, show_columns: bool = False) -> str:
-    """Render a plan as an indented tree."""
+def explain(op: LogicalOp, show_columns: bool = False, annotate=None) -> str:
+    """Render a plan as an indented tree.
+
+    ``annotate``, when given, is a callable ``(node) -> str | None`` whose
+    non-empty return is appended to the node's line — EXPLAIN ANALYZE uses
+    it to attach actual row counts and timings per operator.
+    """
     lines: list[str] = []
 
     def visit(node: LogicalOp, depth: int) -> None:
         prefix = "  " * depth
-        lines.append(f"{prefix}{node.label()}")
+        line = f"{prefix}{node.label()}"
+        if annotate is not None:
+            extra = annotate(node)
+            if extra:
+                line = f"{line} {extra}"
+        lines.append(line)
         if show_columns:
             cols = ", ".join(f"{c.name}#{c.cid}" for c in node.output)
             lines.append(f"{prefix}  -> [{cols}]")

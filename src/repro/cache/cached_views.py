@@ -48,6 +48,13 @@ class CachedViewManager:
     def __init__(self, db: Database):
         self.db = db
         self._views: dict[str, CachedViewInfo] = {}
+        # Cache observability: hits = serves straight from the cache table,
+        # misses = serves that first had to do maintenance work (stale SCV
+        # refresh or pending DCV increments).
+        self._m_hits = db.metrics.counter("cache.hits")
+        self._m_misses = db.metrics.counter("cache.misses")
+        self._m_refreshes = db.metrics.counter("cache.refreshes")
+        self._m_increments = db.metrics.counter("cache.incremental_rows")
 
     # -- shared helpers ------------------------------------------------------
 
@@ -132,6 +139,7 @@ class CachedViewManager:
             base = info.base_tables[0]
             info.processed_rows[base] = len(self.db.catalog.table(base))
         info.refresh_count += 1
+        self._m_refreshes.inc()
         return len(result.rows)
 
     # -- dynamic cached views ------------------------------------------------------
@@ -223,6 +231,7 @@ class CachedViewManager:
         self.db.catalog.drop_table(delta_table)
         info.processed_rows[base] = total
         info.refreshed_at_version[base] = self._table_version(base)
+        self._m_increments.inc(new_rows)
         return new_rows
 
     def _merge_delta_groups(self, info: CachedViewInfo, delta_result) -> None:
@@ -265,7 +274,12 @@ class CachedViewManager:
         """
         info = self.info(name)
         if info.kind == "dynamic":
-            self.apply_increments(name)
+            if self.apply_increments(name):
+                self._m_misses.inc()
+            else:
+                self._m_hits.inc()
+        else:
+            self._m_hits.inc()
         return self.db.query(sql or f"select * from {info.name}")
 
 

@@ -32,8 +32,10 @@ from .catalog.schema import (
     ViewSchema,
 )
 from .engine import Chunk, Executor, QueryResult
+from .engine.executor import QueryStats
 from .engine.eval import evaluate, evaluate_predicate
 from .errors import BindError, CatalogError, ExecutionError
+from .observability import MetricsRegistry, QueryTrace, RewriteTally
 from .sql import ast, parse_statement
 from .storage import ColumnTable, Transaction, TransactionManager, WriteAheadLog
 
@@ -42,11 +44,41 @@ class Database:
     """An embedded HTAP database instance."""
 
     def __init__(self, profile: str = "hana", wal_enabled: bool = True):
-        self.wal = WriteAheadLog() if wal_enabled else None
-        self.txn_manager = TransactionManager(self.wal)
+        self.metrics = MetricsRegistry()
+        self.wal = WriteAheadLog(metrics=self.metrics) if wal_enabled else None
+        self.txn_manager = TransactionManager(self.wal, metrics=self.metrics)
         self.catalog = Catalog()
         self._executor = Executor(self.catalog)
         self._profile_name = profile
+        #: When True, every optimized query records a full :class:`QueryTrace`
+        #: (structured rewrite events), retrievable via :attr:`last_trace`.
+        #: Off by default: the default path only keeps a counting tally.
+        self.tracing = False
+        self._last_trace: QueryTrace | None = None
+        # Hot-path metric handles, resolved once (registry lookups are
+        # lock-protected; per-query code should not pay for them).
+        self._m_queries = self.metrics.counter("queries.executed")
+        self._m_latency = self.metrics.histogram("queries.latency_s")
+        self._m_opt_runs = self.metrics.counter("optimizer.runs")
+        self._m_opt_iters = self.metrics.histogram("optimizer.iterations")
+        self._m_nonconverged = self.metrics.counter("optimizer.nonconverged")
+
+    # -- observability --------------------------------------------------------
+
+    @property
+    def last_trace(self) -> QueryTrace | None:
+        """The :class:`QueryTrace` of the most recent optimized query, when
+        :attr:`tracing` was enabled for it; None otherwise."""
+        return self._last_trace
+
+    def _absorb_trace(self, tally: RewriteTally) -> None:
+        """Fold one optimization's rewrite tally into the metrics registry."""
+        self._m_opt_runs.inc()
+        self._m_opt_iters.observe(tally.iterations_run)
+        if not tally.converged:
+            self._m_nonconverged.inc()
+        for case, fires in tally.rewrite_counts.items():
+            self.metrics.counter(f"optimizer.rewrites.{case}").inc(fires)
 
     # -- profiles -------------------------------------------------------------
 
@@ -82,7 +114,7 @@ class Database:
         """
         statement = parse_statement(sql)
         if isinstance(statement, ast.Query):
-            return self._run_query(statement, txn)
+            return self._run_query(statement, txn, sql=sql)
         if isinstance(statement, ast.CreateTable):
             return self._create_table(statement)
         if isinstance(statement, ast.CreateView):
@@ -101,19 +133,65 @@ class Database:
         statement = parse_statement(sql)
         if not isinstance(statement, ast.Query):
             raise ExecutionError("query() expects a SELECT statement")
-        return self._run_query(statement, txn, optimize)
+        return self._run_query(statement, txn, optimize, sql=sql)
 
     def _run_query(
-        self, query: ast.Query, txn: Transaction | None, optimize: bool = True
+        self,
+        query: ast.Query,
+        txn: Transaction | None,
+        optimize: bool = True,
+        sql: str | None = None,
     ) -> QueryResult:
-        plan = self.plan_for(query, optimize)
+        import time
+
+        start = time.perf_counter()
+        plan, tally, operators_before = self._plan_with_trace(query, optimize, sql)
         if txn is not None:
-            return self._executor.execute(plan, txn)
-        snapshot = self.begin()
-        try:
-            return self._executor.execute(plan, snapshot)
-        finally:
-            self.commit(snapshot)
+            result = self._executor.execute(plan, txn)
+        else:
+            snapshot = self.begin()
+            try:
+                result = self._executor.execute(plan, snapshot)
+            finally:
+                self.commit(snapshot)
+        elapsed = time.perf_counter() - start
+        self._m_queries.inc()
+        self._m_latency.observe(elapsed)
+        result.stats = QueryStats(
+            elapsed_s=elapsed,
+            operators_before=operators_before,
+            operators_after=sum(1 for _ in plan.walk()),
+            rewrite_fires=dict(tally.rewrite_counts) if tally is not None else {},
+        )
+        return result
+
+    def _plan_with_trace(
+        self, query: "str | ast.Query", optimize: bool, sql: str | None = None
+    ) -> tuple[LogicalOp, RewriteTally | None, int]:
+        """Bind and (optionally) optimize, recording rewrite provenance.
+
+        Always runs the optimizer under at least a counting
+        :class:`RewriteTally` (absorbed into :attr:`metrics`); under
+        :attr:`tracing` a full :class:`QueryTrace` is kept on
+        :attr:`last_trace`.  Returns ``(plan, tally, operators_before)``.
+        """
+        plan = self.bind(query)
+        operators_before = sum(1 for _ in plan.walk())
+        if not optimize:
+            return plan, None, operators_before
+        from .optimizer.pipeline import optimize_plan
+
+        if self.tracing:
+            if sql is None and isinstance(query, str):
+                sql = query
+            tally: RewriteTally = QueryTrace(sql=sql, profile=self._profile_name)
+        else:
+            tally = RewriteTally()
+        plan = optimize_plan(plan, self._profile_name, self, trace=tally)
+        self._absorb_trace(tally)
+        if tally.enabled:
+            self._last_trace = tally  # type: ignore[assignment]
+        return plan, tally, operators_before
 
     # -- planning ------------------------------------------------------------------
 
@@ -127,15 +205,37 @@ class Database:
         return Binder(self.catalog).bind_query(query)
 
     def plan_for(self, sql_or_query: "str | ast.Query", optimize: bool = True) -> LogicalOp:
-        plan = self.bind(sql_or_query)
-        if optimize:
-            from .optimizer.pipeline import optimize_plan
-
-            plan = optimize_plan(plan, self._profile_name, self)
+        sql = sql_or_query if isinstance(sql_or_query, str) else None
+        plan, _, _ = self._plan_with_trace(sql_or_query, optimize, sql)
         return plan
 
-    def explain(self, sql: str, optimize: bool = True) -> str:
-        return explain_plan(self.plan_for(sql, optimize))
+    def explain(self, sql: str, optimize: bool = True, analyze: bool = False) -> str:
+        """EXPLAIN (the plan tree) or EXPLAIN ANALYZE (``analyze=True``:
+        actually run the query and annotate every operator with its actual
+        row count and wall time).
+
+        Example::
+
+            print(db.explain("select * from v limit 3", analyze=True))
+            # Limit 3 (actual rows=3 time=0.051ms)
+            #   Scan orders (actual rows=150 time=0.040ms)
+            # execution: 3 row(s) in 0.068ms, 150 row(s) scanned
+        """
+        if not analyze:
+            return explain_plan(self.plan_for(sql, optimize))
+        from .observability.instrument import render_analyze, run_analyzed
+
+        plan = self.plan_for(sql, optimize)
+        snapshot = self.begin()
+        try:
+            result, collector = run_analyzed(self._executor, plan, snapshot)
+        finally:
+            self.commit(snapshot)
+        self._m_queries.inc()
+        self._m_latency.observe(collector.elapsed_s)
+        if self._last_trace is not None and self.tracing:
+            self._last_trace.execution = collector
+        return render_analyze(plan, collector)
 
     def plan_statistics(self, sql: str, optimize: bool = True):
         return plan_stats(self.plan_for(sql, optimize))

@@ -1,0 +1,27 @@
+"""Query observability: rewrite tracing, EXPLAIN ANALYZE, engine metrics.
+
+Three coordinated layers (see DESIGN.md, "Observability"):
+
+1. **Rewrite tracing** (:mod:`.trace`) — a :class:`QueryTrace` threaded
+   through the optimizer pipeline records which named rewrite cases fired
+   (``AJ 1a``, ``AJ 2a``, ``ASJ``, ``union-uaj``, ...) per fixpoint
+   iteration, queryable as structured events or rendered as a text report.
+2. **Executor instrumentation** (:mod:`.instrument`) — per-operator actual
+   rows / chunks / wall time, surfaced by ``Database.explain(sql,
+   analyze=True)``.
+3. **Metrics** (:mod:`.metrics`) — a thread-safe
+   :class:`MetricsRegistry` (counters, gauges, p50/p95 histograms) owned by
+   the :class:`~repro.database.Database` facade.
+
+Tracing is zero-cost when disabled: the default :data:`NULL_TRACE` turns
+every hook into a no-op called only at rewrite-fire sites.
+"""
+
+from .trace import NULL_TRACE, NullTrace, QueryTrace, RewriteTally, TraceEvent  # noqa: F401
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry  # noqa: F401
+from .instrument import (  # noqa: F401
+    ExecutionCollector,
+    OperatorStats,
+    render_analyze,
+    run_analyzed,
+)

@@ -1,0 +1,102 @@
+"""Executor instrumentation: per-operator runtime statistics.
+
+An :class:`ExecutionCollector` is handed to
+:meth:`repro.engine.executor.Executor.execute`; the executor then records,
+for every operator materialization, the rows produced, the number of chunks
+(invocations), and the inclusive wall time.  ``Database.explain(sql,
+analyze=True)`` runs a query under a collector and annotates the plan tree
+with the actual counts — the classic EXPLAIN ANALYZE surface.
+
+Operators the executor *fuses* into a parent (the pipelined limit chain,
+block-pruned filtered scans, limited scans) never materialize on their own
+and are annotated ``(fused into parent)`` — which is itself useful signal:
+it shows the engine's pipelining at work.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..algebra import ops
+
+
+@dataclass
+class OperatorStats:
+    """Runtime statistics for one plan operator."""
+
+    label: str
+    rows_out: int = 0
+    chunks: int = 0       # materialization count (invocations)
+    elapsed_s: float = 0.0  # inclusive of children
+    is_scan: bool = False
+
+
+@dataclass
+class ExecutionCollector:
+    """Accumulates per-operator stats during one (or more) executions.
+
+    Keyed by operator object identity: plans are trees of distinct nodes,
+    so ``id(op)`` is a stable key for the lifetime of the plan.
+    """
+
+    _stats: dict[int, OperatorStats] = field(default_factory=dict)
+    root: object = None       # the plan tree actually executed
+    elapsed_s: float = 0.0    # total execution wall time
+    result_rows: int = 0
+
+    def record(self, op, rows: int, elapsed_s: float) -> None:
+        stats = self._stats.get(id(op))
+        if stats is None:
+            stats = OperatorStats(op.label(), is_scan=isinstance(op, ops.Scan))
+            self._stats[id(op)] = stats
+        stats.rows_out += rows
+        stats.chunks += 1
+        stats.elapsed_s += elapsed_s
+
+    def stats_for(self, op) -> OperatorStats | None:
+        return self._stats.get(id(op))
+
+    def rows_scanned(self) -> int:
+        """Total rows produced by Scan operators (post-MVCC visibility)."""
+        return sum(s.rows_out for s in self._stats.values() if s.is_scan)
+
+    def operator_count(self) -> int:
+        return len(self._stats)
+
+    def annotation(self, op) -> str:
+        """The EXPLAIN ANALYZE suffix for one plan node."""
+        stats = self._stats.get(id(op))
+        if stats is None:
+            return "(fused into parent)"
+        loops = f" loops={stats.chunks}" if stats.chunks > 1 else ""
+        return (
+            f"(actual rows={stats.rows_out}{loops} "
+            f"time={stats.elapsed_s * 1e3:.3f}ms)"
+        )
+
+
+def run_analyzed(executor, plan, txn):
+    """Execute ``plan`` under a fresh collector; returns (result, collector)."""
+    collector = ExecutionCollector()
+    start = time.perf_counter()
+    result = executor.execute(plan, txn, collector=collector)
+    collector.elapsed_s = time.perf_counter() - start
+    collector.result_rows = len(result.rows)
+    return result, collector
+
+
+def render_analyze(plan, collector) -> str:
+    """EXPLAIN ANALYZE text: the annotated plan tree plus a summary."""
+    from ..algebra.printer import explain
+
+    tree = explain(
+        collector.root if collector.root is not None else plan,
+        annotate=collector.annotation,
+    )
+    summary = (
+        f"execution: {collector.result_rows} row(s) in "
+        f"{collector.elapsed_s * 1e3:.3f}ms, "
+        f"{collector.rows_scanned()} row(s) scanned"
+    )
+    return f"{tree}\n{summary}"

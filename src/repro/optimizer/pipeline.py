@@ -11,12 +11,25 @@ rewrite phase in §2.2):
 
 Steps 1-5 repeat until the plan's structural signature stabilizes (UAJ
 removal routinely exposes further opportunities in deep VDM stacks).
+
+A :class:`~repro.observability.trace.QueryTrace` can ride along: each pass
+then records its wall time, whether it changed the structural signature,
+and how many operators it removed, and the rule modules record the named
+rewrite cases they fire.  With the default null trace none of that
+bookkeeping runs.  If the fixpoint loop exhausts :data:`MAX_ITERATIONS`
+while the plan is still changing, a one-line ``warnings.warn`` makes the
+non-convergence visible (deep VDM stacks that never stabilize would
+otherwise silently execute a half-optimized plan).
 """
 
 from __future__ import annotations
 
+import time
+import warnings
+
 from ..algebra.ops import LogicalOp
 from ..algebra.printer import structural_signature
+from ..observability.trace import NULL_TRACE
 from .profiles import (
     CAP_FILTER_PUSHDOWN,
     CAP_JOIN_REORDER,
@@ -32,36 +45,82 @@ from .rules.simplify_joins import SimplifyContext, simplify_plan
 MAX_ITERATIONS = 5
 
 
+class FixpointWarning(RuntimeWarning):
+    """The rewrite loop hit MAX_ITERATIONS while the plan was still changing."""
+
+
 def optimize_plan(
-    plan: LogicalOp, profile: "str | OptimizerProfile", db=None
+    plan: LogicalOp, profile: "str | OptimizerProfile", db=None, trace=None
 ) -> LogicalOp:
     """Optimize ``plan`` under a capability profile.
 
     ``db`` is accepted for interface stability (cost-based decisions could
     consult statistics); the implemented rules are purely structural.
+    ``trace`` is any trace object from :mod:`repro.observability.trace`
+    (default: the no-op null trace).
     """
+    if trace is None:
+        trace = NULL_TRACE
     resolved = get_profile(profile) if isinstance(profile, str) else profile
     if not resolved.caps:
         return plan
     signature = structural_signature(plan)
-    for _ in range(MAX_ITERATIONS):
-        sctx = SimplifyContext(resolved)
-        plan = cleanup_plan(plan, sctx)
+    converged = False
+    for iteration in range(MAX_ITERATIONS):
+        trace.begin_iteration(iteration)
+        plan = _run_pass(trace, iteration, "cleanup", cleanup_plan, plan, resolved)
         if resolved.has(CAP_FILTER_PUSHDOWN):
-            plan = push_filters(plan)
-        plan = simplify_plan(plan, SimplifyContext(resolved))
-        plan = cleanup_plan(plan, SimplifyContext(resolved))
-        plan = push_limits(plan, SimplifyContext(resolved))
-        plan = push_aggregates(plan, SimplifyContext(resolved))
+            plan = _run_pass(
+                trace, iteration, "filter_pushdown",
+                lambda p, sctx: push_filters(p, sctx.trace), plan, resolved,
+            )
+        plan = _run_pass(trace, iteration, "simplify", simplify_plan, plan, resolved)
+        plan = _run_pass(trace, iteration, "cleanup2", cleanup_plan, plan, resolved)
+        plan = _run_pass(trace, iteration, "limit_pushdown", push_limits, plan, resolved)
+        plan = _run_pass(trace, iteration, "agg_pushdown", push_aggregates, plan, resolved)
         new_signature = structural_signature(plan)
-        if new_signature == signature:
+        changed = new_signature != signature
+        trace.end_iteration(iteration, changed)
+        if not changed:
+            converged = True
             break
         signature = new_signature
+    if not converged:
+        message = (
+            f"optimizer did not reach a fixpoint within {MAX_ITERATIONS} "
+            f"iterations; executing the last plan (profile {resolved.name!r})"
+        )
+        trace.warning(message)
+        warnings.warn(message, FixpointWarning, stacklevel=2)
     # Cost-based phase: greedy reordering of the surviving inner-join
     # regions (the paper's §2.2 heuristic-then-cost-based pipeline).
     if resolved.has(CAP_JOIN_REORDER) and db is not None:
         from .join_order import reorder_joins
 
-        plan = reorder_joins(plan, db.catalog)
-        plan = cleanup_plan(plan, SimplifyContext(resolved))
+        plan = _run_pass(
+            trace, None, "join_reorder",
+            lambda p, sctx: reorder_joins(p, db.catalog), plan, resolved,
+        )
+        plan = _run_pass(trace, None, "cleanup3", cleanup_plan, plan, resolved)
+    return plan
+
+
+def _run_pass(trace, iteration, name, fn, plan, resolved):
+    """Run one pass with a fresh SimplifyContext (derivation caches are
+    keyed by node identity and must not outlive a plan mutation)."""
+    sctx = SimplifyContext(resolved, trace)
+    if not trace.enabled:
+        return fn(plan, sctx)
+    before_signature = structural_signature(plan)
+    before_ops = sum(1 for _ in plan.walk())
+    start = time.perf_counter()
+    plan = fn(plan, sctx)
+    elapsed = time.perf_counter() - start
+    trace.record_pass(
+        name,
+        iteration,
+        structural_signature(plan) != before_signature,
+        elapsed,
+        before_ops - sum(1 for _ in plan.walk()),
+    )
     return plan

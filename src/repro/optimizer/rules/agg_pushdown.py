@@ -28,18 +28,18 @@ from .simplify_joins import SimplifyContext
 def push_aggregates(plan: LogicalOp, sctx: SimplifyContext) -> LogicalOp:
     if not sctx.has(CAP_AGG_PUSHDOWN_PRECISION):
         return plan
-    return _rewrite(plan)
+    return _rewrite(plan, sctx)
 
 
-def _rewrite(op: LogicalOp) -> LogicalOp:
-    children = [_rewrite(child) for child in op.children]
+def _rewrite(op: LogicalOp, sctx: SimplifyContext) -> LogicalOp:
+    children = [_rewrite(child, sctx) for child in op.children]
     op = op.with_children(children)
     if isinstance(op, Aggregate):
-        return _rewrite_aggregate(op)
+        return _rewrite_aggregate(op, sctx)
     return op
 
 
-def _rewrite_aggregate(op: Aggregate) -> LogicalOp:
+def _rewrite_aggregate(op: Aggregate, sctx: SimplifyContext) -> LogicalOp:
     new_aggs: list[tuple[OutputCol, AggCall]] = []
     post_items: list[tuple[OutputCol, Expr]] = []
     changed = False
@@ -65,6 +65,7 @@ def _rewrite_aggregate(op: Aggregate) -> LogicalOp:
         post_items.append((col, post))
     if not changed:
         return op
+    sctx.trace.rewrite("agg-precision", aggregates=len(new_aggs))
     new_agg = Aggregate(op.child, op.group_cids, tuple(new_aggs))
     key_items = tuple(
         (new_agg.find_col(cid), new_agg.find_col(cid).as_ref()) for cid in op.group_cids

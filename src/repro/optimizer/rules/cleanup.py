@@ -94,6 +94,7 @@ def _cleanup(op: LogicalOp, sctx: SimplifyContext) -> LogicalOp:
         visible = frozenset(op.output_cids)
         keys = sctx.derivation.unique_keys(op.child)
         if any(key <= visible for key in keys):
+            sctx.trace.rewrite("distinct-elim")
             return op.child
         return op
 
@@ -101,12 +102,12 @@ def _cleanup(op: LogicalOp, sctx: SimplifyContext) -> LogicalOp:
         return _normalize_join(op)
 
     if isinstance(op, UnionAll) and sctx.has(CAP_UNION_PRUNE):
-        return _prune_union(op)
+        return _prune_union(op, sctx)
 
     return op
 
 
-def _prune_union(op: UnionAll) -> LogicalOp:
+def _prune_union(op: UnionAll, sctx: SimplifyContext) -> LogicalOp:
     """Drop provably empty Union All children; collapse a 1-child union.
 
     This is how a branch-id filter eliminates a draft-pattern union: a
@@ -122,6 +123,9 @@ def _prune_union(op: UnionAll) -> LogicalOp:
     ]
     if len(alive) == len(op.inputs):
         return op
+    sctx.trace.rewrite(
+        "union-prune", dropped=len(op.inputs) - len(alive), kept=len(alive)
+    )
     if not alive:
         alive = [(op.inputs[0], op.child_maps[0])]  # keep one empty child
     if len(alive) == 1:

@@ -34,15 +34,17 @@ from ...algebra.ops import (
 )
 
 
-def push_filters(plan: LogicalOp) -> LogicalOp:
-    return _push(plan, [])
+def push_filters(plan: LogicalOp, trace=None) -> LogicalOp:
+    from ...observability.trace import NULL_TRACE
+
+    return _push(plan, [], NULL_TRACE if trace is None else trace)
 
 
-def _push(op: LogicalOp, pending: list[Expr]) -> LogicalOp:
+def _push(op: LogicalOp, pending: list[Expr], trace) -> LogicalOp:
     from ...algebra.expr import conjuncts
 
     if isinstance(op, Filter):
-        return _push(op.child, pending + conjuncts(op.predicate))
+        return _push(op.child, pending + conjuncts(op.predicate), trace)
 
     if isinstance(op, Project):
         mapping = {col.cid: expr for col, expr in op.items}
@@ -56,7 +58,7 @@ def _push(op: LogicalOp, pending: list[Expr]) -> LogicalOp:
                 pushable.append(substitute_cids(conjunct, mapping))
             else:
                 stuck.append(conjunct)
-        result: LogicalOp = Project(_push(op.child, pushable), op.items)
+        result: LogicalOp = Project(_push(op.child, pushable, trace), op.items)
         return _wrap(result, stuck)
 
     if isinstance(op, Join):
@@ -71,7 +73,11 @@ def _push(op: LogicalOp, pending: list[Expr]) -> LogicalOp:
                 to_right.append(conjunct)
             else:
                 stuck.append(conjunct)
-        new_join = op.with_children([_push(op.left, to_left), _push(op.right, to_right)])
+        if to_left or to_right:
+            trace.rewrite("filter-pushdown-join", moved=len(to_left) + len(to_right))
+        new_join = op.with_children(
+            [_push(op.left, to_left, trace), _push(op.right, to_right, trace)]
+        )
         return _wrap(new_join, stuck)
 
     if isinstance(op, UnionAll):
@@ -82,6 +88,11 @@ def _push(op: LogicalOp, pending: list[Expr]) -> LogicalOp:
                 pushable.append(conjunct)
             else:
                 stuck.append(conjunct)
+        if pushable:
+            trace.rewrite(
+                "filter-pushdown-union",
+                moved=len(pushable), branches=len(op.inputs),
+            )
         new_children = []
         for child, mapping in zip(op.inputs, op.child_maps):
             child_pending = []
@@ -94,25 +105,25 @@ def _push(op: LogicalOp, pending: list[Expr]) -> LogicalOp:
                         child_cid, child_col.name, child_col.data_type, child_col.nullable
                     )
                 child_pending.append(substitute_cids(conjunct, substitution))
-            new_children.append(_push(child, child_pending))
+            new_children.append(_push(child, child_pending, trace))
         return _wrap(op.with_children(new_children), stuck)
 
     if isinstance(op, (Sort, Distinct)):
-        return op.with_children([_push(op.children[0], pending)])
+        return op.with_children([_push(op.children[0], pending, trace)])
 
     if isinstance(op, Aggregate):
         keys = frozenset(op.group_cids)
         pushable, stuck = [], []
         for conjunct in pending:
             (pushable if referenced_cids(conjunct) <= keys else stuck).append(conjunct)
-        new_agg = op.with_children([_push(op.child, pushable)])
+        new_agg = op.with_children([_push(op.child, pushable, trace)])
         return _wrap(new_agg, stuck)
 
     if isinstance(op, Limit):
-        return _wrap(op.with_children([_push(op.child, [])]), pending)
+        return _wrap(op.with_children([_push(op.child, [], trace)]), pending)
 
     # Scan and anything else: stop here.
-    children = [_push(child, []) for child in op.children]
+    children = [_push(child, [], trace) for child in op.children]
     return _wrap(op.with_children(children), pending)
 
 

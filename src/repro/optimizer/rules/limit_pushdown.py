@@ -45,6 +45,7 @@ def _push_one_limit(op: Limit, sctx: SimplifyContext) -> LogicalOp | None:
 
     if isinstance(child, Join) and sctx.has(CAP_LIMIT_PUSHDOWN_AJ):
         if is_augmentation_join(child, sctx.derivation) is not None:
+            sctx.trace.rewrite("limit-pushdown-aj", limit=op.limit, offset=op.offset)
             pushed = Limit(child.left, op.limit, op.offset)
             return child.with_children([pushed, child.right])
 
@@ -58,6 +59,7 @@ def _push_one_limit(op: Limit, sctx: SimplifyContext) -> LogicalOp | None:
         if all(k.cid in anchor_cids for k in child.keys) and (
             is_augmentation_join(join, sctx.derivation) is not None
         ):
+            sctx.trace.rewrite("limit-pushdown-topn", limit=op.limit, offset=op.offset)
             pushed = Limit(Sort(join.left, child.keys), op.limit, op.offset)
             return join.with_children([pushed, join.right])
 
@@ -79,6 +81,7 @@ def _push_one_limit(op: Limit, sctx: SimplifyContext) -> LogicalOp | None:
                 changed = True
         if not changed:
             return None
+        sctx.trace.rewrite("limit-pushdown-union", branches=len(child.inputs))
         return Limit(child.with_children(new_children), op.limit, op.offset)
 
     return None

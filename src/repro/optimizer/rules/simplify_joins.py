@@ -38,6 +38,7 @@ from ...algebra.ops import (
 )
 from ...algebra.properties import DerivationContext
 from ...errors import OptimizerError
+from ...observability.trace import NULL_TRACE
 from ..augmentation import (
     AugmenterView,
     augmenter_view,
@@ -57,14 +58,27 @@ from ..profiles import (
 
 
 class SimplifyContext:
-    """Per-optimization state: profile + property derivation caches."""
+    """Per-optimization state: profile + property derivation caches + the
+    rewrite trace (default: the zero-cost null trace)."""
 
-    def __init__(self, profile: OptimizerProfile):
+    def __init__(self, profile: OptimizerProfile, trace=None):
         self.profile = profile
         self.derivation = DerivationContext(profile.caps)
+        self.trace = NULL_TRACE if trace is None else trace
 
     def has(self, cap: str) -> bool:
         return self.profile.has(cap)
+
+
+# The paper's case taxonomy (§4.2/§4.3) keyed by the augmentation-evidence
+# kind derived in :mod:`repro.optimizer.augmentation`.
+UAJ_CASE_NAMES = {
+    "fk": "AJ 1a",                 # FK into the augmenter's key (inner)
+    "self_join": "AJ 1b",          # inner equi-self-join on key
+    "left_outer_unique": "AJ 2a",  # unique augmenter join columns (left outer)
+    "declared": "AJ declared",     # TO [EXACT] ONE declared cardinality (§7.3)
+    "empty": "AJ 2b",              # provably empty augmenter
+}
 
 
 def simplify_plan(plan: LogicalOp, sctx: SimplifyContext) -> LogicalOp:
@@ -165,6 +179,7 @@ def _simplify_join(op: Join, required: frozenset[int], sctx: SimplifyContext) ->
         and sctx.has(CAP_UAJ_EMPTY)
         and is_provably_empty(op.right)
     ):
+        sctx.trace.rewrite("AJ 2b", augmenter=type(op.right).__name__)
         left = _simplify(op.left, required & left_cids, sctx)
         items = [(col, col.as_ref()) for col in left.output if col.cid in required]
         for col in op.output:
@@ -180,7 +195,13 @@ def _simplify_join(op: Join, required: frozenset[int], sctx: SimplifyContext) ->
 
     # UAJ: unused augmenter + pure augmentation -> drop the join (§4.3).
     if not right_used and sctx.has(CAP_UAJ):
-        if is_augmentation_join(op, sctx.derivation) is not None:
+        info = is_augmentation_join(op, sctx.derivation)
+        if info is not None:
+            case = UAJ_CASE_NAMES.get(info.kind, f"AJ {info.kind}")
+            if isinstance(op.right, UnionAll):
+                sctx.trace.rewrite("union-uaj", evidence=info.kind)
+            else:
+                sctx.trace.rewrite(case, augmenter=type(op.right).__name__)
             return _simplify(op.left, required & left_cids, sctx)
 
     condition_refs = referenced_cids(op.condition)
@@ -335,6 +356,9 @@ def _try_scalar_asj(
         out_col = op.find_col(cid)
         source = anchor.find_col(exposed[cid])
         items.append((out_col, source.as_ref()))
+    sctx.trace.rewrite(
+        "ASJ", table=view.scan.schema.name, rewired_columns=len(right_used)
+    )
     return Project(anchor, tuple(items))
 
 
@@ -481,6 +505,10 @@ def _try_union_anchor_asj(
         out_col = op.find_col(cid)
         source = simplified.find_col(exposed_for[cid])
         items.append((out_col, source.as_ref()))
+    sctx.trace.rewrite(
+        "ASJ union-anchor", table=view.scan.schema.name,
+        branches=len(union.inputs),
+    )
     return Project(simplified, tuple(items))
 
 
@@ -667,6 +695,11 @@ def _try_union_augmenter_asj(
         else:
             source = simplified.find_col(exposed_for[cid])
         items.append((out_col, source.as_ref()))
+    sctx.trace.rewrite(
+        "ASJ union-augmenter",
+        branches=len(aug.inputs),
+        declared="case-join" if op.case_join else "heuristic",
+    )
     return Project(simplified, tuple(items))
 
 

@@ -55,13 +55,16 @@ class TransactionManager:
     apart from in-flight work.
     """
 
-    def __init__(self, wal=None) -> None:
+    def __init__(self, wal=None, metrics=None) -> None:
         self._next_tid = 1
         self._next_commit_ts = 1
         self._commit_ts: dict[int, int] = {}
         self._aborted: set[int] = set()
         self._active: dict[int, Transaction] = {}
         self._wal = wal
+        # Pre-resolved counter handles: commit/abort are hot paths.
+        self._m_commits = None if metrics is None else metrics.counter("txn.commits")
+        self._m_aborts = None if metrics is None else metrics.counter("txn.aborts")
 
     # -- lifecycle --------------------------------------------------------
 
@@ -84,6 +87,8 @@ class TransactionManager:
         del self._active[txn.tid]
         if self._wal is not None:
             self._wal.log_commit(txn.tid)
+        if self._m_commits is not None:
+            self._m_commits.inc()
         return ts
 
     def rollback(self, txn: Transaction) -> None:
@@ -97,6 +102,8 @@ class TransactionManager:
         del self._active[txn.tid]
         if self._wal is not None:
             self._wal.log_abort(txn.tid)
+        if self._m_aborts is not None:
+            self._m_aborts.inc()
 
     # -- visibility --------------------------------------------------------
 

@@ -42,11 +42,17 @@ class LogRecord:
 
 
 class WriteAheadLog:
-    """Append-only logical redo log."""
+    """Append-only logical redo log.
 
-    def __init__(self) -> None:
+    ``metrics``, when given, is a
+    :class:`repro.observability.metrics.MetricsRegistry`; every appended
+    record increments its ``wal.appends`` counter.
+    """
+
+    def __init__(self, metrics=None) -> None:
         self._records: list[LogRecord] = []
         self._next_lsn = 1
+        self._m_appends = None if metrics is None else metrics.counter("wal.appends")
 
     def __len__(self) -> int:
         return len(self._records)
@@ -58,6 +64,8 @@ class WriteAheadLog:
         record = LogRecord(self._next_lsn, tid, kind, table, payload)
         self._next_lsn += 1
         self._records.append(record)
+        if self._m_appends is not None:
+            self._m_appends.inc()
         return record
 
     def log_insert(self, tid: int, table: str, row: tuple) -> LogRecord:

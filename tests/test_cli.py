@@ -44,6 +44,24 @@ class TestRunCommand:
         out = capsys.readouterr().out
         assert "bound" in out and "optimized" in out
 
+    def test_analyze_command(self, db, capsys):
+        run_command(db, ".analyze select o_id from orderview")
+        out = capsys.readouterr().out
+        assert "actual rows=" in out and "execution:" in out
+
+    def test_trace_command(self, db, capsys):
+        run_command(db, ".trace select o_id from orderview")
+        out = capsys.readouterr().out
+        assert "query trace" in out and "fixpoint:" in out
+        assert db.tracing is False   # restored afterwards
+
+    def test_metrics_command(self, db, capsys):
+        run_command(db, "select count(*) from orders")
+        capsys.readouterr()
+        run_command(db, ".metrics")
+        out = capsys.readouterr().out
+        assert "queries.executed" in out
+
     def test_profile_switch(self, db, capsys):
         run_command(db, ".profile postgres")
         assert "postgres" in capsys.readouterr().out
@@ -93,6 +111,58 @@ class TestFormatting:
         lines = format_result(result).splitlines()
         assert lines[0].startswith("c_id")
         assert set(lines[1]) <= {"-", " "}
+
+
+class TestSubcommands:
+    def test_explain_subcommand(self, capsys):
+        from repro.__main__ import run_subcommand
+
+        assert run_subcommand(
+            ["explain", "--analyze", "select o_id, c_name from orderview"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "actual rows=" in out and "execution:" in out
+
+    def test_explain_no_optimize(self, capsys):
+        from repro.__main__ import run_subcommand
+
+        assert run_subcommand(
+            ["explain", "--no-optimize", "select o_id from orderview"]
+        ) == 0
+        assert "Join" in capsys.readouterr().out
+
+    def test_trace_subcommand(self, capsys):
+        from repro.__main__ import run_subcommand
+
+        assert run_subcommand(["trace", "select o_id from orderview"]) == 0
+        out = capsys.readouterr().out
+        assert "query trace" in out and "AJ declared" in out
+
+    def test_metrics_subcommand(self, capsys):
+        from repro.__main__ import run_subcommand
+
+        assert run_subcommand(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "queries.executed" in out
+        assert "optimizer.rewrites" in out
+
+    def test_unknown_profile_reported_not_raised(self, capsys):
+        from repro.__main__ import run_subcommand
+
+        assert run_subcommand(["trace", "--profile", "hanna", "select 1"]) == 1
+        assert "unknown optimizer profile" in capsys.readouterr().err
+
+    def test_subcommand_error_exit_code(self, capsys):
+        from repro.__main__ import run_subcommand
+
+        assert run_subcommand(["explain", "select nothere from orders"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_main_dispatches_to_subcommand(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["metrics"]) == 0
+        assert "queries.executed" in capsys.readouterr().out
 
 
 def test_shell_end_to_end():

@@ -1,0 +1,200 @@
+"""MetricsRegistry unit tests: primitives, thread-safety, percentiles,
+and the Database wiring (queries, WAL, MVCC, cached views)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import Database
+from repro.observability import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestPrimitives:
+    def test_counter(self):
+        c = Counter("c")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_gauge(self):
+        g = Gauge("g")
+        g.set(3.5)
+        assert g.value == 3.5
+        g.add(-1.5)
+        assert g.value == 2.0
+
+    def test_histogram_running_stats(self):
+        h = Histogram("h")
+        for v in (4.0, 1.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 8.0
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.mean == pytest.approx(8.0 / 3)
+
+    def test_histogram_empty(self):
+        h = Histogram("h")
+        assert h.mean is None
+        assert h.percentile(50) is None
+        summary = h.summary()
+        assert summary["count"] == 0
+        assert summary["p95"] is None
+
+    def test_histogram_percentiles(self):
+        h = Histogram("h")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert 49.0 <= h.percentile(50) <= 52.0
+        assert 94.0 <= h.percentile(95) <= 96.0
+
+    def test_histogram_window_bounds_memory(self):
+        h = Histogram("h", window=8)
+        for v in range(1000):
+            h.observe(float(v))
+        assert len(h._buf) == 8
+        assert h.count == 1000          # running stats see everything
+        assert h.max == 999.0
+        assert h.percentile(0) >= 992.0  # window keeps only the recent tail
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_type_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_snapshot_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(3.0)
+        snap = reg.snapshot()
+        assert snap["c"] == 2
+        assert snap["g"] == 1.5
+        assert snap["h"]["count"] == 1 and snap["h"]["p50"] == 3.0
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.names() == []
+
+    def test_render_lists_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("queries.executed").inc(7)
+        reg.histogram("lat").observe(0.5)
+        text = reg.render()
+        assert "queries.executed" in text and "7" in text
+        assert "p95=" in text
+
+    def test_render_empty(self):
+        assert "no metrics" in MetricsRegistry().render()
+
+
+class TestThreadSafety:
+    def test_concurrent_counter_increments(self):
+        c = Counter("c")
+        threads = [
+            threading.Thread(target=lambda: [c.inc() for _ in range(5000)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8 * 5000
+
+    def test_concurrent_histogram_observes(self):
+        h = Histogram("h", window=64)
+        threads = [
+            threading.Thread(target=lambda: [h.observe(1.0) for _ in range(2000)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.count == 8 * 2000
+        assert h.total == pytest.approx(8 * 2000.0)
+        assert len(h._buf) == 64
+
+    def test_concurrent_get_or_create(self):
+        reg = MetricsRegistry()
+        seen = []
+
+        def worker():
+            seen.append(reg.counter("same"))
+
+        threads = [threading.Thread(target=worker) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(c is seen[0] for c in seen)
+
+
+class TestDatabaseWiring:
+    def test_query_and_optimizer_metrics(self):
+        db = Database()
+        db.execute("create table t (id int primary key, v int)")
+        db.execute("insert into t values (1, 10), (2, 20)")
+        db.execute("create table u (id int primary key, w int)")
+        db.query("select t.id from t left outer join u on t.id = u.id")
+        snap = db.metrics.snapshot()
+        assert snap["queries.executed"] >= 1
+        assert snap["queries.latency_s"]["count"] >= 1
+        assert snap["optimizer.runs"] >= 1
+        assert snap["optimizer.rewrites.AJ 2a"] >= 1
+
+    def test_wal_and_txn_metrics(self):
+        db = Database()
+        db.execute("create table t (id int primary key)")
+        db.execute("insert into t values (1), (2)")
+        txn = db.begin()
+        db.rollback(txn)
+        snap = db.metrics.snapshot()
+        assert snap["wal.appends"] >= 3      # 2 inserts + 1 commit
+        assert snap["txn.commits"] >= 1
+        assert snap["txn.aborts"] == 1
+
+    def test_wal_disabled_has_no_wal_metric(self):
+        db = Database(wal_enabled=False)
+        db.execute("create table t (id int primary key)")
+        db.execute("insert into t values (1)")
+        assert "wal.appends" not in db.metrics.snapshot()
+
+    def test_cached_view_metrics(self):
+        from repro.cache import CachedViewManager
+
+        db = Database()
+        db.execute("create table s (k int primary key, v int)")
+        db.execute("insert into s values (1, 10), (2, 20)")
+        mgr = CachedViewManager(db)
+        mgr.create_dynamic("agg", "select k, sum(v) as sv from s group by k")
+        mgr.query_fresh("agg")                       # nothing pending: hit
+        db.execute("insert into s values (3, 30)")
+        mgr.query_fresh("agg")                       # pending increment: miss
+        snap = db.metrics.snapshot()
+        assert snap["cache.hits"] >= 1
+        assert snap["cache.misses"] >= 1
+        assert snap["cache.refreshes"] >= 1
+        assert snap["cache.incremental_rows"] >= 1
+
+    def test_explain_analyze_counts_as_query(self):
+        db = Database()
+        db.execute("create table t (id int primary key)")
+        db.execute("insert into t values (1)")
+        before = db.metrics.counter("queries.executed").value
+        db.explain("select id from t", analyze=True)
+        assert db.metrics.counter("queries.executed").value == before + 1
