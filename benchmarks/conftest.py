@@ -4,6 +4,12 @@ Set ``REPRO_DUMP_TRACES=1`` to record a :class:`repro.observability.trace.
 QueryTrace` for every query a benchmark optimizes and dump them (rewrite
 fires, pass changed-flags, iteration counts, convergence — no wall times,
 so the dump is stable across runs) to ``benchmarks/results/traces.json``.
+
+Every benchmark session also appends a machine-readable summary (median
+timings, rewrite-fire counts, operator tallies) to
+``benchmarks/results/BENCH_history.json``; ``python -m repro bench-diff``
+compares the last two entries.  Set ``REPRO_NO_BENCH_HISTORY=1`` to skip
+the append (e.g. for throwaway local runs).
 """
 
 from __future__ import annotations
@@ -15,11 +21,15 @@ from pathlib import Path
 import pytest
 
 from repro import Database
+from repro.bench.history import append_run, summarize_benchmarks
 from repro.workloads import create_sales_schema, create_tpch_schema, load_sales, load_tpch
 
 DUMP_TRACES = bool(os.environ.get("REPRO_DUMP_TRACES"))
+BENCH_HISTORY = not os.environ.get("REPRO_NO_BENCH_HISTORY")
 RESULTS_DIR = Path(__file__).parent / "results"
+HISTORY_PATH = RESULTS_DIR / "BENCH_history.json"
 _collected_traces: list[dict] = []
+_session_dbs: list[Database] = []
 
 
 class _TraceDumpDatabase(Database):
@@ -33,9 +43,11 @@ class _TraceDumpDatabase(Database):
 
 def _make_db(**kwargs) -> Database:
     if not DUMP_TRACES:
-        return Database(**kwargs)
-    db = _TraceDumpDatabase(**kwargs)
-    db.tracing = True
+        db = Database(**kwargs)
+    else:
+        db = _TraceDumpDatabase(**kwargs)
+        db.tracing = True
+    _session_dbs.append(db)
     return db
 
 
@@ -46,6 +58,54 @@ def _dump_traces():
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / "traces.json"
         path.write_text(json.dumps(_collected_traces, indent=1, default=str))
+
+
+def _aggregate_session_metrics() -> dict:
+    """Fold the session databases' registries into history-entry fields."""
+    rewrites: dict[str, int] = {}
+    queries = 0
+    before_sum = before_n = after_sum = after_n = 0.0
+    for db in _session_dbs:
+        snap = db.metrics.snapshot()
+        for name, value in snap.items():
+            if name.startswith("optimizer.rewrites."):
+                case = name[len("optimizer.rewrites."):]
+                rewrites[case] = rewrites.get(case, 0) + value
+        queries += snap.get("queries.executed", 0)
+        for key, sums in (("plan.operators_before", "before"),
+                          ("plan.operators_after", "after")):
+            summary = snap.get(key)
+            if isinstance(summary, dict) and summary["count"]:
+                if sums == "before":
+                    before_sum += summary["sum"]
+                    before_n += summary["count"]
+                else:
+                    after_sum += summary["sum"]
+                    after_n += summary["count"]
+    return {
+        "rewrites": dict(sorted(rewrites.items())),
+        "queries_executed": queries,
+        "operators": {
+            "before_mean": before_sum / before_n if before_n else None,
+            "after_mean": after_sum / after_n if after_n else None,
+        },
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append this run's summary to BENCH_history.json."""
+    if not BENCH_HISTORY:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    benchmarks = getattr(bench_session, "benchmarks", None) or []
+    if not benchmarks and not _session_dbs:
+        return  # collection-only / unrelated invocation
+    entry = {
+        "argv": list(session.config.invocation_params.args),
+        "benchmarks": summarize_benchmarks(benchmarks),
+    }
+    entry.update(_aggregate_session_metrics())
+    append_run(entry, HISTORY_PATH)
 
 
 @pytest.fixture(scope="session")

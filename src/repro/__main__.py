@@ -9,8 +9,10 @@ exploring the engine and the paper's optimizations.  Dot-commands:
   .explain! <sql>           unoptimized (bound) plan
   .analyze <sql>            EXPLAIN ANALYZE (actual rows and timings)
   .trace <sql>              optimize under tracing; print the rewrite trace
+  .spans <sql>              run under span tracing; print the span tree
   .stats <sql>              plan statistics (the Fig. 3-style counters)
   .metrics                  engine metrics snapshot
+  .slow [threshold_ms]      show / configure the slow-query log
   .verify <sql>             §7.3 declared-cardinality verification
   .tables / .views          catalog listing
   .demo                     load a small demo schema
@@ -19,8 +21,10 @@ exploring the engine and the paper's optimizations.  Dot-commands:
 Subcommands (run against the built-in demo schema):
 
   python -m repro explain [--analyze] [--profile NAME] [--no-optimize] SQL
-  python -m repro trace   [--profile NAME] SQL
-  python -m repro metrics [--profile NAME] [SQL ...]
+  python -m repro trace   [--profile NAME] [--json] SQL
+  python -m repro metrics [--profile NAME] [--format table|prometheus|json] [SQL ...]
+  python -m repro serve-metrics [--port N] [--profile NAME]
+  python -m repro bench-diff [--history PATH] [--threshold PCT]
 """
 
 from __future__ import annotations
@@ -96,8 +100,32 @@ def run_command(db: Database, line: str) -> bool:
                 db.tracing = was_tracing
             assert db.last_trace is not None
             print(db.last_trace.report())
+        elif stripped.startswith(".spans"):
+            sql = stripped[len(".spans"):].strip()
+            was_tracing = db.tracing
+            db.tracing = True
+            try:
+                db.query(sql)
+            finally:
+                db.tracing = was_tracing
+            from .observability import render_span_tree
+
+            root = db.spans.last_root
+            assert root is not None
+            print(render_span_tree(root))
         elif stripped == ".metrics":
             print(db.metrics.render())
+        elif stripped.startswith(".slow"):
+            argument = stripped[len(".slow"):].strip()
+            if argument:
+                threshold_ms = float(argument)
+                db.slow_queries.configure(
+                    threshold_s=threshold_ms / 1e3 if threshold_ms >= 0 else None
+                )
+                print(f"slow-query threshold: {threshold_ms:g}ms"
+                      if threshold_ms >= 0 else "slow-query log disabled")
+            else:
+                print(db.slow_queries.render())
         elif stripped.startswith(".stats"):
             sql = stripped[len(".stats"):].strip()
             print("bound    :", db.plan_statistics(sql, optimize=False).summary())
@@ -173,6 +201,8 @@ def run_subcommand(argv: list[str]) -> int:
     p_trace = sub.add_parser("trace", help="print the rewrite trace of a query")
     p_trace.add_argument("sql")
     p_trace.add_argument("--profile", default=None)
+    p_trace.add_argument("--json", action="store_true",
+                         help="dump the trace (with the span tree) as JSON")
 
     p_metrics = sub.add_parser(
         "metrics", help="run queries (default: a demo workload), dump metrics"
@@ -180,8 +210,31 @@ def run_subcommand(argv: list[str]) -> int:
     p_metrics.add_argument("sql", nargs="*",
                            help="queries to run before the snapshot")
     p_metrics.add_argument("--profile", default=None)
+    p_metrics.add_argument("--format", default="table",
+                           choices=("table", "prometheus", "json"),
+                           help="output format (default: table)")
+
+    p_serve = sub.add_parser(
+        "serve-metrics",
+        help="run the demo workload, then serve /metrics, /trace, /slow over HTTP",
+    )
+    p_serve.add_argument("--port", type=int, default=9464,
+                         help="listen port (default: 9464; 0 picks a free port)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--profile", default=None)
+
+    p_diff = sub.add_parser(
+        "bench-diff",
+        help="compare the last two benchmark runs in BENCH_history.json",
+    )
+    p_diff.add_argument("--history", default=None,
+                        help="history file (default: benchmarks/results/BENCH_history.json)")
+    p_diff.add_argument("--threshold", type=float, default=None,
+                        help="regression threshold in percent (default: 20)")
 
     options = parser.parse_args(argv)
+    if options.command == "bench-diff":
+        return _run_bench_diff(options)
     try:
         db = _demo_db(options.profile)
         if options.command == "explain":
@@ -191,15 +244,78 @@ def run_subcommand(argv: list[str]) -> int:
             db.tracing = True
             db.query(options.sql)
             assert db.last_trace is not None
-            print(db.last_trace.report())
+            if options.json:
+                import json
+
+                print(json.dumps(db.last_trace.to_dict(spans=True), indent=1,
+                                 default=str))
+            else:
+                print(db.last_trace.report())
+        elif options.command == "serve-metrics":
+            return _run_serve_metrics(db, options)
         else:
             for sql in options.sql or DEMO_QUERIES:
                 db.query(sql)
-            print(db.metrics.render())
+            _print_metrics(db, options.format)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     return 0
+
+
+def _print_metrics(db: Database, fmt: str) -> None:
+    if fmt == "prometheus":
+        from .observability import render_prometheus
+
+        print(render_prometheus(db.metrics), end="")
+    elif fmt == "json":
+        from .observability import render_metrics_json
+
+        print(render_metrics_json(db.metrics))
+    else:
+        print(db.metrics.render())
+
+
+def _run_serve_metrics(db: Database, options) -> int:
+    from .observability import MetricsServer
+
+    db.tracing = True
+    db.slow_queries.configure(threshold_s=0.0)
+    for sql in DEMO_QUERIES:
+        db.query(sql)
+    server = MetricsServer(db, port=options.port, host=options.host)
+    print(f"serving metrics on {server.url}/metrics "
+          "(also /metrics.json, /trace, /slow, /healthz; Ctrl-C to stop)",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _run_bench_diff(options) -> int:
+    from .bench.history import (
+        DEFAULT_HISTORY, DEFAULT_THRESHOLD, diff_last_two, load_history,
+    )
+
+    path = options.history or DEFAULT_HISTORY
+    threshold = (options.threshold / 100.0 if options.threshold is not None
+                 else DEFAULT_THRESHOLD)
+    try:
+        history = load_history(path)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if len(history) < 2:
+        print(f"bench-diff: need two runs in {path}, have {len(history)} — "
+              "run the benchmarks twice first")
+        return 0
+    report = diff_last_two(history, threshold)
+    print(report.render())
+    return 1 if report.regressions else 0
 
 
 def main(argv: list[str] | None = None) -> int:

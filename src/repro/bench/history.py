@@ -1,0 +1,188 @@
+"""Performance history: machine-readable benchmark summaries across runs.
+
+Every ``benchmarks/bench_*.py`` session appends one entry to
+``benchmarks/results/BENCH_history.json`` (wired in
+``benchmarks/conftest.py``): per-benchmark medians plus engine-level
+aggregates (rewrite-fire counts, query/operator tallies) pulled from the
+session databases' metrics registries.  ``python -m repro bench-diff``
+compares the last two entries and flags median regressions beyond a
+threshold (default 20%), which is how performance drift between PRs
+becomes visible instead of anecdotal.
+
+History entry shape::
+
+    {
+      "run_at": "2026-08-05T12:34:56+00:00",
+      "argv": ["benchmarks/bench_table1_uaj.py", ...],
+      "benchmarks": {
+        "bench_table1_uaj.py::test_uaj1_execution_optimized": {
+          "median_s": 0.0021, "mean_s": 0.0022, "rounds": 35
+        }, ...
+      },
+      "rewrites": {"AJ 2a": 12, ...},
+      "queries_executed": 57,
+      "operators": {"before_mean": 9.5, "after_mean": 4.1}
+    }
+
+Timing-disabled (smoke) runs record ``median_s: null`` — the file stays
+well-formed and ``bench-diff`` skips those pairs.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+from dataclasses import dataclass
+
+DEFAULT_HISTORY = (
+    pathlib.Path(__file__).resolve().parents[3]
+    / "benchmarks" / "results" / "BENCH_history.json"
+)
+DEFAULT_THRESHOLD = 0.20
+MAX_ENTRIES = 200          # ring-buffer the file itself
+
+
+def load_history(path: "pathlib.Path | str" = DEFAULT_HISTORY) -> list[dict]:
+    path = pathlib.Path(path)
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: history must be a JSON list")
+    return data
+
+
+def append_run(entry: dict, path: "pathlib.Path | str" = DEFAULT_HISTORY) -> list[dict]:
+    """Append one run entry (stamping ``run_at`` if absent); returns the
+    full history."""
+    path = pathlib.Path(path)
+    history = load_history(path)
+    if "run_at" not in entry:
+        entry = {
+            "run_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            **entry,
+        }
+    history.append(entry)
+    history = history[-MAX_ENTRIES:]
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(history, indent=1, default=str) + "\n",
+                    encoding="utf-8")
+    return history
+
+
+def summarize_benchmarks(benchmarks) -> dict[str, dict]:
+    """pytest-benchmark fixtures -> {fullname: {median_s, mean_s, rounds}}.
+
+    Accepts the session's ``benchmarks`` list; entries without stats
+    (``--benchmark-disable`` smoke runs) record null timings.
+    """
+    out: dict[str, dict] = {}
+    for bench in benchmarks:
+        name = getattr(bench, "fullname", None) or getattr(bench, "name", "?")
+        stats = getattr(bench, "stats", None)
+        # pytest-benchmark's Metadata exposes Stats directly as .stats;
+        # older layouts nested it one level deeper.
+        if stats is not None and not hasattr(stats, "data"):
+            stats = getattr(stats, "stats", None)
+        if stats is not None and getattr(stats, "data", None):
+            out[name] = {
+                "median_s": stats.median,
+                "mean_s": stats.mean,
+                "rounds": len(stats.data),
+            }
+        else:
+            out[name] = {"median_s": None, "mean_s": None, "rounds": 0}
+    return out
+
+
+@dataclass
+class BenchDelta:
+    """One benchmark compared across the last two runs."""
+
+    name: str
+    old_s: float
+    new_s: float
+
+    @property
+    def ratio(self) -> float:
+        return self.new_s / self.old_s if self.old_s else float("inf")
+
+    @property
+    def delta_pct(self) -> float:
+        return (self.ratio - 1.0) * 100.0
+
+
+@dataclass
+class DiffReport:
+    """bench-diff outcome: regressions/improvements between two entries."""
+
+    old_run_at: str
+    new_run_at: str
+    deltas: list[BenchDelta]
+    threshold: float
+    skipped: list[str]          # no timing data in one of the runs
+
+    @property
+    def regressions(self) -> list[BenchDelta]:
+        return [d for d in self.deltas if d.ratio > 1.0 + self.threshold]
+
+    @property
+    def improvements(self) -> list[BenchDelta]:
+        return [d for d in self.deltas if d.ratio < 1.0 - self.threshold]
+
+    def render(self) -> str:
+        lines = [
+            f"bench-diff: {self.old_run_at} -> {self.new_run_at} "
+            f"(threshold {self.threshold * 100:.0f}%)"
+        ]
+        if not self.deltas:
+            lines.append("  no benchmark appears with timings in both runs")
+        width = max((len(d.name) for d in self.deltas), default=0)
+        for delta in sorted(self.deltas, key=lambda d: -d.ratio):
+            flag = " "
+            if delta.ratio > 1.0 + self.threshold:
+                flag = "REGRESSION"
+            elif delta.ratio < 1.0 - self.threshold:
+                flag = "improved"
+            lines.append(
+                f"  {delta.name:<{width}}  {delta.old_s * 1e3:10.3f}ms"
+                f" -> {delta.new_s * 1e3:10.3f}ms  {delta.delta_pct:+7.1f}%  {flag}"
+            )
+        if self.skipped:
+            lines.append(f"  ({len(self.skipped)} benchmark(s) skipped: "
+                         "no timings in one of the runs)")
+        count = len(self.regressions)
+        lines.append(
+            "RESULT: no regressions beyond threshold" if count == 0
+            else f"RESULT: {count} REGRESSION(S) beyond threshold"
+        )
+        return "\n".join(lines)
+
+
+def diff_last_two(
+    history: list[dict], threshold: float = DEFAULT_THRESHOLD
+) -> DiffReport:
+    """Compare the last two history entries; raises ValueError on <2."""
+    if len(history) < 2:
+        raise ValueError(
+            f"bench-diff needs at least two history entries, have {len(history)}"
+        )
+    old, new = history[-2], history[-1]
+    old_benches = old.get("benchmarks", {})
+    new_benches = new.get("benchmarks", {})
+    deltas: list[BenchDelta] = []
+    skipped: list[str] = []
+    for name in sorted(set(old_benches) & set(new_benches)):
+        old_median = old_benches[name].get("median_s")
+        new_median = new_benches[name].get("median_s")
+        if old_median is None or new_median is None:
+            skipped.append(name)
+            continue
+        deltas.append(BenchDelta(name, old_median, new_median))
+    return DiffReport(
+        old.get("run_at", "?"), new.get("run_at", "?"), deltas, threshold,
+        skipped,
+    )

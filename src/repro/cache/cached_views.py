@@ -55,6 +55,10 @@ class CachedViewManager:
         self._m_misses = db.metrics.counter("cache.misses")
         self._m_refreshes = db.metrics.counter("cache.refreshes")
         self._m_increments = db.metrics.counter("cache.incremental_rows")
+        # An invalidation = discarding previously materialized contents
+        # (a re-refresh of a live SCV/DCV, or a DCV falling back to a full
+        # rebuild because deletes made its increments unmergeable).
+        self._m_invalidations = db.metrics.counter("cache.invalidations")
 
     # -- shared helpers ------------------------------------------------------
 
@@ -122,6 +126,8 @@ class CachedViewManager:
     def refresh(self, name: str) -> int:
         """Re-materialize an SCV (or fully rebuild a DCV); returns rows."""
         info = self.info(name)
+        if info.refresh_count:
+            self._m_invalidations.inc()
         result = self.db.query(info.query_sql)
         storage = self.db.catalog.table(info.name)
         # Rebuild in place: clear + bulk load (outside user transactions, as
@@ -273,14 +279,19 @@ class CachedViewManager:
         SCV: served as-is (delayed snapshot).
         """
         info = self.info(name)
-        if info.kind == "dynamic":
-            if self.apply_increments(name):
-                self._m_misses.inc()
+        spans = self.db.spans
+        with spans.span("cache.query_fresh", view=info.name, kind=info.kind):
+            if info.kind == "dynamic":
+                if self.apply_increments(name):
+                    self._m_misses.inc()
+                    spans.event("cache.miss", view=info.name, kind=info.kind)
+                else:
+                    self._m_hits.inc()
+                    spans.event("cache.hit", view=info.name, kind=info.kind)
             else:
                 self._m_hits.inc()
-        else:
-            self._m_hits.inc()
-        return self.db.query(sql or f"select * from {info.name}")
+                spans.event("cache.hit", view=info.name, kind=info.kind)
+            return self.db.query(sql or f"select * from {info.name}")
 
 
 def _merge_agg(func: str, old, new):

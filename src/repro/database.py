@@ -35,7 +35,15 @@ from .engine import Chunk, Executor, QueryResult
 from .engine.executor import QueryStats
 from .engine.eval import evaluate, evaluate_predicate
 from .errors import BindError, CatalogError, ExecutionError
-from .observability import MetricsRegistry, QueryTrace, RewriteTally
+from .observability import (
+    ExecutionCollector,
+    MetricsRegistry,
+    QueryTrace,
+    RewriteTally,
+    SlowQueryLog,
+    SpanTracer,
+    attach_operator_spans,
+)
 from .sql import ast, parse_statement
 from .storage import ColumnTable, Transaction, TransactionManager, WriteAheadLog
 
@@ -45,25 +53,49 @@ class Database:
 
     def __init__(self, profile: str = "hana", wal_enabled: bool = True):
         self.metrics = MetricsRegistry()
-        self.wal = WriteAheadLog(metrics=self.metrics) if wal_enabled else None
-        self.txn_manager = TransactionManager(self.wal, metrics=self.metrics)
+        #: Hierarchical span tracer; enabled together with :attr:`tracing`.
+        self.spans = SpanTracer()
+        #: Ring-buffer slow-query log; set ``slow_queries.threshold_s`` (in
+        #: seconds) to start capturing offenders.
+        self.slow_queries = SlowQueryLog()
+        self.wal = (
+            WriteAheadLog(metrics=self.metrics, tracer=self.spans)
+            if wal_enabled else None
+        )
+        self.txn_manager = TransactionManager(
+            self.wal, metrics=self.metrics, tracer=self.spans
+        )
         self.catalog = Catalog()
-        self._executor = Executor(self.catalog)
+        self._executor = Executor(
+            self.catalog, metrics=self.metrics, tracer=self.spans
+        )
         self._profile_name = profile
-        #: When True, every optimized query records a full :class:`QueryTrace`
-        #: (structured rewrite events), retrievable via :attr:`last_trace`.
-        #: Off by default: the default path only keeps a counting tally.
-        self.tracing = False
+        self._tracing = False
         self._last_trace: QueryTrace | None = None
         # Hot-path metric handles, resolved once (registry lookups are
         # lock-protected; per-query code should not pay for them).
         self._m_queries = self.metrics.counter("queries.executed")
         self._m_latency = self.metrics.histogram("queries.latency_s")
+        self._m_ops_before = self.metrics.histogram("plan.operators_before")
+        self._m_ops_after = self.metrics.histogram("plan.operators_after")
         self._m_opt_runs = self.metrics.counter("optimizer.runs")
         self._m_opt_iters = self.metrics.histogram("optimizer.iterations")
         self._m_nonconverged = self.metrics.counter("optimizer.nonconverged")
 
     # -- observability --------------------------------------------------------
+
+    @property
+    def tracing(self) -> bool:
+        """When True, every optimized query records a full
+        :class:`QueryTrace` (structured rewrite events) *and* a span tree,
+        retrievable via :attr:`last_trace`.  Off by default: the default
+        path only keeps a counting tally and no spans."""
+        return self._tracing
+
+    @tracing.setter
+    def tracing(self, value: bool) -> None:
+        self._tracing = bool(value)
+        self.spans.enabled = bool(value)
 
     @property
     def last_trace(self) -> QueryTrace | None:
@@ -112,7 +144,14 @@ class Database:
         Returns a :class:`QueryResult` for queries, an affected-row count for
         DML, and None for DDL.
         """
-        statement = parse_statement(sql)
+        if not self.spans.enabled:
+            return self._route(parse_statement(sql), txn, sql)
+        with self.spans.span("query", sql=sql):
+            with self.spans.span("parse"):
+                statement = parse_statement(sql)
+            return self._route(statement, txn, sql)
+
+    def _route(self, statement, txn: Transaction | None, sql: str):
         if isinstance(statement, ast.Query):
             return self._run_query(statement, txn, sql=sql)
         if isinstance(statement, ast.CreateTable):
@@ -130,10 +169,17 @@ class Database:
         raise ExecutionError(f"unsupported statement {type(statement).__name__}")
 
     def query(self, sql: str, txn: Transaction | None = None, optimize: bool = True) -> QueryResult:
-        statement = parse_statement(sql)
-        if not isinstance(statement, ast.Query):
-            raise ExecutionError("query() expects a SELECT statement")
-        return self._run_query(statement, txn, optimize, sql=sql)
+        if not self.spans.enabled:
+            statement = parse_statement(sql)
+            if not isinstance(statement, ast.Query):
+                raise ExecutionError("query() expects a SELECT statement")
+            return self._run_query(statement, txn, optimize, sql=sql)
+        with self.spans.span("query", sql=sql):
+            with self.spans.span("parse"):
+                statement = parse_statement(sql)
+            if not isinstance(statement, ast.Query):
+                raise ExecutionError("query() expects a SELECT statement")
+            return self._run_query(statement, txn, optimize, sql=sql)
 
     def _run_query(
         self,
@@ -146,24 +192,46 @@ class Database:
 
         start = time.perf_counter()
         plan, tally, operators_before = self._plan_with_trace(query, optimize, sql)
-        if txn is not None:
-            result = self._executor.execute(plan, txn)
+        if not self.spans.enabled:
+            result = self._execute_plan(plan, txn)
         else:
-            snapshot = self.begin()
-            try:
-                result = self._executor.execute(plan, snapshot)
-            finally:
-                self.commit(snapshot)
+            with self.spans.span("execute") as execute_span:
+                collector = ExecutionCollector()
+                result = self._execute_plan(plan, txn, collector)
+            attach_operator_spans(execute_span, collector)
         elapsed = time.perf_counter() - start
+        operators_after = sum(1 for _ in plan.walk())
         self._m_queries.inc()
         self._m_latency.observe(elapsed)
+        self._m_ops_before.observe(operators_before)
+        self._m_ops_after.observe(operators_after)
         result.stats = QueryStats(
             elapsed_s=elapsed,
             operators_before=operators_before,
-            operators_after=sum(1 for _ in plan.walk()),
+            operators_after=operators_after,
             rewrite_fires=dict(tally.rewrite_counts) if tally is not None else {},
         )
+        slowlog = self.slow_queries
+        if slowlog.threshold_s is not None and elapsed >= slowlog.threshold_s:
+            slowlog.record(
+                sql=sql,
+                elapsed_s=elapsed,
+                plan=explain_plan(plan),
+                rewrite_fires=dict(tally.rewrite_counts) if tally else {},
+                span_root=self.spans.root() if self.spans.enabled else None,
+            )
         return result
+
+    def _execute_plan(
+        self, plan: LogicalOp, txn: Transaction | None, collector=None
+    ) -> QueryResult:
+        if txn is not None:
+            return self._executor.execute(plan, txn, collector=collector)
+        snapshot = self.begin()
+        try:
+            return self._executor.execute(plan, snapshot, collector=collector)
+        finally:
+            self.commit(snapshot)
 
     def _plan_with_trace(
         self, query: "str | ast.Query", optimize: bool, sql: str | None = None
@@ -175,7 +243,12 @@ class Database:
         :attr:`tracing` a full :class:`QueryTrace` is kept on
         :attr:`last_trace`.  Returns ``(plan, tally, operators_before)``.
         """
-        plan = self.bind(query)
+        tracer = self.spans
+        if tracer.enabled:
+            with tracer.span("bind"):
+                plan = self.bind(query)
+        else:
+            plan = self.bind(query)
         operators_before = sum(1 for _ in plan.walk())
         if not optimize:
             return plan, None, operators_before
@@ -187,10 +260,17 @@ class Database:
             tally: RewriteTally = QueryTrace(sql=sql, profile=self._profile_name)
         else:
             tally = RewriteTally()
-        plan = optimize_plan(plan, self._profile_name, self, trace=tally)
+        if tracer.enabled:
+            with tracer.span("optimize", profile=self._profile_name):
+                plan = optimize_plan(
+                    plan, self._profile_name, self, trace=tally, spans=tracer
+                )
+        else:
+            plan = optimize_plan(plan, self._profile_name, self, trace=tally)
         self._absorb_trace(tally)
         if tally.enabled:
             self._last_trace = tally  # type: ignore[assignment]
+            tally.span_root = tracer.root()  # type: ignore[attr-defined]
         return plan, tally, operators_before
 
     # -- planning ------------------------------------------------------------------

@@ -99,9 +99,17 @@ class Executor:
     materialization.
     """
 
-    def __init__(self, catalog):
+    def __init__(self, catalog, metrics=None, tracer=None):
         self._catalog = catalog
         self._collector = None
+        self._tracer = tracer
+        # Pre-resolved counter handles (pruning is a per-scan hot path).
+        if metrics is None:
+            self._m_blocks_pruned = None
+            self._m_blocks_scanned = None
+        else:
+            self._m_blocks_pruned = metrics.counter("nse.blocks_pruned")
+            self._m_blocks_scanned = metrics.counter("nse.blocks_scanned")
 
     def execute(
         self, plan: ops.LogicalOp, txn: Transaction, collector=None
@@ -306,6 +314,17 @@ class Executor:
                     continue  # incomparable types: cannot prune on this bound
         if all(keep_block):
             return None  # no pruning achieved; the plain scan path is cheaper
+        scanned = sum(keep_block)
+        pruned = block_count - scanned
+        if self._m_blocks_pruned is not None:
+            self._m_blocks_pruned.inc(pruned)
+            self._m_blocks_scanned.inc(scanned)
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            tracer.event(
+                "nse.block_pruning", table=scan.schema.name,
+                blocks_pruned=pruned, blocks_scanned=scanned,
+            )
 
         row_ids: list[int] = []
         for index, keep in enumerate(keep_block):

@@ -1,20 +1,31 @@
-"""Query observability: rewrite tracing, EXPLAIN ANALYZE, engine metrics.
+"""Query observability: spans, rewrite tracing, EXPLAIN ANALYZE, metrics,
+telemetry export, and the slow-query log.
 
-Three coordinated layers (see DESIGN.md, "Observability"):
+Coordinated layers (see DESIGN.md, "Observability"):
 
-1. **Rewrite tracing** (:mod:`.trace`) — a :class:`QueryTrace` threaded
+1. **Span tracing** (:mod:`.spans`) — a hierarchical, OTel-style
+   :class:`SpanTracer` threaded through the full query lifecycle
+   (parse -> bind -> optimize -> execute -> storage events), exposed as
+   ``db.last_trace.span_root`` when tracing is enabled.
+2. **Rewrite tracing** (:mod:`.trace`) — a :class:`QueryTrace` threaded
    through the optimizer pipeline records which named rewrite cases fired
    (``AJ 1a``, ``AJ 2a``, ``ASJ``, ``union-uaj``, ...) per fixpoint
    iteration, queryable as structured events or rendered as a text report.
-2. **Executor instrumentation** (:mod:`.instrument`) — per-operator actual
+3. **Executor instrumentation** (:mod:`.instrument`) — per-operator actual
    rows / chunks / wall time, surfaced by ``Database.explain(sql,
-   analyze=True)``.
-3. **Metrics** (:mod:`.metrics`) — a thread-safe
+   analyze=True)`` and as operator spans.
+4. **Metrics** (:mod:`.metrics`) — a thread-safe
    :class:`MetricsRegistry` (counters, gauges, p50/p95 histograms) owned by
    the :class:`~repro.database.Database` facade.
+5. **Export** (:mod:`.export` / :mod:`.server`) — Prometheus text format
+   and JSON renderers plus a stdlib HTTP scrape endpoint
+   (``repro serve-metrics``).
+6. **Slow-query log** (:mod:`.slowlog`) — a threshold-gated ring buffer
+   capturing SQL, plan, rewrite tally, and span tree per offender.
 
 Tracing is zero-cost when disabled: the default :data:`NULL_TRACE` turns
-every hook into a no-op called only at rewrite-fire sites.
+every rewrite hook into a no-op, and every span call site checks a single
+``enabled`` flag before touching the clock.
 """
 
 from .trace import NULL_TRACE, NullTrace, QueryTrace, RewriteTally, TraceEvent  # noqa: F401
@@ -25,3 +36,17 @@ from .instrument import (  # noqa: F401
     render_analyze,
     run_analyzed,
 )
+from .spans import (  # noqa: F401
+    Span,
+    SpanEvent,
+    SpanTracer,
+    attach_operator_spans,
+    render_span_tree,
+)
+from .export import (  # noqa: F401
+    render_metrics_json,
+    render_prometheus,
+    render_spans_json,
+)
+from .slowlog import SlowQuery, SlowQueryLog  # noqa: F401
+from .server import MetricsServer  # noqa: F401

@@ -1,0 +1,97 @@
+"""Telemetry export: Prometheus text format and JSON.
+
+Renders a :class:`~repro.observability.metrics.MetricsRegistry` in the
+Prometheus exposition format (version 0.0.4 — what every scraper speaks)
+and as JSON, and serializes span trees for external tooling.  The dotted
+internal metric names map onto Prometheus conventions:
+
+- ``queries.executed`` (counter)  -> ``repro_queries_executed_total``
+- ``queries.latency_s`` (histogram) -> a summary family:
+  ``repro_queries_latency_s{quantile="0.5"}`` / ``{quantile="0.95"}``
+  plus ``_sum`` and ``_count``
+- ``optimizer.rewrites.AJ 2a`` and friends collapse into one labeled
+  family: ``repro_optimizer_rewrites_total{case="AJ 2a"}`` (the case
+  names contain spaces, which Prometheus only allows in label values).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+_REWRITE_PREFIX = "optimizer.rewrites."
+
+
+def _prom_name(name: str, namespace: str) -> str:
+    return f"{namespace}_{_NAME_OK.sub('_', name)}"
+
+
+def _prom_value(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        return repr(value)
+    return str(value)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def render_prometheus(registry: MetricsRegistry, namespace: str = "repro") -> str:
+    """The ``/metrics`` payload: one TYPE-annotated family per metric."""
+    lines: list[str] = []
+    rewrite_lines: list[str] = []
+    for name, metric in registry.items():
+        if isinstance(metric, Counter) and name.startswith(_REWRITE_PREFIX):
+            case = name[len(_REWRITE_PREFIX):]
+            family = f"{namespace}_optimizer_rewrites_total"
+            rewrite_lines.append(
+                f'{family}{{case="{_escape_label(case)}"}} {metric.value}'
+            )
+            continue
+        if isinstance(metric, Counter):
+            prom = _prom_name(name, namespace) + "_total"
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {metric.value}")
+        elif isinstance(metric, Gauge):
+            prom = _prom_name(name, namespace)
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_prom_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            prom = _prom_name(name, namespace)
+            summary = metric.summary()
+            lines.append(f"# TYPE {prom} summary")
+            if summary["count"]:
+                lines.append(
+                    f'{prom}{{quantile="0.5"}} {_prom_value(summary["p50"])}'
+                )
+                lines.append(
+                    f'{prom}{{quantile="0.95"}} {_prom_value(summary["p95"])}'
+                )
+            lines.append(f"{prom}_sum {_prom_value(summary['sum'])}")
+            lines.append(f"{prom}_count {summary['count']}")
+    if rewrite_lines:
+        family = f"{namespace}_optimizer_rewrites_total"
+        lines.append(f"# TYPE {family} counter")
+        lines.extend(sorted(rewrite_lines))
+    return "\n".join(lines) + "\n" if lines else "# (no metrics recorded)\n"
+
+
+def render_metrics_json(registry: MetricsRegistry, indent: int = 1) -> str:
+    """The snapshot as JSON (``repro metrics --format json``)."""
+    return json.dumps(registry.snapshot(), indent=indent, default=str)
+
+
+def render_spans_json(root, indent: int = 1) -> str:
+    """One span tree as JSON (``repro trace --json`` / the ``/trace``
+    endpoint)."""
+    return json.dumps(root.to_dict(), indent=indent, default=str)

@@ -103,13 +103,24 @@ class Histogram:
                 self._pos = (self._pos + 1) % self._window
 
     def percentile(self, p: float) -> float | None:
-        """The p-th percentile (0..100) over the retained window."""
+        """The p-th percentile (0..100) over the retained window.
+
+        Linear interpolation between closest ranks; a single sample is
+        every percentile of itself (no interpolation against an implicit
+        zero), and p=0 / p=100 are exactly the window min / max.
+        """
         with self._lock:
             if not self._buf:
                 return None
             ordered = sorted(self._buf)
-        rank = max(0, min(len(ordered) - 1, round(p / 100.0 * (len(ordered) - 1))))
-        return ordered[rank]
+        if len(ordered) == 1:
+            return ordered[0]
+        position = max(0.0, min(100.0, p)) / 100.0 * (len(ordered) - 1)
+        lower = int(position)
+        fraction = position - lower
+        if fraction == 0.0:
+            return ordered[lower]
+        return ordered[lower] + (ordered[lower + 1] - ordered[lower]) * fraction
 
     @property
     def mean(self) -> float | None:
@@ -164,6 +175,12 @@ class MetricsRegistry:
     def names(self) -> list[str]:
         with self._lock:
             return sorted(self._metrics)
+
+    def items(self) -> list[tuple[str, object]]:
+        """(name, metric) pairs, sorted by name — the typed view the
+        exporters need (``snapshot`` erases counter-vs-gauge)."""
+        with self._lock:
+            return sorted(self._metrics.items())
 
     def snapshot(self) -> dict[str, object]:
         """All metrics as plain values: counters/gauges -> number,

@@ -1,0 +1,110 @@
+"""A stdlib HTTP scrape endpoint for engine telemetry.
+
+Serves, for one :class:`~repro.database.Database`:
+
+- ``/metrics``        Prometheus exposition format (scraper target)
+- ``/metrics.json``   the same snapshot as JSON
+- ``/trace``          the last completed span tree as JSON (404 if none)
+- ``/slow``           the slow-query log as JSON
+- ``/healthz``        liveness probe (``ok``)
+
+:class:`MetricsServer` runs a threaded stdlib ``http.server`` in the
+background (``port=0`` picks a free port, handy for tests); ``repro
+serve-metrics --port N`` is the blocking CLI surface.
+
+Example::
+
+    server = MetricsServer(db, port=0)
+    server.start()
+    print(server.url)               # http://127.0.0.1:49152
+    ... curl $url/metrics ...
+    server.close()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .export import render_prometheus
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _make_handler(db):
+    class Handler(BaseHTTPRequestHandler):
+        def do_GET(self):  # noqa: N802 (http.server API)
+            path = self.path.split("?", 1)[0]
+            if path == "/metrics":
+                self._reply(200, PROMETHEUS_CONTENT_TYPE,
+                            render_prometheus(db.metrics))
+            elif path == "/metrics.json":
+                self._reply_json(200, db.metrics.snapshot())
+            elif path == "/trace":
+                root = db.spans.last_root
+                if root is None:
+                    self._reply_json(404, {"error": "no trace recorded"})
+                else:
+                    self._reply_json(200, root.to_dict())
+            elif path == "/slow":
+                self._reply_json(
+                    200, [e.to_dict() for e in db.slow_queries]
+                )
+            elif path == "/healthz":
+                self._reply(200, "text/plain; charset=utf-8", "ok\n")
+            else:
+                self._reply_json(404, {"error": f"no endpoint {path!r}"})
+
+        def _reply(self, status: int, content_type: str, body: str) -> None:
+            payload = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def _reply_json(self, status: int, data) -> None:
+            self._reply(status, "application/json; charset=utf-8",
+                        json.dumps(data, indent=1, default=str))
+
+        def log_message(self, format, *args):  # noqa: A002
+            pass  # scrapers poll; keep stdout quiet
+
+    return Handler
+
+
+class MetricsServer:
+    """A background scrape endpoint bound to one database."""
+
+    def __init__(self, db, port: int = 9464, host: str = "127.0.0.1"):
+        self._httpd = ThreadingHTTPServer((host, port), _make_handler(db))
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-metrics", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking variant (the CLI surface)."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

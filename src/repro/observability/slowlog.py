@@ -1,0 +1,114 @@
+"""A ring-buffer slow-query log.
+
+``Database.slow_queries`` is a :class:`SlowQueryLog`: set
+``threshold_s`` to start capturing every query whose wall time meets it.
+Each entry keeps the SQL, the optimized plan, the rewrite tally, and —
+when span tracing was on — the full span tree, so a slow query can be
+diagnosed after the fact without re-running it.  The buffer is bounded
+(oldest entries evicted), so a long-lived process cannot leak memory into
+its own diagnostics.
+
+Example::
+
+    db.slow_queries.threshold_s = 0.050      # 50ms
+    ... serve traffic ...
+    for entry in db.slow_queries:
+        print(entry.summary())
+    print(db.slow_queries.render())
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+DEFAULT_CAPACITY = 32
+
+
+@dataclass
+class SlowQuery:
+    """One captured offender."""
+
+    sql: str | None
+    elapsed_s: float
+    recorded_at: float              # unix timestamp
+    plan: str | None = None         # optimized plan, rendered
+    rewrite_fires: dict = field(default_factory=dict)
+    span_root: object = None        # Span tree when tracing was enabled
+
+    def summary(self) -> str:
+        sql = self.sql or "(unknown sql)"
+        if len(sql) > 80:
+            sql = sql[:77] + "..."
+        return f"{self.elapsed_s * 1e3:8.3f}ms  {sql}"
+
+    def to_dict(self) -> dict:
+        out = {
+            "sql": self.sql,
+            "elapsed_ms": self.elapsed_s * 1e3,
+            "recorded_at": self.recorded_at,
+            "plan": self.plan,
+            "rewrite_fires": dict(self.rewrite_fires),
+        }
+        if self.span_root is not None:
+            out["spans"] = self.span_root.to_dict()
+        return out
+
+
+class SlowQueryLog:
+    """Threshold-gated ring buffer of :class:`SlowQuery` entries.
+
+    Disabled until :attr:`threshold_s` is set (None means off) — the only
+    hot-path cost while disabled is one attribute load and comparison.
+    """
+
+    def __init__(self, threshold_s: float | None = None,
+                 capacity: int = DEFAULT_CAPACITY):
+        self.threshold_s = threshold_s
+        self._entries: deque[SlowQuery] = deque(maxlen=capacity)
+
+    @property
+    def capacity(self) -> int:
+        return self._entries.maxlen or 0
+
+    def configure(self, threshold_s: float | None = None,
+                  capacity: int | None = None) -> None:
+        if capacity is not None and capacity != self._entries.maxlen:
+            self._entries = deque(self._entries, maxlen=capacity)
+        self.threshold_s = threshold_s
+
+    def record(self, sql: str | None, elapsed_s: float,
+               plan: str | None = None, rewrite_fires: dict | None = None,
+               span_root=None) -> SlowQuery:
+        entry = SlowQuery(sql, elapsed_s, time.time(), plan,
+                          rewrite_fires or {}, span_root)
+        self._entries.append(entry)
+        return entry
+
+    def entries(self) -> list[SlowQuery]:
+        return list(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def render(self) -> str:
+        if not self._entries:
+            return "(slow-query log empty)"
+        threshold = (
+            "disabled" if self.threshold_s is None
+            else f"{self.threshold_s * 1e3:g}ms"
+        )
+        lines = [
+            f"slow queries (threshold {threshold}, "
+            f"{len(self._entries)}/{self.capacity} kept):"
+        ]
+        for entry in self._entries:
+            lines.append("  " + entry.summary())
+        return "\n".join(lines)

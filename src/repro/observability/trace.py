@@ -131,7 +131,8 @@ class QueryTrace(RewriteTally):
         print(trace.report())         # human-readable per-iteration log
     """
 
-    __slots__ = ("sql", "profile", "events", "execution", "_iteration")
+    __slots__ = ("sql", "profile", "events", "execution", "span_root",
+                 "_iteration")
     enabled = True
 
     def __init__(self, sql: str | None = None, profile: str | None = None):
@@ -140,6 +141,7 @@ class QueryTrace(RewriteTally):
         self.profile = profile
         self.events: list[TraceEvent] = []
         self.execution = None  # ExecutionCollector, attached by EXPLAIN ANALYZE
+        self.span_root = None  # Span tree root, attached when span tracing ran
         self._iteration: int | None = None
 
     # -- recording hooks ----------------------------------------------------
@@ -176,8 +178,18 @@ class QueryTrace(RewriteTally):
     def passes(self) -> list[TraceEvent]:
         return self.events_of("pass")
 
-    def to_dict(self) -> dict:
-        """JSON-friendly structure (used by the benchmark trace dumps)."""
+    def to_dict(self, spans: bool = False) -> dict:
+        """JSON-friendly structure (used by the benchmark trace dumps).
+
+        ``spans=True`` embeds the span tree when one was recorded; off by
+        default so the benchmark dumps stay free of wall-clock noise.
+        """
+        out = self._base_dict()
+        if spans and self.span_root is not None:
+            out["spans"] = self.span_root.to_dict()
+        return out
+
+    def _base_dict(self) -> dict:
         return {
             "sql": self.sql,
             "profile": self.profile,

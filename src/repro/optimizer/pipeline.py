@@ -50,17 +50,22 @@ class FixpointWarning(RuntimeWarning):
 
 
 def optimize_plan(
-    plan: LogicalOp, profile: "str | OptimizerProfile", db=None, trace=None
+    plan: LogicalOp, profile: "str | OptimizerProfile", db=None, trace=None,
+    spans=None,
 ) -> LogicalOp:
     """Optimize ``plan`` under a capability profile.
 
     ``db`` is accepted for interface stability (cost-based decisions could
     consult statistics); the implemented rules are purely structural.
     ``trace`` is any trace object from :mod:`repro.observability.trace`
-    (default: the no-op null trace).
+    (default: the no-op null trace).  ``spans``, when given, is an enabled
+    :class:`repro.observability.spans.SpanTracer`: each fixpoint iteration
+    and each rule pass then gets its own child span.
     """
     if trace is None:
         trace = NULL_TRACE
+    if spans is not None and not spans.enabled:
+        spans = None
     resolved = get_profile(profile) if isinstance(profile, str) else profile
     if not resolved.caps:
         return plan
@@ -68,19 +73,32 @@ def optimize_plan(
     converged = False
     for iteration in range(MAX_ITERATIONS):
         trace.begin_iteration(iteration)
-        plan = _run_pass(trace, iteration, "cleanup", cleanup_plan, plan, resolved)
+        iteration_span = (
+            None if spans is None
+            else spans.start("optimizer.iteration", index=iteration)
+        )
+        plan = _run_pass(trace, iteration, "cleanup", cleanup_plan, plan,
+                         resolved, spans)
         if resolved.has(CAP_FILTER_PUSHDOWN):
             plan = _run_pass(
                 trace, iteration, "filter_pushdown",
                 lambda p, sctx: push_filters(p, sctx.trace), plan, resolved,
+                spans,
             )
-        plan = _run_pass(trace, iteration, "simplify", simplify_plan, plan, resolved)
-        plan = _run_pass(trace, iteration, "cleanup2", cleanup_plan, plan, resolved)
-        plan = _run_pass(trace, iteration, "limit_pushdown", push_limits, plan, resolved)
-        plan = _run_pass(trace, iteration, "agg_pushdown", push_aggregates, plan, resolved)
+        plan = _run_pass(trace, iteration, "simplify", simplify_plan, plan,
+                         resolved, spans)
+        plan = _run_pass(trace, iteration, "cleanup2", cleanup_plan, plan,
+                         resolved, spans)
+        plan = _run_pass(trace, iteration, "limit_pushdown", push_limits, plan,
+                         resolved, spans)
+        plan = _run_pass(trace, iteration, "agg_pushdown", push_aggregates,
+                         plan, resolved, spans)
         new_signature = structural_signature(plan)
         changed = new_signature != signature
         trace.end_iteration(iteration, changed)
+        if iteration_span is not None:
+            iteration_span.attributes["changed"] = changed
+            spans.end(iteration_span)
         if not changed:
             converged = True
             break
@@ -99,28 +117,32 @@ def optimize_plan(
 
         plan = _run_pass(
             trace, None, "join_reorder",
-            lambda p, sctx: reorder_joins(p, db.catalog), plan, resolved,
+            lambda p, sctx: reorder_joins(p, db.catalog), plan, resolved, spans,
         )
-        plan = _run_pass(trace, None, "cleanup3", cleanup_plan, plan, resolved)
+        plan = _run_pass(trace, None, "cleanup3", cleanup_plan, plan, resolved,
+                         spans)
     return plan
 
 
-def _run_pass(trace, iteration, name, fn, plan, resolved):
+def _run_pass(trace, iteration, name, fn, plan, resolved, spans=None):
     """Run one pass with a fresh SimplifyContext (derivation caches are
     keyed by node identity and must not outlive a plan mutation)."""
     sctx = SimplifyContext(resolved, trace)
-    if not trace.enabled:
+    if not trace.enabled and spans is None:
         return fn(plan, sctx)
+    pass_span = None if spans is None else spans.start(f"pass:{name}")
     before_signature = structural_signature(plan)
     before_ops = sum(1 for _ in plan.walk())
     start = time.perf_counter()
     plan = fn(plan, sctx)
     elapsed = time.perf_counter() - start
-    trace.record_pass(
-        name,
-        iteration,
-        structural_signature(plan) != before_signature,
-        elapsed,
-        before_ops - sum(1 for _ in plan.walk()),
-    )
+    changed = structural_signature(plan) != before_signature
+    removed = before_ops - sum(1 for _ in plan.walk())
+    if trace.enabled:
+        trace.record_pass(name, iteration, changed, elapsed, removed)
+    if pass_span is not None:
+        pass_span.attributes["changed"] = changed
+        if removed:
+            pass_span.attributes["operators_removed"] = removed
+        spans.end(pass_span)
     return plan

@@ -55,13 +55,14 @@ class TransactionManager:
     apart from in-flight work.
     """
 
-    def __init__(self, wal=None, metrics=None) -> None:
+    def __init__(self, wal=None, metrics=None, tracer=None) -> None:
         self._next_tid = 1
         self._next_commit_ts = 1
         self._commit_ts: dict[int, int] = {}
         self._aborted: set[int] = set()
         self._active: dict[int, Transaction] = {}
         self._wal = wal
+        self._tracer = tracer
         # Pre-resolved counter handles: commit/abort are hot paths.
         self._m_commits = None if metrics is None else metrics.counter("txn.commits")
         self._m_aborts = None if metrics is None else metrics.counter("txn.aborts")
@@ -89,6 +90,9 @@ class TransactionManager:
             self._wal.log_commit(txn.tid)
         if self._m_commits is not None:
             self._m_commits.inc()
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            tracer.event("mvcc.commit", tid=txn.tid, commit_ts=ts)
         return ts
 
     def rollback(self, txn: Transaction) -> None:
@@ -104,6 +108,9 @@ class TransactionManager:
             self._wal.log_abort(txn.tid)
         if self._m_aborts is not None:
             self._m_aborts.inc()
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            tracer.event("mvcc.abort", tid=txn.tid)
 
     # -- visibility --------------------------------------------------------
 

@@ -40,27 +40,46 @@ class BufferStats:
 
 
 class PageBuffer:
-    """A shared LRU buffer of column pages."""
+    """A shared LRU buffer of column pages.
 
-    def __init__(self, capacity: int):
+    ``metrics``, when given, is a
+    :class:`repro.observability.metrics.MetricsRegistry`; hits, misses,
+    and evictions then also feed ``nse.page_hits`` / ``nse.page_misses`` /
+    ``nse.page_evictions`` counters so the buffer shows up on the scrape
+    endpoint next to the rest of the engine.
+    """
+
+    def __init__(self, capacity: int, metrics=None):
         if capacity <= 0:
             raise ValueError("buffer capacity must be positive")
         self.capacity = capacity
         self._pages: OrderedDict[tuple[int, int], list[object]] = OrderedDict()
         self.stats = BufferStats()
+        if metrics is None:
+            self._m_hits = self._m_misses = self._m_evictions = None
+        else:
+            self._m_hits = metrics.counter("nse.page_hits")
+            self._m_misses = metrics.counter("nse.page_misses")
+            self._m_evictions = metrics.counter("nse.page_evictions")
 
     def get(self, key: tuple[int, int], loader) -> list[object]:
         page = self._pages.get(key)
         if page is not None:
             self._pages.move_to_end(key)
             self.stats.hits += 1
+            if self._m_hits is not None:
+                self._m_hits.inc()
             return page
         self.stats.misses += 1
+        if self._m_misses is not None:
+            self._m_misses.inc()
         page = loader()
         self._pages[key] = page
         if len(self._pages) > self.capacity:
             self._pages.popitem(last=False)
             self.stats.evictions += 1
+            if self._m_evictions is not None:
+                self._m_evictions.inc()
         return page
 
     def resident_pages(self) -> int:

@@ -46,12 +46,18 @@ class WriteAheadLog:
 
     ``metrics``, when given, is a
     :class:`repro.observability.metrics.MetricsRegistry`; every appended
-    record increments its ``wal.appends`` counter.
+    record increments its ``wal.appends`` counter, and every
+    :meth:`recover` bumps ``wal.replays`` / ``wal.replayed_rows``.
+    ``tracer``, when given, is a
+    :class:`repro.observability.spans.SpanTracer`: appends made inside a
+    traced query attach a ``wal.append`` event to the current span.
     """
 
-    def __init__(self, metrics=None) -> None:
+    def __init__(self, metrics=None, tracer=None) -> None:
         self._records: list[LogRecord] = []
         self._next_lsn = 1
+        self._metrics = metrics
+        self._tracer = tracer
         self._m_appends = None if metrics is None else metrics.counter("wal.appends")
 
     def __len__(self) -> int:
@@ -66,6 +72,9 @@ class WriteAheadLog:
         self._records.append(record)
         if self._m_appends is not None:
             self._m_appends.inc()
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            tracer.event("wal.append", kind=kind, lsn=record.lsn)
         return record
 
     def log_insert(self, tid: int, table: str, row: tuple) -> LogRecord:
@@ -85,12 +94,19 @@ class WriteAheadLog:
     def committed_tids(self) -> set[int]:
         return {r.tid for r in self._records if r.kind == "commit"}
 
-    def recover(self, catalog: "Catalog", txn_manager: "TransactionManager") -> dict[str, int]:
+    def recover(
+        self, catalog: "Catalog", txn_manager: "TransactionManager",
+        metrics=None,
+    ) -> dict[str, int]:
         """Replay committed transactions into the (empty) tables of ``catalog``.
 
         Tables must already exist with their schemas (schema DDL is assumed
         recovered from the catalog's own persistence, as in most systems).
-        Returns a table -> replayed-row-count map.
+        Returns a table -> replayed-row-count map.  ``metrics`` (defaulting
+        to the registry this WAL was built with, if any) receives
+        ``wal.replays`` and ``wal.replayed_rows`` counters — a WAL loaded
+        from a JSON-lines file has no registry of its own, so recovery
+        tooling passes the target database's.
         """
         committed = self.committed_tids()
         replayed: dict[str, int] = {}
@@ -127,6 +143,10 @@ class WriteAheadLog:
                     table.delete_row(txn, mapped)
                 finally:
                     txn_manager.commit(txn)
+        registry = metrics if metrics is not None else self._metrics
+        if registry is not None:
+            registry.counter("wal.replays").inc()
+            registry.counter("wal.replayed_rows").inc(sum(replayed.values()))
         return replayed
 
     # -- (de)serialization ---------------------------------------------------

@@ -46,6 +46,7 @@ class VirtualDataModel:
     def __init__(self, db: Database):
         self.db = db
         self._views: dict[str, VdmView] = {}
+        self._m_deployed = db.metrics.counter("vdm.views_deployed")
 
     def deploy(self, view: VdmView) -> VdmView:
         """Validate layering, register, and create the SQL view."""
@@ -69,6 +70,7 @@ class VirtualDataModel:
                 )
         self.db.execute(view.sql)
         self._views[view.name] = view
+        self._m_deployed.inc()
         return view
 
     def view(self, name: str) -> VdmView:

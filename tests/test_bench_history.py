@@ -1,0 +1,130 @@
+"""Perf-history harness: append/load round-trip and regression detection."""
+
+import json
+
+import pytest
+
+from repro.bench.history import (
+    MAX_ENTRIES,
+    append_run,
+    diff_last_two,
+    load_history,
+    summarize_benchmarks,
+)
+
+
+def _entry(run_at: str, **medians) -> dict:
+    return {
+        "run_at": run_at,
+        "benchmarks": {
+            name: {"median_s": median, "mean_s": median, "rounds": 5}
+            for name, median in medians.items()
+        },
+    }
+
+
+class TestHistoryFile:
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "nope.json") == []
+
+    def test_append_round_trips(self, tmp_path):
+        path = tmp_path / "h.json"
+        append_run(_entry("r1", uaj=0.010), path)
+        append_run(_entry("r2", uaj=0.011), path)
+        history = load_history(path)
+        assert [e["run_at"] for e in history] == ["r1", "r2"]
+        assert history[0]["benchmarks"]["uaj"]["median_s"] == 0.010
+
+    def test_run_at_stamped_when_absent(self, tmp_path):
+        path = tmp_path / "h.json"
+        append_run({"benchmarks": {}}, path)
+        (entry,) = load_history(path)
+        assert entry["run_at"]   # ISO timestamp added
+
+    def test_file_ring_buffers(self, tmp_path):
+        path = tmp_path / "h.json"
+        for i in range(MAX_ENTRIES + 5):
+            append_run(_entry(f"r{i}"), path)
+        history = load_history(path)
+        assert len(history) == MAX_ENTRIES
+        assert history[0]["run_at"] == "r5"
+
+    def test_non_list_file_rejected(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text(json.dumps({"not": "a list"}))
+        with pytest.raises(ValueError, match="JSON list"):
+            load_history(path)
+
+
+class TestSummarize:
+    def test_benchmarks_without_stats_record_null(self):
+        class Bare:
+            fullname = "bench_x.py::test_y"
+            stats = None
+
+        out = summarize_benchmarks([Bare()])
+        assert out["bench_x.py::test_y"] == {
+            "median_s": None, "mean_s": None, "rounds": 0,
+        }
+
+    def test_benchmarks_with_stats(self):
+        class Stats:
+            data = [0.01, 0.02, 0.03]
+            median = 0.02
+            mean = 0.02
+
+        class Bench:
+            fullname = "bench_x.py::test_y"
+            stats = Stats()
+
+        out = summarize_benchmarks([Bench()])
+        assert out["bench_x.py::test_y"]["median_s"] == 0.02
+        assert out["bench_x.py::test_y"]["rounds"] == 3
+
+
+class TestDiff:
+    def test_needs_two_entries(self):
+        with pytest.raises(ValueError, match="at least two"):
+            diff_last_two([_entry("only")])
+
+    def test_regression_flagged(self):
+        history = [_entry("old", uaj=0.010, asj=0.020),
+                   _entry("new", uaj=0.013, asj=0.020)]
+        report = diff_last_two(history, threshold=0.20)
+        assert [d.name for d in report.regressions] == ["uaj"]
+        assert report.regressions[0].delta_pct == pytest.approx(30.0)
+        assert "REGRESSION" in report.render()
+        assert "1 REGRESSION(S)" in report.render()
+
+    def test_within_threshold_passes(self):
+        history = [_entry("old", uaj=0.010), _entry("new", uaj=0.011)]
+        report = diff_last_two(history, threshold=0.20)
+        assert not report.regressions
+        assert "no regressions" in report.render()
+
+    def test_improvement_flagged(self):
+        history = [_entry("old", uaj=0.010), _entry("new", uaj=0.005)]
+        report = diff_last_two(history, threshold=0.20)
+        assert [d.name for d in report.improvements] == ["uaj"]
+        assert "improved" in report.render()
+
+    def test_null_timings_skipped(self):
+        history = [_entry("old", uaj=0.010, smoke=None),
+                   _entry("new", uaj=0.010, smoke=0.003)]
+        report = diff_last_two(history, threshold=0.20)
+        assert report.skipped == ["smoke"]
+        assert [d.name for d in report.deltas] == ["uaj"]
+        assert "skipped" in report.render()
+
+    def test_only_common_benchmarks_compared(self):
+        history = [_entry("old", uaj=0.010, gone=0.5),
+                   _entry("new", uaj=0.010, added=0.5)]
+        report = diff_last_two(history, threshold=0.20)
+        assert [d.name for d in report.deltas] == ["uaj"]
+
+    def test_uses_last_two_of_longer_history(self):
+        history = [_entry("r1", uaj=1.0), _entry("r2", uaj=0.010),
+                   _entry("r3", uaj=0.010)]
+        report = diff_last_two(history, threshold=0.20)
+        assert report.old_run_at == "r2" and report.new_run_at == "r3"
+        assert not report.regressions

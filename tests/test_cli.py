@@ -55,6 +55,25 @@ class TestRunCommand:
         assert "query trace" in out and "fixpoint:" in out
         assert db.tracing is False   # restored afterwards
 
+    def test_spans_command(self, db, capsys):
+        run_command(db, ".spans select o_id from orderview")
+        out = capsys.readouterr().out
+        assert out.startswith("query")
+        assert "optimize" in out and "execute" in out
+        assert db.tracing is False   # restored afterwards
+
+    def test_slow_command(self, db, capsys):
+        run_command(db, ".slow 0")
+        assert "threshold: 0ms" in capsys.readouterr().out
+        run_command(db, "select count(*) from orders")
+        capsys.readouterr()
+        run_command(db, ".slow")
+        out = capsys.readouterr().out
+        assert "select count(*) from orders" in out
+        run_command(db, ".slow -1")
+        assert "disabled" in capsys.readouterr().out
+        assert db.slow_queries.threshold_s is None
+
     def test_metrics_command(self, db, capsys):
         run_command(db, "select count(*) from orders")
         capsys.readouterr()
@@ -145,6 +164,63 @@ class TestSubcommands:
         out = capsys.readouterr().out
         assert "queries.executed" in out
         assert "optimizer.rewrites" in out
+
+    def test_trace_json_subcommand(self, capsys):
+        import json
+
+        from repro.__main__ import run_subcommand
+
+        assert run_subcommand(
+            ["trace", "--json", "select o_id from orderview"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["sql"] == "select o_id from orderview"
+        assert data["spans"]["name"] == "query"
+        assert [c["name"] for c in data["spans"]["children"]] == [
+            "parse", "bind", "optimize", "execute",
+        ]
+
+    def test_metrics_prometheus_format(self, capsys):
+        from repro.__main__ import run_subcommand
+
+        assert run_subcommand(["metrics", "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_queries_executed_total counter" in out
+        assert "repro_optimizer_rewrites_total{case=" in out
+
+    def test_metrics_json_format(self, capsys):
+        import json
+
+        from repro.__main__ import run_subcommand
+
+        assert run_subcommand(["metrics", "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["queries.executed"] == 3
+
+    def test_bench_diff_subcommand(self, capsys, tmp_path):
+        import json
+
+        from repro.__main__ import run_subcommand
+
+        path = tmp_path / "hist.json"
+        entries = [
+            {"run_at": r, "benchmarks": {"uaj": {"median_s": m}}}
+            for r, m in (("old", 0.010), ("new", 0.020))
+        ]
+        path.write_text(json.dumps(entries))
+        assert run_subcommand(["bench-diff", "--history", str(path)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        assert run_subcommand(
+            ["bench-diff", "--history", str(path), "--threshold", "150"]
+        ) == 0
+
+    def test_bench_diff_too_few_runs(self, capsys, tmp_path):
+        from repro.__main__ import run_subcommand
+
+        assert run_subcommand(
+            ["bench-diff", "--history", str(tmp_path / "none.json")]
+        ) == 0
+        assert "need two runs" in capsys.readouterr().out
 
     def test_unknown_profile_reported_not_raised(self, capsys):
         from repro.__main__ import run_subcommand

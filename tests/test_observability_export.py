@@ -1,0 +1,166 @@
+"""Telemetry export: Prometheus exposition validity, JSON, and the
+HTTP scrape endpoint."""
+
+import json
+import re
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import Database
+from repro.observability import (
+    MetricsRegistry,
+    MetricsServer,
+    render_metrics_json,
+    render_prometheus,
+    render_spans_json,
+)
+
+# One exposition line: either "# TYPE name counter|gauge|summary" or
+# "name{labels} value" with a numeric (or NaN/Inf) value.
+_TYPE_LINE = re.compile(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|summary)$")
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"            # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" (NaN|[+-]Inf|[0-9.eE+-]+)$"
+)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("create table t (a int primary key, b int)")
+    database.execute("insert into t values (1,10),(2,20),(3,30)")
+    database.query("select count(*) from t")
+    return database
+
+
+class TestPrometheusFormat:
+    def test_every_line_is_valid_exposition(self, db):
+        text = render_prometheus(db.metrics)
+        assert text.endswith("\n")
+        for line in text.rstrip("\n").splitlines():
+            assert _TYPE_LINE.match(line) or _SAMPLE_LINE.match(line), line
+
+    def test_counter_gets_total_suffix(self, db):
+        text = render_prometheus(db.metrics)
+        assert "# TYPE repro_queries_executed_total counter" in text
+        assert re.search(r"^repro_queries_executed_total 1$", text, re.M)
+
+    def test_histogram_rendered_as_summary(self, db):
+        text = render_prometheus(db.metrics)
+        assert "# TYPE repro_queries_latency_s summary" in text
+        assert 'repro_queries_latency_s{quantile="0.5"}' in text
+        assert 'repro_queries_latency_s{quantile="0.95"}' in text
+        assert re.search(r"^repro_queries_latency_s_count 1$", text, re.M)
+
+    def test_rewrite_counters_collapse_to_labeled_family(self, db):
+        db.execute("create table u (a int primary key, c int)")
+        db.execute(
+            "create view tv as select t.a, t.b from t "
+            "left outer many to one join u on t.a = u.a"
+        )
+        db.query("select count(*) from tv")   # fires the AJ-removal rewrite
+        text = render_prometheus(db.metrics)
+        # Case names contain spaces -> must appear only as label values.
+        families = [l for l in text.splitlines()
+                    if l.startswith("repro_optimizer_rewrites_total{")]
+        assert families, text
+        for line in families:
+            assert re.match(r'^repro_optimizer_rewrites_total\{case="[^"]+"\} \d+$',
+                            line)
+        assert text.count("# TYPE repro_optimizer_rewrites_total counter") == 1
+
+    def test_empty_registry(self):
+        assert "no metrics" in render_prometheus(MetricsRegistry())
+
+    def test_custom_namespace(self, db):
+        text = render_prometheus(db.metrics, namespace="htap")
+        assert "htap_queries_executed_total" in text
+        assert "repro_" not in text
+
+    def test_gauge_and_nan(self):
+        registry = MetricsRegistry()
+        registry.gauge("temp").set(1.5)
+        registry.gauge("nothing").set(float("nan"))
+        text = render_prometheus(registry)
+        assert "# TYPE repro_temp gauge" in text
+        assert re.search(r"^repro_nothing NaN$", text, re.M)
+
+
+class TestJsonExport:
+    def test_metrics_json_round_trips(self, db):
+        data = json.loads(render_metrics_json(db.metrics))
+        assert data["queries.executed"] == 1
+        assert data["queries.latency_s"]["count"] == 1
+
+    def test_spans_json(self, db):
+        db.tracing = True
+        db.query("select a from t")
+        data = json.loads(render_spans_json(db.spans.last_root))
+        assert data["name"] == "query"
+        assert [c["name"] for c in data["children"]] == [
+            "parse", "bind", "optimize", "execute",
+        ]
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers["Content-Type"], response.read()
+
+
+class TestMetricsServer:
+    @pytest.fixture
+    def server(self, db):
+        server = MetricsServer(db, port=0)   # ephemeral port
+        server.start()
+        yield server
+        server.close()
+
+    def test_metrics_endpoint(self, server):
+        status, content_type, body = _get(f"{server.url}/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        assert b"repro_queries_executed_total" in body
+
+    def test_metrics_json_endpoint(self, server):
+        status, content_type, body = _get(f"{server.url}/metrics.json")
+        assert status == 200 and "json" in content_type
+        assert json.loads(body)["queries.executed"] == 1
+
+    def test_trace_endpoint_404_then_200(self, db, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{server.url}/trace")
+        assert excinfo.value.code == 404
+        db.tracing = True
+        db.query("select count(*) from t")
+        status, _, body = _get(f"{server.url}/trace")
+        assert status == 200
+        assert json.loads(body)["name"] == "query"
+
+    def test_slow_endpoint(self, db, server):
+        db.slow_queries.configure(threshold_s=0.0)
+        db.query("select a from t")
+        status, _, body = _get(f"{server.url}/slow")
+        assert status == 200
+        entries = json.loads(body)
+        assert len(entries) == 1 and entries[0]["sql"] == "select a from t"
+
+    def test_healthz(self, server):
+        status, _, body = _get(f"{server.url}/healthz")
+        assert status == 200 and body == b"ok\n"
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{server.url}/nope")
+        assert excinfo.value.code == 404
+
+    def test_close_releases_port(self, db):
+        server = MetricsServer(db, port=0)
+        server.start()
+        port = server.port
+        server.close()
+        with pytest.raises(Exception):
+            _get(f"http://127.0.0.1:{port}/healthz")

@@ -53,6 +53,31 @@ class TestPrimitives:
         assert 49.0 <= h.percentile(50) <= 52.0
         assert 94.0 <= h.percentile(95) <= 96.0
 
+    def test_histogram_single_sample_is_every_percentile(self):
+        # Regression guard: a lone observation used to interpolate against
+        # an implicit zero, reporting p50 = half the sample.
+        h = Histogram("h")
+        h.observe(42.0)
+        for p in (0, 50, 95, 99, 100):
+            assert h.percentile(p) == 42.0
+        assert h.summary()["p50"] == 42.0
+
+    def test_histogram_two_samples_interpolate(self):
+        h = Histogram("h")
+        h.observe(10.0)
+        h.observe(20.0)
+        assert h.percentile(0) == 10.0
+        assert h.percentile(50) == 15.0
+        assert h.percentile(95) == pytest.approx(19.5)
+        assert h.percentile(100) == 20.0
+
+    def test_histogram_percentile_clamped(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        h.observe(2.0)
+        assert h.percentile(-5) == 1.0
+        assert h.percentile(250) == 2.0
+
     def test_histogram_window_bounds_memory(self):
         h = Histogram("h", window=8)
         for v in range(1000):
