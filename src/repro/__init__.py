@@ -23,7 +23,9 @@ from .errors import (  # noqa: F401
     CatalogError,
     ConstraintError,
     ExecutionError,
+    FaultInjectedError,
     OptimizerError,
+    QueryTimeoutError,
     ReproError,
     SqlSyntaxError,
     TransactionError,

@@ -25,6 +25,7 @@ Subcommands (run against the built-in demo schema):
   python -m repro metrics [--profile NAME] [--format table|prometheus|json] [SQL ...]
   python -m repro serve-metrics [--port N] [--profile NAME]
   python -m repro bench-diff [--history PATH] [--threshold PCT]
+  python -m repro chaos [--seed N] [--ops N] [--fsync POLICY] [--wal-dir DIR]
 """
 
 from __future__ import annotations
@@ -232,9 +233,27 @@ def run_subcommand(argv: list[str]) -> int:
     p_diff.add_argument("--threshold", type=float, default=None,
                         help="regression threshold in percent (default: 20)")
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="kill-and-recover chaos campaign against the durable WAL",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="PRNG seed (fixed seed = reproducible campaign)")
+    p_chaos.add_argument("--ops", type=int, default=60,
+                         help="operations to attempt (default: 60)")
+    p_chaos.add_argument("--fsync", default="commit",
+                         choices=("always", "commit", "never"),
+                         help="WAL fsync policy (default: commit)")
+    p_chaos.add_argument("--wal-dir", default=None,
+                         help="WAL directory (default: a fresh temp dir)")
+    p_chaos.add_argument("--quiet", action="store_true",
+                         help="print only the final summary line")
+
     options = parser.parse_args(argv)
     if options.command == "bench-diff":
         return _run_bench_diff(options)
+    if options.command == "chaos":
+        return _run_chaos(options)
     try:
         db = _demo_db(options.profile)
         if options.command == "explain":
@@ -293,6 +312,28 @@ def _run_serve_metrics(db: Database, options) -> int:
         pass
     finally:
         server.close()
+    return 0
+
+
+def _run_chaos(options) -> int:
+    import tempfile
+
+    from .faults import run_chaos
+
+    wal_dir = options.wal_dir or tempfile.mkdtemp(prefix="repro-chaos-")
+    try:
+        report = run_chaos(
+            wal_dir,
+            seed=options.seed,
+            ops=options.ops,
+            fsync=options.fsync,
+            log=None if options.quiet else print,
+        )
+    except AssertionError as error:
+        print(f"chaos: INVARIANT VIOLATED: {error}", file=sys.stderr)
+        return 1
+    if options.quiet:
+        print(report.summary())
     return 0
 
 

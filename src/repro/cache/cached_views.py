@@ -126,6 +126,9 @@ class CachedViewManager:
     def refresh(self, name: str) -> int:
         """Re-materialize an SCV (or fully rebuild a DCV); returns rows."""
         info = self.info(name)
+        faults = getattr(self.db, "faults", None)
+        if faults is not None:
+            faults.fire("cache.refresh", view=info.name)
         if info.refresh_count:
             self._m_invalidations.inc()
         result = self.db.query(info.query_sql)

@@ -18,7 +18,10 @@ capability models.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import random
+import time
+import warnings
+from typing import Callable, Iterable, Sequence
 
 from .algebra import Binder, explain as explain_plan, plan_stats
 from .algebra.binder import RelationBinding, Scope
@@ -34,7 +37,15 @@ from .catalog.schema import (
 from .engine import Chunk, Executor, QueryResult
 from .engine.executor import QueryStats
 from .engine.eval import evaluate, evaluate_predicate
-from .errors import BindError, CatalogError, ExecutionError
+from .errors import (
+    BindError,
+    CatalogError,
+    ConstraintError,
+    ExecutionError,
+    QueryTimeoutError,
+    TransactionError,
+)
+from .faults import FaultInjector
 from .observability import (
     ExecutionCollector,
     MetricsRegistry,
@@ -45,29 +56,63 @@ from .observability import (
     attach_operator_spans,
 )
 from .sql import ast, parse_statement
-from .storage import ColumnTable, Transaction, TransactionManager, WriteAheadLog
+from .storage import (
+    ColumnTable,
+    DiskWriteAheadLog,
+    Transaction,
+    TransactionManager,
+    WriteAheadLog,
+)
+from .storage.mvcc import NO_TID
+from .storage.wal import _decode_value, _encode_value
+from .storage.wal_disk import schema_from_dict, schema_to_dict
 
 
 class Database:
-    """An embedded HTAP database instance."""
+    """An embedded HTAP database instance.
 
-    def __init__(self, profile: str = "hana", wal_enabled: bool = True):
+    ``wal_dir`` opts into the crash-consistent on-disk WAL
+    (:class:`repro.storage.wal_disk.DiskWriteAheadLog`): committed work
+    survives a crash and :meth:`Database.recover` rebuilds state from the
+    directory.  ``fsync`` selects its durability policy (``always`` /
+    ``commit`` / ``never``).  Without ``wal_dir`` the WAL stays in memory
+    (the seed behaviour) and recovery is a test-only utility.
+    """
+
+    def __init__(
+        self,
+        profile: str = "hana",
+        wal_enabled: bool = True,
+        wal_dir: str | None = None,
+        fsync: str = "commit",
+    ):
         self.metrics = MetricsRegistry()
         #: Hierarchical span tracer; enabled together with :attr:`tracing`.
         self.spans = SpanTracer()
         #: Ring-buffer slow-query log; set ``slow_queries.threshold_s`` (in
         #: seconds) to start capturing offenders.
         self.slow_queries = SlowQueryLog()
-        self.wal = (
-            WriteAheadLog(metrics=self.metrics, tracer=self.spans)
-            if wal_enabled else None
-        )
+        #: Fault-injection registry — see :mod:`repro.faults`.  Arming any
+        #: point flips :meth:`health` to ``degraded``.
+        self.faults = FaultInjector(metrics=self.metrics)
+        if wal_dir is not None:
+            self.wal: WriteAheadLog | None = DiskWriteAheadLog(
+                wal_dir, fsync=fsync, metrics=self.metrics,
+                tracer=self.spans, faults=self.faults,
+            )
+        elif wal_enabled:
+            self.wal = WriteAheadLog(
+                metrics=self.metrics, tracer=self.spans, faults=self.faults
+            )
+        else:
+            self.wal = None
         self.txn_manager = TransactionManager(
             self.wal, metrics=self.metrics, tracer=self.spans
         )
         self.catalog = Catalog()
         self._executor = Executor(
-            self.catalog, metrics=self.metrics, tracer=self.spans
+            self.catalog, metrics=self.metrics, tracer=self.spans,
+            faults=self.faults,
         )
         self._profile_name = profile
         self._tracing = False
@@ -81,6 +126,10 @@ class Database:
         self._m_opt_runs = self.metrics.counter("optimizer.runs")
         self._m_opt_iters = self.metrics.histogram("optimizer.iterations")
         self._m_nonconverged = self.metrics.counter("optimizer.nonconverged")
+        self._m_timeouts = self.metrics.counter("query.timeouts")
+        self._m_conflict_retries = self.metrics.counter("txn.conflict_retries")
+        # Pre-registered so exporters surface them at zero from the start.
+        self.metrics.counter("optimizer.rule_failures")
 
     # -- observability --------------------------------------------------------
 
@@ -168,18 +217,29 @@ class Database:
             return self._with_txn(txn, lambda t: self._delete(statement, t))
         raise ExecutionError(f"unsupported statement {type(statement).__name__}")
 
-    def query(self, sql: str, txn: Transaction | None = None, optimize: bool = True) -> QueryResult:
+    def query(
+        self,
+        sql: str,
+        txn: Transaction | None = None,
+        optimize: bool = True,
+        timeout: float | None = None,
+    ) -> QueryResult:
+        """Run one SELECT.  ``timeout`` (seconds) arms a cooperative
+        deadline checked at operator boundaries; exceeding it raises
+        :class:`repro.errors.QueryTimeoutError` and bumps
+        ``query.timeouts``."""
+        deadline = None if timeout is None else time.monotonic() + timeout
         if not self.spans.enabled:
             statement = parse_statement(sql)
             if not isinstance(statement, ast.Query):
                 raise ExecutionError("query() expects a SELECT statement")
-            return self._run_query(statement, txn, optimize, sql=sql)
+            return self._run_query(statement, txn, optimize, sql=sql, deadline=deadline)
         with self.spans.span("query", sql=sql):
             with self.spans.span("parse"):
                 statement = parse_statement(sql)
             if not isinstance(statement, ast.Query):
                 raise ExecutionError("query() expects a SELECT statement")
-            return self._run_query(statement, txn, optimize, sql=sql)
+            return self._run_query(statement, txn, optimize, sql=sql, deadline=deadline)
 
     def _run_query(
         self,
@@ -187,18 +247,21 @@ class Database:
         txn: Transaction | None,
         optimize: bool = True,
         sql: str | None = None,
+        deadline: float | None = None,
     ) -> QueryResult:
-        import time
-
         start = time.perf_counter()
         plan, tally, operators_before = self._plan_with_trace(query, optimize, sql)
-        if not self.spans.enabled:
-            result = self._execute_plan(plan, txn)
-        else:
-            with self.spans.span("execute") as execute_span:
-                collector = ExecutionCollector()
-                result = self._execute_plan(plan, txn, collector)
-            attach_operator_spans(execute_span, collector)
+        try:
+            if not self.spans.enabled:
+                result = self._execute_plan(plan, txn, deadline=deadline)
+            else:
+                with self.spans.span("execute") as execute_span:
+                    collector = ExecutionCollector()
+                    result = self._execute_plan(plan, txn, collector, deadline=deadline)
+                attach_operator_spans(execute_span, collector)
+        except QueryTimeoutError:
+            self._m_timeouts.inc()
+            raise
         elapsed = time.perf_counter() - start
         operators_after = sum(1 for _ in plan.walk())
         self._m_queries.inc()
@@ -223,13 +286,18 @@ class Database:
         return result
 
     def _execute_plan(
-        self, plan: LogicalOp, txn: Transaction | None, collector=None
+        self, plan: LogicalOp, txn: Transaction | None, collector=None,
+        deadline: float | None = None,
     ) -> QueryResult:
         if txn is not None:
-            return self._executor.execute(plan, txn, collector=collector)
+            return self._executor.execute(
+                plan, txn, collector=collector, deadline=deadline
+            )
         snapshot = self.begin()
         try:
-            return self._executor.execute(plan, snapshot, collector=collector)
+            return self._executor.execute(
+                plan, snapshot, collector=collector, deadline=deadline
+            )
         finally:
             self.commit(snapshot)
 
@@ -340,14 +408,22 @@ class Database:
         if sum(1 for u in constraints if u.is_primary) > 1:
             raise CatalogError(f"multiple primary keys on {statement.name!r}")
         schema = TableSchema(statement.name, columns, constraints)
-        table = ColumnTable(schema, self.txn_manager, self.wal)
+        existed = self.catalog.has_table(schema.name)
+        table = ColumnTable(schema, self.txn_manager, self.wal, faults=self.faults)
         self.catalog.create_table(table, statement.if_not_exists)
+        if not existed:
+            self._log_ddl_table(schema)
 
     def create_table_from_schema(self, schema: TableSchema) -> ColumnTable:
         """Programmatic DDL used by the workload generators and the VDM."""
-        table = ColumnTable(schema, self.txn_manager, self.wal)
+        table = ColumnTable(schema, self.txn_manager, self.wal, faults=self.faults)
         self.catalog.create_table(table)
+        self._log_ddl_table(schema)
         return table
+
+    def _log_ddl_table(self, schema: TableSchema) -> None:
+        if self.wal is not None and getattr(self.wal, "durable", False):
+            self.wal.log_ddl(schema.name, schema_to_dict(schema))
 
     def _create_view(self, statement: ast.CreateView, sql: str) -> None:
         view = ViewSchema(
@@ -365,12 +441,21 @@ class Database:
                 f"columns but its query produces {len(bound.output)}"
             )
         self.catalog.create_view(view, statement.or_replace)
+        if self.wal is not None and getattr(self.wal, "durable", False):
+            self.wal.log_ddl_view(view.name, sql)
 
     def _drop(self, statement: ast.DropStatement) -> None:
+        existed = (
+            self.catalog.has_table(statement.name)
+            if statement.kind == "TABLE"
+            else self.catalog.has_view(statement.name)
+        )
         if statement.kind == "TABLE":
             self.catalog.drop_table(statement.name, statement.if_exists)
         else:
             self.catalog.drop_view(statement.name, statement.if_exists)
+        if existed and self.wal is not None and getattr(self.wal, "durable", False):
+            self.wal.log_drop(statement.name.lower(), statement.kind)
 
     # -- DML ------------------------------------------------------------------------
 
@@ -481,3 +566,263 @@ class Database:
         """Run a delta merge on every table."""
         for table in self.catalog.tables():
             table.merge_delta()
+
+    # -- graceful degradation -----------------------------------------------------
+
+    def run_with_retry(
+        self,
+        action: Callable[[Transaction], object],
+        *,
+        attempts: int = 5,
+        base_delay_s: float = 0.005,
+        max_delay_s: float = 0.25,
+        retry_on: tuple[type[Exception], ...] = (TransactionError, ConstraintError),
+        rng: random.Random | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        """Run ``action(txn)`` in a fresh transaction, retrying conflicts.
+
+        Each failed attempt rolls back, bumps ``txn.conflict_retries``, and
+        backs off exponentially with jitter (``base_delay_s * 2**attempt``,
+        capped at ``max_delay_s``, scaled by a uniform 0.5–1.0 factor) so
+        colliding writers decorrelate.  The last error is re-raised once
+        ``attempts`` is exhausted.  Errors outside ``retry_on`` propagate
+        immediately — only conflict-shaped failures are transient.
+        """
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        rng = rng if rng is not None else random.Random()
+        last_error: Exception | None = None
+        for attempt in range(attempts):
+            txn = self.begin()
+            try:
+                result = action(txn)
+            except retry_on as exc:
+                if txn.is_active:
+                    self.rollback(txn)
+                last_error = exc
+                if attempt + 1 >= attempts:
+                    break
+                self._m_conflict_retries.inc()
+                delay = min(max_delay_s, base_delay_s * (2 ** attempt))
+                sleep(delay * rng.uniform(0.5, 1.0))
+            except BaseException:
+                if txn.is_active:
+                    self.rollback(txn)
+                raise
+            else:
+                if txn.is_active:
+                    self.commit(txn)
+                return result
+        assert last_error is not None
+        raise last_error
+
+    def health(self) -> dict:
+        """Liveness/degradation report served at ``/healthz``.
+
+        ``status`` is ``"degraded"`` (never an HTTP error — the engine is
+        still answering queries, possibly from fallback plans) when any
+        fault point is armed or when degradation counters show the engine
+        has already absorbed failures; otherwise ``"ok"``.
+        """
+        reasons: list[str] = []
+        armed = self.faults.armed()
+        if armed:
+            reasons.append("faults armed: " + ", ".join(sorted(armed)))
+        for name, label in (
+            ("optimizer.rule_failures", "optimizer rules sandboxed"),
+            ("wal.torn_tail_truncations", "WAL torn tails truncated"),
+            ("wal.replay_skips", "unreplayable WAL records skipped"),
+        ):
+            value = self.metrics.counter(name).value
+            if value > 0:
+                reasons.append(f"{label}: {value}")
+        return {"status": "degraded" if reasons else "ok", "reasons": reasons}
+
+    # -- durability ---------------------------------------------------------------
+
+    def checkpoint(self) -> str:
+        """Snapshot committed state into the WAL directory and truncate the log.
+
+        Requires a durable WAL and **no active transactions**: an in-flight
+        transaction's earlier records would be discarded by the checkpoint's
+        LSN horizon, losing its writes if it committed afterwards.  Returns
+        the checkpoint file path.
+        """
+        wal = self.wal
+        if wal is None or not getattr(wal, "durable", False):
+            raise TransactionError(
+                "checkpoint requires a durable WAL (construct with wal_dir=...)"
+            )
+        if self.txn_manager.active_count != 0:
+            raise TransactionError(
+                f"checkpoint requires no active transactions "
+                f"({self.txn_manager.active_count} in flight)"
+            )
+        snapshot = self.begin()
+        try:
+            tables = []
+            for table in self.catalog.tables():
+                rows = [
+                    [row_id, [_encode_value(v) for v in values]]
+                    for row_id, values in table.scan_rows(snapshot)
+                ]
+                tables.append(
+                    {
+                        "schema": schema_to_dict(table.schema),
+                        "rows": rows,
+                        "next_row_id": len(table.created_tids),
+                    }
+                )
+            views = [
+                {"name": view.name, "sql": view.sql}
+                for view in self.catalog.views()
+                if view.sql
+            ]
+        finally:
+            self.commit(snapshot)
+        return wal.write_checkpoint({"tables": tables, "views": views})
+
+    @classmethod
+    def recover(
+        cls,
+        wal_dir: str,
+        profile: str = "hana",
+        fsync: str = "commit",
+        checkpoint_after: bool = True,
+    ) -> "Database":
+        """Rebuild a database from a WAL directory after a crash.
+
+        Restores the newest valid checkpoint, then replays committed
+        post-checkpoint records grouped per original transaction (a failure
+        mid-replay rolls the half-replayed transaction back, so partial
+        transactions are never visible).  Unless ``checkpoint_after=False``,
+        recovery finishes by writing a fresh checkpoint — replay compacts
+        row ids, so the old log's id space must not leak past recovery.
+        """
+        db = cls(profile=profile, wal_dir=wal_dir, fsync=fsync)
+        db._replay_from_disk()
+        if checkpoint_after:
+            db.checkpoint()
+        return db
+
+    def _replay_from_disk(self) -> None:
+        wal = self.wal
+        assert isinstance(wal, DiskWriteAheadLog)
+        # row_maps: per table, original (logged) row id -> replayed row id.
+        # Seeded by the checkpoint restore, extended by replayed inserts.
+        row_maps: dict[str, dict[int, int]] = {}
+        replayed = 0
+        skipped = 0
+        with wal.suppressed():
+            state = wal.checkpoint_state
+            if state is not None:
+                for tdata in state.get("tables", []):
+                    schema = schema_from_dict(tdata["schema"])
+                    table = ColumnTable(
+                        schema, self.txn_manager, wal, faults=self.faults
+                    )
+                    self.catalog.create_table(table)
+                    mapping = row_maps.setdefault(schema.name, {})
+                    for row_id, values in tdata.get("rows", []):
+                        decoded = [_decode_value(v) for v in values]
+                        mapping[row_id] = table._append_row(
+                            decoded, NO_TID, validate_unique=True
+                        )
+                    if mapping:
+                        table.merge_delta()
+                for vdata in state.get("views", []):
+                    self.execute(vdata["sql"])
+            records = wal.records()
+            committed = {r.tid for r in records if r.kind == "commit"}
+            pending: dict[int, list] = {}
+            for record in records:
+                kind = record.kind
+                if kind == "ddl":
+                    self.create_table_from_schema(schema_from_dict(record.payload))
+                    row_maps[record.table] = {}
+                elif kind == "ddl_view":
+                    self.execute(record.payload)
+                elif kind == "ddl_drop":
+                    if record.payload == "TABLE":
+                        self.catalog.drop_table(record.table, if_exists=True)
+                        row_maps.pop(record.table, None)
+                    else:
+                        self.catalog.drop_view(record.table, if_exists=True)
+                elif kind in ("insert", "delete"):
+                    if record.tid == NO_TID:
+                        # Bootstrap rows (bulk_load) are visible to every
+                        # snapshot and carry no commit record.
+                        try:
+                            table = self.catalog.table(record.table)
+                            new_id = table._append_row(
+                                list(record.payload), NO_TID, validate_unique=True
+                            )
+                        except (CatalogError, ConstraintError) as exc:
+                            skipped += self._skip_unreplayable(record.lsn, exc)
+                            continue
+                        row_maps.setdefault(record.table, {})[record.row_id] = new_id
+                        replayed += 1
+                    elif record.tid in committed:
+                        pending.setdefault(record.tid, []).append(record)
+                elif kind == "commit":
+                    ops = pending.pop(record.tid, None)
+                    if ops:
+                        try:
+                            replayed += self._replay_txn(record.tid, ops, row_maps)
+                        except (CatalogError, ConstraintError, TransactionError) as exc:
+                            skipped += self._skip_unreplayable(record.lsn, exc, len(ops))
+        self.metrics.counter("wal.replays").inc()
+        self.metrics.counter("wal.replayed_rows").inc(replayed)
+        if skipped:
+            self.metrics.counter("wal.replay_skips").inc(skipped)
+
+    def _skip_unreplayable(self, lsn: int, exc: Exception, count: int = 1) -> int:
+        """Degrade, don't die: a log whose context is gone (e.g. the only
+        checkpoint corrupted away the covering DDL) still recovers what it
+        can.  Atomicity holds — whole transactions are skipped, never
+        prefixes — and the loss is loud: a warning now, ``wal.replay_skips``
+        in the registry, and a degraded :meth:`health` until restart."""
+        warnings.warn(
+            f"recovery: skipping unreplayable record(s) at lsn {lsn} "
+            f"({type(exc).__name__}: {exc})",
+            stacklevel=3,
+        )
+        return count
+
+    def _replay_txn(self, tid: int, ops: list, row_maps: dict) -> int:
+        """Replay one committed transaction atomically.
+
+        The ``wal.replay`` fault point fires *before* the replay
+        transaction begins, and any replay error rolls it back — either
+        way, no half-replayed transaction is ever left visible.
+        """
+        self.faults.fire("wal.replay", tid=tid)
+        txn = self.begin()
+        applied = 0
+        try:
+            for record in ops:
+                table = self.catalog.table(record.table)
+                mapping = row_maps.setdefault(record.table, {})
+                if record.kind == "insert":
+                    mapping[record.row_id] = table.insert(txn, record.payload)
+                else:
+                    mapped = mapping.get(record.payload)
+                    if mapped is None:
+                        raise TransactionError(
+                            f"recovery: delete of unknown row {record.payload} "
+                            f"in {record.table!r}"
+                        )
+                    table.delete_row(txn, mapped)
+                applied += 1
+        except Exception:
+            self.rollback(txn)
+            raise
+        self.commit(txn)
+        return applied
+
+    def close(self) -> None:
+        """Release the on-disk WAL's file handle (no-op otherwise)."""
+        wal = self.wal
+        if wal is not None and hasattr(wal, "close"):
+            wal.close()

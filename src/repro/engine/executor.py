@@ -16,7 +16,7 @@ from typing import Sequence
 
 from ..algebra import ops
 from ..algebra.expr import AggCall, Call, ColRef, Expr, referenced_cids, walk
-from ..errors import ExecutionError
+from ..errors import ExecutionError, QueryTimeoutError
 from ..storage.mvcc import Transaction
 from .chunk import Chunk
 from .eval import _coerce_pair, evaluate, evaluate_predicate
@@ -99,10 +99,14 @@ class Executor:
     materialization.
     """
 
-    def __init__(self, catalog, metrics=None, tracer=None):
+    def __init__(self, catalog, metrics=None, tracer=None, faults=None):
         self._catalog = catalog
         self._collector = None
         self._tracer = tracer
+        self._faults = faults
+        # Cooperative statement deadline (time.monotonic() value), checked
+        # at operator boundaries; None means no timeout.
+        self._deadline = None
         # Pre-resolved counter handles (pruning is a per-scan hot path).
         if metrics is None:
             self._m_blocks_pruned = None
@@ -112,23 +116,32 @@ class Executor:
             self._m_blocks_scanned = metrics.counter("nse.blocks_scanned")
 
     def execute(
-        self, plan: ops.LogicalOp, txn: Transaction, collector=None
+        self, plan: ops.LogicalOp, txn: Transaction, collector=None,
+        deadline: float | None = None,
     ) -> QueryResult:
-        if collector is None:
-            return self._execute(plan, txn)
-        previous = self._collector
-        self._collector = collector
+        # A nested execute (scalar subqueries) without its own deadline
+        # inherits the enclosing statement's — the budget is per statement.
+        previous_deadline = self._deadline
+        if deadline is not None:
+            self._deadline = deadline
         try:
-            # Scalar-subquery resolution may rewrite the tree; record the
-            # tree that actually runs so EXPLAIN ANALYZE annotates it.
-            resolved = self._resolve_scalar_subqueries(plan, txn)
-            collector.root = resolved
-            used = _collect_used_cids(resolved)
-            chunk = self._exec(resolved, txn, used)
-            cids = [c.cid for c in resolved.output]
-            return QueryResult([c.name for c in resolved.output], chunk.rows(cids))
+            if collector is None:
+                return self._execute(plan, txn)
+            previous = self._collector
+            self._collector = collector
+            try:
+                # Scalar-subquery resolution may rewrite the tree; record the
+                # tree that actually runs so EXPLAIN ANALYZE annotates it.
+                resolved = self._resolve_scalar_subqueries(plan, txn)
+                collector.root = resolved
+                used = _collect_used_cids(resolved)
+                chunk = self._exec(resolved, txn, used)
+                cids = [c.cid for c in resolved.output]
+                return QueryResult([c.name for c in resolved.output], chunk.rows(cids))
+            finally:
+                self._collector = previous
         finally:
-            self._collector = previous
+            self._deadline = previous_deadline
 
     def _execute(self, plan: ops.LogicalOp, txn: Transaction) -> QueryResult:
         plan = self._resolve_scalar_subqueries(plan, txn)
@@ -189,6 +202,13 @@ class Executor:
     # -- dispatch -----------------------------------------------------------
 
     def _exec(self, op: ops.LogicalOp, txn: Transaction, used: frozenset[int]) -> Chunk:
+        deadline = self._deadline
+        if deadline is not None and time.monotonic() > deadline:
+            raise QueryTimeoutError(
+                f"statement deadline exceeded at {type(op).__name__}"
+            )
+        if self._faults is not None:
+            self._faults.fire("executor.operator", op=type(op).__name__)
         collector = self._collector
         if collector is None:
             return self._dispatch(op, txn, used)

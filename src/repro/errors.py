@@ -51,5 +51,25 @@ class TransactionError(ReproError):
     """Raised for illegal transaction state transitions or conflicts."""
 
 
+class QueryTimeoutError(ExecutionError):
+    """Raised when a statement exceeds its cooperative deadline.
+
+    The deadline is checked at operator boundaries, so a running operator
+    finishes its current materialization before the query aborts.
+    """
+
+
+class FaultInjectedError(ReproError):
+    """Raised by an armed (non-crash) fault point — see :mod:`repro.faults`.
+
+    Carries the fault point name so tests and the chaos harness can tell
+    injected failures apart from organic ones.
+    """
+
+    def __init__(self, point: str, message: str | None = None):
+        super().__init__(message or f"injected fault at {point!r}")
+        self.point = point
+
+
 class TypeCheckError(ReproError):
     """Raised when expression operands have incompatible SQL types."""

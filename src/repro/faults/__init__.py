@@ -1,0 +1,56 @@
+"""Fault injection across the query lifecycle.
+
+The engine threads named *fault points* through its failure-relevant code
+paths; a :class:`FaultInjector` armed at one of those points turns the
+next matching call into an injected failure.  Three trigger shapes are
+supported (combinable):
+
+- **always / nth-call** — fire on every call, or only on the ``nth``
+  matching call (1-based), optionally at most ``times`` times;
+- **probabilistic** — fire with probability ``p`` using a seeded,
+  rule-local RNG so chaos runs are reproducible;
+- **crash simulation** — instead of raising an ordinary
+  :class:`~repro.errors.FaultInjectedError`, raise :class:`SimulatedCrash`
+  (a ``BaseException``), which deliberately skips ``except Exception``
+  cleanup handlers the way a real process kill would.  The in-memory
+  database is then abandoned and :meth:`repro.database.Database.recover`
+  rebuilds state from the durable WAL.
+
+Fault-point catalog (see DESIGN.md §9 for the full semantics):
+
+========================  ====================================================
+point                     fired
+========================  ====================================================
+``wal.append``            before a WAL record reaches the disk buffer
+``wal.fsync``             after the buffered write, before ``os.fsync``
+``wal.checkpoint``        at the start of a checkpoint
+``wal.replay``            before each replayed transaction during recovery
+``storage.insert``        before a row append in :class:`ColumnTable`
+``storage.delete``        before a row delete in :class:`ColumnTable`
+``cache.refresh``         at the start of a cached-view refresh
+``executor.operator``     before each operator materialization
+``optimizer.rule``        inside each sandboxed rule pass (ctx: ``rule``)
+========================  ====================================================
+
+Every injection increments the ``faults.injected`` counter when the
+injector was built with a metrics registry.  Arming any point flips
+:meth:`repro.database.Database.health` (and the ``/healthz`` endpoint)
+to ``degraded``.
+
+Example::
+
+    db = Database(wal_dir="/tmp/wal")
+    db.faults.arm("wal.append", crash=True, nth=3)
+    try:
+        db.execute("insert into t values (1)")
+    except SimulatedCrash:
+        db = Database.recover("/tmp/wal")   # committed rows survive
+"""
+
+from .injector import (  # noqa: F401
+    FAULT_POINTS,
+    FaultInjector,
+    FaultRule,
+    SimulatedCrash,
+)
+from .chaos import ChaosReport, run_chaos  # noqa: F401

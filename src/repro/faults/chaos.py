@@ -1,0 +1,250 @@
+"""Kill-and-recover chaos harness for the durable WAL.
+
+Drives a :class:`~repro.database.Database` through randomized DML and
+checkpoints while repeatedly crash-simulating it at armed fault points,
+recovering with :meth:`Database.recover` after every crash, and checking
+the recovered state against a shadow model of committed rows.
+
+The invariant checked is **committed-data equivalence with commit
+ambiguity**: after recovery the table must equal either
+
+- the shadow state (the crashed transaction was lost whole), or
+- the shadow state with the crashed transaction fully applied (the crash
+  hit *after* its commit record reached the log — e.g. during the commit
+  fsync).
+
+Anything in between — a half-applied transaction — is a bug and raises
+``AssertionError``.  The harness also tears segment tails with garbage
+bytes (exercising CRC truncation) and probes crashes in the middle of
+recovery itself (arming ``wal.replay`` on a throwaway attach).
+
+Driven by ``repro chaos`` and the CI ``chaos-smoke`` job; deterministic
+for a fixed ``seed``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import warnings
+from dataclasses import dataclass, field
+
+from .injector import SimulatedCrash
+
+#: Crash points exercised while a transaction is running.  ``wal.fsync``
+#: only fires when the fsync policy actually syncs; ``wal.checkpoint``
+#: is exercised by checkpoint operations instead.
+DML_CRASH_POINTS = (
+    "wal.append",
+    "wal.fsync",
+    "storage.insert",
+    "storage.delete",
+)
+
+
+@dataclass
+class ChaosReport:
+    """What one :func:`run_chaos` campaign did and survived."""
+
+    seed: int
+    ops: int = 0
+    commits: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    checkpoints: int = 0
+    torn_tails: int = 0
+    replay_crashes: int = 0
+    ambiguous_commits: int = 0
+    final_rows: int = 0
+    crash_points: dict[str, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        points = ", ".join(
+            f"{point}={count}"
+            for point, count in sorted(self.crash_points.items())
+        ) or "none"
+        return (
+            f"chaos seed={self.seed}: {self.ops} ops, {self.commits} commits, "
+            f"{self.crashes} crashes ({points}), {self.recoveries} recoveries, "
+            f"{self.checkpoints} checkpoints, {self.torn_tails} torn tails, "
+            f"{self.replay_crashes} mid-replay crashes, "
+            f"{self.ambiguous_commits} ambiguous commits, "
+            f"{self.final_rows} rows survive"
+        )
+
+
+def _snapshot(db) -> dict[int, int]:
+    return {row[0]: row[1] for row in db.query("select id, v from chaos").rows}
+
+
+def _tear_tail(wal_dir: str, rng: random.Random) -> bool:
+    """Append garbage to the newest segment, as a torn OS write would."""
+    names = sorted(
+        n for n in os.listdir(wal_dir)
+        if n.startswith("wal-") and n.endswith(".seg")
+    )
+    if not names:
+        return False
+    with open(os.path.join(wal_dir, names[-1]), "ab") as handle:
+        handle.write(rng.randbytes(rng.randint(4, 48)))
+    return True
+
+
+def _probe_replay_crash(wal_dir: str, profile: str, fsync: str) -> int:
+    """Crash a throwaway recovery mid-replay; the directory must survive.
+
+    Returns 1 if the ``wal.replay`` point actually fired (it cannot when
+    no committed transactions follow the checkpoint).
+    """
+    from ..database import Database
+
+    probe = Database(profile=profile, wal_dir=wal_dir, fsync=fsync)
+    probe.faults.arm("wal.replay", crash=True, times=1)
+    fired = 0
+    try:
+        probe._replay_from_disk()
+    except SimulatedCrash:
+        fired = 1
+    finally:
+        probe.close()
+    return fired
+
+
+def run_chaos(
+    wal_dir: str,
+    *,
+    seed: int = 0,
+    ops: int = 60,
+    fsync: str = "commit",
+    profile: str = "hana",
+    crash_probability: float = 0.3,
+    log=None,
+) -> ChaosReport:
+    """Run one randomized kill-and-recover campaign in ``wal_dir``.
+
+    ``wal_dir`` should be empty (the campaign creates its own table).
+    Raises ``AssertionError`` on any committed-data divergence.
+    """
+    from ..database import Database  # local: repro.database imports repro.faults
+
+    rng = random.Random(seed)
+    report = ChaosReport(seed=seed)
+
+    def say(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    db = Database(profile=profile, wal_dir=wal_dir, fsync=fsync)
+    db.execute("create table chaos (id int primary key, v int)")
+    shadow: dict[int, int] = {}
+    next_id = 1
+
+    def verify(recovered, attempt: dict[int, int] | None) -> None:
+        nonlocal shadow
+        got = _snapshot(recovered)
+        if got == shadow:
+            return
+        if attempt is not None and got == attempt:
+            # The crash hit after the commit record reached the log: the
+            # transaction is durably committed.  Either outcome is legal;
+            # half-applied is not.
+            report.ambiguous_commits += 1
+            shadow = attempt
+            return
+        missing = sorted(set(shadow) - set(got))
+        extra = sorted(set(got) - set(shadow))
+        raise AssertionError(
+            f"chaos seed={seed} op={report.ops}: recovered state diverges "
+            f"from committed shadow (missing ids {missing[:10]}, "
+            f"unexpected ids {extra[:10]})"
+        )
+
+    def recover_after_crash(attempt: dict[int, int] | None) -> None:
+        nonlocal db
+        db.faults.disarm()
+        db.close()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            if rng.random() < 0.3 and _tear_tail(wal_dir, rng):
+                report.torn_tails += 1
+            if rng.random() < 0.3:
+                report.replay_crashes += _probe_replay_crash(
+                    wal_dir, profile, fsync
+                )
+            db = Database.recover(wal_dir, profile=profile, fsync=fsync)
+        report.recoveries += 1
+        verify(db, attempt)
+
+    for _ in range(ops):
+        report.ops += 1
+        roll = rng.random()
+        if roll < 0.12:
+            # Checkpoint op, sometimes crashed at its fault point.
+            crash = rng.random() < crash_probability
+            if crash:
+                db.faults.arm("wal.checkpoint", crash=True, times=1)
+            try:
+                db.checkpoint()
+                report.checkpoints += 1
+                db.faults.disarm()
+            except SimulatedCrash:
+                report.crashes += 1
+                report.crash_points["wal.checkpoint"] = (
+                    report.crash_points.get("wal.checkpoint", 0) + 1
+                )
+                say(f"op {report.ops}: crash at wal.checkpoint")
+                recover_after_crash(None)
+            continue
+
+        # DML op: a batch insert or a delete, as one transaction.
+        attempt = dict(shadow)
+        if shadow and roll > 0.75:
+            victim = rng.choice(sorted(shadow))
+            del attempt[victim]
+            sql = f"delete from chaos where id = {victim}"
+        else:
+            batch = [
+                (next_id + i, rng.randrange(1000))
+                for i in range(rng.randint(1, 4))
+            ]
+            next_id += len(batch)
+            attempt.update(batch)
+            values = ", ".join(f"({rid}, {v})" for rid, v in batch)
+            sql = f"insert into chaos values {values}"
+
+        point = None
+        if rng.random() < crash_probability:
+            candidates = [
+                p for p in DML_CRASH_POINTS
+                if not (p == "wal.fsync" and fsync == "never")
+            ]
+            point = rng.choice(candidates)
+            db.faults.arm(point, crash=True, times=1)
+        txn = db.begin()
+        try:
+            db.execute(sql, txn)
+            db.commit(txn)
+        except SimulatedCrash as crash:
+            report.crashes += 1
+            report.crash_points[crash.point] = (
+                report.crash_points.get(crash.point, 0) + 1
+            )
+            say(f"op {report.ops}: crash at {crash.point}")
+            recover_after_crash(attempt)
+        else:
+            db.faults.disarm()
+            shadow = attempt
+            report.commits += 1
+
+    # Final kill-and-recover pass: whatever the campaign left behind must
+    # come back verbatim.
+    db.close()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        db = Database.recover(wal_dir, profile=profile, fsync=fsync)
+    report.recoveries += 1
+    verify(db, None)
+    report.final_rows = len(shadow)
+    db.close()
+    say(report.summary())
+    return report

@@ -1,0 +1,146 @@
+"""The fault injector: named points, arming rules, and firing semantics."""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+
+from ..errors import FaultInjectedError
+
+#: The canonical fault-point names threaded through the engine.  ``arm``
+#: accepts unknown names too (subsystems can add points without touching
+#: this list), but the CLI and docs enumerate these.
+FAULT_POINTS = (
+    "wal.append",
+    "wal.fsync",
+    "wal.checkpoint",
+    "wal.replay",
+    "storage.insert",
+    "storage.delete",
+    "cache.refresh",
+    "executor.operator",
+    "optimizer.rule",
+)
+
+
+class SimulatedCrash(BaseException):
+    """A crash-simulation fault fired.
+
+    Derives from ``BaseException`` on purpose: ``except Exception`` /
+    ``except ReproError`` cleanup paths (rollback, cache invalidation)
+    must *not* run, exactly as they would not after ``kill -9``.  Only
+    the test or chaos harness that armed the crash catches this.
+    """
+
+    def __init__(self, point: str):
+        super().__init__(f"simulated crash at fault point {point!r}")
+        self.point = point
+
+
+@dataclass
+class FaultRule:
+    """One armed fault: trigger condition plus injected action."""
+
+    point: str
+    crash: bool = False
+    error: Exception | None = None     # raised instead of FaultInjectedError
+    probability: float = 1.0
+    nth: int | None = None             # fire only on the nth matching call
+    times: int | None = None           # stop after this many injections
+    match: dict | None = None          # ctx filter: all pairs must match
+    calls: int = 0                     # matching calls seen so far
+    injections: int = 0                # faults actually injected
+    _rng: random.Random = field(default_factory=random.Random, repr=False)
+
+    def should_fire(self, ctx: dict) -> bool:
+        if self.match and any(ctx.get(k) != v for k, v in self.match.items()):
+            return False
+        if self.times is not None and self.injections >= self.times:
+            return False
+        self.calls += 1
+        if self.nth is not None and self.calls != self.nth:
+            return False
+        if self.probability < 1.0 and self._rng.random() >= self.probability:
+            return False
+        return True
+
+
+class FaultInjector:
+    """Registry of armed fault rules, consulted by `fire()` call sites.
+
+    Thread-safe; the disarmed fast path is a single attribute load plus a
+    truthiness check, so leaving injection wired into hot paths costs
+    nothing in production.
+    """
+
+    def __init__(self, metrics=None):
+        self._rules: dict[str, FaultRule] = {}
+        self._lock = threading.Lock()
+        self._m_injected = (
+            None if metrics is None else metrics.counter("faults.injected")
+        )
+        #: (point, kind) pairs of every injection, newest last.
+        self.history: list[tuple[str, str]] = []
+
+    # -- arming -----------------------------------------------------------
+
+    def arm(
+        self,
+        point: str,
+        *,
+        crash: bool = False,
+        error: Exception | None = None,
+        probability: float = 1.0,
+        nth: int | None = None,
+        times: int | None = None,
+        match: dict | None = None,
+        seed: int | None = None,
+    ) -> FaultRule:
+        """Arm ``point``; the returned rule exposes call/injection counts."""
+        rule = FaultRule(
+            point=point, crash=crash, error=error, probability=probability,
+            nth=nth, times=times, match=match,
+        )
+        if seed is not None:
+            rule._rng.seed(seed)
+        with self._lock:
+            self._rules[point] = rule
+        return rule
+
+    def disarm(self, point: str | None = None) -> None:
+        """Disarm one point, or everything when ``point`` is None."""
+        with self._lock:
+            if point is None:
+                self._rules.clear()
+            else:
+                self._rules.pop(point, None)
+
+    def armed(self) -> list[str]:
+        with self._lock:
+            return sorted(self._rules)
+
+    # -- firing -----------------------------------------------------------
+
+    def fire(self, point: str, **ctx) -> None:
+        """Consult the rules for ``point``; raise if one fires.
+
+        Call sites hold a reference to the injector (or None) and invoke
+        this unconditionally — the empty-registry fast path keeps the
+        disarmed cost negligible.
+        """
+        if not self._rules:
+            return
+        with self._lock:
+            rule = self._rules.get(point)
+            if rule is None or not rule.should_fire(ctx):
+                return
+            rule.injections += 1
+            self.history.append((point, "crash" if rule.crash else "error"))
+        if self._m_injected is not None:
+            self._m_injected.inc()
+        if rule.crash:
+            raise SimulatedCrash(point)
+        if rule.error is not None:
+            raise rule.error
+        raise FaultInjectedError(point)

@@ -52,7 +52,16 @@ def _make_handler(db):
                     200, [e.to_dict() for e in db.slow_queries]
                 )
             elif path == "/healthz":
-                self._reply(200, "text/plain; charset=utf-8", "ok\n")
+                # Always 200: degraded means "answering, with reduced
+                # guarantees", not "down" — probes must not kill the pod.
+                health = (
+                    db.health() if hasattr(db, "health")
+                    else {"status": "ok", "reasons": []}
+                )
+                body = health["status"] + "".join(
+                    f"\n{reason}" for reason in health["reasons"]
+                )
+                self._reply(200, "text/plain; charset=utf-8", body + "\n")
             else:
                 self._reply_json(404, {"error": f"no endpoint {path!r}"})
 

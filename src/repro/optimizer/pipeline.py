@@ -49,6 +49,16 @@ class FixpointWarning(RuntimeWarning):
     """The rewrite loop hit MAX_ITERATIONS while the plan was still changing."""
 
 
+class RuleFailureWarning(RuntimeWarning):
+    """A rewrite pass raised and was sandboxed; the pre-rule plan was kept.
+
+    Rewrites are an optimization, never a correctness requirement: a rule
+    that crashes must degrade the plan, not the statement.  The failure is
+    still surfaced — ``optimizer.rule_failures`` increments, the trace gets
+    a warning, and :meth:`repro.database.Database.health` reports degraded.
+    """
+
+
 def optimize_plan(
     plan: LogicalOp, profile: "str | OptimizerProfile", db=None, trace=None,
     spans=None,
@@ -67,6 +77,10 @@ def optimize_plan(
     if spans is not None and not spans.enabled:
         spans = None
     resolved = get_profile(profile) if isinstance(profile, str) else profile
+    # Degradation plumbing (both optional): the facade's registry receives
+    # sandboxed-rule counts, its injector drives the optimizer.rule point.
+    metrics = getattr(db, "metrics", None)
+    faults = getattr(db, "faults", None)
     if not resolved.caps:
         return plan
     signature = structural_signature(plan)
@@ -78,21 +92,21 @@ def optimize_plan(
             else spans.start("optimizer.iteration", index=iteration)
         )
         plan = _run_pass(trace, iteration, "cleanup", cleanup_plan, plan,
-                         resolved, spans)
+                         resolved, spans, metrics, faults)
         if resolved.has(CAP_FILTER_PUSHDOWN):
             plan = _run_pass(
                 trace, iteration, "filter_pushdown",
                 lambda p, sctx: push_filters(p, sctx.trace), plan, resolved,
-                spans,
+                spans, metrics, faults,
             )
         plan = _run_pass(trace, iteration, "simplify", simplify_plan, plan,
-                         resolved, spans)
+                         resolved, spans, metrics, faults)
         plan = _run_pass(trace, iteration, "cleanup2", cleanup_plan, plan,
-                         resolved, spans)
+                         resolved, spans, metrics, faults)
         plan = _run_pass(trace, iteration, "limit_pushdown", push_limits, plan,
-                         resolved, spans)
+                         resolved, spans, metrics, faults)
         plan = _run_pass(trace, iteration, "agg_pushdown", push_aggregates,
-                         plan, resolved, spans)
+                         plan, resolved, spans, metrics, faults)
         new_signature = structural_signature(plan)
         changed = new_signature != signature
         trace.end_iteration(iteration, changed)
@@ -118,23 +132,33 @@ def optimize_plan(
         plan = _run_pass(
             trace, None, "join_reorder",
             lambda p, sctx: reorder_joins(p, db.catalog), plan, resolved, spans,
+            metrics, faults,
         )
         plan = _run_pass(trace, None, "cleanup3", cleanup_plan, plan, resolved,
-                         spans)
+                         spans, metrics, faults)
     return plan
 
 
-def _run_pass(trace, iteration, name, fn, plan, resolved, spans=None):
+def _run_pass(trace, iteration, name, fn, plan, resolved, spans=None,
+              metrics=None, faults=None):
     """Run one pass with a fresh SimplifyContext (derivation caches are
-    keyed by node identity and must not outlive a plan mutation)."""
+    keyed by node identity and must not outlive a plan mutation).
+
+    The pass runs sandboxed: rules are functional (they return a new tree
+    and never mutate the input), so if one raises, the pre-rule plan is
+    still valid and the pipeline degrades to it instead of failing the
+    statement.  :class:`SimulatedCrash` is a ``BaseException`` and escapes
+    the sandbox on purpose — a crash is not a degradation.
+    """
     sctx = SimplifyContext(resolved, trace)
     if not trace.enabled and spans is None:
-        return fn(plan, sctx)
+        plan, _ = _apply_rule(name, fn, plan, sctx, trace, metrics, faults)
+        return plan
     pass_span = None if spans is None else spans.start(f"pass:{name}")
     before_signature = structural_signature(plan)
     before_ops = sum(1 for _ in plan.walk())
     start = time.perf_counter()
-    plan = fn(plan, sctx)
+    plan, failed = _apply_rule(name, fn, plan, sctx, trace, metrics, faults)
     elapsed = time.perf_counter() - start
     changed = structural_signature(plan) != before_signature
     removed = before_ops - sum(1 for _ in plan.walk())
@@ -144,5 +168,26 @@ def _run_pass(trace, iteration, name, fn, plan, resolved, spans=None):
         pass_span.attributes["changed"] = changed
         if removed:
             pass_span.attributes["operators_removed"] = removed
+        if failed:
+            pass_span.attributes["failed"] = True
+            spans.event("optimizer.rule_failure", rule=name)
         spans.end(pass_span)
     return plan
+
+
+def _apply_rule(name, fn, plan, sctx, trace, metrics, faults):
+    """Apply one rewrite, returning ``(plan, failed)``."""
+    try:
+        if faults is not None:
+            faults.fire("optimizer.rule", rule=name)
+        return fn(plan, sctx), False
+    except Exception as exc:  # noqa: BLE001 — any rule bug degrades, never fails
+        if metrics is not None:
+            metrics.counter("optimizer.rule_failures").inc()
+        message = (
+            f"optimizer pass {name!r} failed "
+            f"({type(exc).__name__}: {exc}); keeping the pre-rule plan"
+        )
+        trace.warning(message)
+        warnings.warn(message, RuleFailureWarning, stacklevel=4)
+        return plan, True

@@ -8,7 +8,9 @@ Models the storage architecture the paper describes for SAP HANA (§2.2):
 - MVCC snapshot isolation so analytical reads run concurrently with
   transactional writes (:mod:`repro.storage.mvcc`);
 - ARIES-style write-ahead logging with replay recovery
-  (:mod:`repro.storage.wal`);
+  (:mod:`repro.storage.wal`) and a crash-consistent segmented on-disk
+  variant with CRC framing, fsync policies, and checkpoint/truncate
+  (:mod:`repro.storage.wal_disk`);
 - a page-buffer simulation of the Native Storage Extension
   (:mod:`repro.storage.nse`).
 """
@@ -17,3 +19,4 @@ from .column import ColumnFragments, DeltaFragment, MainFragment  # noqa: F401
 from .mvcc import Transaction, TransactionManager, TransactionStatus  # noqa: F401
 from .table import ColumnTable  # noqa: F401
 from .wal import LogRecord, WriteAheadLog  # noqa: F401
+from .wal_disk import DiskWriteAheadLog  # noqa: F401

@@ -17,6 +17,7 @@ snapshot of the HTAP tables.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from enum import Enum
 
@@ -61,6 +62,12 @@ class TransactionManager:
         self._commit_ts: dict[int, int] = {}
         self._aborted: set[int] = set()
         self._active: dict[int, Transaction] = {}
+        # Serializes lifecycle transitions: TID / commit-timestamp
+        # allocation and the active set are shared mutable state, and
+        # concurrent sessions must never observe (or allocate) a torn
+        # view of them.  Reentrant because rollback runs table undo hooks
+        # that may consult visibility.
+        self._lock = threading.RLock()
         self._wal = wal
         self._tracer = tracer
         # Pre-resolved counter handles: commit/abort are hot paths.
@@ -70,24 +77,26 @@ class TransactionManager:
     # -- lifecycle --------------------------------------------------------
 
     def begin(self) -> Transaction:
-        tid = self._next_tid
-        self._next_tid += 1
-        txn = Transaction(tid=tid, snapshot_ts=self._next_commit_ts - 1)
-        self._active[tid] = txn
+        with self._lock:
+            tid = self._next_tid
+            self._next_tid += 1
+            txn = Transaction(tid=tid, snapshot_ts=self._next_commit_ts - 1)
+            self._active[tid] = txn
         return txn
 
     def commit(self, txn: Transaction) -> int:
-        if not txn.is_active:
-            raise TransactionError(f"transaction {txn.tid} is not active")
-        ts = self._next_commit_ts
-        self._next_commit_ts += 1
-        self._commit_ts[txn.tid] = ts
-        txn.commit_ts = ts
-        txn.status = TransactionStatus.COMMITTED
-        txn.undo.clear()
-        del self._active[txn.tid]
-        if self._wal is not None:
-            self._wal.log_commit(txn.tid)
+        with self._lock:
+            if not txn.is_active:
+                raise TransactionError(f"transaction {txn.tid} is not active")
+            ts = self._next_commit_ts
+            self._next_commit_ts += 1
+            self._commit_ts[txn.tid] = ts
+            txn.commit_ts = ts
+            txn.status = TransactionStatus.COMMITTED
+            txn.undo.clear()
+            del self._active[txn.tid]
+            if self._wal is not None:
+                self._wal.log_commit(txn.tid)
         if self._m_commits is not None:
             self._m_commits.inc()
         tracer = self._tracer
@@ -96,16 +105,17 @@ class TransactionManager:
         return ts
 
     def rollback(self, txn: Transaction) -> None:
-        if not txn.is_active:
-            raise TransactionError(f"transaction {txn.tid} is not active")
-        for table, kind, row_id in reversed(txn.undo):
-            table._undo(kind, row_id)  # type: ignore[attr-defined]
-        txn.undo.clear()
-        self._aborted.add(txn.tid)
-        txn.status = TransactionStatus.ABORTED
-        del self._active[txn.tid]
-        if self._wal is not None:
-            self._wal.log_abort(txn.tid)
+        with self._lock:
+            if not txn.is_active:
+                raise TransactionError(f"transaction {txn.tid} is not active")
+            for table, kind, row_id in reversed(txn.undo):
+                table._undo(kind, row_id)  # type: ignore[attr-defined]
+            txn.undo.clear()
+            self._aborted.add(txn.tid)
+            txn.status = TransactionStatus.ABORTED
+            del self._active[txn.tid]
+            if self._wal is not None:
+                self._wal.log_abort(txn.tid)
         if self._m_aborts is not None:
             self._m_aborts.inc()
         tracer = self._tracer

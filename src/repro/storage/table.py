@@ -28,10 +28,12 @@ class ColumnTable:
         schema: TableSchema,
         txn_manager: TransactionManager,
         wal: "WriteAheadLog | None" = None,
+        faults=None,
     ):
         self.schema = schema
         self._txns = txn_manager
         self.wal = wal
+        self._faults = faults
         self._columns: dict[str, ColumnFragments] = {
             col.name: ColumnFragments() for col in schema.columns
         }
@@ -70,8 +72,16 @@ class ColumnTable:
         from a compressed main fragment.
         """
         count = 0
+        log_rows = self.wal is not None and getattr(self.wal, "durable", False)
         for row in rows:
-            self._append_row(row, NO_TID, validate_unique=True)
+            row_id = self._append_row(row, NO_TID, validate_unique=True)
+            if log_rows:
+                # Durable WALs must cover the generator fast path too, or
+                # bulk-loaded tables would come back empty after recovery.
+                self.wal.log_insert(
+                    NO_TID, self.schema.name,
+                    tuple(self._row_values(row_id)), row_id,
+                )
             count += 1
         if merge and count:
             self.merge_delta()
@@ -79,14 +89,20 @@ class ColumnTable:
 
     def insert(self, txn: Transaction, row: Sequence[object]) -> int:
         """Insert one row in ``txn``; returns the new row id."""
+        if self._faults is not None:
+            self._faults.fire("storage.insert", table=self.schema.name)
         row_id = self._append_row(row, txn.tid, validate_unique=True)
         txn.undo.append((self, "insert", row_id))
         if self.wal is not None:
-            self.wal.log_insert(txn.tid, self.schema.name, tuple(self._row_values(row_id)))
+            self.wal.log_insert(
+                txn.tid, self.schema.name, tuple(self._row_values(row_id)), row_id
+            )
         return row_id
 
     def delete_row(self, txn: Transaction, row_id: int) -> None:
         """Mark ``row_id`` deleted by ``txn`` (it must be visible to it)."""
+        if self._faults is not None:
+            self._faults.fire("storage.delete", table=self.schema.name)
         if not self.is_visible(row_id, txn):
             raise ExecutionError(f"row {row_id} is not visible to transaction {txn.tid}")
         deleter = self.deleted_tids[row_id]

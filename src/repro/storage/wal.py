@@ -7,14 +7,18 @@ tables — the invariant the paper cites for SAP HANA (§2.2): *all committed
 changes are in durable storage when a transaction commits*.
 
 The log lives in memory as a list of :class:`LogRecord` and can be exported
-to / imported from a JSON-lines file for durability tests.
+to / imported from a JSON-lines file for durability tests.  The
+crash-consistent on-disk variant (segmented files, CRC32 framing, fsync
+policies, checkpoints) is :class:`repro.storage.wal_disk.DiskWriteAheadLog`.
 """
 
 from __future__ import annotations
 
+import contextlib
 import datetime
 import decimal
 import json
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
@@ -29,9 +33,12 @@ if TYPE_CHECKING:  # pragma: no cover
 class LogRecord:
     """One WAL entry.
 
-    ``kind`` is one of ``insert``, ``delete``, ``commit``, ``abort``.
+    ``kind`` is one of ``insert``, ``delete``, ``commit``, ``abort``, or
+    ``ddl`` (disk WAL only: schema payloads for CREATE/DROP TABLE).
     ``payload`` is the inserted row tuple for inserts, the row id for
-    deletes, and None otherwise.
+    deletes, a schema dict for DDL, and None otherwise.  ``row_id``, when
+    present on inserts, is the row id the insert produced — recovery uses
+    it to resolve later deletes without re-deriving id assignment.
     """
 
     lsn: int
@@ -39,6 +46,7 @@ class LogRecord:
     kind: str
     table: str | None = None
     payload: object = None
+    row_id: int | None = None
 
 
 class WriteAheadLog:
@@ -51,13 +59,17 @@ class WriteAheadLog:
     ``tracer``, when given, is a
     :class:`repro.observability.spans.SpanTracer`: appends made inside a
     traced query attach a ``wal.append`` event to the current span.
+    ``faults``, when given, is a :class:`repro.faults.FaultInjector`; the
+    ``wal.append`` fault point fires before each record is admitted.
     """
 
-    def __init__(self, metrics=None, tracer=None) -> None:
+    def __init__(self, metrics=None, tracer=None, faults=None) -> None:
         self._records: list[LogRecord] = []
         self._next_lsn = 1
         self._metrics = metrics
         self._tracer = tracer
+        self._faults = faults
+        self._suppress = False
         self._m_appends = None if metrics is None else metrics.counter("wal.appends")
 
     def __len__(self) -> int:
@@ -66,10 +78,32 @@ class WriteAheadLog:
     def records(self) -> list[LogRecord]:
         return list(self._records)
 
-    def _append(self, tid: int, kind: str, table: str | None = None, payload: object = None) -> LogRecord:
-        record = LogRecord(self._next_lsn, tid, kind, table, payload)
+    @contextlib.contextmanager
+    def suppressed(self):
+        """No-op every append inside the block.
+
+        Recovery replays operations through the ordinary table/transaction
+        code paths, which would otherwise re-log every replayed record —
+        doubling the log on each recovery.
+        """
+        self._suppress = True
+        try:
+            yield
+        finally:
+            self._suppress = False
+
+    def _append(
+        self, tid: int, kind: str, table: str | None = None,
+        payload: object = None, row_id: int | None = None,
+    ) -> LogRecord:
+        if self._suppress:
+            return LogRecord(0, tid, kind, table, payload, row_id)
+        if self._faults is not None:
+            self._faults.fire("wal.append", kind=kind, table=table)
+        record = LogRecord(self._next_lsn, tid, kind, table, payload, row_id)
         self._next_lsn += 1
         self._records.append(record)
+        self._persist(record)
         if self._m_appends is not None:
             self._m_appends.inc()
         tracer = self._tracer
@@ -77,8 +111,13 @@ class WriteAheadLog:
             tracer.event("wal.append", kind=kind, lsn=record.lsn)
         return record
 
-    def log_insert(self, tid: int, table: str, row: tuple) -> LogRecord:
-        return self._append(tid, "insert", table, row)
+    def _persist(self, record: LogRecord) -> None:
+        """Durability hook; the in-memory log keeps records in RAM only."""
+
+    def log_insert(
+        self, tid: int, table: str, row: tuple, row_id: int | None = None
+    ) -> LogRecord:
+        return self._append(tid, "insert", table, row, row_id)
 
     def log_delete(self, tid: int, table: str, row_id: int) -> LogRecord:
         return self._append(tid, "delete", table, row_id)
@@ -123,8 +162,12 @@ class WriteAheadLog:
             assert record.table is not None
             table = catalog.table(record.table)
             if record.kind == "insert":
-                original_id = per_table_next.get(record.table, 0)
-                per_table_next[record.table] = original_id + 1
+                if record.row_id is not None:
+                    original_id = record.row_id
+                    per_table_next[record.table] = original_id + 1
+                else:
+                    original_id = per_table_next.get(record.table, 0)
+                    per_table_next[record.table] = original_id + 1
                 txn = txn_manager.begin()
                 try:
                     new_id = table.insert(txn, record.payload)  # type: ignore[arg-type]
@@ -154,16 +197,39 @@ class WriteAheadLog:
     def dump_jsonl(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as handle:
             for record in self._records:
-                handle.write(json.dumps(_record_to_json(record)) + "\n")
+                handle.write(json.dumps(record_to_json(record)) + "\n")
 
     @classmethod
     def load_jsonl(cls, path: str) -> "WriteAheadLog":
+        """Load a JSON-lines dump, hardened against partial writes.
+
+        A malformed or truncated *final* line is the signature of a crash
+        mid-dump: it is skipped with a warning, consistent with the disk
+        WAL's torn-tail truncation.  A malformed line anywhere else means
+        real corruption and raises a :class:`TransactionError` instead of
+        leaking ``KeyError`` / ``json.JSONDecodeError``.
+        """
         wal = cls()
         with open(path, encoding="utf-8") as handle:
-            for line in handle:
-                record = _record_from_json(json.loads(line))
-                wal._records.append(record)
-                wal._next_lsn = record.lsn + 1
+            lines = handle.readlines()
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = record_from_json(json.loads(line))
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                if index == len(lines) - 1:
+                    warnings.warn(
+                        f"WAL {path}: skipping torn final line {index + 1} "
+                        f"({type(exc).__name__})",
+                        stacklevel=2,
+                    )
+                    break
+                raise TransactionError(
+                    f"malformed WAL record at {path}:{index + 1}: {exc}"
+                ) from exc
+            wal._records.append(record)
+            wal._next_lsn = record.lsn + 1
         return wal
 
 
@@ -184,21 +250,32 @@ def _decode_value(value: object) -> object:
     return value
 
 
-def _record_to_json(record: LogRecord) -> dict:
+def record_to_json(record: LogRecord) -> dict:
     payload: object = record.payload
     if isinstance(payload, tuple):
         payload = [_encode_value(v) for v in payload]
-    return {
+    out = {
         "lsn": record.lsn,
         "tid": record.tid,
         "kind": record.kind,
         "table": record.table,
         "payload": payload,
     }
+    if record.row_id is not None:
+        out["row_id"] = record.row_id
+    return out
 
 
-def _record_from_json(data: dict) -> LogRecord:
+def record_from_json(data: dict) -> LogRecord:
     payload = data["payload"]
     if isinstance(payload, list):
         payload = tuple(_decode_value(v) for v in payload)
-    return LogRecord(data["lsn"], data["tid"], data["kind"], data["table"], payload)
+    return LogRecord(
+        data["lsn"], data["tid"], data["kind"], data["table"], payload,
+        data.get("row_id"),
+    )
+
+
+# Backwards-compatible aliases (pre-disk-WAL internal names).
+_record_to_json = record_to_json
+_record_from_json = record_from_json

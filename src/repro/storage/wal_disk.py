@@ -1,0 +1,338 @@
+"""Crash-consistent, segmented on-disk write-ahead log.
+
+Extends the in-memory :class:`~repro.storage.wal.WriteAheadLog` with real
+durability:
+
+- **Segmented log files** (``wal-00000001.seg``, ...) under ``wal_dir``;
+  a fresh segment is opened per process attach and rolled once it exceeds
+  ``segment_bytes``.
+- **CRC32 framing**: every record is ``<length, crc32>`` header + JSON
+  payload, so a torn write (crash mid-append) is detectable.
+- **Fsync policies**: ``always`` (every record), ``commit`` (commit, DDL,
+  and checkpoint records — the durability point that matters for the
+  committed-data invariant), ``never`` (OS buffering only; fastest, used
+  by benchmarks).
+- **Checkpoints**: :meth:`write_checkpoint` atomically persists a full
+  engine snapshot (schemas + committed rows + view DDL) via
+  write-to-temp + ``fsync`` + ``os.replace``, then truncates every fully
+  covered log segment.
+- **Torn-tail recovery**: on attach, segments are scanned record by
+  record; the first frame with a bad length or CRC marks the torn tail,
+  which is truncated (``wal.torn_tail_truncations``) with a warning
+  instead of failing recovery.  A corrupt checkpoint file falls back to
+  the previous checkpoint (or none) the same way.
+
+Counters (when built with a metrics registry): ``wal.appends``,
+``wal.fsyncs``, ``wal.checkpoints``, ``wal.torn_tail_truncations``.
+Fault points: ``wal.append`` (before the record is admitted),
+``wal.fsync`` (after the buffered write, before ``os.fsync``),
+``wal.checkpoint`` (at checkpoint start) — see :mod:`repro.faults`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import warnings
+import zlib
+from typing import Iterator
+
+from ..catalog.schema import ColumnSchema, TableSchema, UniqueConstraint
+from ..datatypes import DataType, TypeKind
+from ..errors import TransactionError
+from .wal import LogRecord, WriteAheadLog, record_from_json, record_to_json
+
+_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+FSYNC_POLICIES = ("always", "commit", "never")
+_DURABLE_KINDS = ("commit", "ddl", "ddl_view", "ddl_drop")
+
+
+def _frame(payload: bytes) -> bytes:
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _iter_frames(data: bytes) -> Iterator[tuple[int, bytes]]:
+    """Yield ``(end_offset, payload)`` for each valid frame; stop at the
+    first torn or corrupt one."""
+    offset = 0
+    while offset + _FRAME.size <= len(data):
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        payload = data[start:start + length]
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            return
+        yield start + length, payload
+        offset = start + length
+
+
+class DiskWriteAheadLog(WriteAheadLog):
+    """A WAL whose records live in ``wal_dir`` as CRC-framed segments."""
+
+    durable = True
+
+    def __init__(
+        self,
+        wal_dir: str,
+        fsync: str = "commit",
+        segment_bytes: int = 4 << 20,
+        metrics=None,
+        tracer=None,
+        faults=None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync policy must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        super().__init__(metrics=metrics, tracer=tracer, faults=faults)
+        self.wal_dir = str(wal_dir)
+        self.fsync_policy = fsync
+        self._segment_bytes = segment_bytes
+        self._handle = None
+        os.makedirs(self.wal_dir, exist_ok=True)
+        if metrics is None:
+            self._m_fsyncs = self._m_checkpoints = self._m_torn = None
+        else:
+            self._m_fsyncs = metrics.counter("wal.fsyncs")
+            self._m_checkpoints = metrics.counter("wal.checkpoints")
+            self._m_torn = metrics.counter("wal.torn_tail_truncations")
+        #: Decoded payload of the newest valid checkpoint (None if none).
+        self.checkpoint_state: dict | None = None
+        #: LSN through which the checkpoint covers the log (0 if none).
+        self.checkpoint_lsn = 0
+        self._load_checkpoint()
+        self._segment_index = self._load_segments()
+        self._open_segment()
+
+    # -- attach-time loading ----------------------------------------------
+
+    def _segment_paths(self) -> list[str]:
+        names = sorted(
+            n for n in os.listdir(self.wal_dir)
+            if n.startswith("wal-") and n.endswith(".seg")
+        )
+        return [os.path.join(self.wal_dir, n) for n in names]
+
+    def _checkpoint_paths(self) -> list[str]:
+        names = sorted(
+            n for n in os.listdir(self.wal_dir)
+            if n.startswith("checkpoint-") and n.endswith(".ckpt")
+        )
+        return [os.path.join(self.wal_dir, n) for n in names]
+
+    def _load_checkpoint(self) -> None:
+        """Adopt the newest checkpoint whose frame verifies; warn and fall
+        back on corruption (the previous checkpoint is still consistent)."""
+        for path in reversed(self._checkpoint_paths()):
+            with open(path, "rb") as handle:
+                data = handle.read()
+            frames = list(_iter_frames(data))
+            if len(frames) != 1 or frames[0][0] != len(data):
+                warnings.warn(
+                    f"WAL checkpoint {path} is corrupt; falling back",
+                    stacklevel=2,
+                )
+                if self._m_torn is not None:
+                    self._m_torn.inc()
+                continue
+            try:
+                state = json.loads(frames[0][1])
+            except json.JSONDecodeError:
+                warnings.warn(
+                    f"WAL checkpoint {path} holds invalid JSON; falling back",
+                    stacklevel=2,
+                )
+                continue
+            self.checkpoint_state = state
+            self.checkpoint_lsn = int(state.get("last_lsn", 0))
+            return
+
+    def _load_segments(self) -> int:
+        """Scan all segments into memory, truncating the torn tail.
+
+        Returns the next free segment index.  Records fully covered by the
+        adopted checkpoint are skipped (they can linger when a crash hit
+        between checkpoint rename and segment deletion).
+        """
+        last_index = 0
+        torn = False
+        for path in self._segment_paths():
+            last_index = int(os.path.basename(path)[4:-4])
+            if torn:
+                # Nothing after a torn tail is trustworthy; a real crash
+                # cannot produce valid segments beyond the tear.
+                warnings.warn(
+                    f"WAL segment {path} follows a torn tail; ignoring",
+                    stacklevel=2,
+                )
+                continue
+            with open(path, "rb") as handle:
+                data = handle.read()
+            valid_through = 0
+            for end, payload in _iter_frames(data):
+                try:
+                    record = record_from_json(json.loads(payload))
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    break
+                valid_through = end
+                if record.lsn > self.checkpoint_lsn:
+                    self._records.append(record)
+                self._next_lsn = max(self._next_lsn, record.lsn + 1)
+            if valid_through < len(data):
+                torn = True
+                with open(path, "r+b") as handle:
+                    handle.truncate(valid_through)
+                warnings.warn(
+                    f"WAL segment {path}: truncated torn tail at byte "
+                    f"{valid_through} of {len(data)}",
+                    stacklevel=2,
+                )
+                if self._m_torn is not None:
+                    self._m_torn.inc()
+        self._next_lsn = max(self._next_lsn, self.checkpoint_lsn + 1)
+        return last_index + 1
+
+    # -- appending ---------------------------------------------------------
+
+    @property
+    def last_lsn(self) -> int:
+        return self._next_lsn - 1
+
+    def _open_segment(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+        path = os.path.join(self.wal_dir, f"wal-{self._segment_index:08d}.seg")
+        self._segment_index += 1
+        self._handle = open(path, "ab")
+        self._segment_path = path
+
+    def _persist(self, record: LogRecord) -> None:
+        payload = json.dumps(record_to_json(record)).encode("utf-8")
+        self._handle.write(_frame(payload))
+        self._handle.flush()
+        if self.fsync_policy == "always" or (
+            self.fsync_policy == "commit" and record.kind in _DURABLE_KINDS
+        ):
+            self.sync()
+        if self._handle.tell() >= self._segment_bytes:
+            self._open_segment()
+
+    def sync(self) -> None:
+        """Fsync the active segment (the ``wal.fsync`` fault point fires
+        after the buffered write, before the data is durable)."""
+        if self._faults is not None:
+            self._faults.fire("wal.fsync", segment=self._segment_path)
+        os.fsync(self._handle.fileno())
+        if self._m_fsyncs is not None:
+            self._m_fsyncs.inc()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- DDL records --------------------------------------------------------
+
+    def log_ddl(self, table: str, schema_dict: dict) -> LogRecord:
+        return self._append(0, "ddl", table, schema_dict)
+
+    def log_ddl_view(self, view: str, sql: str) -> LogRecord:
+        return self._append(0, "ddl_view", view, sql)
+
+    def log_drop(self, name: str, kind: str) -> LogRecord:
+        """``kind`` is ``"TABLE"`` or ``"VIEW"``."""
+        return self._append(0, "ddl_drop", name, kind)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def write_checkpoint(self, state: dict) -> str:
+        """Atomically persist ``state`` and truncate covered segments.
+
+        ``state`` is the engine snapshot built by
+        :meth:`repro.database.Database.checkpoint`; this method stamps it
+        with ``last_lsn`` and owns the file dance: temp write + fsync +
+        atomic rename, then older checkpoints and fully covered segments
+        are deleted.  A crash anywhere in between leaves a recoverable
+        directory (the newest *valid* checkpoint wins; stale segments are
+        skipped by LSN on the next attach).
+        """
+        if self._faults is not None:
+            self._faults.fire("wal.checkpoint")
+        state = dict(state)
+        state["last_lsn"] = self.last_lsn
+        payload = json.dumps(state, default=str).encode("utf-8")
+        final = os.path.join(
+            self.wal_dir, f"checkpoint-{self.last_lsn:016d}.ckpt"
+        )
+        tmp = final + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(_frame(payload))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, final)
+        if self._m_checkpoints is not None:
+            self._m_checkpoints.inc()
+        # Everything logged so far is covered by the checkpoint: drop the
+        # old segments and checkpoints, and restart the in-memory view.
+        self.close()
+        for path in self._checkpoint_paths():
+            if path != final:
+                os.unlink(path)
+        for path in self._segment_paths():
+            os.unlink(path)
+        self._records = []
+        self.checkpoint_state = state
+        self.checkpoint_lsn = self.last_lsn
+        self._open_segment()
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            tracer.event("wal.checkpoint", last_lsn=self.checkpoint_lsn)
+        return final
+
+
+# -- schema (de)serialization for checkpoints and DDL records ---------------
+
+
+def schema_to_dict(schema: TableSchema) -> dict:
+    return {
+        "name": schema.name,
+        "columns": [
+            {
+                "name": c.name,
+                "kind": c.data_type.kind.value,
+                "precision": c.data_type.precision,
+                "scale": c.data_type.scale,
+                "length": c.data_type.length,
+                "nullable": c.nullable,
+            }
+            for c in schema.columns
+        ],
+        "unique": [
+            {"columns": list(u.columns), "primary": u.is_primary}
+            for u in schema.unique_constraints
+        ],
+    }
+
+
+def schema_from_dict(data: dict) -> TableSchema:
+    try:
+        columns = [
+            ColumnSchema(
+                c["name"],
+                DataType(
+                    TypeKind(c["kind"]),
+                    precision=c.get("precision"),
+                    scale=c.get("scale"),
+                    length=c.get("length"),
+                ),
+                c.get("nullable", True),
+            )
+            for c in data["columns"]
+        ]
+        constraints = [
+            UniqueConstraint(tuple(u["columns"]), u.get("primary", False))
+            for u in data.get("unique", [])
+        ]
+        return TableSchema(data["name"], columns, constraints)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TransactionError(f"malformed schema payload in WAL: {exc}") from exc

@@ -240,6 +240,17 @@ class TestSubcommands:
         assert main(["metrics"]) == 0
         assert "queries.executed" in capsys.readouterr().out
 
+    def test_chaos_subcommand(self, tmp_path, capsys):
+        from repro.__main__ import run_subcommand
+
+        argv = [
+            "chaos", "--seed", "7", "--ops", "25", "--quiet",
+            "--wal-dir", str(tmp_path),
+        ]
+        assert run_subcommand(argv) == 0
+        out = capsys.readouterr().out
+        assert "chaos" in out and "recoveries" in out
+
 
 def test_shell_end_to_end():
     script = ".demo\nselect count(*) from orderview\n.quit\n"

@@ -1,0 +1,160 @@
+"""Fault injector semantics and engine fault-point wiring."""
+
+import pytest
+
+from repro.database import Database
+from repro.errors import FaultInjectedError
+from repro.faults import FAULT_POINTS, FaultInjector, SimulatedCrash
+from repro.observability import MetricsRegistry
+
+
+class TestInjector:
+    def test_disarmed_fire_is_noop(self):
+        injector = FaultInjector()
+        for point in FAULT_POINTS:
+            injector.fire(point)
+        assert injector.history == []
+
+    def test_armed_point_raises_fault_injected(self):
+        injector = FaultInjector()
+        injector.arm("wal.append")
+        with pytest.raises(FaultInjectedError) as excinfo:
+            injector.fire("wal.append")
+        assert excinfo.value.point == "wal.append"
+        assert injector.history == [("wal.append", "error")]
+
+    def test_crash_rule_raises_simulated_crash(self):
+        injector = FaultInjector()
+        injector.arm("wal.fsync", crash=True)
+        with pytest.raises(SimulatedCrash) as excinfo:
+            injector.fire("wal.fsync")
+        assert excinfo.value.point == "wal.fsync"
+        # SimulatedCrash must skip `except Exception` handlers like kill -9.
+        assert not isinstance(excinfo.value, Exception)
+
+    def test_custom_error(self):
+        injector = FaultInjector()
+        injector.arm("storage.insert", error=OSError("disk full"))
+        with pytest.raises(OSError, match="disk full"):
+            injector.fire("storage.insert")
+
+    def test_nth_call_trigger(self):
+        injector = FaultInjector()
+        rule = injector.arm("executor.operator", nth=3)
+        injector.fire("executor.operator")
+        injector.fire("executor.operator")
+        with pytest.raises(FaultInjectedError):
+            injector.fire("executor.operator")
+        injector.fire("executor.operator")  # past nth: quiet again
+        assert rule.injections == 1
+
+    def test_times_cap(self):
+        injector = FaultInjector()
+        rule = injector.arm("cache.refresh", times=2)
+        for _ in range(2):
+            with pytest.raises(FaultInjectedError):
+                injector.fire("cache.refresh")
+        injector.fire("cache.refresh")  # exhausted
+        assert rule.injections == 2
+
+    def test_probability_is_seeded_and_partial(self):
+        def injections(seed):
+            injector = FaultInjector()
+            injector.arm("wal.append", probability=0.5, seed=seed)
+            fired = 0
+            for _ in range(200):
+                try:
+                    injector.fire("wal.append")
+                except FaultInjectedError:
+                    fired += 1
+            return fired
+
+        first, second = injections(11), injections(11)
+        assert first == second  # deterministic under a fixed seed
+        assert 40 < first < 160  # actually probabilistic
+
+    def test_match_filter(self):
+        injector = FaultInjector()
+        injector.arm("storage.insert", match={"table": "orders"})
+        injector.fire("storage.insert", table="customer")
+        with pytest.raises(FaultInjectedError):
+            injector.fire("storage.insert", table="orders")
+
+    def test_disarm_one_and_all(self):
+        injector = FaultInjector()
+        injector.arm("wal.append")
+        injector.arm("wal.fsync")
+        injector.disarm("wal.append")
+        assert injector.armed() == ["wal.fsync"]
+        injector.disarm()
+        assert injector.armed() == []
+        injector.fire("wal.fsync")  # disarmed: silent
+
+    def test_injected_counter(self):
+        metrics = MetricsRegistry()
+        injector = FaultInjector(metrics=metrics)
+        injector.arm("wal.append", times=3)
+        for _ in range(3):
+            with pytest.raises(FaultInjectedError):
+                injector.fire("wal.append")
+        assert metrics.counter("faults.injected").value == 3
+
+
+class TestEngineWiring:
+    def test_storage_insert_point_aborts_statement(self):
+        db = Database()
+        db.execute("create table t (id int primary key)")
+        db.faults.arm("storage.insert", match={"table": "t"})
+        with pytest.raises(FaultInjectedError):
+            db.execute("insert into t values (1)")
+        db.faults.disarm()
+        # The auto-transaction rolled back: nothing half-inserted.
+        assert db.query("select count(*) from t").scalar() == 0
+        db.execute("insert into t values (1)")
+        assert db.query("select count(*) from t").scalar() == 1
+
+    def test_storage_delete_point(self):
+        db = Database()
+        db.execute("create table t (id int primary key)")
+        db.execute("insert into t values (1), (2)")
+        db.faults.arm("storage.delete")
+        with pytest.raises(FaultInjectedError):
+            db.execute("delete from t where id = 1")
+        db.faults.disarm()
+        assert db.query("select count(*) from t").scalar() == 2
+
+    def test_executor_operator_point(self):
+        db = Database()
+        db.execute("create table t (id int primary key)")
+        db.execute("insert into t values (1)")
+        db.faults.arm("executor.operator")
+        with pytest.raises(FaultInjectedError):
+            db.query("select id from t")
+        db.faults.disarm()
+        assert db.query("select id from t").rows == [(1,)]
+
+    def test_wal_append_point_fires_from_dml(self):
+        db = Database()
+        db.execute("create table t (id int primary key)")
+        db.faults.arm("wal.append", match={"kind": "insert"})
+        with pytest.raises(FaultInjectedError):
+            db.execute("insert into t values (1)")
+
+    def test_cache_refresh_point(self):
+        from repro.cache import CachedViewManager
+
+        db = Database()
+        db.execute("create table t (id int primary key, v int)")
+        db.execute("insert into t values (1, 10)")
+        cache = CachedViewManager(db)
+        db.faults.arm("cache.refresh")
+        with pytest.raises(FaultInjectedError):
+            cache.create_static("scv", "select id, v from t")
+
+    def test_history_records_order(self):
+        db = Database()
+        db.execute("create table t (id int primary key)")
+        db.faults.arm("storage.insert", times=1)
+        with pytest.raises(FaultInjectedError):
+            db.execute("insert into t values (1)")
+        assert db.faults.history == [("storage.insert", "error")]
