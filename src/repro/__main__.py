@@ -5,8 +5,8 @@ exploring the engine and the paper's optimizations.  Dot-commands:
 
   .help                     this text
   .profile [name]           show / set the optimizer profile
-  .explain <sql>            optimized plan
-  .explain! <sql>           unoptimized (bound) plan
+  .explain <sql>            optimized plan (physical operator tree)
+  .explain! <sql>           unoptimized (bound) logical plan
   .analyze <sql>            EXPLAIN ANALYZE (actual rows and timings)
   .trace <sql>              optimize under tracing; print the rewrite trace
   .spans <sql>              run under span tracing; print the span tree
@@ -26,6 +26,7 @@ Subcommands (run against the built-in demo schema):
   python -m repro serve-metrics [--port N] [--profile NAME]
   python -m repro bench-diff [--history PATH] [--threshold PCT]
   python -m repro chaos [--seed N] [--ops N] [--fsync POLICY] [--wal-dir DIR]
+                        [--batch-size N]
 """
 
 from __future__ import annotations
@@ -246,6 +247,9 @@ def run_subcommand(argv: list[str]) -> int:
                          help="WAL fsync policy (default: commit)")
     p_chaos.add_argument("--wal-dir", default=None,
                          help="WAL directory (default: a fresh temp dir)")
+    p_chaos.add_argument("--batch-size", type=int, default=None,
+                         help="streaming-executor batch size for every "
+                              "database the campaign opens (default: 1024)")
     p_chaos.add_argument("--quiet", action="store_true",
                          help="print only the final summary line")
 
@@ -327,6 +331,7 @@ def _run_chaos(options) -> int:
             seed=options.seed,
             ops=options.ops,
             fsync=options.fsync,
+            batch_size=options.batch_size,
             log=None if options.quiet else print,
         )
     except AssertionError as error:

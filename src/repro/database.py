@@ -35,7 +35,7 @@ from .catalog.schema import (
     ViewSchema,
 )
 from .engine import Chunk, Executor, QueryResult
-from .engine.executor import QueryStats
+from .engine.executor import DEFAULT_BATCH_SIZE, QueryStats
 from .engine.eval import evaluate, evaluate_predicate
 from .errors import (
     BindError,
@@ -77,6 +77,10 @@ class Database:
     directory.  ``fsync`` selects its durability policy (``always`` /
     ``commit`` / ``never``).  Without ``wal_dir`` the WAL stays in memory
     (the seed behaviour) and recovery is a test-only utility.
+
+    ``batch_size`` sets the streaming executor's rows-per-batch knob
+    (default 1024): smaller batches mean tighter memory bounds and earlier
+    LIMIT short-circuits, larger batches amortize per-batch overhead.
     """
 
     def __init__(
@@ -85,6 +89,7 @@ class Database:
         wal_enabled: bool = True,
         wal_dir: str | None = None,
         fsync: str = "commit",
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ):
         self.metrics = MetricsRegistry()
         #: Hierarchical span tracer; enabled together with :attr:`tracing`.
@@ -112,7 +117,7 @@ class Database:
         self.catalog = Catalog()
         self._executor = Executor(
             self.catalog, metrics=self.metrics, tracer=self.spans,
-            faults=self.faults,
+            faults=self.faults, batch_size=batch_size,
         )
         self._profile_name = profile
         self._tracing = False
@@ -225,7 +230,8 @@ class Database:
         timeout: float | None = None,
     ) -> QueryResult:
         """Run one SELECT.  ``timeout`` (seconds) arms a cooperative
-        deadline checked at operator boundaries; exceeding it raises
+        deadline checked inside every operator's per-batch loop (a long
+        streaming scan is interrupted mid-operator); exceeding it raises
         :class:`repro.errors.QueryTimeoutError` and bumps
         ``query.timeouts``."""
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -357,20 +363,34 @@ class Database:
         plan, _, _ = self._plan_with_trace(sql_or_query, optimize, sql)
         return plan
 
-    def explain(self, sql: str, optimize: bool = True, analyze: bool = False) -> str:
+    def explain(
+        self, sql: str, optimize: bool = True, analyze: bool = False,
+        physical: bool | None = None,
+    ) -> str:
         """EXPLAIN (the plan tree) or EXPLAIN ANALYZE (``analyze=True``:
-        actually run the query and annotate every operator with its actual
-        row count and wall time).
+        actually run the query and annotate every physical operator with
+        its actual row/batch counts and wall time).
+
+        ``physical`` selects which tree plain EXPLAIN renders; it defaults
+        to ``optimize``, so the optimized plan is shown as the physical
+        operator tree that would execute (BatchScan, HashJoin with its
+        build side, ...) while ``optimize=False`` shows the raw logical
+        tree.  EXPLAIN ANALYZE always annotates the executed physical plan.
 
         Example::
 
             print(db.explain("select * from v limit 3", analyze=True))
-            # Limit 3 (actual rows=3 time=0.051ms)
-            #   Scan orders (actual rows=150 time=0.040ms)
-            # execution: 3 row(s) in 0.068ms, 150 row(s) scanned
+            # Limit[3] (actual rows=3 batches=1 time=0.051ms, early-terminated)
+            #   BatchScan(orders)[cols=3] (actual rows=1024 batches=1 ...)
+            # execution: 3 row(s) in 0.068ms, 1024 row(s) scanned
         """
+        if physical is None:
+            physical = optimize
         if not analyze:
-            return explain_plan(self.plan_for(sql, optimize))
+            plan = self.plan_for(sql, optimize)
+            if physical:
+                return explain_plan(self._executor.compile(plan))
+            return explain_plan(plan)
         from .observability.instrument import render_analyze, run_analyzed
 
         plan = self.plan_for(sql, optimize)
@@ -690,6 +710,7 @@ class Database:
         profile: str = "hana",
         fsync: str = "commit",
         checkpoint_after: bool = True,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> "Database":
         """Rebuild a database from a WAL directory after a crash.
 
@@ -700,7 +721,7 @@ class Database:
         recovery finishes by writing a fresh checkpoint — replay compacts
         row ids, so the old log's id space must not leak past recovery.
         """
-        db = cls(profile=profile, wal_dir=wal_dir, fsync=fsync)
+        db = cls(profile=profile, wal_dir=wal_dir, fsync=fsync, batch_size=batch_size)
         db._replay_from_disk()
         if checkpoint_after:
             db.checkpoint()

@@ -20,6 +20,27 @@ class Chunk:
     def empty(cls, cids: list[int] | None = None) -> "Chunk":
         return cls({cid: [] for cid in (cids or [])}, 0)
 
+    @classmethod
+    def concat(cls, chunks: "list[Chunk]") -> "Chunk":
+        """Concatenate batches into one chunk.
+
+        ``row_count`` is summed independently of the column dicts so
+        zero-column batches (a fully-pruned ``COUNT(*)`` input) keep their
+        cardinality through the batch pipeline.
+        """
+        if not chunks:
+            return cls({}, 0)
+        first = chunks[0]
+        if len(chunks) == 1:
+            return first
+        columns = {cid: list(col) for cid, col in first.columns.items()}
+        total = first.row_count
+        for chunk in chunks[1:]:
+            for cid, col in chunk.columns.items():
+                columns[cid].extend(col)
+            total += chunk.row_count
+        return cls(columns, total)
+
     def column(self, cid: int) -> list:
         return self.columns[cid]
 

@@ -1,25 +1,26 @@
-"""Plan execution.
+"""Plan execution entry point.
 
-The executor walks a (bound, optionally optimized) logical plan and
-materializes chunks bottom-up.  Scans read only the columns referenced
-anywhere in the plan — the engine-side half of the paper's "remove
-unnecessary operations" story (the optimizer removes operators; the scan
-reads only live columns).
+The executor no longer interprets logical plans itself: it compiles the
+(bound, optionally optimized) logical plan into a physical operator tree
+(:mod:`repro.optimizer.physical_planner` → :mod:`repro.engine.physical`)
+and drains the root operator's batch stream.  All pipelining, early
+termination, block pruning, deadline checks, and instrumentation live in
+the physical layer; this module keeps the statement-level concerns —
+scalar-subquery resolution, the dead-column analysis that scans use to
+read only live columns, and the materialized :class:`QueryResult`.
 """
 
 from __future__ import annotations
 
-import functools
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from ..algebra import ops
-from ..algebra.expr import AggCall, Call, ColRef, Expr, referenced_cids, walk
-from ..errors import ExecutionError, QueryTimeoutError
+from ..algebra.expr import Expr, referenced_cids
+from ..errors import ExecutionError
 from ..storage.mvcc import Transaction
 from .chunk import Chunk
-from .eval import _coerce_pair, evaluate, evaluate_predicate
+from .physical import DEFAULT_BATCH_SIZE, ExecContext
 
 
 @dataclass
@@ -33,7 +34,7 @@ class QueryStats:
     - ``operators_before`` / ``operators_after`` — plan node counts before
       and after optimization (the paper's plan-complexity measure: a UAJ
       query drops from e.g. 4 operators to 2);
-    - ``rows_scanned`` — total rows produced by Scan operators, when the
+    - ``rows_scanned`` — total rows produced by scan operators, when the
       query ran instrumented (``EXPLAIN ANALYZE``); None otherwise;
     - ``rewrite_fires`` — named rewrite case -> fire count for this query.
 
@@ -93,62 +94,100 @@ class Executor:
     """Executes logical plans against catalog storage under a snapshot.
 
     Pass a :class:`repro.observability.instrument.ExecutionCollector` to
-    :meth:`execute` to capture per-operator actual rows, chunk counts, and
-    wall times (the EXPLAIN ANALYZE machinery).  Without a collector the
-    only instrumentation overhead is one ``is None`` check per operator
-    materialization.
+    :meth:`execute` to capture per-physical-operator actual rows, batch
+    counts, wall times, and early-termination flags (the EXPLAIN ANALYZE
+    machinery).  Without a collector the only instrumentation overhead is
+    a couple of ``is None`` checks per batch.
     """
 
-    def __init__(self, catalog, metrics=None, tracer=None, faults=None):
+    def __init__(
+        self, catalog, metrics=None, tracer=None, faults=None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ):
         self._catalog = catalog
         self._collector = None
         self._tracer = tracer
         self._faults = faults
+        self._batch_size = max(1, batch_size)
         # Cooperative statement deadline (time.monotonic() value), checked
-        # at operator boundaries; None means no timeout.
+        # inside every operator's per-batch loop; None means no timeout.
         self._deadline = None
-        # Pre-resolved counter handles (pruning is a per-scan hot path).
+        # Pre-resolved metric handles (these are per-batch hot paths).
         if metrics is None:
             self._m_blocks_pruned = None
             self._m_blocks_scanned = None
+            self._m_batches = None
+            self._m_early = None
+            self._m_peak = None
         else:
             self._m_blocks_pruned = metrics.counter("nse.blocks_pruned")
             self._m_blocks_scanned = metrics.counter("nse.blocks_scanned")
+            self._m_batches = metrics.counter("exec.batches_produced")
+            self._m_early = metrics.counter("exec.early_terminations")
+            self._m_peak = metrics.histogram("exec.peak_batch_rows")
+
+    @property
+    def batch_size(self) -> int:
+        return self._batch_size
+
+    def compile(self, plan: ops.LogicalOp, used: frozenset[int] | None = None):
+        """Compile a logical plan to its physical operator tree."""
+        # Imported lazily: the planner imports from this module.
+        from ..optimizer.physical_planner import create_physical_plan
+
+        return create_physical_plan(plan, self._catalog, used)
 
     def execute(
         self, plan: ops.LogicalOp, txn: Transaction, collector=None,
         deadline: float | None = None,
     ) -> QueryResult:
-        # A nested execute (scalar subqueries) without its own deadline
-        # inherits the enclosing statement's — the budget is per statement.
+        # A nested execute (scalar subqueries) without its own deadline or
+        # collector inherits the enclosing statement's — the time budget is
+        # per statement, and EXPLAIN ANALYZE's rows_scanned counts subquery
+        # scans too.
         previous_deadline = self._deadline
         if deadline is not None:
             self._deadline = deadline
-        try:
-            if collector is None:
-                return self._execute(plan, txn)
-            previous = self._collector
+        previous_collector = self._collector
+        if collector is not None:
             self._collector = collector
+        try:
+            # Scalar-subquery resolution may rewrite the tree; record the
+            # tree that actually runs so EXPLAIN ANALYZE annotates it.
+            resolved = self._resolve_scalar_subqueries(plan, txn)
+            used = _collect_used_cids(resolved)
+            physical = self.compile(resolved, used)
+            active = self._collector
+            if active is not None and collector is not None:
+                active.root = physical
+            ctx = ExecContext(
+                self._catalog, txn,
+                batch_size=self._batch_size,
+                deadline=self._deadline,
+                collector=active,
+                faults=self._faults,
+                tracer=self._tracer,
+                m_batches=self._m_batches,
+                m_early=self._m_early,
+                m_blocks_pruned=self._m_blocks_pruned,
+                m_blocks_scanned=self._m_blocks_scanned,
+            )
+            stream = physical.execute(ctx)
             try:
-                # Scalar-subquery resolution may rewrite the tree; record the
-                # tree that actually runs so EXPLAIN ANALYZE annotates it.
-                resolved = self._resolve_scalar_subqueries(plan, txn)
-                collector.root = resolved
-                used = _collect_used_cids(resolved)
-                chunk = self._exec(resolved, txn, used)
-                cids = [c.cid for c in resolved.output]
-                return QueryResult([c.name for c in resolved.output], chunk.rows(cids))
+                batches = list(stream)
             finally:
-                self._collector = previous
+                stream.close()
+            if self._m_peak is not None and ctx.peak_batch_rows:
+                self._m_peak.observe(ctx.peak_batch_rows)
+            names = [c.name for c in resolved.output]
+            if not batches:
+                return QueryResult(names, [])
+            chunk = Chunk.concat(batches)
+            cids = [c.cid for c in resolved.output]
+            return QueryResult(names, chunk.rows(cids))
         finally:
             self._deadline = previous_deadline
-
-    def _execute(self, plan: ops.LogicalOp, txn: Transaction) -> QueryResult:
-        plan = self._resolve_scalar_subqueries(plan, txn)
-        used = _collect_used_cids(plan)
-        chunk = self._exec(plan, txn, used)
-        cids = [c.cid for c in plan.output]
-        return QueryResult([c.name for c in plan.output], chunk.rows(cids))
+            self._collector = previous_collector
 
     def _resolve_scalar_subqueries(
         self, plan: ops.LogicalOp, txn: Transaction
@@ -199,519 +238,6 @@ class Executor:
 
         return rewrite_op_exprs(plan, resolve_expr)
 
-    # -- dispatch -----------------------------------------------------------
-
-    def _exec(self, op: ops.LogicalOp, txn: Transaction, used: frozenset[int]) -> Chunk:
-        deadline = self._deadline
-        if deadline is not None and time.monotonic() > deadline:
-            raise QueryTimeoutError(
-                f"statement deadline exceeded at {type(op).__name__}"
-            )
-        if self._faults is not None:
-            self._faults.fire("executor.operator", op=type(op).__name__)
-        collector = self._collector
-        if collector is None:
-            return self._dispatch(op, txn, used)
-        start = time.perf_counter()
-        chunk = self._dispatch(op, txn, used)
-        collector.record(op, chunk.row_count, time.perf_counter() - start)
-        return chunk
-
-    def _dispatch(self, op: ops.LogicalOp, txn: Transaction, used: frozenset[int]) -> Chunk:
-        if isinstance(op, ops.OneRow):
-            return Chunk({}, 1)
-        if isinstance(op, ops.Scan):
-            return self._exec_scan(op, txn, used)
-        if isinstance(op, ops.Project):
-            return self._exec_project(op, txn, used)
-        if isinstance(op, ops.Filter):
-            return self._exec_filter(op, txn, used)
-        if isinstance(op, ops.Join):
-            return self._exec_join(op, txn, used)
-        if isinstance(op, ops.Aggregate):
-            return self._exec_aggregate(op, txn, used)
-        if isinstance(op, ops.UnionAll):
-            return self._exec_union(op, txn, used)
-        if isinstance(op, ops.Distinct):
-            return self._exec_distinct(op, txn, used)
-        if isinstance(op, ops.Sort):
-            return self._exec_sort(op, txn, used)
-        if isinstance(op, ops.Limit):
-            return self._exec_limit(op, txn, used)
-        raise ExecutionError(f"no executor for {type(op).__name__}")
-
-    # -- leaf ------------------------------------------------------------------
-
-    def _exec_scan(self, op: ops.Scan, txn: Transaction, used: frozenset[int]) -> Chunk:
-        table = self._catalog.table(op.schema.name)
-        wanted = [col for col in op.output if col.cid in used]
-        names = [col.name for col in wanted]
-        columns, row_count = table.read_columns(txn, names)
-        return Chunk({col.cid: values for col, values in zip(wanted, columns)}, row_count)
-
-    # -- unary -------------------------------------------------------------------
-
-    def _exec_project(self, op: ops.Project, txn: Transaction, used: frozenset[int]) -> Chunk:
-        child = self._exec(op.child, txn, used)
-        columns: dict[int, list] = {}
-        for col, expr in op.items:
-            if col.cid in used:
-                columns[col.cid] = evaluate(expr, child)
-        return Chunk(columns, child.row_count)
-
-    def _exec_filter(self, op: ops.Filter, txn: Transaction, used: frozenset[int]) -> Chunk:
-        if isinstance(op.child, ops.Scan):
-            pruned = self._exec_scan_block_pruned(op.child, op.predicate, txn, used)
-            if pruned is not None:
-                keep = evaluate_predicate(op.predicate, pruned)
-                return pruned.take(keep)
-        child = self._exec(op.child, txn, used)
-        keep = evaluate_predicate(op.predicate, child)
-        return child.take(keep)
-
-    def _exec_scan_block_pruned(
-        self,
-        scan: ops.Scan,
-        predicate: Expr,
-        txn: Transaction,
-        used: frozenset[int],
-    ) -> Chunk | None:
-        """Zone-map pruning for a filtered scan (the §2.2 partition-pruning
-        behaviour at block granularity): blocks of the merged main fragment
-        whose min/max cannot satisfy a ``col <op> const`` conjunct are
-        skipped before any value decodes; the (small) delta is always read.
-
-        Returns None when nothing can be pruned (caller falls back).
-        """
-        from ..algebra.expr import conjuncts as split
-        from ..storage.column import BLOCK_ROWS
-
-        table = self._catalog.table(scan.schema.name)
-        bounds: list[tuple[str, str, object]] = []
-        scan_cids = scan.output_cids
-        for conjunct in split(predicate):
-            if not (isinstance(conjunct, Call) and conjunct.op in ("=", "<", "<=", ">", ">=")):
-                continue
-            a, b = conjunct.args
-            flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
-            from ..algebra.expr import Const as ConstExpr
-
-            if isinstance(a, ColRef) and isinstance(b, ConstExpr) and a.cid in scan_cids:
-                if b.value is not None:
-                    bounds.append((a.name, conjunct.op, b.value))
-            elif isinstance(b, ColRef) and isinstance(a, ConstExpr) and b.cid in scan_cids:
-                if a.value is not None:
-                    bounds.append((b.name, flip[conjunct.op], a.value))
-        if not bounds:
-            return None
-
-        first = table.column(scan.schema.columns[0].name)
-        main_rows = len(first.main)
-        if main_rows == 0:
-            return None
-        block_count = (main_rows + BLOCK_ROWS - 1) // BLOCK_ROWS
-        keep_block = [True] * block_count
-        for column_name, operator, value in bounds:
-            zones = table.column(column_name).main.zone_map()
-            for index, (low, high, _has_null) in enumerate(zones):
-                if not keep_block[index]:
-                    continue
-                if low is None:  # all-NULL block never satisfies a comparison
-                    keep_block[index] = False
-                    continue
-                try:
-                    if operator == "=" and not (low <= value <= high):
-                        keep_block[index] = False
-                    elif operator == "<" and not (low < value):
-                        keep_block[index] = False
-                    elif operator == "<=" and not (low <= value):
-                        keep_block[index] = False
-                    elif operator == ">" and not (high > value):
-                        keep_block[index] = False
-                    elif operator == ">=" and not (high >= value):
-                        keep_block[index] = False
-                except TypeError:
-                    continue  # incomparable types: cannot prune on this bound
-        if all(keep_block):
-            return None  # no pruning achieved; the plain scan path is cheaper
-        scanned = sum(keep_block)
-        pruned = block_count - scanned
-        if self._m_blocks_pruned is not None:
-            self._m_blocks_pruned.inc(pruned)
-            self._m_blocks_scanned.inc(scanned)
-        tracer = self._tracer
-        if tracer is not None and tracer.enabled:
-            tracer.event(
-                "nse.block_pruning", table=scan.schema.name,
-                blocks_pruned=pruned, blocks_scanned=scanned,
-            )
-
-        row_ids: list[int] = []
-        for index, keep in enumerate(keep_block):
-            if keep:
-                start = index * BLOCK_ROWS
-                row_ids.extend(range(start, min(start + BLOCK_ROWS, main_rows)))
-        row_ids.extend(range(main_rows, len(table)))  # the delta, always
-        if table._mvcc_dirty:
-            created, deleted = table.created_tids, table.deleted_tids
-            is_visible = table._txns.is_visible
-            row_ids = [
-                i for i in row_ids if is_visible(created[i], deleted[i], txn)
-            ]
-        wanted = [col for col in scan.output if col.cid in used]
-        columns = {}
-        for col in wanted:
-            fragments = table.column(col.name)
-            columns[col.cid] = [fragments.get(i) for i in row_ids]
-        return Chunk(columns, len(row_ids))
-
-    def _exec_sort(self, op: ops.Sort, txn: Transaction, used: frozenset[int]) -> Chunk:
-        child = self._exec(op.child, txn, used)
-        key_cols = [(child.column(k.cid), k.ascending) for k in op.keys]
-
-        def compare(i: int, j: int) -> int:
-            for col, ascending in key_cols:
-                a, b = col[i], col[j]
-                if a is None and b is None:
-                    continue
-                if a is None:
-                    return 1  # NULLS LAST
-                if b is None:
-                    return -1
-                a, b = _coerce_pair(a, b)
-                if a == b:
-                    continue
-                less = a < b
-                if ascending:
-                    return -1 if less else 1
-                return 1 if less else -1
-            return 0
-
-        order = sorted(range(child.row_count), key=functools.cmp_to_key(compare))
-        return child.take(order)
-
-    def _exec_limit(self, op: ops.Limit, txn: Transaction, used: frozenset[int]) -> Chunk:
-        if isinstance(op.child, ops.Scan):
-            # Early termination: a limit directly over a scan (the shape the
-            # §4.4 pushdown produces) decodes only the requested rows.
-            return self._exec_scan_limited(op.child, txn, used, op.offset, op.limit)
-        pipelined = self._exec_limit_pipelined(op, txn, used)
-        if pipelined is not None:
-            return pipelined
-        child = self._exec(op.child, txn, used)
-        start = op.offset
-        stop = None if op.limit is None else start + op.limit
-        return child.slice(start, stop)
-
-    _PIPELINE_BATCH = 2048
-
-    def _exec_limit_pipelined(
-        self, op: ops.Limit, txn: Transaction, used: frozenset[int]
-    ) -> Chunk | None:
-        """Pipelined limit over a Project/Filter chain ending in a Scan.
-
-        Models the push-based, pipelined processing the paper describes for
-        the HEX engine (§2.2): the scan stops as soon as enough rows survive
-        the chain, so a paging query over a filtered view costs O(page), not
-        O(table).
-        """
-        if op.limit is None:
-            return None
-        chain: list[ops.LogicalOp] = []
-        node: ops.LogicalOp = op.child
-        while isinstance(node, (ops.Project, ops.Filter)):
-            chain.append(node)
-            node = node.children[0]
-        if not isinstance(node, ops.Scan) or not chain:
-            return None
-        table = self._catalog.table(node.schema.name)
-        row_ids = table.visible_row_ids(txn)
-        wanted = [col for col in node.output if col.cid in used]
-        need = op.offset + op.limit
-        pieces: list[Chunk] = []
-        produced = 0
-        # Adaptive batching: start near the page size and grow, so selective
-        # pages stay cheap and unselective filters converge quickly.
-        batch_size = max(64, min(need * 4, self._PIPELINE_BATCH))
-        start = 0
-        while start < len(row_ids):
-            batch_ids = row_ids[start:start + batch_size]
-            start += batch_size
-            batch_size = min(batch_size * 4, 65536)
-            columns = {}
-            for col in wanted:
-                fragments = table.column(col.name)
-                columns[col.cid] = [fragments.get(i) for i in batch_ids]
-            chunk = Chunk(columns, len(batch_ids))
-            for step in reversed(chain):
-                if isinstance(step, ops.Filter):
-                    chunk = chunk.take(evaluate_predicate(step.predicate, chunk))
-                else:
-                    assert isinstance(step, ops.Project)
-                    chunk = Chunk(
-                        {
-                            col.cid: evaluate(expr, chunk)
-                            for col, expr in step.items
-                            if col.cid in used
-                        },
-                        chunk.row_count,
-                    )
-            pieces.append(chunk)
-            produced += chunk.row_count
-            if produced >= need:
-                break
-        merged_columns: dict[int, list] = {}
-        keys = pieces[0].columns.keys() if pieces else []
-        for cid in keys:
-            values: list = []
-            for piece in pieces:
-                values.extend(piece.columns[cid])
-            merged_columns[cid] = values
-        merged = Chunk(merged_columns, produced)
-        return merged.slice(op.offset, need)
-
-    def _exec_scan_limited(
-        self,
-        op: ops.Scan,
-        txn: Transaction,
-        used: frozenset[int],
-        offset: int,
-        limit: int | None,
-    ) -> Chunk:
-        table = self._catalog.table(op.schema.name)
-        row_ids = table.visible_row_ids(txn)
-        stop = None if limit is None else offset + limit
-        row_ids = row_ids[offset:stop]
-        wanted = [col for col in op.output if col.cid in used]
-        columns = {}
-        for col in wanted:
-            fragments = table.column(col.name)
-            columns[col.cid] = [fragments.get(i) for i in row_ids]
-        return Chunk(columns, len(row_ids))
-
-    def _exec_distinct(self, op: ops.Distinct, txn: Transaction, used: frozenset[int]) -> Chunk:
-        child = self._exec(op.child, txn, used)
-        cids = [c.cid for c in op.output if c.cid in child.columns]
-        seen: set[tuple] = set()
-        keep: list[int] = []
-        cols = [child.column(cid) for cid in cids]
-        for i in range(child.row_count):
-            key = tuple(col[i] for col in cols)
-            if key not in seen:
-                seen.add(key)
-                keep.append(i)
-        return child.take(keep)
-
-    # -- aggregate -----------------------------------------------------------------
-
-    def _exec_aggregate(self, op: ops.Aggregate, txn: Transaction, used: frozenset[int]) -> Chunk:
-        child = self._exec(op.child, txn, used)
-        key_cols = [child.column(cid) for cid in op.group_cids]
-        agg_inputs = [
-            None if call.arg is None else evaluate(call.arg, child)
-            for _, call in op.aggs
-        ]
-
-        groups: dict[tuple, int] = {}
-        order: list[tuple] = []
-        states: list[list[dict]] = [[] for _ in op.aggs]  # per agg, per group
-        for i in range(child.row_count):
-            key = tuple(col[i] for col in key_cols)
-            slot = groups.get(key)
-            if slot is None:
-                slot = len(order)
-                groups[key] = slot
-                order.append(key)
-                for state in states:
-                    state.append(_new_state())
-            for agg_index, (_, call) in enumerate(op.aggs):
-                value = None if agg_inputs[agg_index] is None else agg_inputs[agg_index][i]
-                _accumulate(states[agg_index][slot], call, value)
-
-        if not op.group_cids and not order:
-            # Global aggregate over empty input: one all-default group.
-            order.append(())
-            for state in states:
-                state.append(_new_state())
-
-        columns: dict[int, list] = {}
-        for pos, cid in enumerate(op.group_cids):
-            columns[cid] = [key[pos] for key in order]
-        for agg_index, (col, call) in enumerate(op.aggs):
-            columns[col.cid] = [
-                _finalize(states[agg_index][g], call) for g in range(len(order))
-            ]
-        return Chunk(columns, len(order))
-
-    # -- join ---------------------------------------------------------------------
-
-    def _exec_join(self, op: ops.Join, txn: Transaction, used: frozenset[int]) -> Chunk:
-        if op.join_type in (ops.JoinType.SEMI, ops.JoinType.ANTI):
-            return self._exec_semi_anti(op, txn, used)
-        left = self._exec(op.left, txn, used)
-        right = self._exec(op.right, txn, used)
-        left_cids = op.left.output_cids
-        right_cids = op.right.output_cids
-
-        equi: list[tuple[Expr, Expr]] = []
-        residual: list[Expr] = []
-        from ..algebra.expr import conjuncts
-
-        for conjunct in conjuncts(op.condition):
-            pair = _equi_pair(conjunct, left_cids, right_cids)
-            if pair is not None:
-                equi.append(pair)
-            else:
-                residual.append(conjunct)
-
-        if equi:
-            lidx, ridx = self._hash_join_pairs(left, right, equi)
-        else:
-            lidx = [i for i in range(left.row_count) for _ in range(right.row_count)]
-            ridx = list(range(right.row_count)) * left.row_count
-
-        if residual and lidx:
-            combined = _combine(left, right, lidx, ridx)
-            keep_mask = [True] * len(lidx)
-            from .eval import evaluate as _eval
-
-            for conjunct in residual:
-                values = _eval(conjunct, combined)
-                for i, v in enumerate(values):
-                    if v is not True:
-                        keep_mask[i] = False
-            lidx = [l for l, k in zip(lidx, keep_mask) if k]
-            ridx = [r for r, k in zip(ridx, keep_mask) if k]
-        elif residual:
-            pass  # no candidate pairs; nothing to filter
-
-        if op.join_type is ops.JoinType.LEFT_OUTER:
-            matched = set(lidx)
-            extra = [i for i in range(left.row_count) if i not in matched]
-            lidx = lidx + extra
-            ridx = ridx + [-1] * len(extra)
-        return _combine(left, right, lidx, ridx)
-
-    def _exec_semi_anti(self, op: ops.Join, txn: Transaction, used: frozenset[int]) -> Chunk:
-        """SEMI/ANTI join execution (EXISTS / IN subqueries).
-
-        ``null_aware`` implements NOT IN's three-valued semantics: a NULL
-        probe value, or any NULL in the subquery's values, makes membership
-        UNKNOWN — which filters the row.
-        """
-        from ..algebra.expr import conjuncts
-
-        # The subquery side only needs its join-key columns.
-        condition_refs = referenced_cids(op.condition) if op.condition is not None else frozenset()
-        left = self._exec(op.left, txn, used | condition_refs)
-        right = self._exec(op.right, txn, used | condition_refs)
-        is_anti = op.join_type is ops.JoinType.ANTI
-
-        if op.condition is None:  # EXISTS without correlation: all-or-nothing
-            keep_all = right.row_count > 0
-            if keep_all != is_anti:
-                return left
-            return left.take([])
-
-        equi: list[tuple[Expr, Expr]] = []
-        residual: list[Expr] = []
-        left_cids = op.left.output_cids
-        right_cids = op.right.output_cids
-        for conjunct in conjuncts(op.condition):
-            pair = _equi_pair(conjunct, left_cids, right_cids)
-            if pair is not None:
-                equi.append(pair)
-            else:
-                residual.append(conjunct)
-        if not equi or residual:
-            raise ExecutionError(
-                "SEMI/ANTI joins support plain equi conditions only"
-            )
-        probe_cols = [evaluate(le, left) for le, _ in equi]
-        build_cols = [evaluate(re, right) for _, re in equi]
-        members: set[tuple] = set()
-        right_has_null = False
-        for j in range(right.row_count):
-            key = tuple(_norm_key(col[j]) for col in build_cols)
-            if any(k is None for k in key):
-                right_has_null = True
-                continue
-            members.add(key)
-        keep: list[int] = []
-        for i in range(left.row_count):
-            key = tuple(_norm_key(col[i]) for col in probe_cols)
-            if any(k is None for k in key):
-                matched = None  # UNKNOWN
-            elif key in members:
-                matched = True
-            elif op.null_aware and right_has_null:
-                matched = None  # could match a NULL member: UNKNOWN
-            else:
-                matched = False
-            if (matched is True) if not is_anti else (matched is False):
-                keep.append(i)
-        return left.take(keep)
-
-    @staticmethod
-    def _hash_join_pairs(
-        left: Chunk, right: Chunk, equi: list[tuple[Expr, Expr]]
-    ) -> tuple[list[int], list[int]]:
-        """Hash join with build-side selection by actual cardinality.
-
-        This is why the paper's limit pushdown matters at execution time
-        (§4.4): once the anchor is limited to a page, it becomes the build
-        side and the join does one cheap probe pass instead of building a
-        hash table over the large relation.
-        """
-        left_keys = [evaluate(le, left) for le, _ in equi]
-        right_keys = [evaluate(re, right) for _, re in equi]
-        build_right = right.row_count <= left.row_count
-        build_keys, build_count = (
-            (right_keys, right.row_count) if build_right else (left_keys, left.row_count)
-        )
-        probe_keys, probe_count = (
-            (left_keys, left.row_count) if build_right else (right_keys, right.row_count)
-        )
-        table: dict[tuple, list[int]] = {}
-        for j in range(build_count):
-            key = tuple(_norm_key(col[j]) for col in build_keys)
-            if any(k is None for k in key):
-                continue
-            table.setdefault(key, []).append(j)
-        lidx: list[int] = []
-        ridx: list[int] = []
-        for i in range(probe_count):
-            key = tuple(_norm_key(col[i]) for col in probe_keys)
-            if any(k is None for k in key):
-                continue
-            for j in table.get(key, ()):
-                if build_right:
-                    lidx.append(i)
-                    ridx.append(j)
-                else:
-                    lidx.append(j)
-                    ridx.append(i)
-        if not build_right and lidx:
-            # Preserve anchor-order output regardless of build side: the
-            # top-N pushdown drops the outer Sort and relies on it.
-            order = sorted(range(len(lidx)), key=lambda p: (lidx[p], ridx[p]))
-            lidx = [lidx[p] for p in order]
-            ridx = [ridx[p] for p in order]
-        return lidx, ridx
-
-    # -- union -----------------------------------------------------------------------
-
-    def _exec_union(self, op: ops.UnionAll, txn: Transaction, used: frozenset[int]) -> Chunk:
-        positions = [pos for pos, col in enumerate(op.output) if col.cid in used]
-        out_cols: dict[int, list] = {op.output[pos].cid: [] for pos in positions}
-        total = 0
-        for child, mapping in zip(op.inputs, op.child_maps):
-            chunk = self._exec(child, txn, used | frozenset(mapping[p] for p in positions))
-            total += chunk.row_count
-            for pos in positions:
-                out_cols[op.output[pos].cid].extend(chunk.column(mapping[pos]))
-        return Chunk(out_cols, total)
-
 
 # ---------------------------------------------------------------------------
 # helpers
@@ -755,109 +281,3 @@ def _collect_used_cids(plan: ops.LogicalOp) -> frozenset[int]:
         previous = len(used)
         visit(plan)
     return frozenset(used)
-
-
-def _equi_pair(
-    conjunct: Expr, left_cids: frozenset[int], right_cids: frozenset[int]
-) -> tuple[Expr, Expr] | None:
-    if not (isinstance(conjunct, Call) and conjunct.op == "=" and len(conjunct.args) == 2):
-        return None
-    a, b = conjunct.args
-    a_refs = referenced_cids(a)
-    b_refs = referenced_cids(b)
-    if a_refs and a_refs <= left_cids and b_refs and b_refs <= right_cids:
-        return (a, b)
-    if a_refs and a_refs <= right_cids and b_refs and b_refs <= left_cids:
-        return (b, a)
-    return None
-
-
-def _norm_key(value: object) -> object:
-    """Normalize join-key values so 1 == Decimal('1') hash-match."""
-    import decimal
-
-    if isinstance(value, decimal.Decimal):
-        if value == value.to_integral_value():
-            return int(value)
-        return float(value)
-    if isinstance(value, bool):
-        return value
-    if isinstance(value, float) and value.is_integer():
-        return int(value)
-    return value
-
-
-def _combine(left: Chunk, right: Chunk, lidx: list[int], ridx: list[int]) -> Chunk:
-    columns: dict[int, list] = {}
-    for cid, col in left.columns.items():
-        columns[cid] = [col[i] for i in lidx]
-    for cid, col in right.columns.items():
-        columns[cid] = [None if j < 0 else col[j] for j in ridx]
-    return Chunk(columns, len(lidx))
-
-
-# -- aggregate state ---------------------------------------------------------
-
-
-def _new_state() -> dict:
-    return {"count": 0, "sum": None, "min": None, "max": None, "distinct": None}
-
-
-def _accumulate(state: dict, call: AggCall, value: object) -> None:
-    if call.func == "COUNT_STAR":
-        state["count"] += 1
-        return
-    if value is None:
-        return
-    if call.distinct:
-        if state["distinct"] is None:
-            state["distinct"] = set()
-        state["distinct"].add(value)
-        return
-    state["count"] += 1
-    if call.func in ("SUM", "AVG"):
-        state["sum"] = value if state["sum"] is None else state["sum"] + value
-    if call.func == "MIN":
-        state["min"] = value if state["min"] is None else min(state["min"], value)
-    if call.func == "MAX":
-        state["max"] = value if state["max"] is None else max(state["max"], value)
-
-
-def _finalize(state: dict, call: AggCall) -> object:
-    import decimal
-
-    if call.func == "COUNT_STAR":
-        return state["count"]
-    if call.distinct:
-        values = state["distinct"] or set()
-        if call.func == "COUNT":
-            return len(values)
-        if not values:
-            return None
-        if call.func == "SUM":
-            return sum(values)
-        if call.func == "MIN":
-            return min(values)
-        if call.func == "MAX":
-            return max(values)
-        if call.func == "AVG":
-            total = sum(values)
-            if isinstance(total, decimal.Decimal):
-                return total / decimal.Decimal(len(values))
-            return total / len(values)
-    if call.func == "COUNT":
-        return state["count"]
-    if call.func == "SUM":
-        return state["sum"]
-    if call.func == "MIN":
-        return state["min"]
-    if call.func == "MAX":
-        return state["max"]
-    if call.func == "AVG":
-        if state["count"] == 0:
-            return None
-        total = state["sum"]
-        if isinstance(total, decimal.Decimal):
-            return total / decimal.Decimal(state["count"])
-        return total / state["count"]
-    raise ExecutionError(f"unknown aggregate {call.func!r}")

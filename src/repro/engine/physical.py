@@ -1,0 +1,988 @@
+"""Physical operators: streaming batch execution.
+
+The physical plan is compiled from the (bound, optionally optimized)
+logical plan by :mod:`repro.optimizer.physical_planner`.  Each operator's
+:meth:`PhysicalOp.execute` returns a generator of fixed-size
+:class:`~repro.engine.chunk.Chunk` batches, so Scan→Filter→Project→Limit
+chains stream end-to-end: peak memory for a pipelined segment is bounded
+by ``batch_size`` and LIMIT / EXISTS / semi-join probes short-circuit
+uniformly by *closing* the stream, which cascades ``GeneratorExit``
+through every upstream operator.
+
+Pipeline breakers (hash build sides, aggregation, sort) consume their
+input fully before emitting; everything else forwards batches as they
+arrive.  Every stream is wrapped once in :meth:`PhysicalOp._stream`,
+which per batch checks the cooperative statement deadline, fires the
+``executor.batch`` fault point, bumps ``exec.batches_produced``, tracks
+the peak batch size, and records rows/batches/elapsed into the
+EXPLAIN ANALYZE collector.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Iterator
+
+from ..algebra import ops
+from ..algebra.expr import AggCall, Call, ColRef, Expr, referenced_cids
+from ..errors import ExecutionError, QueryTimeoutError
+from .chunk import Chunk
+from .eval import _coerce_pair, evaluate, evaluate_predicate
+
+#: Default number of rows per streamed batch.
+DEFAULT_BATCH_SIZE = 1024
+
+# Module-level clock binding so tests can advance a fake clock and prove
+# the deadline is checked inside the per-batch loop, not per operator.
+_now = time.monotonic
+
+
+class ExecContext:
+    """Per-execution state shared by every operator of one physical plan."""
+
+    __slots__ = (
+        "catalog", "txn", "batch_size", "deadline", "collector", "faults",
+        "tracer", "peak_batch_rows", "m_batches", "m_early",
+        "m_blocks_pruned", "m_blocks_scanned",
+    )
+
+    def __init__(
+        self, catalog, txn, *, batch_size: int = DEFAULT_BATCH_SIZE,
+        deadline: float | None = None, collector=None, faults=None,
+        tracer=None, m_batches=None, m_early=None, m_blocks_pruned=None,
+        m_blocks_scanned=None,
+    ):
+        self.catalog = catalog
+        self.txn = txn
+        self.batch_size = max(1, batch_size)
+        self.deadline = deadline
+        self.collector = collector
+        self.faults = faults
+        self.tracer = tracer
+        self.m_batches = m_batches
+        self.m_early = m_early
+        self.m_blocks_pruned = m_blocks_pruned
+        self.m_blocks_scanned = m_blocks_scanned
+        #: Largest batch produced anywhere in the plan (rows); the executor
+        #: observes it into the ``exec.peak_batch_rows`` histogram.
+        self.peak_batch_rows = 0
+
+
+class PhysicalOp:
+    """Base class: one physical operator producing a stream of batches."""
+
+    #: True for pipeline breakers that materialize their input.
+    blocking = False
+    #: Duck-typed scan marker — ``ExecutionCollector.rows_scanned`` keys on
+    #: it without importing this module (avoids an engine↔observability
+    #: import cycle).
+    is_scan_op = False
+
+    def __init__(self, logical: ops.LogicalOp, children: tuple["PhysicalOp", ...]):
+        self.logical = logical
+        self.children = children
+        self.output = logical.output
+
+    # -- description (EXPLAIN surface) ----------------------------------
+
+    def name(self) -> str:
+        return type(self).__name__
+
+    def strategy(self) -> str:
+        """A short planner-choice annotation (build side, pruning, ...)."""
+        return ""
+
+    def label(self) -> str:
+        strategy = self.strategy()
+        return f"{self.name()}[{strategy}]" if strategy else self.name()
+
+    def walk(self) -> Iterator["PhysicalOp"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    # -- execution ------------------------------------------------------
+
+    def execute(self, ctx: ExecContext) -> Iterator[Chunk]:
+        """Open this operator's instrumented batch stream."""
+        if ctx.faults is not None:
+            ctx.faults.fire("executor.operator", op=self.name())
+        if ctx.collector is not None:
+            ctx.collector.open_op(self)
+        return self._stream(ctx)
+
+    def _stream(self, ctx: ExecContext) -> Iterator[Chunk]:
+        inner = self._run(ctx)
+        collector = ctx.collector
+        faults = ctx.faults
+        m_batches = ctx.m_batches
+        try:
+            while True:
+                if ctx.deadline is not None and _now() > ctx.deadline:
+                    raise QueryTimeoutError(
+                        f"statement deadline exceeded in {self.name()}"
+                    )
+                if faults is not None:
+                    faults.fire("executor.batch", op=self.name())
+                start = time.perf_counter()
+                try:
+                    chunk = next(inner)
+                except StopIteration:
+                    return
+                elapsed = time.perf_counter() - start
+                if m_batches is not None:
+                    m_batches.inc()
+                if chunk.row_count > ctx.peak_batch_rows:
+                    ctx.peak_batch_rows = chunk.row_count
+                if collector is not None:
+                    collector.record(self, chunk.row_count, elapsed)
+                yield chunk
+        except GeneratorExit:
+            # A consumer stopped early (LIMIT satisfied, EXISTS answered).
+            if collector is not None:
+                collector.mark_early(self)
+            if ctx.m_early is not None:
+                ctx.m_early.inc()
+            raise
+        finally:
+            inner.close()
+
+    def _run(self, ctx: ExecContext) -> Iterator[Chunk]:
+        raise NotImplementedError
+
+
+def _rebatch(chunk: Chunk, batch_size: int) -> Iterator[Chunk]:
+    """Re-emit a materialized chunk as batch_size-row slices."""
+    if chunk.row_count <= batch_size:
+        if chunk.row_count:
+            yield chunk
+        return
+    for start in range(0, chunk.row_count, batch_size):
+        yield chunk.slice(start, start + batch_size)
+
+
+def _materialize(child: PhysicalOp, ctx: ExecContext) -> Chunk:
+    """Drain a child stream into one chunk (pipeline-breaker input)."""
+    stream = child.execute(ctx)
+    try:
+        return Chunk.concat(list(stream))
+    finally:
+        stream.close()
+
+
+# ---------------------------------------------------------------------------
+# leaves
+# ---------------------------------------------------------------------------
+
+
+class OneRowExec(PhysicalOp):
+    """The FROM-less SELECT source: one row, no columns."""
+
+    def __init__(self, logical: ops.LogicalOp):
+        super().__init__(logical, ())
+
+    def name(self) -> str:
+        return "OneRow"
+
+    def _run(self, ctx: ExecContext) -> Iterator[Chunk]:
+        yield Chunk({}, 1)
+
+
+class BatchScanExec(PhysicalOp):
+    """Batched table scan; optionally zone-map pruned.
+
+    ``wanted`` is fixed at plan time to the columns referenced anywhere in
+    the plan.  ``prune_bounds`` holds plan-time-extracted
+    ``(column, op, const)`` conjuncts from a fused Filter parent; at open
+    the zone maps of the merged main fragment decide which blocks to skip,
+    and the surviving row ids are streamed through the storage batch API so
+    block pruning composes with streaming.
+    """
+
+    is_scan_op = True
+
+    def __init__(self, logical: ops.Scan, wanted, prune_bounds=None):
+        super().__init__(logical, ())
+        self.wanted = tuple(wanted)
+        self.prune_bounds = tuple(prune_bounds or ())
+
+    def name(self) -> str:
+        return f"BatchScan({self.logical.schema.name})"
+
+    def strategy(self) -> str:
+        parts = [f"cols={len(self.wanted)}"]
+        if self.prune_bounds:
+            parts.append("zone-map")
+        return " ".join(parts)
+
+    def _run(self, ctx: ExecContext) -> Iterator[Chunk]:
+        table = ctx.catalog.table(self.logical.schema.name)
+        names = [col.name for col in self.wanted]
+        cids = [col.cid for col in self.wanted]
+        row_ids = self._pruned_row_ids(ctx, table) if self.prune_bounds else None
+        for columns, count in table.read_column_batches(
+            ctx.txn, names, ctx.batch_size, row_ids=row_ids
+        ):
+            yield Chunk(dict(zip(cids, columns)), count)
+
+    def _pruned_row_ids(self, ctx: ExecContext, table):
+        """Zone-map pruning (§2.2 partition-pruning behaviour at block
+        granularity): blocks whose min/max cannot satisfy a bound are
+        skipped before any value decodes; the (small) delta is always read.
+        Returns None when nothing can be pruned — the plain batched scan is
+        cheaper then."""
+        from ..storage.column import BLOCK_ROWS
+
+        first = table.column(self.logical.schema.columns[0].name)
+        main_rows = len(first.main)
+        if main_rows == 0:
+            return None
+        block_count = (main_rows + BLOCK_ROWS - 1) // BLOCK_ROWS
+        keep_block = [True] * block_count
+        for column_name, operator, value in self.prune_bounds:
+            zones = table.column(column_name).main.zone_map()
+            for index, (low, high, _has_null) in enumerate(zones):
+                if not keep_block[index]:
+                    continue
+                if low is None:  # all-NULL block never satisfies a comparison
+                    keep_block[index] = False
+                    continue
+                try:
+                    if operator == "=" and not (low <= value <= high):
+                        keep_block[index] = False
+                    elif operator == "<" and not (low < value):
+                        keep_block[index] = False
+                    elif operator == "<=" and not (low <= value):
+                        keep_block[index] = False
+                    elif operator == ">" and not (high > value):
+                        keep_block[index] = False
+                    elif operator == ">=" and not (high >= value):
+                        keep_block[index] = False
+                except TypeError:
+                    continue  # incomparable types: cannot prune on this bound
+        if all(keep_block):
+            return None
+        scanned = sum(keep_block)
+        pruned = block_count - scanned
+        if ctx.m_blocks_pruned is not None:
+            ctx.m_blocks_pruned.inc(pruned)
+            ctx.m_blocks_scanned.inc(scanned)
+        tracer = ctx.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.event(
+                "nse.block_pruning", table=self.logical.schema.name,
+                blocks_pruned=pruned, blocks_scanned=scanned,
+            )
+        row_ids: list[int] = []
+        for index, keep in enumerate(keep_block):
+            if keep:
+                start = index * BLOCK_ROWS
+                row_ids.extend(range(start, min(start + BLOCK_ROWS, main_rows)))
+        row_ids.extend(range(main_rows, len(table)))  # the delta, always
+        if table._mvcc_dirty:
+            created, deleted = table.created_tids, table.deleted_tids
+            is_visible = table._txns.is_visible
+            row_ids = [
+                i for i in row_ids if is_visible(created[i], deleted[i], ctx.txn)
+            ]
+        return row_ids
+
+
+# ---------------------------------------------------------------------------
+# streaming unary operators
+# ---------------------------------------------------------------------------
+
+
+class FilterExec(PhysicalOp):
+    """Streaming row selection; empty post-filter batches are dropped."""
+
+    def __init__(self, logical: ops.Filter, child: PhysicalOp):
+        super().__init__(logical, (child,))
+        self.predicate = logical.predicate
+
+    def name(self) -> str:
+        return "Filter"
+
+    def strategy(self) -> str:
+        return str(self.predicate)
+
+    def _run(self, ctx: ExecContext) -> Iterator[Chunk]:
+        stream = self.children[0].execute(ctx)
+        try:
+            for chunk in stream:
+                keep = evaluate_predicate(self.predicate, chunk)
+                if len(keep) == chunk.row_count:
+                    yield chunk
+                elif keep:
+                    yield chunk.take(keep)
+        finally:
+            stream.close()
+
+
+class ProjectExec(PhysicalOp):
+    """Streaming projection over the plan-time-pruned item list.
+
+    A zero-item projection (every output dead except cardinality) still
+    forwards ``row_count`` — the COUNT(*) pipeline depends on it.
+    """
+
+    def __init__(self, logical: ops.Project, child: PhysicalOp, items):
+        super().__init__(logical, (child,))
+        self.items = tuple(items)
+
+    def name(self) -> str:
+        return "Project"
+
+    def strategy(self) -> str:
+        return f"{len(self.items)} cols"
+
+    def _run(self, ctx: ExecContext) -> Iterator[Chunk]:
+        items = self.items
+        stream = self.children[0].execute(ctx)
+        try:
+            for chunk in stream:
+                yield Chunk(
+                    {col.cid: evaluate(expr, chunk) for col, expr in items},
+                    chunk.row_count,
+                )
+        finally:
+            stream.close()
+
+
+class LimitExec(PhysicalOp):
+    """Streaming LIMIT/OFFSET; closing the child stream on satisfaction is
+    what turns the §4.4 pushed-down limit into an early-terminating scan."""
+
+    def __init__(self, logical: ops.Limit, child: PhysicalOp):
+        super().__init__(logical, (child,))
+        self.limit = logical.limit
+        self.offset = logical.offset
+
+    def name(self) -> str:
+        return "Limit"
+
+    def strategy(self) -> str:
+        offset = f" offset {self.offset}" if self.offset else ""
+        return f"{self.limit}{offset}"
+
+    def _run(self, ctx: ExecContext) -> Iterator[Chunk]:
+        if self.limit is not None and self.limit <= 0:
+            return
+        stream = self.children[0].execute(ctx)
+        try:
+            to_skip = self.offset
+            remaining = self.limit
+            for chunk in stream:
+                if to_skip:
+                    if chunk.row_count <= to_skip:
+                        to_skip -= chunk.row_count
+                        continue
+                    chunk = chunk.slice(to_skip, None)
+                    to_skip = 0
+                if remaining is None:
+                    yield chunk
+                    continue
+                if chunk.row_count >= remaining:
+                    yield chunk.slice(0, remaining)
+                    return  # closes the child stream: early termination
+                remaining -= chunk.row_count
+                yield chunk
+        finally:
+            stream.close()
+
+
+class DistinctExec(PhysicalOp):
+    """Streaming duplicate elimination (the seen-set is the only state)."""
+
+    def __init__(self, logical: ops.Distinct, child: PhysicalOp):
+        super().__init__(logical, (child,))
+
+    def name(self) -> str:
+        return "Distinct"
+
+    def _run(self, ctx: ExecContext) -> Iterator[Chunk]:
+        seen: set[tuple] = set()
+        stream = self.children[0].execute(ctx)
+        try:
+            for chunk in stream:
+                cols = [
+                    chunk.column(c.cid) for c in self.output
+                    if chunk.has_column(c.cid)
+                ]
+                keep: list[int] = []
+                for i in range(chunk.row_count):
+                    key = tuple(col[i] for col in cols)
+                    if key not in seen:
+                        seen.add(key)
+                        keep.append(i)
+                if len(keep) == chunk.row_count:
+                    yield chunk
+                elif keep:
+                    yield chunk.take(keep)
+        finally:
+            stream.close()
+
+
+class SortExec(PhysicalOp):
+    """Pipeline breaker: materialize, sort (NULLS LAST), re-emit batched."""
+
+    blocking = True
+
+    def __init__(self, logical: ops.Sort, child: PhysicalOp):
+        super().__init__(logical, (child,))
+        self.keys = logical.keys
+
+    def name(self) -> str:
+        return "Sort"
+
+    def strategy(self) -> str:
+        return ", ".join(
+            f"#{k.cid}{'' if k.ascending else ' desc'}" for k in self.keys
+        )
+
+    def _run(self, ctx: ExecContext) -> Iterator[Chunk]:
+        child = _materialize(self.children[0], ctx)
+        if child.row_count == 0:
+            return
+        key_cols = [(child.column(k.cid), k.ascending) for k in self.keys]
+
+        def compare(i: int, j: int) -> int:
+            for col, ascending in key_cols:
+                a, b = col[i], col[j]
+                if a is None and b is None:
+                    continue
+                if a is None:
+                    return 1  # NULLS LAST
+                if b is None:
+                    return -1
+                a, b = _coerce_pair(a, b)
+                if a == b:
+                    continue
+                less = a < b
+                if ascending:
+                    return -1 if less else 1
+                return 1 if less else -1
+            return 0
+
+        order = sorted(range(child.row_count), key=functools.cmp_to_key(compare))
+        yield from _rebatch(child.take(order), ctx.batch_size)
+
+
+class HashAggregateExec(PhysicalOp):
+    """Pipeline breaker: per-batch accumulation into hashed group states."""
+
+    blocking = True
+
+    def __init__(self, logical: ops.Aggregate, child: PhysicalOp):
+        super().__init__(logical, (child,))
+
+    def name(self) -> str:
+        return "HashAggregate"
+
+    def strategy(self) -> str:
+        op = self.logical
+        aggs = ", ".join(str(call) for _, call in op.aggs)
+        return f"keys={len(op.group_cids)}; {aggs}"
+
+    def _run(self, ctx: ExecContext) -> Iterator[Chunk]:
+        op = self.logical
+        groups: dict[tuple, int] = {}
+        order: list[tuple] = []
+        states: list[list[dict]] = [[] for _ in op.aggs]  # per agg, per group
+        stream = self.children[0].execute(ctx)
+        try:
+            for chunk in stream:
+                key_cols = [chunk.column(cid) for cid in op.group_cids]
+                agg_inputs = [
+                    None if call.arg is None else evaluate(call.arg, chunk)
+                    for _, call in op.aggs
+                ]
+                for i in range(chunk.row_count):
+                    key = tuple(col[i] for col in key_cols)
+                    slot = groups.get(key)
+                    if slot is None:
+                        slot = len(order)
+                        groups[key] = slot
+                        order.append(key)
+                        for state in states:
+                            state.append(_new_state())
+                    for agg_index, (_, call) in enumerate(op.aggs):
+                        inputs = agg_inputs[agg_index]
+                        value = None if inputs is None else inputs[i]
+                        _accumulate(states[agg_index][slot], call, value)
+        finally:
+            stream.close()
+
+        if not op.group_cids and not order:
+            # Global aggregate over empty input: one all-default group.
+            order.append(())
+            for state in states:
+                state.append(_new_state())
+
+        columns: dict[int, list] = {}
+        for pos, cid in enumerate(op.group_cids):
+            columns[cid] = [key[pos] for key in order]
+        for agg_index, (col, call) in enumerate(op.aggs):
+            columns[col.cid] = [
+                _finalize(states[agg_index][g], call) for g in range(len(order))
+            ]
+        yield from _rebatch(Chunk(columns, len(order)), ctx.batch_size)
+
+
+class UnionAllExec(PhysicalOp):
+    """Streams each child in turn, remapping child cids to output cids."""
+
+    def __init__(self, logical: ops.UnionAll, children, positions):
+        super().__init__(logical, tuple(children))
+        self.positions = tuple(positions)
+
+    def name(self) -> str:
+        return "UnionAll"
+
+    def strategy(self) -> str:
+        return f"{len(self.children)} children"
+
+    def _run(self, ctx: ExecContext) -> Iterator[Chunk]:
+        op = self.logical
+        for child, mapping in zip(self.children, op.child_maps):
+            stream = child.execute(ctx)
+            try:
+                for chunk in stream:
+                    yield Chunk(
+                        {
+                            op.output[pos].cid: chunk.column(mapping[pos])
+                            for pos in self.positions
+                        },
+                        chunk.row_count,
+                    )
+            finally:
+                stream.close()
+
+
+# ---------------------------------------------------------------------------
+# joins
+# ---------------------------------------------------------------------------
+
+
+class HashJoinExec(PhysicalOp):
+    """Hash join with a cost-chosen build side.
+
+    - ``build=right``: build over the right input, stream the left — output
+      batches preserve anchor (left) order, with LEFT OUTER NULL-extension
+      inline, so the §4.4 top-N pushdown's order contract holds for free.
+    - ``build=left``: build over the (smaller, e.g. pushed-limit) left,
+      stream the right, buffer matches, and re-emit in anchor order.  When
+      the declared cardinality bounds the right side to at most one match
+      per key, the probe stops as soon as every build key has matched —
+      the join-side analogue of LIMIT's early termination.
+    - SEMI/ANTI probes build key sets from the right and stream the left;
+      an uncorrelated EXISTS pulls right batches only until the first row.
+    """
+
+    blocking = True  # at least one side is always materialized
+
+    def __init__(
+        self, logical: ops.Join, left: PhysicalOp, right: PhysicalOp, *,
+        equi, residual, build_side: str, left_cids, right_cids,
+        early_out: bool = False,
+    ):
+        super().__init__(logical, (left, right))
+        self.equi = tuple(equi)
+        self.residual = tuple(residual)
+        self.build_side = build_side
+        self.left_cids = tuple(left_cids)
+        self.right_cids = tuple(right_cids)
+        self.early_out = early_out
+
+    def name(self) -> str:
+        join_type = self.logical.join_type
+        if join_type is ops.JoinType.SEMI:
+            return "HashSemiJoin"
+        if join_type is ops.JoinType.ANTI:
+            return "HashAntiJoin"
+        if not self.equi and self.logical.condition is None:
+            return "CrossJoin"
+        if not self.equi:
+            return "NestedLoopJoin"
+        return "HashJoin"
+
+    def strategy(self) -> str:
+        parts = []
+        if self.logical.join_type is ops.JoinType.LEFT_OUTER:
+            parts.append("left-outer")
+        if self.equi:
+            parts.append(f"build={self.build_side}")
+        if self.early_out:
+            parts.append("early-out")
+        if self.residual:
+            parts.append("residual")
+        if self.logical.null_aware:
+            parts.append("null-aware")
+        return " ".join(parts)
+
+    def _run(self, ctx: ExecContext) -> Iterator[Chunk]:
+        if self.logical.join_type in (ops.JoinType.SEMI, ops.JoinType.ANTI):
+            yield from self._run_semi_anti(ctx)
+        elif not self.equi:
+            yield from self._run_cross(ctx)
+        elif self.build_side == "right":
+            yield from self._run_build_right(ctx)
+        else:
+            yield from self._run_build_left(ctx)
+
+    # -- equi, build right: stream the anchor ---------------------------
+
+    def _run_build_right(self, ctx: ExecContext) -> Iterator[Chunk]:
+        build = _materialize(self.children[1], ctx)
+        table = self._build_table(build, [re for _, re in self.equi])
+        left_outer = self.logical.join_type is ops.JoinType.LEFT_OUTER
+        if not table and not left_outer:
+            return  # inner join against an empty/all-NULL build: no rows
+        stream = self.children[0].execute(ctx)
+        try:
+            for chunk in stream:
+                probe_keys = [evaluate(le, chunk) for le, _ in self.equi]
+                lidx: list[int] = []
+                ridx: list[int] = []
+                for i in range(chunk.row_count):
+                    key = tuple(_norm_key(col[i]) for col in probe_keys)
+                    if any(k is None for k in key):
+                        continue
+                    for j in table.get(key, ()):
+                        lidx.append(i)
+                        ridx.append(j)
+                if self.residual and lidx:
+                    lidx, ridx = self._apply_residual(chunk, build, lidx, ridx)
+                if left_outer:
+                    lidx, ridx = _null_extend(lidx, ridx, chunk.row_count)
+                if lidx:
+                    yield self._combine(chunk, build, lidx, ridx)
+        finally:
+            stream.close()
+
+    # -- equi, build left: buffer and re-emit in anchor order -----------
+
+    def _run_build_left(self, ctx: ExecContext) -> Iterator[Chunk]:
+        build = _materialize(self.children[0], ctx)
+        table = self._build_table(build, [le for le, _ in self.equi])
+        left_outer = self.logical.join_type is ops.JoinType.LEFT_OUTER
+        if build.row_count == 0:
+            return
+        pairs: list[tuple[int, int]] = []  # (left row, buffered right pos)
+        buffered: dict[int, list] = {cid: [] for cid in self.right_cids}
+        buffered_rows = 0
+        remaining = set(table) if (self.early_out and table) else None
+        stream = self.children[1].execute(ctx)
+        try:
+            for chunk in stream:
+                probe_keys = [evaluate(re, chunk) for _, re in self.equi]
+                lidx: list[int] = []
+                jidx: list[int] = []
+                for j in range(chunk.row_count):
+                    key = tuple(_norm_key(col[j]) for col in probe_keys)
+                    if any(k is None for k in key):
+                        continue
+                    hits = table.get(key)
+                    if not hits:
+                        continue
+                    for i in hits:
+                        lidx.append(i)
+                        jidx.append(j)
+                    if remaining is not None:
+                        remaining.discard(key)
+                if self.residual and lidx:
+                    lidx, jidx = self._apply_residual(build, chunk, lidx, jidx)
+                for i, j in zip(lidx, jidx):
+                    pairs.append((i, buffered_rows))
+                    for cid in self.right_cids:
+                        column = chunk.columns.get(cid)
+                        buffered[cid].append(None if column is None else column[j])
+                    buffered_rows += 1
+                if remaining is not None and not remaining:
+                    # Declared right-unique: every build key has found its
+                    # (single) match — stop pulling the probe side.
+                    break
+        finally:
+            stream.close()
+        right = Chunk(buffered, buffered_rows)
+        pairs.sort()  # anchor order: (left row id, right arrival order)
+        lidx = [i for i, _ in pairs]
+        ridx = [p for _, p in pairs]
+        if left_outer:
+            lidx, ridx = _null_extend(lidx, ridx, build.row_count)
+        yield from _rebatch(self._combine(build, right, lidx, ridx), ctx.batch_size)
+
+    # -- no equi keys: cross/theta --------------------------------------
+
+    def _run_cross(self, ctx: ExecContext) -> Iterator[Chunk]:
+        build = _materialize(self.children[1], ctx)
+        left_outer = self.logical.join_type is ops.JoinType.LEFT_OUTER
+        if build.row_count == 0 and not left_outer:
+            return
+        stream = self.children[0].execute(ctx)
+        try:
+            for chunk in stream:
+                count = build.row_count
+                lidx = [i for i in range(chunk.row_count) for _ in range(count)]
+                ridx = list(range(count)) * chunk.row_count
+                if self.residual and lidx:
+                    lidx, ridx = self._apply_residual(chunk, build, lidx, ridx)
+                if left_outer:
+                    lidx, ridx = _null_extend(lidx, ridx, chunk.row_count)
+                if lidx:
+                    yield self._combine(chunk, build, lidx, ridx)
+        finally:
+            stream.close()
+
+    # -- SEMI / ANTI ----------------------------------------------------
+
+    def _run_semi_anti(self, ctx: ExecContext) -> Iterator[Chunk]:
+        op = self.logical
+        is_anti = op.join_type is ops.JoinType.ANTI
+
+        if op.condition is None:  # uncorrelated EXISTS: all-or-nothing
+            has_row = False
+            right_stream = self.children[1].execute(ctx)
+            try:
+                for chunk in right_stream:
+                    if chunk.row_count:
+                        has_row = True
+                        break  # short-circuit: first batch answers EXISTS
+            finally:
+                right_stream.close()
+            if has_row == is_anti:
+                return  # left side never executes
+            left_stream = self.children[0].execute(ctx)
+            try:
+                yield from left_stream
+            finally:
+                left_stream.close()
+            return
+
+        if not self.equi or self.residual:
+            raise ExecutionError(
+                "SEMI/ANTI joins support plain equi conditions only"
+            )
+        members: set[tuple] = set()
+        right_has_null = False
+        right_stream = self.children[1].execute(ctx)
+        try:
+            for chunk in right_stream:
+                build_cols = [evaluate(re, chunk) for _, re in self.equi]
+                for j in range(chunk.row_count):
+                    key = tuple(_norm_key(col[j]) for col in build_cols)
+                    if any(k is None for k in key):
+                        right_has_null = True
+                        continue
+                    members.add(key)
+        finally:
+            right_stream.close()
+
+        null_aware = op.null_aware
+        stream = self.children[0].execute(ctx)
+        try:
+            for chunk in stream:
+                probe_cols = [evaluate(le, chunk) for le, _ in self.equi]
+                keep: list[int] = []
+                for i in range(chunk.row_count):
+                    key = tuple(_norm_key(col[i]) for col in probe_cols)
+                    if any(k is None for k in key):
+                        matched = None  # UNKNOWN
+                    elif key in members:
+                        matched = True
+                    elif null_aware and right_has_null:
+                        matched = None  # could match a NULL member: UNKNOWN
+                    else:
+                        matched = False
+                    if (matched is True) if not is_anti else (matched is False):
+                        keep.append(i)
+                if len(keep) == chunk.row_count:
+                    yield chunk
+                elif keep:
+                    yield chunk.take(keep)
+        finally:
+            stream.close()
+
+    # -- shared helpers -------------------------------------------------
+
+    @staticmethod
+    def _build_table(build: Chunk, key_exprs) -> dict[tuple, list[int]]:
+        if build.row_count == 0:
+            return {}
+        key_cols = [evaluate(expr, build) for expr in key_exprs]
+        table: dict[tuple, list[int]] = {}
+        for j in range(build.row_count):
+            key = tuple(_norm_key(col[j]) for col in key_cols)
+            if any(k is None for k in key):
+                continue
+            table.setdefault(key, []).append(j)
+        return table
+
+    def _combine(self, left_chunk: Chunk, right_chunk: Chunk,
+                 lidx: list[int], ridx: list[int]) -> Chunk:
+        columns: dict[int, list] = {}
+        for cid in self.left_cids:
+            col = left_chunk.columns.get(cid)
+            if col is not None:
+                columns[cid] = [col[i] for i in lidx]
+        for cid in self.right_cids:
+            col = right_chunk.columns.get(cid)
+            if col is None:
+                columns[cid] = [None] * len(ridx)
+            else:
+                columns[cid] = [None if j < 0 else col[j] for j in ridx]
+        return Chunk(columns, len(lidx))
+
+    def _apply_residual(self, left_chunk: Chunk, right_chunk: Chunk,
+                        lidx: list[int], ridx: list[int]):
+        combined = self._residual_combine(left_chunk, right_chunk, lidx, ridx)
+        keep = [True] * len(lidx)
+        for conjunct in self.residual:
+            values = evaluate(conjunct, combined)
+            for p, value in enumerate(values):
+                if value is not True:
+                    keep[p] = False
+        return (
+            [l for l, k in zip(lidx, keep) if k],
+            [r for r, k in zip(ridx, keep) if k],
+        )
+
+    def _residual_combine(self, left_chunk, right_chunk, lidx, ridx) -> Chunk:
+        # Unlike _combine this keys off whatever columns the chunks carry:
+        # the build-left path probes with (build, right chunk) arguments.
+        columns: dict[int, list] = {}
+        for cid, col in left_chunk.columns.items():
+            columns[cid] = [col[i] for i in lidx]
+        for cid, col in right_chunk.columns.items():
+            columns[cid] = [None if j < 0 else col[j] for j in ridx]
+        return Chunk(columns, len(lidx))
+
+
+def _null_extend(lidx: list[int], ridx: list[int],
+                 row_count: int) -> tuple[list[int], list[int]]:
+    """LEFT OUTER NULL-extension inline in anchor order.
+
+    ``lidx`` must be ascending (probe order); unmatched anchor rows are
+    merged in place with a ``-1`` right index rather than appended at the
+    end, so outer-join output stays anchor-ordered batch by batch.
+    """
+    if len(lidx) == row_count and all(l == i for i, l in enumerate(lidx)):
+        return lidx, ridx  # every row matched exactly once
+    out_l: list[int] = []
+    out_r: list[int] = []
+    pos = 0
+    total = len(lidx)
+    for i in range(row_count):
+        matched = False
+        while pos < total and lidx[pos] == i:
+            out_l.append(i)
+            out_r.append(ridx[pos])
+            pos += 1
+            matched = True
+        if not matched:
+            out_l.append(i)
+            out_r.append(-1)
+    return out_l, out_r
+
+
+# ---------------------------------------------------------------------------
+# shared kernels (also used by the logical-side helpers and tests)
+# ---------------------------------------------------------------------------
+
+
+def _equi_pair(
+    conjunct: Expr, left_cids: frozenset[int], right_cids: frozenset[int]
+) -> tuple[Expr, Expr] | None:
+    if not (isinstance(conjunct, Call) and conjunct.op == "=" and len(conjunct.args) == 2):
+        return None
+    a, b = conjunct.args
+    a_refs = referenced_cids(a)
+    b_refs = referenced_cids(b)
+    if a_refs and a_refs <= left_cids and b_refs and b_refs <= right_cids:
+        return (a, b)
+    if a_refs and a_refs <= right_cids and b_refs and b_refs <= left_cids:
+        return (b, a)
+    return None
+
+
+def _norm_key(value: object) -> object:
+    """Normalize join-key values so 1 == Decimal('1') hash-match."""
+    import decimal
+
+    if isinstance(value, decimal.Decimal):
+        if value == value.to_integral_value():
+            return int(value)
+        return float(value)
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+# -- aggregate state ---------------------------------------------------------
+
+
+def _new_state() -> dict:
+    return {"count": 0, "sum": None, "min": None, "max": None, "distinct": None}
+
+
+def _accumulate(state: dict, call: AggCall, value: object) -> None:
+    if call.func == "COUNT_STAR":
+        state["count"] += 1
+        return
+    if value is None:
+        return
+    if call.distinct:
+        if state["distinct"] is None:
+            state["distinct"] = set()
+        state["distinct"].add(value)
+        return
+    state["count"] += 1
+    if call.func in ("SUM", "AVG"):
+        state["sum"] = value if state["sum"] is None else state["sum"] + value
+    if call.func == "MIN":
+        state["min"] = value if state["min"] is None else min(state["min"], value)
+    if call.func == "MAX":
+        state["max"] = value if state["max"] is None else max(state["max"], value)
+
+
+def _finalize(state: dict, call: AggCall) -> object:
+    import decimal
+
+    if call.func == "COUNT_STAR":
+        return state["count"]
+    if call.distinct:
+        values = state["distinct"] or set()
+        if call.func == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if call.func == "SUM":
+            return sum(values)
+        if call.func == "MIN":
+            return min(values)
+        if call.func == "MAX":
+            return max(values)
+        if call.func == "AVG":
+            total = sum(values)
+            if isinstance(total, decimal.Decimal):
+                return total / decimal.Decimal(len(values))
+            return total / len(values)
+    if call.func == "COUNT":
+        return state["count"]
+    if call.func == "SUM":
+        return state["sum"]
+    if call.func == "MIN":
+        return state["min"]
+    if call.func == "MAX":
+        return state["max"]
+    if call.func == "AVG":
+        if state["count"] == 0:
+            return None
+        total = state["sum"]
+        if isinstance(total, decimal.Decimal):
+            return total / decimal.Decimal(state["count"])
+        return total / state["count"]
+    raise ExecutionError(f"unknown aggregate {call.func!r}")

@@ -118,12 +118,16 @@ def run_chaos(
     fsync: str = "commit",
     profile: str = "hana",
     crash_probability: float = 0.3,
+    batch_size: int | None = None,
     log=None,
 ) -> ChaosReport:
     """Run one randomized kill-and-recover campaign in ``wal_dir``.
 
     ``wal_dir`` should be empty (the campaign creates its own table).
     Raises ``AssertionError`` on any committed-data divergence.
+    ``batch_size`` pins the streaming executor's batch size for every
+    database the campaign opens, so the verification queries cross batch
+    boundaries the same way the production engine would.
     """
     from ..database import Database  # local: repro.database imports repro.faults
 
@@ -134,7 +138,10 @@ def run_chaos(
         if log is not None:
             log(message)
 
-    db = Database(profile=profile, wal_dir=wal_dir, fsync=fsync)
+    db_kwargs: dict = {"profile": profile, "wal_dir": wal_dir, "fsync": fsync}
+    if batch_size is not None:
+        db_kwargs["batch_size"] = batch_size
+    db = Database(**db_kwargs)
     db.execute("create table chaos (id int primary key, v int)")
     shadow: dict[int, int] = {}
     next_id = 1
@@ -171,7 +178,10 @@ def run_chaos(
                 report.replay_crashes += _probe_replay_crash(
                     wal_dir, profile, fsync
                 )
-            db = Database.recover(wal_dir, profile=profile, fsync=fsync)
+            db = Database.recover(
+                wal_dir, profile=profile, fsync=fsync,
+                **({} if batch_size is None else {"batch_size": batch_size}),
+            )
         report.recoveries += 1
         verify(db, attempt)
 
@@ -241,7 +251,10 @@ def run_chaos(
     db.close()
     with warnings.catch_warnings():
         warnings.simplefilter("ignore")
-        db = Database.recover(wal_dir, profile=profile, fsync=fsync)
+        db = Database.recover(
+            wal_dir, profile=profile, fsync=fsync,
+            **({} if batch_size is None else {"batch_size": batch_size}),
+        )
     report.recoveries += 1
     verify(db, None)
     report.final_rows = len(shadow)

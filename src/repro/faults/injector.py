@@ -20,6 +20,7 @@ FAULT_POINTS = (
     "storage.delete",
     "cache.refresh",
     "executor.operator",
+    "executor.batch",
     "optimizer.rule",
 )
 

@@ -1,16 +1,17 @@
 """Executor instrumentation: per-operator runtime statistics.
 
 An :class:`ExecutionCollector` is handed to
-:meth:`repro.engine.executor.Executor.execute`; the executor then records,
-for every operator materialization, the rows produced, the number of chunks
-(invocations), and the inclusive wall time.  ``Database.explain(sql,
-analyze=True)`` runs a query under a collector and annotates the plan tree
-with the actual counts — the classic EXPLAIN ANALYZE surface.
+:meth:`repro.engine.executor.Executor.execute`; the physical operators then
+record, for every batch they stream, the rows produced, the batch count,
+and the per-batch wall time.  ``Database.explain(sql, analyze=True)`` runs
+a query under a collector and annotates the physical plan tree with the
+actual counts — the classic EXPLAIN ANALYZE surface.
 
-Operators the executor *fuses* into a parent (the pipelined limit chain,
-block-pruned filtered scans, limited scans) never materialize on their own
-and are annotated ``(fused into parent)`` — which is itself useful signal:
-it shows the engine's pipelining at work.
+Operators that open but get closed by a downstream consumer before their
+stream is exhausted (a satisfied LIMIT, an answered EXISTS, an early-out
+join probe) are flagged ``early-terminated``; operators that never open at
+all (e.g. the probe side of an EXISTS that was answered by the other side)
+are annotated ``(never executed)``.
 """
 
 from __future__ import annotations
@@ -27,9 +28,10 @@ class OperatorStats:
 
     label: str
     rows_out: int = 0
-    chunks: int = 0       # materialization count (invocations)
+    chunks: int = 0       # batches produced
     elapsed_s: float = 0.0  # inclusive of children
     is_scan: bool = False
+    early_terminated: bool = False
 
 
 @dataclass
@@ -45,20 +47,35 @@ class ExecutionCollector:
     elapsed_s: float = 0.0    # total execution wall time
     result_rows: int = 0
 
-    def record(self, op, rows: int, elapsed_s: float) -> None:
+    def _entry(self, op) -> OperatorStats:
         stats = self._stats.get(id(op))
         if stats is None:
-            stats = OperatorStats(op.label(), is_scan=isinstance(op, ops.Scan))
+            # Physical operators carry a duck-typed ``is_scan_op`` marker;
+            # logical Scan is still recognized for direct (test) callers.
+            is_scan = isinstance(op, ops.Scan) or getattr(op, "is_scan_op", False)
+            stats = OperatorStats(op.label(), is_scan=is_scan)
             self._stats[id(op)] = stats
+        return stats
+
+    def open_op(self, op) -> None:
+        """Register an operator whose stream opened (it may produce 0 rows)."""
+        self._entry(op)
+
+    def record(self, op, rows: int, elapsed_s: float) -> None:
+        stats = self._entry(op)
         stats.rows_out += rows
         stats.chunks += 1
         stats.elapsed_s += elapsed_s
+
+    def mark_early(self, op) -> None:
+        """Flag that a consumer closed this operator's stream early."""
+        self._entry(op).early_terminated = True
 
     def stats_for(self, op) -> OperatorStats | None:
         return self._stats.get(id(op))
 
     def rows_scanned(self) -> int:
-        """Total rows produced by Scan operators (post-MVCC visibility)."""
+        """Total rows produced by scan operators (post-MVCC visibility)."""
         return sum(s.rows_out for s in self._stats.values() if s.is_scan)
 
     def operator_count(self) -> int:
@@ -68,11 +85,11 @@ class ExecutionCollector:
         """The EXPLAIN ANALYZE suffix for one plan node."""
         stats = self._stats.get(id(op))
         if stats is None:
-            return "(fused into parent)"
-        loops = f" loops={stats.chunks}" if stats.chunks > 1 else ""
+            return "(never executed)"
+        early = ", early-terminated" if stats.early_terminated else ""
         return (
-            f"(actual rows={stats.rows_out}{loops} "
-            f"time={stats.elapsed_s * 1e3:.3f}ms)"
+            f"(actual rows={stats.rows_out} batches={stats.chunks} "
+            f"time={stats.elapsed_s * 1e3:.3f}ms{early})"
         )
 
 

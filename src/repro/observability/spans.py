@@ -248,11 +248,13 @@ class SpanTracer:
 def attach_operator_spans(parent: Span, collector) -> None:
     """Reconstruct per-operator child spans under an ``execute`` span.
 
-    The executor's :class:`ExecutionCollector` records each operator's
-    inclusive wall time and output rows but not start offsets, so operator
-    spans are *synthetic*: each starts at its parent's start and lasts its
-    recorded inclusive time.  Fused operators (pipelined limit chains,
-    pruned scans) carry a ``fused`` attribute and zero duration.
+    The executor's :class:`ExecutionCollector` records each physical
+    operator's inclusive wall time and output rows but not start offsets,
+    so operator spans are *synthetic*: each starts at its parent's start
+    and lasts its recorded inclusive time.  Operators whose stream never
+    opened (e.g. the skipped side of an answered EXISTS) carry a
+    ``skipped`` attribute and zero duration; early-terminated streams
+    carry ``early_terminated``.
     """
     plan = collector.root
     if plan is None:
@@ -266,10 +268,12 @@ def attach_operator_spans(parent: Span, collector) -> None:
         if stats is not None:
             span.end_s = span.start_s + stats.elapsed_s
             span.attributes["rows"] = stats.rows_out
-            span.attributes["chunks"] = stats.chunks
+            span.attributes["batches"] = stats.chunks
+            if stats.early_terminated:
+                span.attributes["early_terminated"] = True
         else:
             span.end_s = span.start_s
-            span.attributes["fused"] = True
+            span.attributes["skipped"] = True
         for child in op.children:
             build(child, span)
 

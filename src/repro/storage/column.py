@@ -55,6 +55,11 @@ class MainFragment:
         dictionary = self.dictionary
         return [None if code < 0 else dictionary[code] for code in self.codes]
 
+    def values_range(self, start: int, stop: int) -> list[object]:
+        """Decode rows ``[start, stop)`` — the batched-scan fast path."""
+        dictionary = self.dictionary
+        return [None if code < 0 else dictionary[code] for code in self.codes[start:stop]]
+
     def distinct_count(self) -> int:
         return len(self.dictionary)
 
@@ -135,6 +140,32 @@ class ColumnFragments:
 
     def values(self) -> list[object]:
         return self.main.values() + list(self.delta.values)
+
+    def get_range(self, start: int, stop: int) -> list[object]:
+        """Decode the contiguous global row range ``[start, stop)``."""
+        main_len = len(self.main)
+        out: list[object] = []
+        if start < main_len:
+            out = self.main.values_range(start, min(stop, main_len))
+        if stop > main_len:
+            out.extend(self.delta.values[max(start - main_len, 0):stop - main_len])
+        return out
+
+    def get_many(self, row_ids) -> list[object]:
+        """Decode an arbitrary list of global row ids (pruned/MVCC scans)."""
+        main = self.main
+        main_len = len(main)
+        codes = main.codes
+        dictionary = main.dictionary
+        delta = self.delta.values
+        out: list[object] = []
+        for row in row_ids:
+            if row < main_len:
+                code = codes[row]
+                out.append(None if code < 0 else dictionary[code])
+            else:
+                out.append(delta[row - main_len])
+        return out
 
     def iter_values(self) -> Iterator[object]:
         dictionary = self.main.dictionary

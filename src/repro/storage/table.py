@@ -256,6 +256,36 @@ class ColumnTable:
                 columns.append([fragments.get(i) for i in row_ids])
         return columns, len(row_ids)
 
+    def read_column_batches(
+        self,
+        txn: Transaction,
+        names: Sequence[str],
+        batch_size: int,
+        row_ids: "Sequence[int] | range | None" = None,
+    ) -> Iterator[tuple[list[list[object]], int]]:
+        """Stream a snapshot of the named columns in ``batch_size`` batches.
+
+        Yields ``(columns, row_count)`` tuples in row-id order.  ``row_ids``
+        lets block pruning compose with streaming: a caller that already
+        narrowed the scan (zone maps, visibility) passes the surviving ids
+        and each batch decodes only those.  Contiguous ranges (the common
+        all-visible case) decode via fragment slices rather than per-row
+        lookups.  With no names the batches still carry ``row_count`` — the
+        zero-column ``COUNT(*)`` input.
+        """
+        if row_ids is None:
+            row_ids = self.visible_row_ids(txn)
+        fragments = [self.column(name) for name in names]
+        contiguous = isinstance(row_ids, range) and row_ids.step == 1
+        total = len(row_ids)
+        for start in range(0, total, batch_size):
+            ids = row_ids[start:start + batch_size]
+            if contiguous:
+                columns = [f.get_range(ids.start, ids.stop) for f in fragments]
+            else:
+                columns = [f.get_many(ids) for f in fragments]
+            yield columns, len(ids)
+
     def scan_rows(self, txn: Transaction) -> Iterator[tuple[int, list[object]]]:
         for row_id in self.visible_row_ids(txn):
             yield row_id, self._row_values(row_id)

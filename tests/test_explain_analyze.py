@@ -1,5 +1,6 @@
-"""EXPLAIN ANALYZE: per-operator actual rows/timings, fused-operator
-annotations, and a golden plan-shape test (timings normalized)."""
+"""EXPLAIN ANALYZE: per-physical-operator actual rows/batches/timings,
+early-termination annotations, and a golden plan-shape test (timings
+normalized)."""
 
 from __future__ import annotations
 
@@ -43,8 +44,8 @@ def test_golden_uaj_query(demo_db):
         analyze=True,
     )
     assert normalize(text) == (
-        "Project[1 cols] (actual rows=4 time=Xms)\n"
-        "  Scan(orders) (actual rows=4 time=Xms)\n"
+        "Project[1 cols] (actual rows=4 batches=1 time=Xms)\n"
+        "  BatchScan(orders)[cols=1] (actual rows=4 batches=1 time=Xms)\n"
         "execution: 4 row(s) in Xms, 4 row(s) scanned"
     )
 
@@ -56,18 +57,24 @@ def test_golden_join_kept_when_augmenter_used(demo_db):
         analyze=True,
     )
     normalized = normalize(text)
-    assert "InnerJoin" in normalized
+    assert "HashJoin[build=" in normalized
     assert "(actual rows=4" in normalized        # the join output
-    assert "Scan(customer) (actual rows=3 time=Xms)" in normalized
+    assert "BatchScan(customer)[cols=2] (actual rows=3 batches=1 time=Xms)" in normalized
     assert normalized.endswith("execution: 4 row(s) in Xms, 7 row(s) scanned")
 
 
-def test_fused_operators_are_annotated(demo_db):
-    # A limit directly over a scan takes the early-termination path: the
-    # scan never materializes on its own.
-    text = demo_db.explain("select o_id from orders limit 2", analyze=True)
-    assert "Scan(orders) (fused into parent)" in text
+def test_early_termination_is_annotated(demo_db):
+    # A limit over a scan closes the scan stream once satisfied; the scan
+    # is flagged early-terminated (with a 1024-row default batch the 4-row
+    # demo table fits in the first batch, but the flag still records that
+    # the limit cut the stream).
+    db = Database(batch_size=1)
+    db.execute("create table orders (o_id int primary key)")
+    db.execute("insert into orders values (10),(11),(12),(13)")
+    text = db.explain("select o_id from orders limit 2", analyze=True)
+    assert "early-terminated" in text
     assert "execution: 2 row(s)" in text
+    assert "2 row(s) scanned" in text  # only 2 of 4 rows were decoded
 
 
 def test_analyze_reports_filtered_rows(demo_db):
@@ -85,7 +92,9 @@ def test_unoptimized_analyze(demo_db):
         optimize=False,
         analyze=True,
     )
-    assert "LeftOuterJoin" in text    # the join survives without optimization
+    # The join survives without optimization (the physical plan still
+    # executes it, as an outer hash join).
+    assert "HashJoin[left-outer" in text
     assert "actual rows=" in text
 
 

@@ -83,7 +83,7 @@ class TestSpanTreeShape:
         execute = vdm_db.spans.last_root.find("execute")
         operators = [s for s in execute.walk() if s.name.startswith("op:")]
         assert operators, "expected synthetic operator spans"
-        scans = [s for s in operators if s.name.startswith("op:Scan")]
+        scans = [s for s in operators if s.name.startswith("op:BatchScan")]
         assert scans
         # The top operator's row count matches the query result.
         top = execute.children[0]
@@ -207,8 +207,9 @@ class TestTracerMechanics:
         assert child["events"][0]["offset_ms"] >= 0.0
         assert "started_at_unix" in dumped and "started_at_unix" not in child
 
-    def test_attach_operator_spans_fused(self, db):
-        """Fused (pipelined) operators appear with zero duration."""
+    def test_attach_operator_spans_limit(self, db):
+        """Every physical operator of a pipelined limit chain gets a span
+        with a duration and batch counts."""
         db.tracing = True
         db.query("select s_id from sales limit 2")
         execute = db.spans.last_root.find("execute")
@@ -216,6 +217,7 @@ class TestTracerMechanics:
         assert operators
         for span in operators:
             assert span.duration_s is not None
+            assert "batches" in span.attributes or "skipped" in span.attributes
 
     def test_render_span_tree_text(self, db):
         db.tracing = True
