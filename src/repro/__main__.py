@@ -27,6 +27,8 @@ Subcommands (run against the built-in demo schema):
   python -m repro bench-diff [--history PATH] [--threshold PCT]
   python -m repro chaos [--seed N] [--ops N] [--fsync POLICY] [--wal-dir DIR]
                         [--batch-size N]
+  python -m repro fuzz  [--runs N] [--seed N] [--time-budget SECONDS]
+                        [--corpus-dir DIR] [--profile NAME] [--no-reduce]
 """
 
 from __future__ import annotations
@@ -253,11 +255,39 @@ def run_subcommand(argv: list[str]) -> int:
     p_chaos.add_argument("--quiet", action="store_true",
                          help="print only the final summary line")
 
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="randomized differential/metamorphic testing of the optimizer "
+             "and the streaming executor",
+    )
+    p_fuzz.add_argument("--runs", type=int, default=200,
+                        help="cases to generate and check (default: 200)")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="campaign seed; (seed, runs, profile) fully "
+                             "determines the workload")
+    p_fuzz.add_argument("--time-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="stop generating new cases after this many seconds")
+    p_fuzz.add_argument("--corpus-dir", default=None,
+                        help="write minimized repros for any discrepancy "
+                             "here as replayable .json files")
+    p_fuzz.add_argument("--profile", default="hana",
+                        help="optimizer capability profile (default: hana)")
+    p_fuzz.add_argument("--no-reduce", action="store_true",
+                        help="keep failing cases as generated (skip reduction)")
+    p_fuzz.add_argument("--metrics-format", default=None,
+                        choices=("table", "prometheus", "json"),
+                        help="also dump the fuzz.* campaign metrics")
+    p_fuzz.add_argument("--quiet", action="store_true",
+                        help="print only the final summary line")
+
     options = parser.parse_args(argv)
     if options.command == "bench-diff":
         return _run_bench_diff(options)
     if options.command == "chaos":
         return _run_chaos(options)
+    if options.command == "fuzz":
+        return _run_fuzz(options)
     try:
         db = _demo_db(options.profile)
         if options.command == "explain":
@@ -340,6 +370,42 @@ def _run_chaos(options) -> int:
     if options.quiet:
         print(report.summary())
     return 0
+
+
+def _run_fuzz(options) -> int:
+    from .errors import ReproError as _ReproError
+    from .fuzz import run_fuzz
+    from .observability import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    try:
+        report = run_fuzz(
+            seed=options.seed,
+            runs=options.runs,
+            time_budget_s=options.time_budget,
+            profile=options.profile,
+            corpus_dir=options.corpus_dir,
+            metrics=metrics,
+            reduce=not options.no_reduce,
+            log=None if options.quiet else print,
+        )
+    except _ReproError as error:
+        print(f"fuzz: generator error: {error}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    for bug in report.bugs:
+        print(f"fuzz: DISCREPANCY {bug.summary()}", file=sys.stderr)
+    if options.metrics_format == "prometheus":
+        from .observability import render_prometheus
+
+        print(render_prometheus(metrics), end="")
+    elif options.metrics_format == "json":
+        from .observability import render_metrics_json
+
+        print(render_metrics_json(metrics))
+    elif options.metrics_format == "table":
+        print(metrics.render())
+    return 1 if report.bugs else 0
 
 
 def _run_bench_diff(options) -> int:

@@ -1,0 +1,78 @@
+"""Randomized differential testing for optimizer rewrites and streaming
+execution (SQLancer-style; cf. the NoREC / TLP oracles from PAPERS.md).
+
+The paper's central claim is that UAJ/ASJ elimination, limit pushdown, and
+their Union All interplay are *semantics-preserving* rewrites over VDM view
+stacks.  This package turns that claim into a machine-checked invariant:
+
+:mod:`repro.fuzz.generator`
+    A schema-aware workload generator.  Each :class:`Case` is a complete,
+    self-contained workload — base tables with data, a VDM view stack
+    (augmentation joins with declared ``..1`` cardinalities, custom-field
+    ASJ extensions, branch-id-tagged Union All drafts), and one SELECT —
+    biased so the query provably triggers a chosen rewrite rule.
+
+:mod:`repro.fuzz.oracles`
+    Three oracles over a case: **rewrite-differential** (optimizer on vs.
+    off, multiset-compare), **batch-size metamorphic** (batch_size 1 vs.
+    1024 vs. whole-table must agree), and **limit/cardinality metamorphic**
+    (LIMIT n ⊆ unlimited, row counts, COUNT(*) consistency).
+
+:mod:`repro.fuzz.reducer`
+    A greedy shrinker: failing cases are minimized (query clauses, view
+    stack, table rows) while the discrepancy persists, then serialized as
+    replayable ``.json`` corpus files.
+
+:mod:`repro.fuzz.runner`
+    The campaign driver behind ``python -m repro fuzz`` (seeded,
+    ``--runs`` / ``--time-budget`` / ``--corpus-dir``), reporting
+    ``fuzz.*`` metrics through the engine's :class:`MetricsRegistry`.
+"""
+
+from .generator import (
+    TARGET_FIRES,
+    TARGETS,
+    Case,
+    QuerySpec,
+    TableSpec,
+    WorkloadGenerator,
+)
+from .oracles import (
+    ORACLES,
+    Discrepancy,
+    comparison_mode,
+    run_all_oracles,
+    run_batch_metamorphic,
+    run_limit_metamorphic,
+    run_rewrite_differential,
+)
+from .reducer import reduce_case
+from .runner import (
+    CampaignReport,
+    FoundBug,
+    FuzzCampaign,
+    replay_corpus_file,
+    run_fuzz,
+)
+
+__all__ = [
+    "TARGETS",
+    "TARGET_FIRES",
+    "Case",
+    "QuerySpec",
+    "TableSpec",
+    "WorkloadGenerator",
+    "ORACLES",
+    "Discrepancy",
+    "comparison_mode",
+    "run_all_oracles",
+    "run_batch_metamorphic",
+    "run_limit_metamorphic",
+    "run_rewrite_differential",
+    "reduce_case",
+    "CampaignReport",
+    "FoundBug",
+    "FuzzCampaign",
+    "replay_corpus_file",
+    "run_fuzz",
+]

@@ -1,0 +1,205 @@
+"""The fuzzing campaign driver behind ``python -m repro fuzz``.
+
+A campaign is fully determined by ``(seed, runs, profile)``: case ``i`` is
+regenerated from the seed, so a discrepancy reported by CI reproduces
+locally from the summary line alone.  Findings are minimized by the
+reducer and serialized as replayable corpus files.
+
+Campaign counters flow through the engine's own
+:class:`~repro.observability.metrics.MetricsRegistry` (and therefore all
+its exporters):
+
+``fuzz.cases_generated``  cases synthesized
+``fuzz.queries_run``      individual query executions across all oracle arms
+``fuzz.checks.<oracle>``  per-oracle case checks
+``fuzz.discrepancies``    oracle violations found (pre-reduction)
+``fuzz.reduced_steps``    accepted shrink steps across all reductions
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from ..observability import MetricsRegistry
+from .generator import Case, WorkloadGenerator
+from .oracles import ORACLES, Discrepancy
+from .reducer import reduce_case
+
+
+@dataclass
+class FoundBug:
+    """One discrepancy: the oracle verdict plus the minimized repro."""
+
+    case_index: int
+    oracle: str
+    detail: str
+    case: Case
+    corpus_path: str | None = None
+
+    def summary(self) -> str:
+        where = f" -> {self.corpus_path}" if self.corpus_path else ""
+        return f"case {self.case_index} [{self.oracle}] {self.detail}{where}"
+
+
+@dataclass
+class CampaignReport:
+    seed: int
+    profile: str
+    runs_requested: int
+    cases_run: int = 0
+    queries_run: int = 0
+    checks: dict = field(default_factory=dict)
+    bugs: list = field(default_factory=list)
+    reduced_steps: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return not self.bugs
+
+    def summary(self) -> str:
+        return (
+            f"fuzz: {self.cases_run}/{self.runs_requested} cases, "
+            f"{self.queries_run} queries, {len(self.bugs)} discrepancie(s), "
+            f"{self.reduced_steps} reduction step(s) "
+            f"(seed {self.seed}, profile {self.profile}, {self.elapsed_s:.2f}s)"
+        )
+
+
+class FuzzCampaign:
+    """Generate cases, run every oracle, reduce and persist the failures."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        profile: str = "hana",
+        corpus_dir: str | None = None,
+        metrics: MetricsRegistry | None = None,
+        reduce: bool = True,
+        log=None,
+    ):
+        self.seed = seed
+        self.profile = profile
+        self.corpus_dir = corpus_dir
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.reduce = reduce
+        self.log = log or (lambda message: None)
+        self._m_cases = self.metrics.counter("fuzz.cases_generated")
+        self._m_queries = self.metrics.counter("fuzz.queries_run")
+        self._m_discrepancies = self.metrics.counter("fuzz.discrepancies")
+        self._m_reduced = self.metrics.counter("fuzz.reduced_steps")
+        for name in ORACLES:
+            self.metrics.counter(f"fuzz.checks.{name}")
+
+    def run(
+        self, runs: int = 200, time_budget_s: float | None = None
+    ) -> CampaignReport:
+        generator = WorkloadGenerator(seed=self.seed, profile=self.profile)
+        report = CampaignReport(
+            seed=self.seed, profile=self.profile, runs_requested=runs,
+            checks={name: 0 for name in ORACLES},
+        )
+        started = time.monotonic()
+        for index in range(runs):
+            if time_budget_s is not None and time.monotonic() - started > time_budget_s:
+                self.log(f"fuzz: time budget exhausted after {index} cases")
+                break
+            case = generator.case(index)
+            self._m_cases.inc()
+            report.cases_run += 1
+            tally: dict = {}
+            for oracle_name, oracle in ORACLES.items():
+                found = oracle(case, tally=tally)
+                report.checks[oracle_name] += 1
+                self.metrics.counter(f"fuzz.checks.{oracle_name}").inc()
+                if found is not None:
+                    self._m_discrepancies.inc()
+                    bug = self._handle_discrepancy(index, case, found, report)
+                    report.bugs.append(bug)
+            queries = tally.get("queries", 0)
+            report.queries_run += queries
+            self._m_queries.inc(queries)
+        report.elapsed_s = time.monotonic() - started
+        return report
+
+    def _handle_discrepancy(
+        self, index: int, case: Case, found: Discrepancy, report: CampaignReport
+    ) -> FoundBug:
+        self.log(f"fuzz: case {index}: {found}")
+        reduced = case
+        if self.reduce:
+            reduced, steps = reduce_case(case, found.oracle)
+            report.reduced_steps += steps
+            self._m_reduced.inc(steps)
+            self.log(f"fuzz: case {index}: reduced in {steps} step(s)")
+        bug = FoundBug(
+            case_index=index, oracle=found.oracle, detail=found.detail, case=reduced
+        )
+        if self.corpus_dir:
+            bug.corpus_path = save_corpus_file(
+                self.corpus_dir, reduced, found,
+                name=f"fuzz-seed{self.seed}-case{index}-{found.oracle}.json",
+            )
+            self.log(f"fuzz: case {index}: corpus file {bug.corpus_path}")
+        return bug
+
+
+def run_fuzz(
+    seed: int = 0,
+    runs: int = 200,
+    time_budget_s: float | None = None,
+    profile: str = "hana",
+    corpus_dir: str | None = None,
+    metrics: MetricsRegistry | None = None,
+    reduce: bool = True,
+    log=None,
+) -> CampaignReport:
+    """One-call campaign (the CLI and CI entry point)."""
+    campaign = FuzzCampaign(
+        seed=seed, profile=profile, corpus_dir=corpus_dir, metrics=metrics,
+        reduce=reduce, log=log,
+    )
+    return campaign.run(runs=runs, time_budget_s=time_budget_s)
+
+
+# ---------------------------------------------------------------------------
+# corpus files
+# ---------------------------------------------------------------------------
+
+
+def save_corpus_file(
+    directory: str, case: Case, found: Discrepancy | None = None,
+    name: str | None = None,
+) -> str:
+    """Serialize a case (plus the oracle verdict, if any) for replay."""
+    os.makedirs(directory, exist_ok=True)
+    payload = case.to_dict()
+    if found is not None:
+        payload["discrepancy"] = {"oracle": found.oracle, "detail": found.detail}
+    if name is None:
+        name = f"fuzz-seed{case.seed}.json"
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_corpus_file(path: str) -> Case:
+    with open(path, "r", encoding="utf-8") as handle:
+        return Case.from_dict(json.load(handle))
+
+
+def replay_corpus_file(path: str, tally: dict | None = None) -> list[Discrepancy]:
+    """Re-run every oracle over a serialized case.  An empty list means the
+    historical bug (or seeded shape) is still clean."""
+    case = load_corpus_file(path)
+    found = []
+    for oracle in ORACLES.values():
+        result = oracle(case, tally=tally)
+        if result is not None:
+            found.append(result)
+    return found

@@ -9,6 +9,10 @@ joins).  SAP HANA is the only evaluated system implementing this (Table 2).
 Rules (top-down, to fixpoint within the traversal):
 
 - ``Limit(Project(x))``       -> ``Project(Limit(x))``           (always)
+- ``Limit(Sort(Project(x)))`` -> ``Project(Limit(Sort'(x)))``    (always) when
+  every sort key is a pass-through column of the projection (keys remapped
+  to the child's cids) — view stacks interpose a Project between ORDER BY
+  and the augmentation join, which otherwise hides every top-N opportunity
 - ``Limit(Join_aug(L, R))``   -> ``Join_aug(Limit(L), R)``       (cap: limit_pushdown_aj)
 - ``Limit(Sort(Join_aug))``   -> ``Join_aug(Limit(Sort(L)), R)`` when all
   sort keys come from the anchor (top-N pushdown)
@@ -18,7 +22,8 @@ Rules (top-down, to fixpoint within the traversal):
 
 from __future__ import annotations
 
-from ...algebra.ops import Join, Limit, LogicalOp, Project, Sort, UnionAll
+from ...algebra.expr import ColRef
+from ...algebra.ops import Join, Limit, LogicalOp, Project, Sort, SortKey, UnionAll
 from ..augmentation import is_augmentation_join
 from ..profiles import CAP_LIMIT_PUSHDOWN_AJ, CAP_LIMIT_PUSHDOWN_UNION
 from .simplify_joins import SimplifyContext
@@ -42,6 +47,15 @@ def _push_one_limit(op: Limit, sctx: SimplifyContext) -> LogicalOp | None:
 
     if isinstance(child, Project):
         return Project(Limit(child.child, op.limit, op.offset), child.items)
+
+    if isinstance(child, Sort) and isinstance(child.child, Project):
+        project = child.child
+        mapped = _keys_through_project(child.keys, project)
+        if mapped is not None:
+            return Project(
+                Limit(Sort(project.child, mapped), op.limit, op.offset),
+                project.items,
+            )
 
     if isinstance(child, Join) and sctx.has(CAP_LIMIT_PUSHDOWN_AJ):
         if is_augmentation_join(child, sctx.derivation) is not None:
@@ -85,3 +99,22 @@ def _push_one_limit(op: Limit, sctx: SimplifyContext) -> LogicalOp | None:
         return Limit(child.with_children(new_children), op.limit, op.offset)
 
     return None
+
+
+def _keys_through_project(
+    keys: tuple[SortKey, ...], project: Project
+) -> tuple[SortKey, ...] | None:
+    """Remap sort keys to the projection's input, or None if any key is a
+    computed expression (sorting below would observe different values)."""
+    passthrough = {
+        col.cid: expr.cid
+        for col, expr in project.items
+        if isinstance(expr, ColRef)
+    }
+    mapped = []
+    for key in keys:
+        cid = passthrough.get(key.cid)
+        if cid is None:
+            return None
+        mapped.append(SortKey(cid, key.ascending))
+    return tuple(mapped)

@@ -1,0 +1,55 @@
+"""Regression corpus replay (satellite a).
+
+Every ``tests/corpus/*.json`` file is a serialized fuzz case — either a
+minimized repro of a past discrepancy or a seeded representative of one
+rewrite target — and must replay clean through all three oracles on every
+commit.  A failure here means an optimizer or executor change resurrected
+a bug class the corpus pinned down.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.fuzz.generator import TARGETS, Case
+from repro.fuzz.oracles import ORACLES
+from repro.fuzz.runner import load_corpus_file, replay_corpus_file
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS_FILES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+def test_corpus_is_present_and_covers_every_target():
+    assert CORPUS_FILES, f"no corpus files in {CORPUS_DIR}"
+    names = {os.path.basename(path) for path in CORPUS_FILES}
+    for target in TARGETS:
+        assert any(target in name for name in names), (
+            f"no corpus file for rewrite target {target!r}: {sorted(names)}"
+        )
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[os.path.basename(p) for p in CORPUS_FILES]
+)
+def test_corpus_file_replays_clean(path):
+    tally: dict = {}
+    found = replay_corpus_file(path, tally=tally)
+    assert found == [], f"{os.path.basename(path)}: {[str(d) for d in found]}"
+    # every oracle actually ran at least one query for this case
+    assert tally.get("queries", 0) >= len(ORACLES)
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[os.path.basename(p) for p in CORPUS_FILES]
+)
+def test_corpus_file_round_trips(path):
+    case = load_corpus_file(path)
+    assert Case.from_dict(case.to_dict()).sql() == case.sql()
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    payload.pop("discrepancy", None)
+    assert case.to_dict() == payload

@@ -101,6 +101,31 @@ class TestTopN:
         assert not limit_below_join(db.plan_for(sql))
         assert len(db.query(sql).rows) == 5
 
+    def test_sort_swaps_through_view_projection(self, db):
+        # Querying through a view interposes a Project between the ORDER BY
+        # and the augmentation join (Limit(Sort(Project(Join)))); the sort
+        # keys are pass-through columns, so top-N pushdown must still fire.
+        # Found by the fuzz generator's limit_aj bias.
+        db.execute(
+            "create view bigview as select b.bk, b.d, s.name from big b "
+            "left outer many to one join small s on b.d = s.k"
+        )
+        sql = "select bk, name from bigview order by bk desc limit 5"
+        assert limit_below_join(db.plan_for(sql))
+        rows = db.query(sql).rows
+        assert [r[0] for r in rows] == [499, 498, 497, 496, 495]
+        assert rows == db.query(sql, optimize=False).rows
+
+    def test_sort_on_computed_projection_not_swapped(self, db):
+        # A sort key that is a computed expression must keep the Sort above
+        # the Project — swapping would sort on different values.
+        db.execute("create view calcview as select bk * -1 as nk, d from big")
+        sql = "select nk from calcview order by nk limit 3"
+        assert not limit_below_join(db.plan_for(sql))
+        rows = db.query(sql).rows
+        assert [r[0] for r in rows] == [-499, -498, -497]
+        assert rows == db.query(sql, optimize=False).rows
+
 
 class TestThroughUnion:
     def test_limit_cloned_into_union_children(self, db):

@@ -320,3 +320,66 @@ class TestStreamingSemantics:
         db.bulk_load("d", [(i % 4,) for i in range(40)])
         rows = db.query("select distinct v from d order by v").rows
         assert rows == [(0,), (1,), (2,), (3,)]
+
+
+class TestRowAtATimeStreaming:
+    """Satellite (PR 5): batch_size=1 — the executor's worst case, every
+    operator boundary crossed per row — over the two shapes the fuzz
+    oracles lean on hardest: ORDER BY + LIMIT paging and DISTINCT over a
+    UnionAll."""
+
+    @pytest.mark.parametrize("batch_size", [1, 1024])
+    def test_order_by_limit_offset_page(self, batch_size):
+        db = paging_db(batch_size)
+        sql = (
+            "select o.okey, c.cname from bigorders o "
+            "left outer join pagecust c on o.cust = c.ckey "
+            "order by o.okey desc limit 7 offset 3"
+        )
+        rows = db.query(sql).rows
+        assert [r[0] for r in rows] == list(range(ORDERS - 4, ORDERS - 11, -1))
+        assert rows == db.query(sql, optimize=False).rows
+
+    def test_order_by_limit_agrees_across_batch_sizes(self):
+        sql = (
+            "select o.okey, c.cname from bigorders o "
+            "left outer join pagecust c on o.cust = c.ckey "
+            "order by o.okey limit 13 offset 8"
+        )
+        expected = None
+        for batch_size in (1, 2, 1024):
+            rows = paging_db(batch_size).query(sql).rows
+            if expected is None:
+                expected = rows
+                assert [r[0] for r in rows] == list(range(8, 21))
+            else:
+                assert rows == expected
+
+    def union_db(self, batch_size: int) -> Database:
+        db = Database(batch_size=batch_size)
+        db.execute("create table ua (v int, tag varchar(4))")
+        db.execute("create table ub (v int, tag varchar(4))")
+        db.bulk_load("ua", [(i % 5, "a") for i in range(23)])
+        db.bulk_load("ub", [(i % 7, "b") for i in range(31)])
+        return db
+
+    @pytest.mark.parametrize("batch_size", [1, 1024])
+    def test_distinct_over_union_all(self, batch_size):
+        db = self.union_db(batch_size)
+        sql = (
+            "select distinct v from "
+            "(select v from ua union all select v from ub) u order by v"
+        )
+        assert db.query(sql).rows == [(i,) for i in range(7)]
+        assert db.query(sql, optimize=False).rows == [(i,) for i in range(7)]
+
+    def test_distinct_over_union_all_with_limit_at_batch_one(self):
+        db = self.union_db(1)
+        sql = (
+            "select distinct v, tag from "
+            "(select v, tag from ua union all select v, tag from ub) u "
+            "order by v, tag limit 5"
+        )
+        rows = db.query(sql).rows
+        assert rows == [(0, "a"), (0, "b"), (1, "a"), (1, "b"), (2, "a")]
+        assert rows == db.query(sql, optimize=False).rows
