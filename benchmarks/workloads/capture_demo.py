@@ -1,0 +1,66 @@
+"""Regenerate the committed demo workload capture.
+
+Runs a deterministic order/customer workload through
+``Database(capture_dir=...)`` so the recorder writes
+``demo_orders.jsonl`` — the file CI replays with
+``python -m repro replay benchmarks/workloads/demo_orders.jsonl``.
+Timings in the capture reflect the machine that ran this script; the
+digests are machine-independent.
+
+Usage:  PYTHONPATH=src python benchmarks/workloads/capture_demo.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import Database
+from repro.capture.recorder import DEFAULT_FILENAME
+from repro.errors import ReproError
+
+WORKLOAD = [
+    "create table customer (c_id int primary key, c_name varchar(30), c_tier int)",
+    "create table orders (o_id int primary key, o_cust int not null, "
+    "o_total decimal(12,2), o_status varchar(1) not null)",
+    "create view orderview as select o.o_id, o.o_total, o.o_status, c.c_name "
+    "from orders o left outer many to one join customer c on o.o_cust = c.c_id",
+    "insert into customer values (1,'ACME',1),(2,'Globex',2),(3,'Initech',1),"
+    "(4,'Umbrella',3),(5,'Stark',2)",
+    "insert into orders values (10,1,100.00,'N'),(11,1,250.50,'P'),"
+    "(12,2,75.25,'N'),(13,3,990.00,'P'),(14,4,12.75,'N'),(15,5,310.40,'D'),"
+    "(16,2,44.10,'P'),(17,3,5.99,'N')",
+    "select o_id, c_name from orderview where o_status = 'N'",
+    "select count(*) from orderview",
+    "select c_name, sum(o_total) from orderview group by c_name",
+    "update orders set o_status = 'D' where o_id = 10",
+    "select o_id, o_total from orderview where o_status = 'D' order by o_id",
+    "select o_id, o_total from orderview limit 3",
+    "delete from orders where o_id = 17",
+    "select count(*) from orders",
+    # An intentionally failing statement: replay must reproduce the failure.
+    "select no_such_column from orders",
+    "select c_tier, count(*) from orderview o "
+    "join customer c on o.c_name = c.c_name group by c_tier",
+]
+
+
+def main() -> None:
+    here = os.path.dirname(os.path.abspath(__file__))
+    target = os.path.join(here, "demo_orders.jsonl")
+    if os.path.exists(target):
+        os.remove(target)
+    db = Database(capture_dir=here)
+    try:
+        for sql in WORKLOAD:
+            try:
+                db.execute(sql)
+            except ReproError:
+                pass    # the capture records the failure; replay expects it
+    finally:
+        db.close()
+    os.rename(os.path.join(here, DEFAULT_FILENAME), target)
+    print(f"wrote {target}")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,8 @@ Subcommands (run against the built-in demo schema):
                         [--batch-size N]
   python -m repro fuzz  [--runs N] [--seed N] [--time-budget SECONDS]
                         [--corpus-dir DIR] [--profile NAME] [--no-reduce]
+  python -m repro replay CAPTURE.jsonl [--check-digests] [--profile NAME]
+                        [--batch-size N] [--threshold PCT] [--history PATH]
 """
 
 from __future__ import annotations
@@ -281,6 +283,29 @@ def run_subcommand(argv: list[str]) -> int:
     p_fuzz.add_argument("--quiet", action="store_true",
                         help="print only the final summary line")
 
+    p_replay = sub.add_parser(
+        "replay",
+        help="re-execute a captured workload (Database(capture_dir=...)), "
+             "verify result digests, report per-shape latency deltas",
+    )
+    p_replay.add_argument("path", help="capture file (JSONL)")
+    p_replay.add_argument("--check-digests", dest="check_digests",
+                          action="store_true", default=True,
+                          help="verify result digests (default)")
+    p_replay.add_argument("--no-check-digests", dest="check_digests",
+                          action="store_false",
+                          help="skip digest verification (timing-only replay)")
+    p_replay.add_argument("--profile", default=None,
+                          help="optimizer profile (default: the capture header's)")
+    p_replay.add_argument("--batch-size", type=int, default=None,
+                          help="streaming-executor batch size for the replay")
+    p_replay.add_argument("--threshold", type=float, default=None,
+                          help="latency regression threshold in percent "
+                               "(default: 50)")
+    p_replay.add_argument("--history", default=None,
+                          help="also append the replayed medians to this "
+                               "BENCH_history.json file")
+
     options = parser.parse_args(argv)
     if options.command == "bench-diff":
         return _run_bench_diff(options)
@@ -288,6 +313,8 @@ def run_subcommand(argv: list[str]) -> int:
         return _run_chaos(options)
     if options.command == "fuzz":
         return _run_fuzz(options)
+    if options.command == "replay":
+        return _run_replay(options)
     try:
         db = _demo_db(options.profile)
         if options.command == "explain":
@@ -406,6 +433,28 @@ def _run_fuzz(options) -> int:
     elif options.metrics_format == "table":
         print(metrics.render())
     return 1 if report.bugs else 0
+
+
+def _run_replay(options) -> int:
+    from .capture import replay_workload
+    from .capture.replay import REPLAY_THRESHOLD
+
+    threshold = (options.threshold / 100.0 if options.threshold is not None
+                 else REPLAY_THRESHOLD)
+    try:
+        report = replay_workload(
+            options.path,
+            check_digests=options.check_digests,
+            profile=options.profile,
+            batch_size=options.batch_size,
+            threshold=threshold,
+            history_path=options.history,
+        )
+    except (OSError, ReproError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _run_bench_diff(options) -> int:

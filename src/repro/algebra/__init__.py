@@ -37,4 +37,4 @@ from .ops import (  # noqa: F401
     UnionAll,
 )
 from .binder import Binder  # noqa: F401
-from .printer import explain, plan_stats, PlanStats  # noqa: F401
+from .printer import explain, plan_stats, summarize_plan, PlanStats  # noqa: F401

@@ -54,6 +54,28 @@ def explain(op: LogicalOp, show_columns: bool = False, annotate=None) -> str:
     return "\n".join(lines)
 
 
+def summarize_plan(op, max_length: int = 160) -> str:
+    """A one-line nested summary of a plan tree, e.g.
+    ``Limit[5](Sort(BatchScan(sys.query_log)))``.
+
+    Works on logical and physical operators alike (both expose ``label()``
+    and ``children``); long chains are truncated with an ellipsis so
+    slow-query log entries stay single-line.
+    """
+
+    def visit(node) -> str:
+        label = node.label()
+        children = node.children
+        if not children:
+            return label
+        return f"{label}({', '.join(visit(child) for child in children)})"
+
+    line = visit(op)
+    if len(line) > max_length:
+        line = line[: max_length - 3] + "..."
+    return line
+
+
 @dataclass
 class PlanStats:
     """Structural statistics of a logical plan."""

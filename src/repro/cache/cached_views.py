@@ -48,6 +48,9 @@ class CachedViewManager:
     def __init__(self, db: Database):
         self.db = db
         self._views: dict[str, CachedViewInfo] = {}
+        # Self-register so sys.cache_entries can enumerate this manager's
+        # views (the facade pre-seeds the attribute with None).
+        db.cached_views = self
         # Cache observability: hits = serves straight from the cache table,
         # misses = serves that first had to do maintenance work (stale SCV
         # refresh or pending DCV increments).
@@ -67,6 +70,10 @@ class CachedViewManager:
             return self._views[name.lower()]
         except KeyError:
             raise CatalogError(f"no cached view {name!r}") from None
+
+    def infos(self) -> list[CachedViewInfo]:
+        """All registered cached views (the ``sys.cache_entries`` feed)."""
+        return list(self._views.values())
 
     def _base_tables(self, query_sql: str) -> tuple[str, ...]:
         plan = self._bind(query_sql)

@@ -1,0 +1,203 @@
+"""Replay a captured workload against the current build.
+
+Every statement record is re-executed in capture order on a fresh
+:class:`~repro.database.Database`.  Three things come out:
+
+1. **Digest verification** — each query's order-insensitive result digest
+   must match the captured one (``check_digests``); a mismatch is a
+   correctness regression attributed to one exact SQL statement.
+2. **Per-shape latency deltas** — captured vs replayed medians grouped by
+   the normalized shape hash, rendered through the same
+   :class:`~repro.bench.history.DiffReport` machinery as
+   ``python -m repro bench-diff`` (and optionally appended to a
+   ``BENCH_history.json`` file), so a captured production workload becomes
+   a regression-attribution benchmark.
+3. **Error-statement parity** — a statement that failed at capture time is
+   expected to fail on replay too (and vice versa).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+
+from ..bench.history import DiffReport, append_run, diff_last_two
+from ..errors import ReproError
+from .recorder import load_capture, result_digest
+
+REPLAY_THRESHOLD = 0.50   # shapes are single-statement samples: be tolerant
+
+
+@dataclass
+class DigestMismatch:
+    seq: int
+    sql: str
+    expected: str
+    actual: str
+
+    def __str__(self) -> str:
+        return (f"seq {self.seq}: digest mismatch for {self.sql!r} "
+                f"(captured {self.expected[:23]}…, replayed {self.actual[:23]}…)")
+
+
+@dataclass
+class ReplayError:
+    seq: int
+    sql: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"seq {self.seq}: {self.detail} ({self.sql!r})"
+
+
+@dataclass
+class ReplayReport:
+    path: str
+    statements: int = 0
+    queries: int = 0
+    digests_checked: int = 0
+    mismatches: list[DigestMismatch] = field(default_factory=list)
+    errors: list[ReplayError] = field(default_factory=list)
+    diff: DiffReport | None = None
+    shape_examples: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches and not self.errors
+
+    def summary(self) -> str:
+        verdict = "ok" if self.ok else (
+            f"{len(self.mismatches)} digest mismatch(es), "
+            f"{len(self.errors)} error(s)"
+        )
+        return (f"replay: {self.statements} statement(s), {self.queries} "
+                f"query(ies), {self.digests_checked} digest(s) checked — {verdict}")
+
+    def render(self) -> str:
+        lines = [self.summary()]
+        for mismatch in self.mismatches:
+            lines.append(f"  MISMATCH {mismatch}")
+        for error in self.errors:
+            lines.append(f"  ERROR {error}")
+        if self.diff is not None:
+            lines.append("")
+            lines.append(self.diff.render())
+            if self.shape_examples:
+                lines.append("shapes:")
+                for shape, sql in sorted(self.shape_examples.items()):
+                    example = sql if len(sql) <= 90 else sql[:87] + "..."
+                    lines.append(f"  {shape}  {example}")
+        return "\n".join(lines)
+
+
+def replay_workload(
+    path: str,
+    check_digests: bool = True,
+    profile: str | None = None,
+    batch_size: int | None = None,
+    threshold: float = REPLAY_THRESHOLD,
+    history_path: str | None = None,
+) -> ReplayReport:
+    """Re-execute the capture at ``path``; see the module docstring."""
+    from ..database import Database
+
+    header, records = load_capture(path)
+    if profile is None and header is not None:
+        profile = header.get("profile") or None
+    kwargs: dict = {}
+    if profile:
+        kwargs["profile"] = profile
+    if batch_size is not None:
+        kwargs["batch_size"] = batch_size
+    db = Database(**kwargs)
+    report = ReplayReport(path=path)
+    captured_by_shape: dict[str, list[float]] = {}
+    replayed_by_shape: dict[str, list[float]] = {}
+    try:
+        for record in records:
+            sql = record.get("sql")
+            if not sql:
+                continue
+            seq = record.get("seq", report.statements + 1)
+            kind = record.get("kind", "query")
+            report.statements += 1
+            started = time.perf_counter()
+            try:
+                outcome = db.execute(sql)
+            except ReproError as exc:
+                if kind == "error":
+                    continue    # failed then, fails now: parity holds
+                report.errors.append(ReplayError(
+                    seq, sql, f"replay raised {type(exc).__name__}: {exc}"
+                ))
+                continue
+            elapsed_s = time.perf_counter() - started
+            if kind == "error":
+                report.errors.append(ReplayError(
+                    seq, sql,
+                    f"captured as an error ({record.get('error')}) but replayed clean",
+                ))
+                continue
+            shape = record.get("shape")
+            if shape and record.get("elapsed_ms") is not None:
+                captured_by_shape.setdefault(shape, []).append(
+                    record["elapsed_ms"] / 1e3
+                )
+                replayed_by_shape.setdefault(shape, []).append(elapsed_s)
+                report.shape_examples.setdefault(shape, sql)
+            if kind == "query" and outcome is not None and not isinstance(outcome, int):
+                report.queries += 1
+                expected = record.get("digest")
+                if check_digests and expected:
+                    actual = result_digest(outcome)
+                    report.digests_checked += 1
+                    if actual != expected:
+                        report.mismatches.append(
+                            DigestMismatch(seq, sql, expected, actual)
+                        )
+    finally:
+        db.close()
+    report.diff = _latency_diff(
+        path, captured_by_shape, replayed_by_shape, threshold, history_path
+    )
+    return report
+
+
+def _latency_diff(
+    path: str,
+    captured: dict[str, list[float]],
+    replayed: dict[str, list[float]],
+    threshold: float,
+    history_path: str | None,
+) -> DiffReport | None:
+    """Per-shape medians as two bench-history entries -> one DiffReport."""
+    shapes = sorted(set(captured) & set(replayed))
+    if not shapes:
+        return None
+    old_entry = {
+        "run_at": f"captured:{path}",
+        "benchmarks": {
+            f"replay::{shape}": {
+                "median_s": statistics.median(captured[shape]),
+                "mean_s": statistics.fmean(captured[shape]),
+                "rounds": len(captured[shape]),
+            }
+            for shape in shapes
+        },
+    }
+    new_entry = {
+        "run_at": "replayed",
+        "benchmarks": {
+            f"replay::{shape}": {
+                "median_s": statistics.median(replayed[shape]),
+                "mean_s": statistics.fmean(replayed[shape]),
+                "rounds": len(replayed[shape]),
+            }
+            for shape in shapes
+        },
+    }
+    if history_path is not None:
+        # Let append_run stamp the real wall-clock time in the history file.
+        append_run({"benchmarks": new_entry["benchmarks"]}, history_path)
+    return diff_last_two([old_entry, new_entry], threshold)

@@ -8,3 +8,4 @@ from .schema import (  # noqa: F401
     UniqueConstraint,
 )
 from .catalog import Catalog  # noqa: F401
+from .systables import SYS_PREFIX, SysTable  # noqa: F401

@@ -6,6 +6,7 @@ from typing import TYPE_CHECKING, Iterator
 
 from ..errors import CatalogError
 from .schema import TableSchema, ViewSchema
+from .systables import SYS_PREFIX, SysTable
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..storage.table import ColumnTable
@@ -16,17 +17,23 @@ class Catalog:
 
     Tables are stored together with their storage handle
     (:class:`repro.storage.table.ColumnTable`); views are stored as parsed
-    ASTs and inlined at bind time.
+    ASTs and inlined at bind time.  Virtual system tables
+    (:class:`.systables.SysTable`) live in a separate ``sys.`` namespace:
+    they resolve for reads like any table, but stay invisible to
+    :meth:`tables` so checkpoints, recovery, and delta merges never touch
+    them, and the prefix is reserved against user DDL.
     """
 
     def __init__(self) -> None:
         self._tables: dict[str, "ColumnTable"] = {}
         self._views: dict[str, ViewSchema] = {}
+        self._systables: dict[str, SysTable] = {}
 
     # -- tables ---------------------------------------------------------
 
     def create_table(self, table: "ColumnTable", if_not_exists: bool = False) -> None:
         name = table.schema.name
+        self._reject_reserved(name)
         if name in self._tables or name in self._views:
             if if_not_exists:
                 return
@@ -35,6 +42,8 @@ class Catalog:
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
         lowered = name.lower()
+        if lowered in self._systables:
+            raise CatalogError(f"system table {name!r} cannot be dropped")
         if lowered not in self._tables:
             if if_exists:
                 return
@@ -46,20 +55,45 @@ class Catalog:
         try:
             return self._tables[lowered]
         except KeyError:
+            pass
+        try:
+            return self._systables[lowered]  # type: ignore[return-value]
+        except KeyError:
             raise CatalogError(f"no table {name!r}") from None
 
     def has_table(self, name: str) -> bool:
-        return name.lower() in self._tables
+        lowered = name.lower()
+        return lowered in self._tables or lowered in self._systables
 
     def table_schema(self, name: str) -> TableSchema:
         return self.table(name).schema
 
     def tables(self) -> Iterator["ColumnTable"]:
+        """User tables only — durability and maintenance iterate this, so
+        virtual system tables are deliberately excluded."""
         return iter(self._tables.values())
+
+    # -- system tables -----------------------------------------------------
+
+    def register_system_table(self, table: SysTable) -> None:
+        name = table.schema.name
+        if not name.startswith(SYS_PREFIX):
+            raise CatalogError(f"system table {name!r} must live under {SYS_PREFIX!r}")
+        self._systables[name] = table
+
+    def system_tables(self) -> Iterator[SysTable]:
+        return iter(self._systables.values())
+
+    def _reject_reserved(self, name: str) -> None:
+        if name.startswith(SYS_PREFIX):
+            raise CatalogError(
+                f"the {SYS_PREFIX!r} namespace is reserved for system tables"
+            )
 
     # -- views ------------------------------------------------------------
 
     def create_view(self, view: ViewSchema, or_replace: bool = False) -> None:
+        self._reject_reserved(view.name)
         if view.name in self._tables:
             raise CatalogError(f"table {view.name!r} already exists")
         if view.name in self._views and not or_replace:
@@ -92,6 +126,8 @@ class Catalog:
         lowered = name.lower()
         if lowered in self._tables:
             return self._tables[lowered]
+        if lowered in self._systables:
+            return self._systables[lowered]  # type: ignore[return-value]
         if lowered in self._views:
             return self._views[lowered]
         raise CatalogError(f"no table or view named {name!r}")

@@ -18,12 +18,13 @@ capability models.
 
 from __future__ import annotations
 
+import itertools
 import random
 import time
 import warnings
 from typing import Callable, Iterable, Sequence
 
-from .algebra import Binder, explain as explain_plan, plan_stats
+from .algebra import Binder, explain as explain_plan, plan_stats, summarize_plan
 from .algebra.binder import RelationBinding, Scope
 from .algebra.ops import LogicalOp, Scan
 from .catalog import Catalog
@@ -46,6 +47,7 @@ from .errors import (
     TransactionError,
 )
 from .faults import FaultInjector
+from .capture.recorder import WorkloadRecorder
 from .observability import (
     ExecutionCollector,
     MetricsRegistry,
@@ -55,6 +57,8 @@ from .observability import (
     SpanTracer,
     attach_operator_spans,
 )
+from .observability.querylog import QueryLog, QueryLogEntry
+from .observability.systables import install_sys_tables
 from .sql import ast, parse_statement
 from .storage import (
     ColumnTable,
@@ -81,6 +85,14 @@ class Database:
     ``batch_size`` sets the streaming executor's rows-per-batch knob
     (default 1024): smaller batches mean tighter memory bounds and earlier
     LIMIT short-circuits, larger batches amortize per-batch overhead.
+
+    ``capture_dir`` opts into workload capture: every statement appends a
+    durable JSONL record (SQL, shape hash, timings, result digest) to
+    ``<capture_dir>/workload.jsonl`` for later ``python -m repro replay``.
+
+    Every instance installs the read-only ``sys.*`` introspection schema
+    (``sys.query_log``, ``sys.metrics``, ...) — virtual tables over the
+    engine's own instrumentation, queryable through ordinary SQL.
     """
 
     def __init__(
@@ -90,6 +102,7 @@ class Database:
         wal_dir: str | None = None,
         fsync: str = "commit",
         batch_size: int = DEFAULT_BATCH_SIZE,
+        capture_dir: str | None = None,
     ):
         self.metrics = MetricsRegistry()
         #: Hierarchical span tracer; enabled together with :attr:`tracing`.
@@ -135,6 +148,17 @@ class Database:
         self._m_conflict_retries = self.metrics.counter("txn.conflict_retries")
         # Pre-registered so exporters surface them at zero from the start.
         self.metrics.counter("optimizer.rule_failures")
+        #: Ring buffer behind sys.query_log / sys.operator_stats.
+        self.query_log = QueryLog()
+        self._query_seq = itertools.count(1)
+        #: CachedViewManager self-registers here (sys.cache_entries feed).
+        self.cached_views = None
+        #: Workload capture (None unless capture_dir was given).
+        self.capture: WorkloadRecorder | None = (
+            WorkloadRecorder(capture_dir, profile=profile)
+            if capture_dir is not None else None
+        )
+        install_sys_tables(self)
 
     # -- observability --------------------------------------------------------
 
@@ -198,16 +222,36 @@ class Database:
         Returns a :class:`QueryResult` for queries, an affected-row count for
         DML, and None for DDL.
         """
+        recorder = self.capture
+        if recorder is None:
+            return self._execute_inner(sql, txn)
+        started_at = time.time()
+        started = time.perf_counter()
+        try:
+            outcome = self._execute_inner(sql, txn)
+        except BaseException as exc:
+            recorder.record_error(sql, started_at, time.perf_counter() - started, exc)
+            raise
+        recorder.record_statement(sql, started_at, time.perf_counter() - started, outcome)
+        return outcome
+
+    def _execute_inner(self, sql: str, txn: Transaction | None):
         if not self.spans.enabled:
-            return self._route(parse_statement(sql), txn, sql)
+            parse_started = time.perf_counter()
+            statement = parse_statement(sql)
+            parse_s = time.perf_counter() - parse_started
+            return self._route(statement, txn, sql, parse_s)
         with self.spans.span("query", sql=sql):
+            parse_started = time.perf_counter()
             with self.spans.span("parse"):
                 statement = parse_statement(sql)
-            return self._route(statement, txn, sql)
+            parse_s = time.perf_counter() - parse_started
+            return self._route(statement, txn, sql, parse_s)
 
-    def _route(self, statement, txn: Transaction | None, sql: str):
+    def _route(self, statement, txn: Transaction | None, sql: str,
+               parse_s: float | None = None):
         if isinstance(statement, ast.Query):
-            return self._run_query(statement, txn, sql=sql)
+            return self._run_query(statement, txn, sql=sql, parse_s=parse_s)
         if isinstance(statement, ast.CreateTable):
             return self._create_table(statement)
         if isinstance(statement, ast.CreateView):
@@ -234,18 +278,44 @@ class Database:
         streaming scan is interrupted mid-operator); exceeding it raises
         :class:`repro.errors.QueryTimeoutError` and bumps
         ``query.timeouts``."""
+        recorder = self.capture
+        if recorder is None:
+            return self._query_inner(sql, txn, optimize, timeout)
+        started_at = time.time()
+        started = time.perf_counter()
+        try:
+            result = self._query_inner(sql, txn, optimize, timeout)
+        except BaseException as exc:
+            recorder.record_error(sql, started_at, time.perf_counter() - started, exc)
+            raise
+        recorder.record_statement(sql, started_at, time.perf_counter() - started, result)
+        return result
+
+    def _query_inner(
+        self,
+        sql: str,
+        txn: Transaction | None,
+        optimize: bool,
+        timeout: float | None,
+    ) -> QueryResult:
         deadline = None if timeout is None else time.monotonic() + timeout
         if not self.spans.enabled:
+            parse_started = time.perf_counter()
             statement = parse_statement(sql)
+            parse_s = time.perf_counter() - parse_started
             if not isinstance(statement, ast.Query):
                 raise ExecutionError("query() expects a SELECT statement")
-            return self._run_query(statement, txn, optimize, sql=sql, deadline=deadline)
+            return self._run_query(statement, txn, optimize, sql=sql,
+                                   deadline=deadline, parse_s=parse_s)
         with self.spans.span("query", sql=sql):
+            parse_started = time.perf_counter()
             with self.spans.span("parse"):
                 statement = parse_statement(sql)
+            parse_s = time.perf_counter() - parse_started
             if not isinstance(statement, ast.Query):
                 raise ExecutionError("query() expects a SELECT statement")
-            return self._run_query(statement, txn, optimize, sql=sql, deadline=deadline)
+            return self._run_query(statement, txn, optimize, sql=sql,
+                                   deadline=deadline, parse_s=parse_s)
 
     def _run_query(
         self,
@@ -254,42 +324,108 @@ class Database:
         optimize: bool = True,
         sql: str | None = None,
         deadline: float | None = None,
+        parse_s: float | None = None,
     ) -> QueryResult:
+        query_id = f"q{next(self._query_seq)}"
+        started_at = time.time()
         start = time.perf_counter()
-        plan, tally, operators_before = self._plan_with_trace(query, optimize, sql)
+        tracer = self.spans
+        if tracer.enabled:
+            root_span = tracer.root()
+            if root_span is not None:
+                # setdefault: a nested statement (INSERT ... SELECT) must
+                # not overwrite the enclosing statement's id on its span.
+                root_span.attributes.setdefault("query_id", query_id)
+        status = "ok"
+        error_text: str | None = None
+        result: QueryResult | None = None
+        tally: RewriteTally | None = None
+        operators_before = operators_after = 0
+        bind_s: float | None = None
+        optimize_s: float | None = None
+        execute_s: float | None = None
         try:
-            if not self.spans.enabled:
-                result = self._execute_plan(plan, txn, deadline=deadline)
-            else:
-                with self.spans.span("execute") as execute_span:
-                    collector = ExecutionCollector()
-                    result = self._execute_plan(plan, txn, collector, deadline=deadline)
-                attach_operator_spans(execute_span, collector)
-        except QueryTimeoutError:
-            self._m_timeouts.inc()
-            raise
-        elapsed = time.perf_counter() - start
-        operators_after = sum(1 for _ in plan.walk())
-        self._m_queries.inc()
-        self._m_latency.observe(elapsed)
-        self._m_ops_before.observe(operators_before)
-        self._m_ops_after.observe(operators_after)
-        result.stats = QueryStats(
-            elapsed_s=elapsed,
-            operators_before=operators_before,
-            operators_after=operators_after,
-            rewrite_fires=dict(tally.rewrite_counts) if tally is not None else {},
-        )
-        slowlog = self.slow_queries
-        if slowlog.threshold_s is not None and elapsed >= slowlog.threshold_s:
-            slowlog.record(
-                sql=sql,
-                elapsed_s=elapsed,
-                plan=explain_plan(plan),
-                rewrite_fires=dict(tally.rewrite_counts) if tally else {},
-                span_root=self.spans.root() if self.spans.enabled else None,
+            plan, tally, operators_before, bind_s, optimize_s = self._plan_with_trace(
+                query, optimize, sql, query_id=query_id
             )
-        return result
+            execute_started = time.perf_counter()
+            try:
+                if not tracer.enabled:
+                    result = self._execute_plan(plan, txn, deadline=deadline)
+                else:
+                    with tracer.span("execute") as execute_span:
+                        collector = ExecutionCollector()
+                        result = self._execute_plan(
+                            plan, txn, collector, deadline=deadline
+                        )
+                    attach_operator_spans(execute_span, collector)
+                    self.query_log.record_operators(query_id, collector)
+            except QueryTimeoutError:
+                self._m_timeouts.inc()
+                raise
+            execute_s = time.perf_counter() - execute_started
+            elapsed = time.perf_counter() - start
+            operators_after = sum(1 for _ in plan.walk())
+            self._m_queries.inc()
+            self._m_latency.observe(elapsed)
+            self._m_ops_before.observe(operators_before)
+            self._m_ops_after.observe(operators_after)
+            result.stats = QueryStats(
+                elapsed_s=elapsed,
+                operators_before=operators_before,
+                operators_after=operators_after,
+                rewrite_fires=dict(tally.rewrite_counts) if tally is not None else {},
+                query_id=query_id,
+            )
+            slowlog = self.slow_queries
+            if slowlog.threshold_s is not None and elapsed >= slowlog.threshold_s:
+                slowlog.record(
+                    sql=sql,
+                    elapsed_s=elapsed,
+                    plan=explain_plan(plan),
+                    rewrite_fires=dict(tally.rewrite_counts) if tally else {},
+                    span_root=tracer.root() if tracer.enabled else None,
+                    query_id=query_id,
+                    plan_summary=self._plan_summary(plan),
+                )
+            return result
+        except QueryTimeoutError as exc:
+            status, error_text = "timeout", str(exc)
+            raise
+        except Exception as exc:
+            status, error_text = "error", str(exc)
+            raise
+        finally:
+            # Appended on completion (never mid-flight), so a query over
+            # sys.query_log does not observe itself; afterwards it appears
+            # exactly once, whatever its outcome.
+            self.query_log.record(QueryLogEntry(
+                query_id=query_id,
+                sql=sql,
+                status=status,
+                error=error_text,
+                started_at=started_at,
+                elapsed_s=time.perf_counter() - start,
+                parse_s=parse_s,
+                bind_s=bind_s,
+                optimize_s=optimize_s,
+                execute_s=execute_s,
+                rows=None if result is None else len(result.rows),
+                operators_before=operators_before,
+                operators_after=operators_after,
+                rewrite_fires=(
+                    sum(tally.rewrite_counts.values()) if tally is not None else 0
+                ),
+            ))
+
+    def _plan_summary(self, plan: LogicalOp) -> str | None:
+        """One-line physical summary for the slow-query log; compiled on
+        demand (only when the threshold fires) and never allowed to fail
+        the query it describes."""
+        try:
+            return summarize_plan(self._executor.compile(plan))
+        except Exception:
+            return None
 
     def _execute_plan(
         self, plan: LogicalOp, txn: Transaction | None, collector=None,
@@ -308,24 +444,29 @@ class Database:
             self.commit(snapshot)
 
     def _plan_with_trace(
-        self, query: "str | ast.Query", optimize: bool, sql: str | None = None
-    ) -> tuple[LogicalOp, RewriteTally | None, int]:
+        self, query: "str | ast.Query", optimize: bool, sql: str | None = None,
+        query_id: str | None = None,
+    ) -> tuple[LogicalOp, RewriteTally | None, int, float, float | None]:
         """Bind and (optionally) optimize, recording rewrite provenance.
 
         Always runs the optimizer under at least a counting
         :class:`RewriteTally` (absorbed into :attr:`metrics`); under
         :attr:`tracing` a full :class:`QueryTrace` is kept on
-        :attr:`last_trace`.  Returns ``(plan, tally, operators_before)``.
+        :attr:`last_trace`.  Returns
+        ``(plan, tally, operators_before, bind_s, optimize_s)`` — the phase
+        timings feed ``sys.query_log``.
         """
         tracer = self.spans
+        bind_started = time.perf_counter()
         if tracer.enabled:
             with tracer.span("bind"):
                 plan = self.bind(query)
         else:
             plan = self.bind(query)
+        bind_s = time.perf_counter() - bind_started
         operators_before = sum(1 for _ in plan.walk())
         if not optimize:
-            return plan, None, operators_before
+            return plan, None, operators_before, bind_s, None
         from .optimizer.pipeline import optimize_plan
 
         if self.tracing:
@@ -334,6 +475,7 @@ class Database:
             tally: RewriteTally = QueryTrace(sql=sql, profile=self._profile_name)
         else:
             tally = RewriteTally()
+        optimize_started = time.perf_counter()
         if tracer.enabled:
             with tracer.span("optimize", profile=self._profile_name):
                 plan = optimize_plan(
@@ -341,11 +483,13 @@ class Database:
                 )
         else:
             plan = optimize_plan(plan, self._profile_name, self, trace=tally)
+        optimize_s = time.perf_counter() - optimize_started
         self._absorb_trace(tally)
         if tally.enabled:
             self._last_trace = tally  # type: ignore[assignment]
             tally.span_root = tracer.root()  # type: ignore[attr-defined]
-        return plan, tally, operators_before
+            tally.query_id = query_id  # type: ignore[attr-defined]
+        return plan, tally, operators_before, bind_s, optimize_s
 
     # -- planning ------------------------------------------------------------------
 
@@ -360,7 +504,7 @@ class Database:
 
     def plan_for(self, sql_or_query: "str | ast.Query", optimize: bool = True) -> LogicalOp:
         sql = sql_or_query if isinstance(sql_or_query, str) else None
-        plan, _, _ = self._plan_with_trace(sql_or_query, optimize, sql)
+        plan, _, _, _, _ = self._plan_with_trace(sql_or_query, optimize, sql)
         return plan
 
     def explain(
@@ -491,8 +635,18 @@ class Database:
         self.commit(auto)
         return result
 
+    def _writable_table(self, name: str):
+        """Resolve a DML target, refusing read-only (system) tables before
+        any storage machinery is touched."""
+        table = self.catalog.table(name)
+        if getattr(table, "read_only", False):
+            raise ExecutionError(
+                f"{table.schema.name} is a read-only system table"
+            )
+        return table
+
     def _insert(self, statement: ast.Insert, txn: Transaction) -> int:
-        table = self.catalog.table(statement.table)
+        table = self._writable_table(statement.table)
         schema = table.schema
         if statement.columns:
             positions = [schema.column_index(c) for c in statement.columns]
@@ -529,7 +683,7 @@ class Database:
         return count
 
     def _update(self, statement: ast.Update, txn: Transaction) -> int:
-        table = self.catalog.table(statement.table)
+        table = self._writable_table(statement.table)
         scan = Scan.create(table.schema)
         scope = Scope([RelationBinding(table.schema.name, scan.output)])
         binder = Binder(self.catalog)
@@ -557,7 +711,7 @@ class Database:
         return count
 
     def _delete(self, statement: ast.Delete, txn: Transaction) -> int:
-        table = self.catalog.table(statement.table)
+        table = self._writable_table(statement.table)
         scan = Scan.create(table.schema)
         scope = Scope([RelationBinding(table.schema.name, scan.output)])
         binder = Binder(self.catalog)
@@ -843,7 +997,10 @@ class Database:
         return applied
 
     def close(self) -> None:
-        """Release the on-disk WAL's file handle (no-op otherwise)."""
+        """Release the on-disk WAL's file handle and the capture file
+        (no-ops otherwise)."""
         wal = self.wal
         if wal is not None and hasattr(wal, "close"):
             wal.close()
+        if self.capture is not None:
+            self.capture.close()

@@ -54,6 +54,9 @@ class QueryStats:
     operators_after: int = 0
     rows_scanned: int | None = None
     rewrite_fires: dict[str, int] = field(default_factory=dict)
+    #: Engine-wide statement id (``q1``, ``q2``, ...) — the join key into
+    #: ``sys.query_log`` / ``sys.operator_stats`` and the capture records.
+    query_id: str | None = None
 
     @property
     def operators_removed(self) -> int:

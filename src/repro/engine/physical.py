@@ -220,7 +220,9 @@ class BatchScanExec(PhysicalOp):
         table = ctx.catalog.table(self.logical.schema.name)
         names = [col.name for col in self.wanted]
         cids = [col.cid for col in self.wanted]
-        row_ids = self._pruned_row_ids(ctx, table) if self.prune_bounds else None
+        # Virtual system tables have no column-store fragments to zone-map.
+        prune = self.prune_bounds and not getattr(table, "is_virtual", False)
+        row_ids = self._pruned_row_ids(ctx, table) if prune else None
         for columns, count in table.read_column_batches(
             ctx.txn, names, ctx.batch_size, row_ids=row_ids
         ):

@@ -194,12 +194,59 @@ def load_corpus_file(path: str) -> Case:
 
 
 def replay_corpus_file(path: str, tally: dict | None = None) -> list[Discrepancy]:
-    """Re-run every oracle over a serialized case.  An empty list means the
-    historical bug (or seeded shape) is still clean."""
-    case = load_corpus_file(path)
+    """Re-run the checks for a serialized corpus entry.  An empty list
+    means the historical bug (or seeded shape) is still clean.
+
+    Entries default to ``kind == "case"`` (a fuzz case replayed through
+    every oracle); ``kind == "sys_selfref"`` entries instead replay raw
+    SQL against the ``sys.*`` introspection schema.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("kind") == "sys_selfref":
+        return _replay_sys_selfref(payload, tally=tally)
+    case = Case.from_dict(payload)
     found = []
     for oracle in ORACLES.values():
         result = oracle(case, tally=tally)
         if result is not None:
             found.append(result)
+    return found
+
+
+def _replay_sys_selfref(
+    payload: dict, tally: dict | None = None
+) -> list[Discrepancy]:
+    """Self-observability oracle: a query over ``sys.query_log`` is only
+    appended to the log after it finishes, so run ``i`` sees exactly
+    ``i - 1`` copies of itself in its own result, and the log holds
+    exactly ``i`` copies afterwards."""
+    from ..database import Database
+
+    sql = payload["sql"]
+    found: list[Discrepancy] = []
+    db = Database(batch_size=payload.get("batch_size", 1024))
+    try:
+        for statement in payload.get("setup", ()):
+            db.execute(statement)
+        for run in range(1, payload.get("repetitions", 2) + 1):
+            result = db.query(sql)
+            if tally is not None:
+                tally["queries"] = tally.get("queries", 0) + 1
+            seen = sum(1 for row in result.rows for value in row if value == sql)
+            if seen != run - 1:
+                found.append(Discrepancy(
+                    "sys-selfref",
+                    f"run {run} saw {seen} copies of itself in its result "
+                    f"(expected {run - 1})",
+                ))
+            logged = sum(1 for e in db.query_log.entries() if e.sql == sql)
+            if logged != run:
+                found.append(Discrepancy(
+                    "sys-selfref",
+                    f"after run {run} the query log holds {logged} copies "
+                    f"(expected {run})",
+                ))
+    finally:
+        db.close()
     return found

@@ -50,3 +50,4 @@ from .export import (  # noqa: F401
 )
 from .slowlog import SlowQuery, SlowQueryLog  # noqa: F401
 from .server import MetricsServer  # noqa: F401
+from .querylog import OperatorStatRow, QueryLog, QueryLogEntry  # noqa: F401

@@ -113,28 +113,30 @@ class Histogram:
             if not self._buf:
                 return None
             ordered = sorted(self._buf)
-        if len(ordered) == 1:
-            return ordered[0]
-        position = max(0.0, min(100.0, p)) / 100.0 * (len(ordered) - 1)
-        lower = int(position)
-        fraction = position - lower
-        if fraction == 0.0:
-            return ordered[lower]
-        return ordered[lower] + (ordered[lower + 1] - ordered[lower]) * fraction
+        return _rank(ordered, p)
 
     @property
     def mean(self) -> float | None:
         return self.total / self.count if self.count else None
 
     def summary(self) -> dict:
+        """A self-consistent snapshot: every field is copied under one lock
+        acquisition, so concurrent ``observe`` calls can never tear the
+        summary (count from one instant, percentiles from another)."""
+        with self._lock:
+            count = self.count
+            total = self.total
+            low = self.min
+            high = self.max
+            ordered = sorted(self._buf)
         return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min,
-            "max": self.max,
-            "mean": self.mean,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
+            "count": count,
+            "sum": total,
+            "min": low,
+            "max": high,
+            "mean": total / count if count else None,
+            "p50": _rank(ordered, 50) if ordered else None,
+            "p95": _rank(ordered, 95) if ordered else None,
         }
 
 
@@ -184,17 +186,25 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict[str, object]:
         """All metrics as plain values: counters/gauges -> number,
-        histograms -> summary dict."""
+        histograms -> summary dict.
+
+        The registry lock is held for the whole pass, so the snapshot is a
+        single consistent copy of the metric *set*: a metric registered by
+        a concurrent writer is either fully present or fully absent, never
+        half-initialized.  Individual values are read under each metric's
+        own lock (metric locks never wait on the registry lock, so the
+        ordering is deadlock-free), and :meth:`Histogram.summary` is itself
+        a single-lock copy — no torn count/percentile pairs.
+        """
         with self._lock:
-            items = list(self._metrics.items())
-        out: dict[str, object] = {}
-        for name, metric in sorted(items):
-            if isinstance(metric, (Counter, Gauge)):
-                out[name] = metric.value
-            else:
-                assert isinstance(metric, Histogram)
-                out[name] = metric.summary()
-        return out
+            out: dict[str, object] = {}
+            for name, metric in sorted(self._metrics.items()):
+                if isinstance(metric, (Counter, Gauge)):
+                    out[name] = metric.value
+                else:
+                    assert isinstance(metric, Histogram)
+                    out[name] = metric.summary()
+            return out
 
     def reset(self) -> None:
         with self._lock:
@@ -220,6 +230,19 @@ class MetricsRegistry:
                 rendered = _fmt(value)
             lines.append(f"{name.ljust(width)}  {rendered}")
         return "\n".join(lines)
+
+
+def _rank(ordered: list[float], p: float) -> float:
+    """Percentile over an already-sorted sample (closest-rank, linear
+    interpolation)."""
+    if len(ordered) == 1:
+        return ordered[0]
+    position = max(0.0, min(100.0, p)) / 100.0 * (len(ordered) - 1)
+    lower = int(position)
+    fraction = position - lower
+    if fraction == 0.0:
+        return ordered[lower]
+    return ordered[lower] + (ordered[lower + 1] - ordered[lower]) * fraction
 
 
 def _fmt(value) -> str:

@@ -1,0 +1,143 @@
+"""The engine-wide query log: the ring buffer behind ``sys.query_log``.
+
+Every statement that reaches :meth:`Database._run_query` appends one
+:class:`QueryLogEntry` on completion — success, error, or timeout — with
+the per-phase timing breakdown (parse/bind/optimize/execute), the row
+count, and the rewrite-fire total.  A second ring keeps per-operator
+execution stats (:class:`OperatorStatRow`) for queries that ran under span
+tracing, keyed by the same ``query_id`` so ``sys.query_log`` and
+``sys.operator_stats`` join in SQL.
+
+Entries are appended *after* the query finishes, so a query over
+``sys.query_log`` never observes itself mid-flight; once it completes it
+appears exactly once (the invariant the fuzz corpus pins down).
+
+Both buffers are bounded deques — a long-lived process cannot leak memory
+into its own diagnostics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..sql.normalize import shape_hash
+
+DEFAULT_QUERY_CAPACITY = 256
+DEFAULT_OPERATOR_CAPACITY = 1024
+
+
+@dataclass
+class QueryLogEntry:
+    """One completed statement."""
+
+    query_id: str
+    sql: str | None
+    status: str                     # "ok" | "error" | "timeout"
+    error: str | None
+    started_at: float               # unix timestamp
+    elapsed_s: float
+    parse_s: float | None
+    bind_s: float | None
+    optimize_s: float | None
+    execute_s: float | None
+    rows: int | None
+    operators_before: int
+    operators_after: int
+    rewrite_fires: int
+    _shape: str | None = None
+
+    @property
+    def shape(self) -> str | None:
+        """Lazy shape hash — computed on first read (scan time), never on
+        the query hot path."""
+        if self._shape is None and self.sql is not None:
+            self._shape = shape_hash(self.sql)
+        return self._shape
+
+
+@dataclass
+class OperatorStatRow:
+    """Per-operator actuals for one traced query."""
+
+    query_id: str
+    operator: str
+    rows_out: int
+    batches: int
+    elapsed_s: float
+    is_scan: bool
+    early_terminated: bool
+
+
+class QueryLog:
+    """Bounded ring buffers of query and operator entries."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_QUERY_CAPACITY,
+        operator_capacity: int = DEFAULT_OPERATOR_CAPACITY,
+    ):
+        self._entries: deque[QueryLogEntry] = deque(maxlen=capacity)
+        self._operators: deque[OperatorStatRow] = deque(maxlen=operator_capacity)
+
+    @property
+    def capacity(self) -> int:
+        return self._entries.maxlen or 0
+
+    def configure(
+        self, capacity: int | None = None, operator_capacity: int | None = None
+    ) -> None:
+        """Resize the retention rings (existing entries are kept, oldest
+        first to go)."""
+        if capacity is not None and capacity != self._entries.maxlen:
+            self._entries = deque(self._entries, maxlen=capacity)
+        if operator_capacity is not None and operator_capacity != self._operators.maxlen:
+            self._operators = deque(self._operators, maxlen=operator_capacity)
+
+    def record(self, entry: QueryLogEntry) -> None:
+        self._entries.append(entry)
+
+    def record_operators(self, query_id: str, collector) -> None:
+        """Flatten an ExecutionCollector's per-operator stats into the ring.
+
+        ``collector.root`` is the executed physical tree; operators are
+        appended in depth-first plan order.
+        """
+        root = getattr(collector, "root", None)
+        if root is None:
+            return
+        for op in root.walk():
+            stats = collector.stats_for(op)
+            if stats is None:
+                continue
+            self._operators.append(
+                OperatorStatRow(
+                    query_id=query_id,
+                    operator=stats.label,
+                    rows_out=stats.rows_out,
+                    batches=stats.chunks,
+                    elapsed_s=stats.elapsed_s,
+                    is_scan=stats.is_scan,
+                    early_terminated=stats.early_terminated,
+                )
+            )
+
+    def entries(self) -> list[QueryLogEntry]:
+        return list(self._entries)
+
+    def operator_rows(self) -> list[OperatorStatRow]:
+        return list(self._operators)
+
+    def last(self) -> QueryLogEntry | None:
+        return self._entries[-1] if self._entries else None
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._operators.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[QueryLogEntry]:
+        return iter(self._entries)

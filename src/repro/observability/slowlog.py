@@ -36,19 +36,27 @@ class SlowQuery:
     plan: str | None = None         # optimized plan, rendered
     rewrite_fires: dict = field(default_factory=dict)
     span_root: object = None        # Span tree when tracing was enabled
+    query_id: str | None = None     # joins against sys.query_log / spans
+    plan_summary: str | None = None  # one-line physical operator chain
 
     def summary(self) -> str:
         sql = self.sql or "(unknown sql)"
         if len(sql) > 80:
             sql = sql[:77] + "..."
-        return f"{self.elapsed_s * 1e3:8.3f}ms  {sql}"
+        prefix = f"[{self.query_id}] " if self.query_id else ""
+        line = f"{self.elapsed_s * 1e3:8.3f}ms  {prefix}{sql}"
+        if self.plan_summary:
+            line += f"\n           plan: {self.plan_summary}"
+        return line
 
     def to_dict(self) -> dict:
         out = {
+            "query_id": self.query_id,
             "sql": self.sql,
             "elapsed_ms": self.elapsed_s * 1e3,
             "recorded_at": self.recorded_at,
             "plan": self.plan,
+            "plan_summary": self.plan_summary,
             "rewrite_fires": dict(self.rewrite_fires),
         }
         if self.span_root is not None:
@@ -80,9 +88,11 @@ class SlowQueryLog:
 
     def record(self, sql: str | None, elapsed_s: float,
                plan: str | None = None, rewrite_fires: dict | None = None,
-               span_root=None) -> SlowQuery:
+               span_root=None, query_id: str | None = None,
+               plan_summary: str | None = None) -> SlowQuery:
         entry = SlowQuery(sql, elapsed_s, time.time(), plan,
-                          rewrite_fires or {}, span_root)
+                          rewrite_fires or {}, span_root, query_id,
+                          plan_summary)
         self._entries.append(entry)
         return entry
 

@@ -1,0 +1,217 @@
+"""The ``sys.*`` schema: virtual tables over live engine state.
+
+Installed once per :class:`~repro.database.Database` by
+:func:`install_sys_tables`.  Each table is a
+:class:`repro.catalog.systables.SysTable` whose ``rows_fn`` closure reads
+the owning database's instrumentation at scan-open time, so::
+
+    select * from sys.query_log order by elapsed_ms desc limit 5
+    select m.name, m.value from sys.metrics m where m.kind = 'counter'
+    select q.query_id, o.operator, o.rows_out
+      from sys.query_log q, sys.operator_stats o
+     where q.query_id = o.query_id
+
+parse, bind, optimize, and stream through the ordinary engine pipeline —
+the database observing itself with its own query surface (§7's demand
+that the optimizer be introspectable at catalog scale).
+
+Tables:
+
+``sys.query_log``       every completed statement: id, SQL, shape hash,
+                        per-phase timings, rows, status, error
+``sys.operator_stats``  per-operator actuals for span-traced queries
+``sys.metrics``         MetricsRegistry snapshot (one row per metric)
+``sys.rewrite_fires``   optimizer rewrite case -> cumulative fire count
+``sys.cache_entries``   cached views (SCV/DCV) and their staleness
+``sys.wal_segments``    WAL segments (disk) or the in-memory log
+``sys.active_spans``    flattened span tree of the current/last trace
+"""
+
+from __future__ import annotations
+
+from .. import datatypes as dt
+from ..catalog.schema import ColumnSchema, TableSchema
+from ..catalog.systables import SysTable
+
+
+def _schema(name: str, *columns: tuple[str, object]) -> TableSchema:
+    return TableSchema(
+        name, [ColumnSchema(cname, ctype, nullable=True) for cname, ctype in columns]
+    )
+
+
+def install_sys_tables(db) -> None:
+    """Register the full ``sys.`` namespace on ``db``'s catalog."""
+    register = db.catalog.register_system_table
+
+    register(SysTable(
+        _schema(
+            "sys.query_log",
+            ("query_id", dt.varchar(16)),
+            ("sql", dt.varchar()),
+            ("shape", dt.varchar(16)),
+            ("status", dt.varchar(8)),
+            ("error", dt.varchar()),
+            ("started_at", dt.DOUBLE),
+            ("elapsed_ms", dt.DOUBLE),
+            ("parse_ms", dt.DOUBLE),
+            ("bind_ms", dt.DOUBLE),
+            ("optimize_ms", dt.DOUBLE),
+            ("execute_ms", dt.DOUBLE),
+            ("rows", dt.BIGINT),
+            ("operators_before", dt.BIGINT),
+            ("operators_after", dt.BIGINT),
+            ("rewrite_fires", dt.BIGINT),
+        ),
+        lambda: [
+            (
+                e.query_id, e.sql, e.shape, e.status, e.error, e.started_at,
+                e.elapsed_s * 1e3,
+                None if e.parse_s is None else e.parse_s * 1e3,
+                None if e.bind_s is None else e.bind_s * 1e3,
+                None if e.optimize_s is None else e.optimize_s * 1e3,
+                None if e.execute_s is None else e.execute_s * 1e3,
+                e.rows, e.operators_before, e.operators_after, e.rewrite_fires,
+            )
+            for e in db.query_log.entries()
+        ],
+    ))
+
+    register(SysTable(
+        _schema(
+            "sys.operator_stats",
+            ("query_id", dt.varchar(16)),
+            ("operator", dt.varchar()),
+            ("rows_out", dt.BIGINT),
+            ("batches", dt.BIGINT),
+            ("elapsed_ms", dt.DOUBLE),
+            ("is_scan", dt.BOOLEAN),
+            ("early_terminated", dt.BOOLEAN),
+        ),
+        lambda: [
+            (
+                o.query_id, o.operator, o.rows_out, o.batches,
+                o.elapsed_s * 1e3, o.is_scan, o.early_terminated,
+            )
+            for o in db.query_log.operator_rows()
+        ],
+    ))
+
+    register(SysTable(
+        _schema(
+            "sys.metrics",
+            ("name", dt.varchar()),
+            ("kind", dt.varchar(9)),
+            ("value", dt.DOUBLE),
+            ("count", dt.BIGINT),
+            ("mean", dt.DOUBLE),
+            ("p50", dt.DOUBLE),
+            ("p95", dt.DOUBLE),
+            ("max", dt.DOUBLE),
+        ),
+        lambda: _metric_rows(db.metrics),
+    ))
+
+    register(SysTable(
+        _schema(
+            "sys.rewrite_fires",
+            ("rewrite_case", dt.varchar()),
+            ("fires", dt.BIGINT),
+        ),
+        lambda: _rewrite_rows(db.metrics),
+    ))
+
+    register(SysTable(
+        _schema(
+            "sys.cache_entries",
+            ("name", dt.varchar()),
+            ("kind", dt.varchar(8)),
+            ("query_sql", dt.varchar()),
+            ("base_tables", dt.varchar()),
+            ("refresh_count", dt.BIGINT),
+            ("stale", dt.BOOLEAN),
+        ),
+        lambda: _cache_rows(db),
+    ))
+
+    register(SysTable(
+        _schema(
+            "sys.wal_segments",
+            ("segment", dt.varchar()),
+            ("bytes", dt.BIGINT),
+            ("records", dt.BIGINT),
+            ("durable", dt.BOOLEAN),
+        ),
+        lambda: [] if db.wal is None else db.wal.segment_info(),
+    ))
+
+    register(SysTable(
+        _schema(
+            "sys.active_spans",
+            ("trace_id", dt.BIGINT),
+            ("span_id", dt.BIGINT),
+            ("parent_id", dt.BIGINT),
+            ("name", dt.varchar()),
+            ("query_id", dt.varchar(16)),
+            ("duration_ms", dt.DOUBLE),
+            ("events", dt.BIGINT),
+        ),
+        lambda: _span_rows(db.spans),
+    ))
+
+
+def _metric_rows(metrics) -> list[tuple]:
+    from .metrics import Counter, Gauge
+
+    rows = []
+    for name, metric in metrics.items():
+        if isinstance(metric, (Counter, Gauge)):
+            kind = "counter" if isinstance(metric, Counter) else "gauge"
+            rows.append((name, kind, float(metric.value), None, None, None, None, None))
+        else:
+            summary = metric.summary()
+            rows.append((
+                name, "histogram", float(summary["sum"]), summary["count"],
+                summary["mean"], summary["p50"], summary["p95"], summary["max"],
+            ))
+    return rows
+
+
+def _rewrite_rows(metrics) -> list[tuple]:
+    prefix = "optimizer.rewrites."
+    from .metrics import Counter
+
+    return [
+        (name[len(prefix):], metric.value)
+        for name, metric in metrics.items()
+        if name.startswith(prefix) and isinstance(metric, Counter)
+    ]
+
+
+def _cache_rows(db) -> list[tuple]:
+    manager = getattr(db, "cached_views", None)
+    if manager is None:
+        return []
+    rows = []
+    for info in manager.infos():
+        rows.append((
+            info.name, info.kind, info.query_sql, ",".join(info.base_tables),
+            info.refresh_count, manager.is_stale(info.name),
+        ))
+    return rows
+
+
+def _span_rows(tracer) -> list[tuple]:
+    root = tracer.root() or tracer.last_root
+    if root is None:
+        return []
+    rows = []
+    for span in root.walk():
+        duration = span.duration_s
+        rows.append((
+            span.trace_id, span.span_id, span.parent_id, span.name,
+            span.attributes.get("query_id"),
+            None if duration is None else duration * 1e3,
+            len(span.events),
+        ))
+    return rows

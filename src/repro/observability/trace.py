@@ -132,7 +132,7 @@ class QueryTrace(RewriteTally):
     """
 
     __slots__ = ("sql", "profile", "events", "execution", "span_root",
-                 "_iteration")
+                 "query_id", "_iteration")
     enabled = True
 
     def __init__(self, sql: str | None = None, profile: str | None = None):
@@ -142,6 +142,7 @@ class QueryTrace(RewriteTally):
         self.events: list[TraceEvent] = []
         self.execution = None  # ExecutionCollector, attached by EXPLAIN ANALYZE
         self.span_root = None  # Span tree root, attached when span tracing ran
+        self.query_id: str | None = None  # joins against sys.query_log
         self._iteration: int | None = None
 
     # -- recording hooks ----------------------------------------------------
@@ -191,6 +192,7 @@ class QueryTrace(RewriteTally):
 
     def _base_dict(self) -> dict:
         return {
+            "query_id": self.query_id,
             "sql": self.sql,
             "profile": self.profile,
             "iterations": self.iterations_run,

@@ -1,0 +1,66 @@
+"""SQL shape normalization: literal-erased query fingerprints.
+
+A query *shape* is the SQL text with every literal replaced by ``?`` and
+whitespace/case canonicalized, so ``select * from t where id = 7`` and
+``SELECT * FROM t WHERE id=42`` normalize identically.  The shape hash is
+the stable identity ``sys.query_log`` and the workload replay harness use
+to group executions of "the same query" across parameter values — the
+grouping a plan cache (ROADMAP item 5) would key on, and the unit the
+replay report aggregates latencies over.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .lexer import Token, TokenType, tokenize
+
+
+def normalize_sql(sql: str) -> str:
+    """Canonical literal-erased form of ``sql``.
+
+    Keywords upper-case, identifiers lower-case, every NUMBER/STRING
+    literal replaced by ``?``, single spaces between tokens (none before
+    closing punctuation or after opening parens).  Unparseable text is
+    returned stripped — a fingerprint must never raise.
+    """
+    try:
+        tokens = tokenize(sql)
+    except Exception:
+        return " ".join(sql.split())
+    parts: list[str] = []
+    for token in tokens:
+        if token.type is TokenType.EOF:
+            break
+        parts.append(_render(token))
+    out: list[str] = []
+    for index, part in enumerate(parts):
+        if index and _needs_space(parts[index - 1], part):
+            out.append(" ")
+        out.append(part)
+    return "".join(out)
+
+
+def shape_hash(sql: str) -> str:
+    """A short stable hash of :func:`normalize_sql`."""
+    normalized = normalize_sql(sql)
+    return hashlib.sha256(normalized.encode("utf-8")).hexdigest()[:12]
+
+
+def _render(token: Token) -> str:
+    if token.type in (TokenType.NUMBER, TokenType.STRING):
+        return "?"
+    if token.type is TokenType.KEYWORD:
+        return token.text.upper()
+    if token.type is TokenType.IDENTIFIER:
+        return token.text.lower()
+    return token.text
+
+
+def _needs_space(previous: str, current: str) -> bool:
+    if previous in ("(", "."):
+        return False
+    if current in (")", ",", ".", ";", "("):
+        # keep `f(x)` tight but separate `FROM (`-style keyword-paren pairs
+        return current == "(" and previous[-1:].isalpha() and previous.isupper()
+    return True

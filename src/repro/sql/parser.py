@@ -324,9 +324,25 @@ class Parser:
             inner = self._parse_table_expr()
             self._expect_punct(")")
             return inner
-        name = self._expect_identifier()
+        name = self._parse_table_name()
         alias = self._parse_optional_alias()
         return ast.TableRef(name, alias)
+
+    def _parse_table_name(self) -> str:
+        """An identifier with an optional dotted qualifier (`sys.query_log`).
+
+        The dotted pair is one catalog name, not a schema object model —
+        the catalog stores the full dotted string.
+        """
+        name = self._expect_identifier()
+        if (
+            self._peek().type is TokenType.PUNCT
+            and self._peek().text == "."
+            and self._peek(1).type is TokenType.IDENTIFIER
+        ):
+            self._advance()
+            name = f"{name}.{self._advance().text}"
+        return name
 
     def _parse_optional_alias(self) -> str | None:
         if self._match_keyword("AS"):
@@ -565,7 +581,7 @@ class Parser:
             self._expect_keyword("NOT")
             self._expect_keyword("EXISTS")
             if_not_exists = True
-        name = self._expect_identifier()
+        name = self._parse_table_name()
         self._expect_punct("(")
         columns: list[ast.ColumnDef] = []
         constraints: list[ast.TableConstraint] = []
@@ -619,7 +635,7 @@ class Parser:
                 return ast.ColumnDef(name, data_type, nullable, primary_key, unique)
 
     def _parse_create_view(self, or_replace: bool) -> ast.CreateView:
-        name = self._expect_identifier()
+        name = self._parse_table_name()
         column_names: tuple[str, ...] = ()
         if self._peek().type is TokenType.PUNCT and self._peek().text == "(":
             column_names = self._parse_name_list()
@@ -654,13 +670,13 @@ class Parser:
         if self._match_keyword("IF"):
             self._expect_keyword("EXISTS")
             if_exists = True
-        name = self._expect_identifier()
+        name = self._parse_table_name()
         return ast.DropStatement(kind, name, if_exists)
 
     def _parse_insert(self) -> ast.Insert:
         self._expect_keyword("INSERT")
         self._expect_keyword("INTO")
-        table = self._expect_identifier()
+        table = self._parse_table_name()
         columns: tuple[str, ...] = ()
         if self._peek().type is TokenType.PUNCT and self._peek().text == "(":
             columns = self._parse_name_list()
@@ -683,7 +699,7 @@ class Parser:
 
     def _parse_update(self) -> ast.Update:
         self._expect_keyword("UPDATE")
-        table = self._expect_identifier()
+        table = self._parse_table_name()
         self._expect_keyword("SET")
         assignments = [self._parse_assignment()]
         while self._match_punct(","):
@@ -702,7 +718,7 @@ class Parser:
     def _parse_delete(self) -> ast.Delete:
         self._expect_keyword("DELETE")
         self._expect_keyword("FROM")
-        table = self._expect_identifier()
+        table = self._parse_table_name()
         where = self._parse_expr() if self._match_keyword("WHERE") else None
         return ast.Delete(table, where)
 

@@ -128,6 +128,14 @@ class WriteAheadLog:
     def log_abort(self, tid: int) -> LogRecord:
         return self._append(tid, "abort")
 
+    def segment_info(self) -> list[tuple]:
+        """(segment, bytes, records, durable) rows for ``sys.wal_segments``.
+
+        The in-memory log has no files: one synthetic row describing the
+        RAM-resident record list.
+        """
+        return [("(memory)", None, len(self._records), False)]
+
     # -- recovery ---------------------------------------------------------
 
     def committed_tids(self) -> set[int]:

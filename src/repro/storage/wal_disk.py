@@ -231,6 +231,22 @@ class DiskWriteAheadLog(WriteAheadLog):
             self._handle.close()
             self._handle = None
 
+    def segment_info(self) -> list[tuple]:
+        """(segment, bytes, records, durable) rows for ``sys.wal_segments``.
+
+        Byte sizes come from the filesystem; per-segment record counts are
+        not tracked (counting would mean re-parsing every frame), so the
+        column is NULL for disk segments.
+        """
+        rows = []
+        for path in self._segment_paths():
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                size = None
+            rows.append((os.path.basename(path), size, None, True))
+        return rows
+
     # -- DDL records --------------------------------------------------------
 
     def log_ddl(self, table: str, schema_dict: dict) -> LogRecord:

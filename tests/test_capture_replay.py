@@ -1,0 +1,275 @@
+"""Workload capture (``Database(capture_dir=...)``) and replay
+(``python -m repro replay``).
+
+The capture is an append-only JSONL file — header line, then one record
+per statement with SQL, timings, shape hash, and (for queries) an
+order-insensitive result digest.  Replay re-executes the file on a fresh
+database, verifies digests, checks error-statement parity, and reports
+per-shape latency deltas through the bench-diff machinery.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.history import load_history
+from repro.capture import replay_workload, result_digest
+from repro.capture.recorder import load_capture
+from repro.database import Database
+from repro.errors import ReproError
+
+WORKLOAD = [
+    "create table t (id int primary key, v int)",
+    "insert into t values (1, 10), (2, 20), (3, 30)",
+    "select v from t where v > 15",
+    "select count(*) from t",
+    "update t set v = 99 where id = 1",
+    "select sum(v) from t",
+]
+
+
+def capture_workload(tmp_path, statements=WORKLOAD, subdir="cap"):
+    capture_dir = tmp_path / subdir
+    db = Database(capture_dir=str(capture_dir))
+    try:
+        for sql in statements:
+            try:
+                db.execute(sql)
+            except ReproError:
+                pass
+    finally:
+        db.close()
+    return capture_dir / "workload.jsonl"
+
+
+def test_capture_file_format(tmp_path):
+    path = capture_workload(tmp_path)
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    header, records = lines[0], lines[1:]
+    assert header["kind"] == "header"
+    assert header["format"] == 1
+    assert header["profile"] == "hana"
+    assert [r["kind"] for r in records] == [
+        "ddl", "dml", "query", "query", "dml", "query",
+    ]
+    assert [r["seq"] for r in records] == list(range(1, 7))
+    for record in records:
+        assert record["sql"]
+        assert len(record["shape"]) == 12
+        assert record["elapsed_ms"] >= 0
+    query = records[2]
+    assert query["rows"] == 2
+    assert query["digest"].startswith("sha256:")
+    assert query["query_id"].startswith("q")
+    assert records[1]["rowcount"] == 3
+
+
+def test_capture_records_errors(tmp_path):
+    path = capture_workload(
+        tmp_path,
+        ["create table t (id int primary key)", "select nope from t"],
+    )
+    _header, records = load_capture(str(path))
+    assert records[-1]["kind"] == "error"
+    assert "nope" in records[-1]["error"]
+
+
+def test_load_capture_tolerates_torn_tail(tmp_path):
+    path = capture_workload(tmp_path)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"kind": "query", "sql": "select tru')   # torn append
+    header, records = load_capture(str(path))
+    assert header is not None
+    assert len(records) == 6
+
+
+# -- digests ----------------------------------------------------------------
+
+
+class FakeResult:
+    def __init__(self, column_names, rows):
+        self.column_names = column_names
+        self.rows = rows
+
+
+def test_digest_is_order_insensitive():
+    a = FakeResult(["x", "y"], [(1, "a"), (2, "b")])
+    b = FakeResult(["x", "y"], [(2, "b"), (1, "a")])
+    assert result_digest(a) == result_digest(b)
+
+
+def test_digest_distinguishes_content_and_types():
+    base = result_digest(FakeResult(["x"], [(1,)]))
+    assert result_digest(FakeResult(["x"], [(2,)])) != base
+    assert result_digest(FakeResult(["x"], [(1.0,)])) != base
+    assert result_digest(FakeResult(["x"], [("1",)])) != base
+    assert result_digest(FakeResult(["x"], [(True,)])) != base
+    assert result_digest(FakeResult(["x"], [(None,)])) != base
+    assert result_digest(FakeResult(["y"], [(1,)])) != base
+
+
+def test_digest_matches_engine_result(tmp_path):
+    path = capture_workload(tmp_path)
+    _header, records = load_capture(str(path))
+    db = Database()
+    try:
+        for record in records:
+            outcome = db.execute(record["sql"])
+            if record["kind"] == "query":
+                assert result_digest(outcome) == record["digest"], record["sql"]
+    finally:
+        db.close()
+
+
+# -- replay -----------------------------------------------------------------
+
+
+def test_replay_clean(tmp_path):
+    path = capture_workload(tmp_path)
+    report = replay_workload(str(path))
+    assert report.ok
+    assert report.statements == 6
+    assert report.queries == 3
+    assert report.digests_checked == 3
+    assert report.mismatches == [] and report.errors == []
+    assert "— ok" in report.summary()
+
+
+def test_replay_detects_digest_mismatch(tmp_path):
+    path = capture_workload(tmp_path)
+    # corrupt one captured digest: replay must attribute the mismatch
+    lines = path.read_text().splitlines()
+    doctored = []
+    for line in lines:
+        record = json.loads(line)
+        if record.get("sql") == "select count(*) from t":
+            record["digest"] = "sha256:" + "0" * 64
+        doctored.append(json.dumps(record))
+    path.write_text("\n".join(doctored) + "\n")
+    report = replay_workload(str(path))
+    assert not report.ok
+    assert len(report.mismatches) == 1
+    mismatch = report.mismatches[0]
+    assert mismatch.sql == "select count(*) from t"
+    assert "MISMATCH" in report.render()
+
+
+def test_replay_skips_digests_when_disabled(tmp_path):
+    path = capture_workload(tmp_path)
+    report = replay_workload(str(path), check_digests=False)
+    assert report.ok
+    assert report.digests_checked == 0
+
+
+def test_replay_error_parity(tmp_path):
+    path = capture_workload(
+        tmp_path,
+        ["create table t (id int primary key)", "select nope from t"],
+    )
+    report = replay_workload(str(path))
+    assert report.ok  # failed at capture, fails at replay: parity holds
+
+
+def test_replay_flags_captured_error_that_replays_clean(tmp_path):
+    path = capture_workload(
+        tmp_path,
+        ["create table t (id int primary key)", "select nope from t"],
+    )
+    lines = path.read_text().splitlines()
+    doctored = []
+    for line in lines:
+        record = json.loads(line)
+        if record.get("kind") == "error":
+            record["sql"] = "select id from t"   # now valid on replay
+        doctored.append(json.dumps(record))
+    path.write_text("\n".join(doctored) + "\n")
+    report = replay_workload(str(path))
+    assert not report.ok
+    assert len(report.errors) == 1
+    assert "replayed clean" in report.errors[0].detail
+
+
+def test_replay_flags_statement_that_newly_fails(tmp_path):
+    path = capture_workload(tmp_path)
+    lines = path.read_text().splitlines()
+    doctored = []
+    for line in lines:
+        record = json.loads(line)
+        if record.get("sql") == "select sum(v) from t":
+            record["sql"] = "select sum(missing) from t"
+        doctored.append(json.dumps(record))
+    path.write_text("\n".join(doctored) + "\n")
+    report = replay_workload(str(path))
+    assert not report.ok
+    assert len(report.errors) == 1
+    assert "replay raised" in report.errors[0].detail
+
+
+def test_replay_latency_diff_report(tmp_path):
+    path = capture_workload(tmp_path)
+    report = replay_workload(str(path))
+    assert report.diff is not None
+    names = {delta.name for delta in report.diff.deltas}
+    assert len(names) == 6   # six distinct statement shapes
+    assert all(name.startswith("replay::") for name in names)
+    rendered = report.render()
+    assert "shapes:" in rendered
+    assert "select count(*) from t" in rendered
+
+
+def test_replay_appends_history(tmp_path):
+    path = capture_workload(tmp_path)
+    history_path = tmp_path / "BENCH_history.json"
+    replay_workload(str(path), history_path=str(history_path))
+    history = load_history(str(history_path))
+    assert len(history) == 1
+    assert history[0]["run_at"] != "replayed"   # real timestamp, not the label
+    assert any(k.startswith("replay::") for k in history[0]["benchmarks"])
+
+
+def test_replay_honors_profile_and_batch_size(tmp_path):
+    path = capture_workload(tmp_path)
+    report = replay_workload(str(path), profile="none", batch_size=1)
+    assert report.ok   # digests are plan- and batch-size-independent
+
+
+def test_sys_queries_captured_as_volatile_and_replay_clean(tmp_path):
+    path = capture_workload(
+        tmp_path,
+        WORKLOAD + ["select query_id, status from sys.query_log"],
+    )
+    _header, records = load_capture(str(path))
+    sys_record = records[-1]
+    assert sys_record["kind"] == "query"
+    assert sys_record["volatile"] is True
+    assert "digest" not in sys_record   # session state: nothing to verify
+    report = replay_workload(str(path))
+    assert report.ok
+    assert report.digests_checked == 3   # the three non-sys queries only
+
+
+def test_capture_appends_across_sessions(tmp_path):
+    capture_dir = tmp_path / "cap"
+    db = Database(capture_dir=str(capture_dir))
+    db.execute("create table t (id int primary key)")
+    db.close()
+    db = Database(capture_dir=str(capture_dir))
+    db.execute("create table u (id int primary key)")
+    db.close()
+    header, records = load_capture(str(capture_dir / "workload.jsonl"))
+    assert header is not None
+    assert len(records) == 2   # one header, both sessions' statements kept
+
+
+def test_committed_demo_workload_replays_clean():
+    import os
+
+    path = os.path.join(
+        os.path.dirname(__file__), "..", "benchmarks", "workloads",
+        "demo_orders.jsonl",
+    )
+    report = replay_workload(path)
+    assert report.ok, report.render()
+    assert report.digests_checked >= 5

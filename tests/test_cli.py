@@ -251,6 +251,27 @@ class TestSubcommands:
         out = capsys.readouterr().out
         assert "chaos" in out and "recoveries" in out
 
+    def test_replay_subcommand(self, tmp_path, capsys):
+        from repro.__main__ import run_subcommand
+        from repro.database import Database
+
+        db = Database(capture_dir=str(tmp_path))
+        db.execute("create table t (id int primary key, v int)")
+        db.execute("insert into t values (1, 10), (2, 20)")
+        db.execute("select sum(v) from t")
+        db.close()
+        path = str(tmp_path / "workload.jsonl")
+        assert run_subcommand(["replay", path, "--check-digests"]) == 0
+        out = capsys.readouterr().out
+        assert "1 digest(s) checked — ok" in out
+        assert "replay::" in out
+
+    def test_replay_subcommand_missing_file(self, tmp_path, capsys):
+        from repro.__main__ import run_subcommand
+
+        assert run_subcommand(["replay", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
 
 def test_shell_end_to_end():
     script = ".demo\nselect count(*) from orderview\n.quit\n"

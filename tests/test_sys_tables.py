@@ -1,0 +1,283 @@
+"""The ``sys.*`` introspection schema.
+
+Every system table is a read-only virtual table over live engine state,
+registered in the catalog so it parses, binds, optimizes, and streams
+through the normal executor pipeline — the acceptance query is
+``SELECT * FROM sys.query_log ORDER BY elapsed_ms DESC LIMIT 5``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import SysTable
+from repro.catalog.catalog import CatalogError
+from repro.database import Database
+from repro.errors import ExecutionError, ReproError
+from repro.sql.normalize import shape_hash
+
+SYS_TABLE_NAMES = (
+    "sys.query_log",
+    "sys.operator_stats",
+    "sys.metrics",
+    "sys.rewrite_fires",
+    "sys.cache_entries",
+    "sys.wal_segments",
+    "sys.active_spans",
+)
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("create table t (id int primary key, v int)")
+    database.execute("insert into t values (1, 10), (2, 20), (3, 30)")
+    yield database
+    database.close()
+
+
+def test_all_sys_tables_registered_and_selectable(db):
+    for name in SYS_TABLE_NAMES:
+        result = db.query(f"select * from {name}")
+        assert result.column_names, name
+
+
+def test_sys_tables_hidden_from_user_catalog_listing(db):
+    names = {table.schema.name for table in db.catalog.tables()}
+    assert names == {"t"}
+    sys_names = {table.schema.name for table in db.catalog.system_tables()}
+    assert sys_names == set(SYS_TABLE_NAMES)
+
+
+def test_acceptance_query_streams_through_pipeline(db):
+    db.query("select sum(v) from t")
+    result = db.query(
+        "select * from sys.query_log order by elapsed_ms desc limit 5"
+    )
+    assert "query_id" in result.column_names
+    assert 1 <= len(result.rows) <= 5
+    # and it shows up in EXPLAIN with a real physical plan
+    plan = db.explain("select * from sys.query_log order by elapsed_ms desc limit 5")
+    assert "BatchScan(sys.query_log)" in plan
+    assert "Limit[5]" in plan
+    assert "Sort" in plan
+
+
+def test_query_log_row_contents(db):
+    sql = "select sum(v) from t where v > 5"
+    db.query(sql)
+    result = db.query(
+        "select query_id, sql, shape, status, error, rows from sys.query_log "
+        f"where sql = '{sql}'"
+    )
+    assert len(result.rows) == 1
+    query_id, logged_sql, shape, status, error, rows = result.rows[0]
+    assert query_id.startswith("q")
+    assert logged_sql == sql
+    assert shape == shape_hash(sql)
+    assert status == "ok"
+    assert error is None
+    assert rows == 1
+
+
+def test_query_log_error_row(db):
+    with pytest.raises(ReproError):
+        db.query("select no_such_column from t")
+    entry = db.query_log.last()
+    assert entry is not None
+    assert entry.status == "error"
+    assert entry.error and "no_such_column" in entry.error
+    result = db.query("select status from sys.query_log where status = 'error'")
+    assert result.rows == [("error",)]
+
+
+def test_query_ids_are_unique_and_monotonic(db):
+    for _ in range(3):
+        db.query("select count(*) from t")
+    ids = [e.query_id for e in db.query_log.entries()]
+    assert len(ids) == len(set(ids))
+    numbers = [int(i[1:]) for i in ids]
+    assert numbers == sorted(numbers)
+
+
+def test_self_referential_query_logged_exactly_once_after_completion(db):
+    sql = "select sql from sys.query_log"
+    first = db.query(sql)
+    assert all(row != (sql,) for row in first.rows)   # never sees itself
+    second = db.query(sql)
+    assert sum(1 for row in second.rows if row == (sql,)) == 1
+
+
+def test_operator_stats_join_query_log_on_query_id(db):
+    db.tracing = True
+    db.query("select v from t where v > 5")
+    db.tracing = False
+    result = db.query(
+        "select s.operator, s.rows_out from sys.operator_stats s "
+        "join sys.query_log q on s.query_id = q.query_id "
+        "where q.sql = 'select v from t where v > 5'"
+    )
+    operators = {op for op, _rows in result.rows}
+    assert any("BatchScan(t)" in op for op in operators)
+    # every value of t.v exceeds 5, so every operator streams all 3 rows
+    assert all(rows == 3 for _op, rows in result.rows)
+
+
+def test_operator_stats_empty_without_tracing(db):
+    db.query("select v from t")
+    assert db.query("select * from sys.operator_stats").rows == []
+
+
+def test_sys_metrics_counters(db):
+    db.query("select count(*) from t")
+    result = db.query(
+        "select value from sys.metrics where name = 'queries.executed'"
+    )
+    assert result.rows and result.rows[0][0] >= 1.0
+
+
+def test_sys_wal_segments_memory_and_disk(tmp_path):
+    mem = Database()
+    mem.execute("create table t (id int primary key)")
+    rows = mem.query("select segment, durable from sys.wal_segments").rows
+    assert rows == [("(memory)", False)]
+    mem.close()
+
+    disk = Database(wal_dir=str(tmp_path))
+    disk.execute("create table t (id int primary key)")
+    disk.execute("insert into t values (1)")
+    rows = disk.query(
+        "select segment, bytes, durable from sys.wal_segments"
+    ).rows
+    assert rows, "durable WAL should expose at least one segment"
+    for segment, size_bytes, durable in rows:
+        assert segment.endswith(".wal") or "wal" in segment
+        assert durable is True
+        assert size_bytes is None or size_bytes >= 0
+    disk.close()
+
+
+def test_sys_active_spans(db):
+    db.tracing = True
+    db.query("select v from t")
+    db.tracing = False
+    result = db.query(
+        "select name, query_id from sys.active_spans where name = 'query'"
+    )
+    assert len(result.rows) == 1
+    name, query_id = result.rows[0]
+    assert query_id and query_id.startswith("q")
+
+
+def test_sys_cache_entries(db):
+    from repro.cache.cached_views import CachedViewManager
+
+    assert db.query("select * from sys.cache_entries").rows == []
+    manager = CachedViewManager(db)
+    manager.create_static("tv", "select id, v from t")
+    rows = db.query("select name, kind, stale from sys.cache_entries").rows
+    assert rows == [("tv", "static", False)]
+    db.execute("insert into t values (4, 40)")
+    rows = db.query("select name, stale from sys.cache_entries").rows
+    assert rows == [("tv", True)]
+
+
+def test_sys_rewrite_fires(db):
+    db.execute(
+        "create view ov as select t1.id, t1.v from t t1 "
+        "left outer many to one join t t2 on t1.id = t2.id"
+    )
+    db.query("select id from ov")
+    rows = db.query("select rewrite_case, fires from sys.rewrite_fires").rows
+    assert rows, "the AJ elimination should have fired and been counted"
+    assert all(fires >= 1 for _case, fires in rows)
+
+
+# -- read-only and reserved-namespace enforcement ---------------------------
+
+
+@pytest.mark.parametrize("sql", [
+    "insert into sys.query_log (query_id) values ('x')",
+    "update sys.metrics set value = 0",
+    "delete from sys.query_log",
+])
+def test_sys_tables_refuse_dml(db, sql):
+    with pytest.raises(ExecutionError, match="read-only system table"):
+        db.execute(sql)
+
+
+def test_sys_namespace_reserved_for_ddl(db):
+    with pytest.raises(CatalogError, match="reserved"):
+        db.execute("create table sys.mine (id int primary key)")
+    with pytest.raises(CatalogError, match="reserved"):
+        db.execute("create view sys.v as select id from t")
+
+
+def test_sys_tables_cannot_be_dropped(db):
+    with pytest.raises(CatalogError, match="system table"):
+        db.execute("drop table sys.query_log")
+
+
+# -- streaming and snapshot behavior ----------------------------------------
+
+
+def test_sys_query_log_batch_size_one(tmp_path):
+    db = Database(batch_size=1)
+    db.execute("create table t (id int primary key, v int)")
+    db.execute("insert into t values (1, 10), (2, 20)")
+    for _ in range(5):
+        db.query("select v from t")
+    result = db.query("select query_id from sys.query_log")
+    assert len(result.rows) == 5
+    assert len({row[0] for row in result.rows}) == 5
+    db.close()
+
+
+def test_sys_scan_is_stable_snapshot_across_batches():
+    """A scan materializes its rows at open; entries appended mid-stream
+    (here: by the scan itself being preceded by others) don't tear it."""
+    db = Database(batch_size=1)
+    db.execute("create table t (id int primary key, v int)")
+    for i in range(10):
+        db.execute(f"insert into t values ({i}, {i * 10})")
+    before = len(db.query_log)
+    result = db.query("select query_id from sys.query_log")
+    assert len(result.rows) == before
+    db.close()
+
+
+def test_sys_tables_under_mvcc_writes(db):
+    """Uncommitted writes in another transaction don't disturb sys scans,
+    and sys.query_log rows accumulate across transaction boundaries."""
+    txn = db.begin()
+    db.execute("insert into t values (100, 1000)")  # autocommitted
+    n_before = len(db.query("select * from sys.query_log", txn=txn).rows)
+    db.query("select count(*) from t")
+    n_after = len(db.query("select * from sys.query_log", txn=txn).rows)
+    # +1 for the count(*) query, +1 for the first sys scan itself
+    assert n_after == n_before + 2
+    db.commit(txn)
+
+
+def test_systable_rejects_writes_directly():
+    from repro.catalog.schema import ColumnSchema, TableSchema
+    from repro.datatypes import INTEGER
+
+    schema = TableSchema("sys.x", [ColumnSchema("id", INTEGER, nullable=True)])
+    table = SysTable(schema, lambda: [(1,)])
+    assert table.rows() == [(1,)]
+    with pytest.raises(ExecutionError):
+        table.insert(None, (2,))
+
+
+def test_query_log_ring_buffer_capacity():
+    db = Database()
+    db.execute("create table t (id int primary key)")
+    db.query_log.configure(capacity=4)
+    for i in range(10):
+        db.query("select count(*) from t")
+    assert len(db.query_log) == 4
+    result = db.query("select query_id from sys.query_log")
+    # the sys query itself is not yet logged when it scans
+    assert len(result.rows) == 4
+    db.close()
