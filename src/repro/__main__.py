@@ -12,6 +12,8 @@ exploring the engine and the paper's optimizations.  Dot-commands:
   .spans <sql>              run under span tracing; print the span tree
   .stats <sql>              plan statistics (the Fig. 3-style counters)
   .metrics                  engine metrics snapshot
+  .doctor                   plan-feedback report (misestimates, memory,
+                            regressed shapes)
   .slow [threshold_ms]      show / configure the slow-query log
   .verify <sql>             §7.3 declared-cardinality verification
   .tables / .views          catalog listing
@@ -23,6 +25,7 @@ Subcommands (run against the built-in demo schema):
   python -m repro explain [--analyze] [--profile NAME] [--no-optimize] SQL
   python -m repro trace   [--profile NAME] [--json] SQL
   python -m repro metrics [--profile NAME] [--format table|prometheus|json] [SQL ...]
+  python -m repro doctor  [--top N] [--profile NAME] [SQL ...]
   python -m repro serve-metrics [--port N] [--profile NAME]
   python -m repro bench-diff [--history PATH] [--threshold PCT]
   python -m repro chaos [--seed N] [--ops N] [--fsync POLICY] [--wal-dir DIR]
@@ -121,6 +124,10 @@ def run_command(db: Database, line: str) -> bool:
             print(render_span_tree(root))
         elif stripped == ".metrics":
             print(db.metrics.render())
+        elif stripped == ".doctor":
+            from .observability import doctor_report
+
+            print(doctor_report(db))
         elif stripped.startswith(".slow"):
             argument = stripped[len(".slow"):].strip()
             if argument:
@@ -219,6 +226,17 @@ def run_subcommand(argv: list[str]) -> int:
     p_metrics.add_argument("--format", default="table",
                            choices=("table", "prometheus", "json"),
                            help="output format (default: table)")
+
+    p_doctor = sub.add_parser(
+        "doctor",
+        help="run a workload (default: demo queries incl. a deliberately "
+             "misestimated one), then print the plan-feedback report",
+    )
+    p_doctor.add_argument("sql", nargs="*",
+                          help="queries to run before the report")
+    p_doctor.add_argument("--top", type=int, default=5,
+                          help="entries per section (default: 5)")
+    p_doctor.add_argument("--profile", default=None)
 
     p_serve = sub.add_parser(
         "serve-metrics",
@@ -333,6 +351,8 @@ def run_subcommand(argv: list[str]) -> int:
                 print(db.last_trace.report())
         elif options.command == "serve-metrics":
             return _run_serve_metrics(db, options)
+        elif options.command == "doctor":
+            return _run_doctor(db, options)
         else:
             for sql in options.sql or DEMO_QUERIES:
                 db.query(sql)
@@ -340,6 +360,26 @@ def run_subcommand(argv: list[str]) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    return 0
+
+
+#: A query whose range predicate the System-R heuristics badly overtrim
+#: (two range conjuncts -> 1/9 selectivity, but every demo order matches),
+#: so the doctor report always has a misestimate to show.
+DOCTOR_MISESTIMATED_SQL = (
+    "select o_id from orderview where o_total > -1 and o_total < 1000000"
+)
+
+
+def _run_doctor(db: Database, options) -> int:
+    from .observability import doctor_report
+
+    workload = list(options.sql) or DEMO_QUERIES + [DOCTOR_MISESTIMATED_SQL]
+    # Run each query a few times so the per-shape windows have samples.
+    for _ in range(3):
+        for sql in workload:
+            db.query(sql)
+    print(doctor_report(db, top=options.top))
     return 0
 
 

@@ -57,6 +57,11 @@ from .observability import (
     SpanTracer,
     attach_operator_spans,
 )
+from .observability.baselines import ShapeBaselines
+from .observability.feedback import (
+    MISESTIMATE_QERROR,
+    plan_feedback_rows,
+)
 from .observability.querylog import QueryLog, QueryLogEntry
 from .observability.systables import install_sys_tables
 from .sql import ast, parse_statement
@@ -90,9 +95,23 @@ class Database:
     durable JSONL record (SQL, shape hash, timings, result digest) to
     ``<capture_dir>/workload.jsonl`` for later ``python -m repro replay``.
 
+    ``plan_feedback`` (default True) closes the estimate→execute→observe
+    loop: every query runs under a collector, its physical operators are
+    stamped with estimated rows, and per-operator est/actual/Q-error rows
+    land in ``sys.plan_feedback`` (plus the ``optimizer.qerror`` histogram
+    and per-kind misestimate counters).  Set it False to run queries with
+    zero instrumentation beyond the base counters.
+
+    ``memory_budget_bytes`` arms a *soft* per-query limit on the estimated
+    bytes held by blocking operators (hash tables, sort buffers): the
+    first overshoot warns (:class:`repro.errors.MemoryBudgetWarning`),
+    bumps ``exec.memory_budget_exceeded``, and flips :meth:`health` to
+    degraded — the query itself still completes.
+
     Every instance installs the read-only ``sys.*`` introspection schema
-    (``sys.query_log``, ``sys.metrics``, ...) — virtual tables over the
-    engine's own instrumentation, queryable through ordinary SQL.
+    (``sys.query_log``, ``sys.plan_feedback``, ``sys.metrics``, ...) —
+    virtual tables over the engine's own instrumentation, queryable
+    through ordinary SQL.
     """
 
     def __init__(
@@ -103,6 +122,8 @@ class Database:
         fsync: str = "commit",
         batch_size: int = DEFAULT_BATCH_SIZE,
         capture_dir: str | None = None,
+        plan_feedback: bool = True,
+        memory_budget_bytes: int | None = None,
     ):
         self.metrics = MetricsRegistry()
         #: Hierarchical span tracer; enabled together with :attr:`tracing`.
@@ -128,9 +149,12 @@ class Database:
             self.wal, metrics=self.metrics, tracer=self.spans
         )
         self.catalog = Catalog()
+        self._plan_feedback = plan_feedback
         self._executor = Executor(
             self.catalog, metrics=self.metrics, tracer=self.spans,
             faults=self.faults, batch_size=batch_size,
+            plan_feedback=plan_feedback,
+            memory_budget_bytes=memory_budget_bytes,
         )
         self._profile_name = profile
         self._tracing = False
@@ -146,10 +170,16 @@ class Database:
         self._m_nonconverged = self.metrics.counter("optimizer.nonconverged")
         self._m_timeouts = self.metrics.counter("query.timeouts")
         self._m_conflict_retries = self.metrics.counter("txn.conflict_retries")
+        self._m_qerror = self.metrics.histogram("optimizer.qerror")
         # Pre-registered so exporters surface them at zero from the start.
         self.metrics.counter("optimizer.rule_failures")
-        #: Ring buffer behind sys.query_log / sys.operator_stats.
+        self.metrics.counter("exec.memory_budget_exceeded")
+        #: Ring buffers behind sys.query_log / sys.operator_stats /
+        #: sys.plan_feedback.
         self.query_log = QueryLog()
+        #: Per-shape latency baselines behind sys.query_shapes; folded in
+        #: lazily from the query log at scan time.
+        self.shape_baselines = ShapeBaselines(metrics=self.metrics)
         self._query_seq = itertools.count(1)
         #: CachedViewManager self-registers here (sys.cache_entries feed).
         self.cached_views = None
@@ -326,7 +356,8 @@ class Database:
         deadline: float | None = None,
         parse_s: float | None = None,
     ) -> QueryResult:
-        query_id = f"q{next(self._query_seq)}"
+        seq = next(self._query_seq)
+        query_id = f"q{seq}"
         started_at = time.time()
         start = time.perf_counter()
         tracer = self.spans
@@ -350,16 +381,26 @@ class Database:
             )
             execute_started = time.perf_counter()
             try:
+                # Plan feedback runs every query under a collector so
+                # per-operator actuals and est/actual Q-error land in the
+                # query log unconditionally; span trees stay opt-in.
+                collector = (
+                    ExecutionCollector()
+                    if (self._plan_feedback or tracer.enabled) else None
+                )
                 if not tracer.enabled:
-                    result = self._execute_plan(plan, txn, deadline=deadline)
+                    result = self._execute_plan(
+                        plan, txn, collector, deadline=deadline
+                    )
                 else:
                     with tracer.span("execute") as execute_span:
-                        collector = ExecutionCollector()
                         result = self._execute_plan(
                             plan, txn, collector, deadline=deadline
                         )
                     attach_operator_spans(execute_span, collector)
+                if collector is not None:
                     self.query_log.record_operators(query_id, collector)
+                    self._record_feedback(query_id, collector)
             except QueryTimeoutError:
                 self._m_timeouts.inc()
                 raise
@@ -416,7 +457,29 @@ class Database:
                 rewrite_fires=(
                     sum(tally.rewrite_counts.values()) if tally is not None else 0
                 ),
+                seq=seq,
             ))
+
+    def _record_feedback(self, query_id: str, collector) -> None:
+        """Persist one query's est/actual join and feed the Q-error metrics.
+
+        Early-terminated operators are excluded from the histogram and the
+        misestimate counters — their actual row counts are lower bounds by
+        design, not estimation failures.  Never-executed operators are
+        likewise display-only.
+        """
+        rows = plan_feedback_rows(query_id, collector)
+        if not rows:
+            return
+        self.query_log.record_feedback(rows)
+        for row in rows:
+            if row.qerror is None or row.early_terminated or row.never_executed:
+                continue
+            self._m_qerror.observe(row.qerror)
+            if row.qerror >= MISESTIMATE_QERROR:
+                self.metrics.counter(
+                    f"optimizer.misestimates.{row.kind}"
+                ).inc()
 
     def _plan_summary(self, plan: LogicalOp) -> str | None:
         """One-line physical summary for the slow-query log; compiled on
@@ -524,9 +587,15 @@ class Database:
         Example::
 
             print(db.explain("select * from v limit 3", analyze=True))
-            # Limit[3] (actual rows=3 batches=1 time=0.051ms, early-terminated)
-            #   BatchScan(orders)[cols=3] (actual rows=1024 batches=1 ...)
+            # Limit[3] (est rows=3 actual rows=3 qerror=1.00 batches=1
+            #           time=0.051ms, early-terminated)
+            #   BatchScan(orders)[cols=3] (est rows=1024 actual rows=1024 ...)
             # execution: 3 row(s) in 0.068ms, 1024 row(s) scanned
+
+        Every operator carries the optimizer's estimated rows and the
+        resulting Q-error (``max(est,actual)/min(est,actual)``); blocking
+        operators additionally show their peak estimated memory
+        (``peak≈…KB``).
         """
         if physical is None:
             physical = optimize
@@ -807,6 +876,7 @@ class Database:
             ("optimizer.rule_failures", "optimizer rules sandboxed"),
             ("wal.torn_tail_truncations", "WAL torn tails truncated"),
             ("wal.replay_skips", "unreplayable WAL records skipped"),
+            ("exec.memory_budget_exceeded", "memory budget exceeded"),
         ):
             value = self.metrics.counter(name).value
             if value > 0:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 
 
@@ -65,3 +66,21 @@ class Chunk:
     def rows(self, cids: list[int]) -> list[tuple]:
         cols = [self.columns[cid] for cid in cids]
         return list(zip(*cols)) if cols else [() for _ in range(self.row_count)]
+
+    def estimated_bytes(self) -> int:
+        """Cheap size estimate for memory accounting.
+
+        Samples one non-NULL value per column (first few rows only) and
+        scales its ``sys.getsizeof`` by the column length, plus the list
+        slot pointers.  Never walks whole columns — blocking operators
+        call this once per consumed batch, so it must stay O(columns).
+        """
+        total = 64  # the column dict itself
+        for col in self.columns.values():
+            per_value = 0
+            for value in col[:8]:
+                if value is not None:
+                    per_value = sys.getsizeof(value)
+                    break
+            total += 56 + (8 + per_value) * len(col)
+        return total

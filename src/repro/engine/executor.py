@@ -105,13 +105,19 @@ class Executor:
 
     def __init__(
         self, catalog, metrics=None, tracer=None, faults=None,
-        batch_size: int = DEFAULT_BATCH_SIZE,
+        batch_size: int = DEFAULT_BATCH_SIZE, plan_feedback: bool = True,
+        memory_budget_bytes: int | None = None,
     ):
         self._catalog = catalog
         self._collector = None
         self._tracer = tracer
         self._faults = faults
         self._batch_size = max(1, batch_size)
+        #: Stamp physical operators with estimated rows at compile time so
+        #: est/actual Q-error can be computed post-execution.
+        self._plan_feedback = plan_feedback
+        #: Soft per-query memory budget (estimated bytes); None = unlimited.
+        self._memory_budget = memory_budget_bytes
         # Cooperative statement deadline (time.monotonic() value), checked
         # inside every operator's per-batch loop; None means no timeout.
         self._deadline = None
@@ -122,23 +128,32 @@ class Executor:
             self._m_batches = None
             self._m_early = None
             self._m_peak = None
+            self._m_op_peak = None
+            self._m_budget = None
         else:
             self._m_blocks_pruned = metrics.counter("nse.blocks_pruned")
             self._m_blocks_scanned = metrics.counter("nse.blocks_scanned")
             self._m_batches = metrics.counter("exec.batches_produced")
             self._m_early = metrics.counter("exec.early_terminations")
             self._m_peak = metrics.histogram("exec.peak_batch_rows")
+            self._m_op_peak = metrics.histogram("exec.operator_peak_bytes")
+            self._m_budget = metrics.counter("exec.memory_budget_exceeded")
 
     @property
     def batch_size(self) -> int:
         return self._batch_size
 
-    def compile(self, plan: ops.LogicalOp, used: frozenset[int] | None = None):
+    def compile(
+        self, plan: ops.LogicalOp, used: frozenset[int] | None = None,
+        estimate: bool | None = None,
+    ):
         """Compile a logical plan to its physical operator tree."""
         # Imported lazily: the planner imports from this module.
         from ..optimizer.physical_planner import create_physical_plan
 
-        return create_physical_plan(plan, self._catalog, used)
+        if estimate is None:
+            estimate = self._plan_feedback
+        return create_physical_plan(plan, self._catalog, used, estimate)
 
     def execute(
         self, plan: ops.LogicalOp, txn: Transaction, collector=None,
@@ -159,7 +174,10 @@ class Executor:
             # tree that actually runs so EXPLAIN ANALYZE annotates it.
             resolved = self._resolve_scalar_subqueries(plan, txn)
             used = _collect_used_cids(resolved)
-            physical = self.compile(resolved, used)
+            physical = self.compile(
+                resolved, used,
+                estimate=self._plan_feedback or collector is not None,
+            )
             active = self._collector
             if active is not None and collector is not None:
                 active.root = physical
@@ -174,6 +192,8 @@ class Executor:
                 m_early=self._m_early,
                 m_blocks_pruned=self._m_blocks_pruned,
                 m_blocks_scanned=self._m_blocks_scanned,
+                memory_budget=self._memory_budget,
+                m_budget=self._m_budget,
             )
             stream = physical.execute(ctx)
             try:
@@ -182,6 +202,9 @@ class Executor:
                 stream.close()
             if self._m_peak is not None and ctx.peak_batch_rows:
                 self._m_peak.observe(ctx.peak_batch_rows)
+            if self._m_op_peak is not None:
+                for nbytes in ctx.op_bytes.values():
+                    self._m_op_peak.observe(nbytes)
             names = [c.name for c in resolved.output]
             if not batches:
                 return QueryResult(names, [])

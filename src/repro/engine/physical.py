@@ -22,11 +22,12 @@ from __future__ import annotations
 
 import functools
 import time
+import warnings
 from typing import Iterator
 
 from ..algebra import ops
 from ..algebra.expr import AggCall, Call, ColRef, Expr, referenced_cids
-from ..errors import ExecutionError, QueryTimeoutError
+from ..errors import ExecutionError, MemoryBudgetWarning, QueryTimeoutError
 from .chunk import Chunk
 from .eval import _coerce_pair, evaluate, evaluate_predicate
 
@@ -44,14 +45,16 @@ class ExecContext:
     __slots__ = (
         "catalog", "txn", "batch_size", "deadline", "collector", "faults",
         "tracer", "peak_batch_rows", "m_batches", "m_early",
-        "m_blocks_pruned", "m_blocks_scanned",
+        "m_blocks_pruned", "m_blocks_scanned", "memory_budget", "m_budget",
+        "track_mem", "mem_bytes", "budget_exceeded", "op_bytes",
     )
 
     def __init__(
         self, catalog, txn, *, batch_size: int = DEFAULT_BATCH_SIZE,
         deadline: float | None = None, collector=None, faults=None,
         tracer=None, m_batches=None, m_early=None, m_blocks_pruned=None,
-        m_blocks_scanned=None,
+        m_blocks_scanned=None, memory_budget: int | None = None,
+        m_budget=None,
     ):
         self.catalog = catalog
         self.txn = txn
@@ -67,6 +70,53 @@ class ExecContext:
         #: Largest batch produced anywhere in the plan (rows); the executor
         #: observes it into the ``exec.peak_batch_rows`` histogram.
         self.peak_batch_rows = 0
+        #: Soft per-query memory budget (estimated bytes); None = unlimited.
+        self.memory_budget = memory_budget
+        self.m_budget = m_budget
+        #: Blocking operators only account their state when someone can see
+        #: it (a collector) or enforce it (a budget) — the disabled path
+        #: never pays for size estimation.
+        self.track_mem = collector is not None or memory_budget is not None
+        self.mem_bytes = 0
+        self.budget_exceeded = False
+        #: id(op) -> peak estimated bytes held by that operator.  Peaks are
+        #: monotonic (state is never "released" back), so the query total is
+        #: an upper bound: sum of per-operator peaks, not true concurrency.
+        self.op_bytes: dict[int, int] = {}
+
+    def track_memory(self, op, nbytes: int) -> None:
+        """Record that ``op`` currently holds ~``nbytes`` of state.
+
+        Keeps the per-operator *peak*, feeds the EXPLAIN ANALYZE collector,
+        and — when a budget is set — degrades softly on first overshoot:
+        one :class:`MemoryBudgetWarning`, one ``exec.memory_budget_exceeded``
+        bump, and the query runs to completion.
+        """
+        key = id(op)
+        previous = self.op_bytes.get(key, 0)
+        if nbytes <= previous:
+            return
+        self.op_bytes[key] = nbytes
+        self.mem_bytes += nbytes - previous
+        collector = self.collector
+        if collector is not None:
+            collector.record_memory(op, nbytes)
+        budget = self.memory_budget
+        if (
+            budget is not None
+            and not self.budget_exceeded
+            and self.mem_bytes > budget
+        ):
+            self.budget_exceeded = True
+            if self.m_budget is not None:
+                self.m_budget.inc()
+            warnings.warn(
+                f"query exceeded memory_budget_bytes: ~{self.mem_bytes} "
+                f"estimated bytes > {budget} (in {op.name()}); "
+                "execution continues",
+                MemoryBudgetWarning,
+                stacklevel=2,
+            )
 
 
 class PhysicalOp:
@@ -78,6 +128,10 @@ class PhysicalOp:
     #: it without importing this module (avoids an engine↔observability
     #: import cycle).
     is_scan_op = False
+    #: Estimated output rows, stamped post-compile by the physical planner
+    #: when plan feedback is enabled; joined against actual rows to compute
+    #: the per-operator Q-error.  None when estimation was skipped/failed.
+    est_rows: float | None = None
 
     def __init__(self, logical: ops.LogicalOp, children: tuple["PhysicalOp", ...]):
         self.logical = logical
@@ -418,6 +472,10 @@ class DistinctExec(PhysicalOp):
                     if key not in seen:
                         seen.add(key)
                         keep.append(i)
+                if ctx.track_mem:
+                    # Rough tuple-key cost; exact sizes would mean walking
+                    # every key, which defeats the cheap-estimate contract.
+                    ctx.track_memory(self, 64 + 100 * len(seen))
                 if len(keep) == chunk.row_count:
                     yield chunk
                 elif keep:
@@ -445,6 +503,8 @@ class SortExec(PhysicalOp):
 
     def _run(self, ctx: ExecContext) -> Iterator[Chunk]:
         child = _materialize(self.children[0], ctx)
+        if ctx.track_mem:
+            ctx.track_memory(self, child.estimated_bytes())
         if child.row_count == 0:
             return
         key_cols = [(child.column(k.cid), k.ascending) for k in self.keys]
@@ -513,6 +573,10 @@ class HashAggregateExec(PhysicalOp):
                         inputs = agg_inputs[agg_index]
                         value = None if inputs is None else inputs[i]
                         _accumulate(states[agg_index][slot], call, value)
+                if ctx.track_mem:
+                    # Per-group: key tuple + one state dict per aggregate.
+                    per_group = 100 + 120 * max(1, len(op.aggs))
+                    ctx.track_memory(self, 64 + per_group * len(order))
         finally:
             stream.close()
 
@@ -637,6 +701,8 @@ class HashJoinExec(PhysicalOp):
 
     def _run_build_right(self, ctx: ExecContext) -> Iterator[Chunk]:
         build = _materialize(self.children[1], ctx)
+        if ctx.track_mem:
+            ctx.track_memory(self, build.estimated_bytes())
         table = self._build_table(build, [re for _, re in self.equi])
         left_outer = self.logical.join_type is ops.JoinType.LEFT_OUTER
         if not table and not left_outer:
@@ -667,6 +733,9 @@ class HashJoinExec(PhysicalOp):
 
     def _run_build_left(self, ctx: ExecContext) -> Iterator[Chunk]:
         build = _materialize(self.children[0], ctx)
+        build_bytes = build.estimated_bytes() if ctx.track_mem else 0
+        if ctx.track_mem:
+            ctx.track_memory(self, build_bytes)
         table = self._build_table(build, [le for le, _ in self.equi])
         left_outer = self.logical.join_type is ops.JoinType.LEFT_OUTER
         if build.row_count == 0:
@@ -701,6 +770,12 @@ class HashJoinExec(PhysicalOp):
                         column = chunk.columns.get(cid)
                         buffered[cid].append(None if column is None else column[j])
                     buffered_rows += 1
+                if ctx.track_mem:
+                    ctx.track_memory(
+                        self,
+                        build_bytes
+                        + Chunk(buffered, buffered_rows).estimated_bytes(),
+                    )
                 if remaining is not None and not remaining:
                     # Declared right-unique: every build key has found its
                     # (single) match — stop pulling the probe side.
@@ -719,6 +794,8 @@ class HashJoinExec(PhysicalOp):
 
     def _run_cross(self, ctx: ExecContext) -> Iterator[Chunk]:
         build = _materialize(self.children[1], ctx)
+        if ctx.track_mem:
+            ctx.track_memory(self, build.estimated_bytes())
         left_outer = self.logical.join_type is ops.JoinType.LEFT_OUTER
         if build.row_count == 0 and not left_outer:
             return
@@ -780,6 +857,8 @@ class HashJoinExec(PhysicalOp):
                     members.add(key)
         finally:
             right_stream.close()
+        if ctx.track_mem:
+            ctx.track_memory(self, 64 + 100 * len(members))
 
         null_aware = op.null_aware
         stream = self.children[0].execute(ctx)

@@ -73,3 +73,15 @@ class FaultInjectedError(ReproError):
 
 class TypeCheckError(ReproError):
     """Raised when expression operands have incompatible SQL types."""
+
+
+class MemoryBudgetWarning(RuntimeWarning):
+    """A query's estimated operator memory exceeded
+    ``Database(memory_budget_bytes=...)``.
+
+    The budget is *soft*: the query keeps running and returns its full
+    result.  The overshoot is reported here, counted in the
+    ``exec.memory_budget_exceeded`` metric, and surfaced as a degraded
+    reason by :meth:`repro.database.Database.health` — the same
+    degrade-don't-die contract the optimizer sandbox and WAL recovery use.
+    """

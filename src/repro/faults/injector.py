@@ -83,6 +83,9 @@ class FaultInjector:
         )
         #: (point, kind) pairs of every injection, newest last.
         self.history: list[tuple[str, str]] = []
+        #: point -> [calls, injections] accumulated from disarmed/replaced
+        #: rules, so ``sys.fault_points`` survives rule churn.
+        self._totals: dict[str, list[int]] = {}
 
     # -- arming -----------------------------------------------------------
 
@@ -106,6 +109,9 @@ class FaultInjector:
         if seed is not None:
             rule._rng.seed(seed)
         with self._lock:
+            previous = self._rules.get(point)
+            if previous is not None:
+                self._fold_totals(previous)
             self._rules[point] = rule
         return rule
 
@@ -113,13 +119,42 @@ class FaultInjector:
         """Disarm one point, or everything when ``point`` is None."""
         with self._lock:
             if point is None:
+                for rule in self._rules.values():
+                    self._fold_totals(rule)
                 self._rules.clear()
             else:
-                self._rules.pop(point, None)
+                rule = self._rules.pop(point, None)
+                if rule is not None:
+                    self._fold_totals(rule)
 
     def armed(self) -> list[str]:
         with self._lock:
             return sorted(self._rules)
+
+    def _fold_totals(self, rule: FaultRule) -> None:
+        """Accumulate a retired rule's counts (caller holds the lock)."""
+        totals = self._totals.setdefault(rule.point, [0, 0])
+        totals[0] += rule.calls
+        totals[1] += rule.injections
+
+    def point_stats(self) -> list[tuple[str, bool, int, int]]:
+        """``(point, armed, calls, injections)`` for ``sys.fault_points``.
+
+        Covers the canonical :data:`FAULT_POINTS` plus any ad-hoc names
+        that were ever armed; counts are cumulative across rule churn
+        (live rule + folded totals from disarmed/replaced rules).
+        """
+        with self._lock:
+            names = set(FAULT_POINTS) | set(self._rules) | set(self._totals)
+            rows = []
+            for name in sorted(names):
+                calls, injections = self._totals.get(name, (0, 0))
+                rule = self._rules.get(name)
+                if rule is not None:
+                    calls += rule.calls
+                    injections += rule.injections
+                rows.append((name, rule is not None, calls, injections))
+            return rows
 
     # -- firing -----------------------------------------------------------
 

@@ -199,12 +199,16 @@ def replay_corpus_file(path: str, tally: dict | None = None) -> list[Discrepancy
 
     Entries default to ``kind == "case"`` (a fuzz case replayed through
     every oracle); ``kind == "sys_selfref"`` entries instead replay raw
-    SQL against the ``sys.*`` introspection schema.
+    SQL against the ``sys.*`` introspection schema, and
+    ``kind == "qerror_probe"`` entries check the plan-feedback invariant
+    (exactly one est/actual row per physical operator).
     """
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
     if payload.get("kind") == "sys_selfref":
         return _replay_sys_selfref(payload, tally=tally)
+    if payload.get("kind") == "qerror_probe":
+        return _replay_qerror_probe(payload, tally=tally)
     case = Case.from_dict(payload)
     found = []
     for oracle in ORACLES.values():
@@ -247,6 +251,58 @@ def _replay_sys_selfref(
                     f"after run {run} the query log holds {logged} copies "
                     f"(expected {run})",
                 ))
+    finally:
+        db.close()
+    return found
+
+
+def _replay_qerror_probe(
+    payload: dict, tally: dict | None = None
+) -> list[Discrepancy]:
+    """Plan-feedback oracle: every physical operator of every executed
+    query gets exactly one est/actual feedback row, the row indexes form
+    a contiguous 0..n-1 pre-order, every operator carries an estimate,
+    and every Q-error respects the >= 1.0 clamp.  Guards the est/actual
+    join key (``id(op)`` through the collector) against plan-shape or
+    collector regressions."""
+    from ..database import Database
+
+    found: list[Discrepancy] = []
+    db = Database(batch_size=payload.get("batch_size", 1024))
+    try:
+        for statement in payload.get("setup", ()):
+            db.execute(statement)
+        for sql in payload.get("queries", ()):
+            result = db.query(sql)
+            if tally is not None:
+                tally["queries"] = tally.get("queries", 0) + 1
+            query_id = result.stats.query_id
+            rows = [
+                f for f in db.query_log.feedback_rows()
+                if f.query_id == query_id
+            ]
+            expected = result.stats.operators_after
+            indexes = sorted(f.op_index for f in rows)
+            if indexes != list(range(expected)):
+                found.append(Discrepancy(
+                    "qerror-probe",
+                    f"{query_id} ({sql!r}): expected one feedback row per "
+                    f"operator (0..{expected - 1}), got indexes {indexes}",
+                ))
+                continue
+            for f in rows:
+                if f.est_rows is None:
+                    found.append(Discrepancy(
+                        "qerror-probe",
+                        f"{query_id} op {f.op_index} ({f.operator}) "
+                        "has no estimate",
+                    ))
+                elif f.qerror is None or f.qerror < 1.0:
+                    found.append(Discrepancy(
+                        "qerror-probe",
+                        f"{query_id} op {f.op_index} ({f.operator}) "
+                        f"qerror={f.qerror!r} violates the >= 1.0 clamp",
+                    ))
     finally:
         db.close()
     return found

@@ -22,6 +22,10 @@ Coordinated layers (see DESIGN.md, "Observability"):
    (``repro serve-metrics``).
 6. **Slow-query log** (:mod:`.slowlog`) — a threshold-gated ring buffer
    capturing SQL, plan, rewrite tally, and span tree per offender.
+7. **Plan feedback** (:mod:`.feedback` / :mod:`.baselines` /
+   :mod:`.doctor`) — per-operator est/actual/Q-error rows, per-operator
+   peak-memory accounting, per-shape rolling latency baselines with
+   regression flags, and the ``repro doctor`` report over all three.
 
 Tracing is zero-cost when disabled: the default :data:`NULL_TRACE` turns
 every rewrite hook into a no-op, and every span call site checks a single
@@ -51,3 +55,11 @@ from .export import (  # noqa: F401
 from .slowlog import SlowQuery, SlowQueryLog  # noqa: F401
 from .server import MetricsServer  # noqa: F401
 from .querylog import OperatorStatRow, QueryLog, QueryLogEntry  # noqa: F401
+from .feedback import (  # noqa: F401
+    MISESTIMATE_QERROR,
+    PlanFeedbackRow,
+    plan_feedback_rows,
+    qerror,
+)
+from .baselines import ShapeBaselines, ShapeStats  # noqa: F401
+from .doctor import doctor_report  # noqa: F401

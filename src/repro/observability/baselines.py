@@ -1,0 +1,190 @@
+"""Per-shape rolling latency baselines and regression detection.
+
+Queries are grouped by their normalized shape hash
+(:func:`repro.sql.normalize.shape_hash` — literals stripped, whitespace
+collapsed), and each shape keeps:
+
+- a rolling window of recent latencies (p50/p95 come from here);
+- an EWMA baseline of the median, updated per completed query;
+- a ``regressed`` flag, set when the current window's median exceeds the
+  baseline by :attr:`ShapeBaselines.factor` (default 3x) after at least
+  :attr:`ShapeBaselines.min_samples` observations.
+
+The tracker consumes the :class:`repro.observability.querylog.QueryLog`
+*lazily*: nothing happens on the query hot path.  ``sys.query_shapes``
+(and ``repro doctor``) call :meth:`ShapeBaselines.sync` at scan time,
+which folds in only the log entries appended since the last sync (keyed
+by ``QueryLogEntry.seq``) — shape hashing and EWMA math are paid by the
+diagnostic reader, not the workload.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+DEFAULT_ALPHA = 0.2
+DEFAULT_REGRESSION_FACTOR = 3.0
+DEFAULT_MIN_SAMPLES = 8
+DEFAULT_WINDOW = 64
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Linear-interpolated percentile over a pre-sorted list."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = fraction * (len(sorted_values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    weight = position - lower
+    return sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight
+
+
+@dataclass
+class ShapeStats:
+    """Rolling latency state for one query shape."""
+
+    shape: str
+    example_sql: str | None = None
+    count: int = 0
+    last_s: float = 0.0
+    #: EWMA of the rolling-window median — the "normal" latency.
+    baseline_s: float | None = None
+    regressed: bool = False
+    recent: deque = field(default_factory=lambda: deque(maxlen=DEFAULT_WINDOW))
+
+    def p50_s(self) -> float:
+        return _percentile(sorted(self.recent), 0.50)
+
+    def p95_s(self) -> float:
+        return _percentile(sorted(self.recent), 0.95)
+
+
+class ShapeBaselines:
+    """Tracks per-shape latency baselines over the query log.
+
+    Thread-safe: ``sync``/``observe``/``rows`` may be called from scanner
+    threads while queries complete on others.
+    """
+
+    def __init__(
+        self,
+        alpha: float = DEFAULT_ALPHA,
+        factor: float = DEFAULT_REGRESSION_FACTOR,
+        min_samples: int = DEFAULT_MIN_SAMPLES,
+        metrics=None,
+    ):
+        self.alpha = alpha
+        self.factor = factor
+        self.min_samples = min_samples
+        self._lock = threading.Lock()
+        self._shapes: dict[str, ShapeStats] = {}
+        #: Highest QueryLogEntry.seq already folded in.
+        self._seen = 0
+        self._m_regressions = (
+            None if metrics is None
+            else metrics.counter("baseline.shape_regressions")
+        )
+
+    def configure(
+        self, alpha: float | None = None, factor: float | None = None,
+        min_samples: int | None = None,
+    ) -> None:
+        with self._lock:
+            if alpha is not None:
+                self.alpha = alpha
+            if factor is not None:
+                self.factor = factor
+            if min_samples is not None:
+                self.min_samples = min_samples
+
+    def sync(self, query_log) -> None:
+        """Fold in query-log entries appended since the last sync.
+
+        Only successful statements with SQL text participate: errors and
+        timeouts have pathological latencies that would poison baselines.
+        """
+        entries = query_log.entries()
+        with self._lock:
+            for entry in entries:
+                if entry.seq <= self._seen:
+                    continue
+                self._seen = max(self._seen, entry.seq)
+                if entry.status != "ok" or entry.sql is None:
+                    continue
+                shape = entry.shape
+                if shape is None:
+                    continue
+                self._observe_locked(shape, entry.elapsed_s, entry.sql)
+
+    def observe(self, shape: str, elapsed_s: float, sql: str | None = None) -> None:
+        """Record one latency sample directly (unit-test entry point)."""
+        with self._lock:
+            self._observe_locked(shape, elapsed_s, sql)
+
+    def _observe_locked(
+        self, shape: str, elapsed_s: float, sql: str | None
+    ) -> None:
+        stats = self._shapes.get(shape)
+        if stats is None:
+            stats = ShapeStats(shape=shape)
+            self._shapes[shape] = stats
+        if stats.example_sql is None:
+            stats.example_sql = sql
+        stats.count += 1
+        stats.last_s = elapsed_s
+        stats.recent.append(elapsed_s)
+        window_p50 = stats.p50_s()
+        # Regression is judged against the baseline *before* this sample
+        # contaminates it — a sudden slowdown must not drag its own
+        # yardstick upward.
+        if (
+            stats.baseline_s is not None
+            and stats.count >= self.min_samples
+            and stats.baseline_s > 0
+            and window_p50 > self.factor * stats.baseline_s
+        ):
+            if not stats.regressed and self._m_regressions is not None:
+                self._m_regressions.inc()
+            stats.regressed = True
+        else:
+            stats.regressed = False
+        if stats.baseline_s is None:
+            stats.baseline_s = window_p50
+        else:
+            stats.baseline_s += self.alpha * (window_p50 - stats.baseline_s)
+
+    def shapes(self) -> list[ShapeStats]:
+        with self._lock:
+            return list(self._shapes.values())
+
+    def regressed_shapes(self) -> list[ShapeStats]:
+        return [s for s in self.shapes() if s.regressed]
+
+    def rows(self) -> list[tuple]:
+        """``sys.query_shapes`` rows: latencies in milliseconds."""
+        out = []
+        with self._lock:
+            for stats in self._shapes.values():
+                baseline = stats.baseline_s
+                out.append(
+                    (
+                        stats.shape,
+                        stats.example_sql,
+                        stats.count,
+                        stats.p50_s() * 1e3,
+                        stats.p95_s() * 1e3,
+                        None if baseline is None else baseline * 1e3,
+                        stats.last_s * 1e3,
+                        stats.regressed,
+                    )
+                )
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._shapes.clear()
+            self._seen = 0

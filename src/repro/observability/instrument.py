@@ -32,6 +32,8 @@ class OperatorStats:
     elapsed_s: float = 0.0  # inclusive of children
     is_scan: bool = False
     early_terminated: bool = False
+    #: Peak estimated bytes held (blocking operators only; 0 for streamers).
+    peak_bytes: int = 0
 
 
 @dataclass
@@ -71,6 +73,12 @@ class ExecutionCollector:
         """Flag that a consumer closed this operator's stream early."""
         self._entry(op).early_terminated = True
 
+    def record_memory(self, op, nbytes: int) -> None:
+        """Record a blocking operator's current estimated state size."""
+        stats = self._entry(op)
+        if nbytes > stats.peak_bytes:
+            stats.peak_bytes = nbytes
+
     def stats_for(self, op) -> OperatorStats | None:
         return self._stats.get(id(op))
 
@@ -82,14 +90,34 @@ class ExecutionCollector:
         return len(self._stats)
 
     def annotation(self, op) -> str:
-        """The EXPLAIN ANALYZE suffix for one plan node."""
+        """The EXPLAIN ANALYZE suffix for one plan node.
+
+        Includes the optimizer's estimated rows and the resulting Q-error
+        when the plan was compiled with estimate stamping (the default);
+        falls back to the actual-only form for unstamped plans.
+        """
+        est = getattr(op, "est_rows", None)
         stats = self._stats.get(id(op))
         if stats is None:
+            if est is not None:
+                return f"(est rows={est:.0f}, never executed)"
             return "(never executed)"
         early = ", early-terminated" if stats.early_terminated else ""
+        peak = ""
+        if stats.peak_bytes:
+            peak = f", peak≈{stats.peak_bytes / 1024:.1f}KB"
+        if est is not None:
+            from .feedback import qerror
+
+            q = qerror(est, stats.rows_out)
+            return (
+                f"(est rows={est:.0f} actual rows={stats.rows_out} "
+                f"qerror={q:.2f} batches={stats.chunks} "
+                f"time={stats.elapsed_s * 1e3:.3f}ms{early}{peak})"
+            )
         return (
             f"(actual rows={stats.rows_out} batches={stats.chunks} "
-            f"time={stats.elapsed_s * 1e3:.3f}ms{early})"
+            f"time={stats.elapsed_s * 1e3:.3f}ms{early}{peak})"
         )
 
 

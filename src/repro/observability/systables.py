@@ -19,12 +19,17 @@ Tables:
 
 ``sys.query_log``       every completed statement: id, SQL, shape hash,
                         per-phase timings, rows, status, error
-``sys.operator_stats``  per-operator actuals for span-traced queries
+``sys.operator_stats``  per-operator actuals for every completed query
+                        (populated unconditionally; spans stay opt-in)
+``sys.plan_feedback``   per-operator est/actual/Q-error and peak bytes
+``sys.query_shapes``    per-shape latency p50/p95, EWMA baseline, and
+                        regression flag
 ``sys.metrics``         MetricsRegistry snapshot (one row per metric)
 ``sys.rewrite_fires``   optimizer rewrite case -> cumulative fire count
 ``sys.cache_entries``   cached views (SCV/DCV) and their staleness
 ``sys.wal_segments``    WAL segments (disk) or the in-memory log
 ``sys.active_spans``    flattened span tree of the current/last trace
+``sys.fault_points``    fault-injection points with call/injection counts
 """
 
 from __future__ import annotations
@@ -77,6 +82,9 @@ def install_sys_tables(db) -> None:
         ],
     ))
 
+    # Per-operator actuals for every completed query — populated
+    # unconditionally by the plan-feedback collector (span tracing is no
+    # longer a prerequisite; disable with Database(plan_feedback=False)).
     register(SysTable(
         _schema(
             "sys.operator_stats",
@@ -95,6 +103,51 @@ def install_sys_tables(db) -> None:
             )
             for o in db.query_log.operator_rows()
         ],
+    ))
+
+    register(SysTable(
+        _schema(
+            "sys.plan_feedback",
+            ("query_id", dt.varchar(16)),
+            ("op_index", dt.BIGINT),
+            ("operator", dt.varchar()),
+            ("kind", dt.varchar(24)),
+            ("est_rows", dt.DOUBLE),
+            ("actual_rows", dt.BIGINT),
+            ("qerror", dt.DOUBLE),
+            ("peak_bytes", dt.BIGINT),
+            ("early_terminated", dt.BOOLEAN),
+            ("never_executed", dt.BOOLEAN),
+        ),
+        lambda: [
+            (
+                f.query_id, f.op_index, f.operator, f.kind, f.est_rows,
+                f.actual_rows, f.qerror, f.peak_bytes, f.early_terminated,
+                f.never_executed,
+            )
+            for f in db.query_log.feedback_rows()
+        ],
+    ))
+
+    def _shape_rows() -> list[tuple]:
+        # Baselines are computed lazily: fold in any log entries appended
+        # since the last scan, then snapshot.
+        db.shape_baselines.sync(db.query_log)
+        return db.shape_baselines.rows()
+
+    register(SysTable(
+        _schema(
+            "sys.query_shapes",
+            ("shape", dt.varchar(16)),
+            ("example_sql", dt.varchar()),
+            ("count", dt.BIGINT),
+            ("p50_ms", dt.DOUBLE),
+            ("p95_ms", dt.DOUBLE),
+            ("baseline_ms", dt.DOUBLE),
+            ("last_ms", dt.DOUBLE),
+            ("regressed", dt.BOOLEAN),
+        ),
+        _shape_rows,
     ))
 
     register(SysTable(
@@ -157,6 +210,17 @@ def install_sys_tables(db) -> None:
             ("events", dt.BIGINT),
         ),
         lambda: _span_rows(db.spans),
+    ))
+
+    register(SysTable(
+        _schema(
+            "sys.fault_points",
+            ("point", dt.varchar()),
+            ("armed", dt.BOOLEAN),
+            ("calls", dt.BIGINT),
+            ("injections", dt.BIGINT),
+        ),
+        lambda: db.faults.point_stats(),
     ))
 
 

@@ -22,6 +22,7 @@ from ..algebra.ops import (
     JoinType,
     Limit,
     LogicalOp,
+    OneRow,
     Project,
     Scan,
     Sort,
@@ -90,6 +91,8 @@ class CardinalityEstimator:
             if op.limit is None:
                 return child
             return float(min(child, op.limit))
+        if isinstance(op, OneRow):
+            return 1.0
         return 1000.0  # unknown operator: neutral guess
 
     # -- predicates ---------------------------------------------------------------

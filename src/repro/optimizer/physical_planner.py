@@ -44,13 +44,36 @@ _FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
 
 
 def create_physical_plan(
-    plan: ops.LogicalOp, catalog, used: frozenset[int] | None = None
+    plan: ops.LogicalOp, catalog, used: frozenset[int] | None = None,
+    estimate: bool = True,
 ) -> PhysicalOp:
-    """Compile a logical plan into an executable physical operator tree."""
+    """Compile a logical plan into an executable physical operator tree.
+
+    When ``estimate`` is true every physical operator is stamped with the
+    optimizer's estimated output rows (``PhysicalOp.est_rows``) so the
+    plan-feedback layer can join estimates against actuals post-execution.
+    """
     if used is None:
         used = _collect_used_cids(plan)
     estimator = CardinalityEstimator(StatisticsProvider(catalog))
-    return _compile(plan, used, estimator)
+    root = _compile(plan, used, estimator)
+    if estimate:
+        _stamp_estimates(root, estimator)
+    return root
+
+
+def _stamp_estimates(root: PhysicalOp, estimator: CardinalityEstimator) -> None:
+    """Stamp ``est_rows`` on every operator in the compiled tree.
+
+    Compilation is 1:1, so each physical node still carries its logical
+    counterpart; estimation failures leave ``est_rows`` as None rather
+    than failing the query (the estimate is diagnostics, not planning).
+    """
+    for op in root.walk():
+        try:
+            op.est_rows = estimator.estimate(op.logical)
+        except Exception:  # pragma: no cover - defensive
+            op.est_rows = None
 
 
 def _compile(

@@ -1,0 +1,95 @@
+"""``repro doctor``: the plan-feedback diagnostic report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.database import Database
+from repro.observability import doctor_report
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("create table t (id int primary key, v int)")
+    database.execute(
+        "insert into t values (1, 10), (2, 20), (3, 30), (4, 40), "
+        "(5, 50), (6, 60), (7, 70), (8, 80), (9, 90), (10, 100), "
+        "(11, 110), (12, 120)"
+    )
+    yield database
+    database.close()
+
+
+def test_empty_report_has_all_three_sections(db):
+    report = doctor_report(db)
+    assert report.startswith("== repro doctor ==")
+    assert "misestimated operators" in report
+    assert "memory-hungriest queries" in report
+    assert "regressed query shapes" in report
+    assert report.count("(none)") == 3
+
+
+def test_misestimated_query_tops_the_qerror_section(db):
+    # The stacked range predicates trick the 1/3-per-predicate heuristic:
+    # est 1.33 rows, actual 12 -> qerror 9.
+    sql = "select v from t where v > -1 and v < 1000000"
+    db.query(sql)
+    report = doctor_report(db)
+    offenders = [
+        line for line in report.splitlines() if line.startswith("qerror=")
+    ]
+    assert offenders and "9.00" in offenders[0]  # worst first
+    assert any("Filter" in line for line in offenders)
+    assert sql in report  # the offending SQL is shown under the operator
+
+
+def test_memory_section_lists_blocking_queries(db):
+    db.query("select v from t order by v")
+    report = doctor_report(db)
+    assert "peak≈" in report
+    assert "select v from t order by v" in report
+
+
+def test_report_respects_top_n(db):
+    for threshold in range(8):
+        db.query(f"select v from t where v > {threshold} and v < 1000000")
+    report = doctor_report(db, top=2)
+    offenders = [
+        line for line in report.splitlines() if line.startswith("qerror=")
+    ]
+    assert len(offenders) == 2
+
+
+def test_long_sql_is_truncated(db):
+    sql = (
+        "select v from t where v > -1 and v < 1000000 and id in "
+        f"({', '.join(str(i) for i in range(1, 13))})"
+    )
+    assert len(sql) > 80
+    db.query(sql)
+    report = doctor_report(db)
+    assert "..." in report
+    assert sql not in report
+
+
+def test_doctor_cli_prints_report(capsys):
+    from repro.__main__ import main
+
+    exit_code = main(["doctor", "--top", "3"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "== repro doctor ==" in captured.out
+    # The deliberately misestimated demo query guarantees a non-empty
+    # Q-error section even on a fresh database.
+    assert "qerror=" in captured.out
+    assert "orderview" in captured.out
+
+
+def test_doctor_cli_accepts_custom_sql(capsys):
+    from repro.__main__ import main
+
+    exit_code = main(["doctor", "select o_id from orderview"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "== repro doctor ==" in captured.out

@@ -44,8 +44,10 @@ def test_golden_uaj_query(demo_db):
         analyze=True,
     )
     assert normalize(text) == (
-        "Project[1 cols] (actual rows=4 batches=1 time=Xms)\n"
-        "  BatchScan(orders)[cols=1] (actual rows=4 batches=1 time=Xms)\n"
+        "Project[1 cols] (est rows=4 actual rows=4 qerror=1.00 "
+        "batches=1 time=Xms)\n"
+        "  BatchScan(orders)[cols=1] (est rows=4 actual rows=4 qerror=1.00 "
+        "batches=1 time=Xms)\n"
         "execution: 4 row(s) in Xms, 4 row(s) scanned"
     )
 
@@ -58,8 +60,12 @@ def test_golden_join_kept_when_augmenter_used(demo_db):
     )
     normalized = normalize(text)
     assert "HashJoin[build=" in normalized
-    assert "(actual rows=4" in normalized        # the join output
-    assert "BatchScan(customer)[cols=2] (actual rows=3 batches=1 time=Xms)" in normalized
+    assert "actual rows=4" in normalized        # the join output
+    assert "est rows=" in normalized and "qerror=" in normalized
+    assert ("BatchScan(customer)[cols=2] (est rows=3 actual rows=3 "
+            "qerror=1.00 batches=1 time=Xms)") in normalized
+    # The hash build side reports its peak estimated memory.
+    assert "peak≈" in normalized
     assert normalized.endswith("execution: 4 row(s) in Xms, 7 row(s) scanned")
 
 

@@ -100,6 +100,109 @@ def test_new_metrics_registered_mid_snapshot_loop():
         thread.join()
 
 
+# -- concurrent QueryLog / plan-feedback appends vs. sys.* scans ------------
+
+
+def test_query_log_and_plan_feedback_never_tear_under_threads():
+    """Threaded queries appending to the query-log rings while another
+    thread scans ``sys.query_log`` / ``sys.plan_feedback`` (both via SQL
+    and via the direct snapshot methods) must never raise and never show
+    a torn per-query feedback group: each completed query's rows form a
+    contiguous 0..n-1 ``op_index`` run, because the whole group is
+    appended under one lock hold."""
+    db = Database()
+    db.execute("create table t (id int primary key, v int)")
+    db.execute("insert into t values (1, 10), (2, 20), (3, 30), (4, 40)")
+    # Big rings and bounded writers: eviction mid-test would legitimately
+    # drop the oldest group's prefix, which is not a tear.
+    db.query_log.configure(capacity=100_000, operator_capacity=500_000,
+                           feedback_capacity=500_000)
+    stop = threading.Event()
+    failures: list[str] = []
+
+    def writer(offset: int):
+        for index in range(200):
+            if stop.is_set():
+                return
+            try:
+                db.query(f"select v from t where v > {(index + offset) % 40} "
+                         "order by v")
+            except Exception as error:  # pragma: no cover - fail the test
+                failures.append(f"writer: {error!r}")
+                return
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(3)]
+    for thread in threads:
+        thread.start()
+    try:
+        for _ in range(25):
+            # Direct snapshots: must not raise "deque mutated during
+            # iteration" and must keep feedback groups whole.
+            entries = db.query_log.entries()
+            assert len({e.query_id for e in entries}) == len(entries)
+            groups: dict[str, list[int]] = {}
+            for row in db.query_log.feedback_rows():
+                groups.setdefault(row.query_id, []).append(row.op_index)
+            for query_id, indexes in groups.items():
+                assert sorted(indexes) == list(range(len(indexes))), (
+                    f"torn feedback group for {query_id}: {indexes}"
+                )
+            # And through SQL, streaming the same rings.
+            result = db.query(
+                "select query_id, op_index from sys.plan_feedback"
+            )
+            sql_groups: dict[str, list[int]] = {}
+            for query_id, op_index in result.rows:
+                sql_groups.setdefault(query_id, []).append(op_index)
+            for query_id, indexes in sql_groups.items():
+                assert sorted(indexes) == list(range(len(indexes)))
+            db.query("select count(*) from sys.query_log")
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+        db.close()
+    assert failures == []
+
+
+def test_shape_baselines_sync_while_queries_run():
+    """sys.query_shapes folds the log in lazily; concurrent sync() calls
+    while queries complete must not lose samples or raise."""
+    db = Database()
+    db.execute("create table t (id int primary key, v int)")
+    db.execute("insert into t values (1, 10), (2, 20)")
+    db.query_log.configure(capacity=100_000)
+    stop = threading.Event()
+    failures: list[str] = []
+
+    def writer():
+        for _ in range(400):
+            if stop.is_set():
+                return
+            try:
+                db.query("select v from t where v > 5")
+            except Exception as error:  # pragma: no cover - fail the test
+                failures.append(repr(error))
+                return
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    try:
+        previous = 0
+        for _ in range(25):
+            rows = db.query(
+                "select shape, count from sys.query_shapes"
+            ).rows
+            total = sum(count for _shape, count in rows)
+            assert total >= previous  # samples only accumulate
+            previous = total
+    finally:
+        stop.set()
+        thread.join()
+        db.close()
+    assert failures == []
+
+
 # -- scraping the HTTP endpoint while queries run ---------------------------
 
 

@@ -19,11 +19,14 @@ from repro.sql.normalize import shape_hash
 SYS_TABLE_NAMES = (
     "sys.query_log",
     "sys.operator_stats",
+    "sys.plan_feedback",
+    "sys.query_shapes",
     "sys.metrics",
     "sys.rewrite_fires",
     "sys.cache_entries",
     "sys.wal_segments",
     "sys.active_spans",
+    "sys.fault_points",
 )
 
 
@@ -123,9 +126,25 @@ def test_operator_stats_join_query_log_on_query_id(db):
     assert all(rows == 3 for _op, rows in result.rows)
 
 
-def test_operator_stats_empty_without_tracing(db):
+def test_operator_stats_populate_without_tracing(db):
+    """Plan feedback records per-operator actuals for every query —
+    span tracing is no longer a prerequisite (the old behaviour left
+    sys.operator_stats empty under normal operation)."""
+    db.query("select v from t")
+    rows = db.query(
+        "select operator, rows_out from sys.operator_stats"
+    ).rows
+    assert any("BatchScan(t)" in op for op, _ in rows)
+
+
+def test_operator_stats_empty_with_feedback_disabled():
+    db = Database(plan_feedback=False)
+    db.execute("create table t (id int primary key, v int)")
+    db.execute("insert into t values (1, 10)")
     db.query("select v from t")
     assert db.query("select * from sys.operator_stats").rows == []
+    assert db.query("select * from sys.plan_feedback").rows == []
+    db.close()
 
 
 def test_sys_metrics_counters(db):
