@@ -14,6 +14,9 @@ Public API highlights:
 - :mod:`repro.workloads` — TPC-H-subset and S/4-style synthetic workloads.
 - :mod:`repro.optimizer.profiles` — capability profiles reproducing the
   paper's five-system comparison (Tables 1-4).
+- :mod:`repro.serving` — the concurrent multi-tenant serving layer:
+  sessions, admission control with load shedding, per-tenant rate limits
+  and circuit breakers, and the ``repro serve`` HTTP JSON gateway.
 """
 
 from .database import Database  # noqa: F401
@@ -21,13 +24,17 @@ from .engine import QueryResult  # noqa: F401
 from .errors import (  # noqa: F401
     BindError,
     CatalogError,
+    CircuitOpenError,
     ConstraintError,
     ExecutionError,
     FaultInjectedError,
     OptimizerError,
+    OverloadError,
     QueryTimeoutError,
+    RateLimitedError,
     ReproError,
     SqlSyntaxError,
+    TenantAccessError,
     TransactionError,
     TypeCheckError,
 )

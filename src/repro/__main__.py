@@ -27,9 +27,11 @@ Subcommands (run against the built-in demo schema):
   python -m repro metrics [--profile NAME] [--format table|prometheus|json] [SQL ...]
   python -m repro doctor  [--top N] [--profile NAME] [SQL ...]
   python -m repro serve-metrics [--port N] [--profile NAME]
+  python -m repro serve [--port N] [--max-concurrent N] [--max-queue N]
+                        [--rate QPS] [--timeout SECONDS] [--profile NAME]
   python -m repro bench-diff [--history PATH] [--threshold PCT]
   python -m repro chaos [--seed N] [--ops N] [--fsync POLICY] [--wal-dir DIR]
-                        [--batch-size N]
+                        [--batch-size N] [--threads N] [--rounds N]
   python -m repro fuzz  [--runs N] [--seed N] [--time-budget SECONDS]
                         [--corpus-dir DIR] [--profile NAME] [--no-reduce]
   python -m repro replay CAPTURE.jsonl [--check-digests] [--profile NAME]
@@ -247,6 +249,28 @@ def run_subcommand(argv: list[str]) -> int:
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--profile", default=None)
 
+    p_gateway = sub.add_parser(
+        "serve",
+        help="serve the demo schema over the HTTP JSON gateway "
+             "(POST /v1/query, /v1/session; GET /stats, /healthz)",
+    )
+    p_gateway.add_argument("--port", type=int, default=8080,
+                           help="listen port (default: 8080; 0 picks a free port)")
+    p_gateway.add_argument("--host", default="127.0.0.1")
+    p_gateway.add_argument("--profile", default=None)
+    p_gateway.add_argument("--max-concurrent", type=int, default=8,
+                           help="statements running at once (default: 8)")
+    p_gateway.add_argument("--max-queue", type=int, default=32,
+                           help="admission queue bound; beyond it requests "
+                                "are shed with 429 (default: 32)")
+    p_gateway.add_argument("--rate", type=float, default=None, metavar="QPS",
+                           help="per-tenant token-bucket rate limit "
+                                "(default: unlimited)")
+    p_gateway.add_argument("--timeout", type=float, default=None,
+                           metavar="SECONDS",
+                           help="default statement timeout, queue wait "
+                                "included (default: none)")
+
     p_diff = sub.add_parser(
         "bench-diff",
         help="compare the last two benchmark runs in BENCH_history.json",
@@ -272,6 +296,13 @@ def run_subcommand(argv: list[str]) -> int:
     p_chaos.add_argument("--batch-size", type=int, default=None,
                          help="streaming-executor batch size for every "
                               "database the campaign opens (default: 1024)")
+    p_chaos.add_argument("--threads", type=int, default=0, metavar="N",
+                         help="run the concurrency variant with N writer "
+                              "threads through the serving layer "
+                              "(0 = single-threaded campaign; default)")
+    p_chaos.add_argument("--rounds", type=int, default=3,
+                         help="kill-and-recover rounds for --threads "
+                              "(default: 3)")
     p_chaos.add_argument("--quiet", action="store_true",
                          help="print only the final summary line")
 
@@ -351,6 +382,8 @@ def run_subcommand(argv: list[str]) -> int:
                 print(db.last_trace.report())
         elif options.command == "serve-metrics":
             return _run_serve_metrics(db, options)
+        elif options.command == "serve":
+            return _run_serve(db, options)
         elif options.command == "doctor":
             return _run_doctor(db, options)
         else:
@@ -416,21 +449,72 @@ def _run_serve_metrics(db: Database, options) -> int:
     return 0
 
 
+def _run_serve(db: Database, options) -> int:
+    import signal
+
+    from .serving import GatewayServer
+
+    server = GatewayServer(
+        db,
+        port=options.port,
+        host=options.host,
+        max_concurrent=options.max_concurrent,
+        max_queue=options.max_queue,
+        rate_per_s=options.rate,
+        default_timeout_s=options.timeout,
+    )
+    server.start()
+
+    # SIGTERM drains too: backgrounded shells ignore SIGINT, so `kill`
+    # is how supervisors and CI stop the gateway.
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:  # not the main thread (embedded use)
+        pass
+    print(f"serving SQL on {server.url}/v1/query "
+          "(also /v1/session, /stats, /healthz; Ctrl-C to drain and stop)",
+          flush=True)
+    try:
+        while server._thread is not None and server._thread.is_alive():
+            server._thread.join(timeout=1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        drained = server.close()
+        print("gateway stopped (drained)" if drained
+              else "gateway stopped (drain timed out)", flush=True)
+    return 0
+
+
 def _run_chaos(options) -> int:
     import tempfile
 
-    from .faults import run_chaos
+    from .faults import run_chaos, run_concurrency_chaos
 
     wal_dir = options.wal_dir or tempfile.mkdtemp(prefix="repro-chaos-")
+    log = None if options.quiet else print
     try:
-        report = run_chaos(
-            wal_dir,
-            seed=options.seed,
-            ops=options.ops,
-            fsync=options.fsync,
-            batch_size=options.batch_size,
-            log=None if options.quiet else print,
-        )
+        if options.threads > 0:
+            report = run_concurrency_chaos(
+                wal_dir,
+                seed=options.seed,
+                rounds=options.rounds,
+                writers=options.threads,
+                fsync=options.fsync,
+                log=log,
+            )
+        else:
+            report = run_chaos(
+                wal_dir,
+                seed=options.seed,
+                ops=options.ops,
+                fsync=options.fsync,
+                batch_size=options.batch_size,
+                log=log,
+            )
     except AssertionError as error:
         print(f"chaos: INVARIANT VIOLATED: {error}", file=sys.stderr)
         return 1

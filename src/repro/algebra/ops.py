@@ -12,6 +12,7 @@ simplified.  New columns get fresh cids from :func:`repro.algebra.expr.next_cid`
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Iterator, Sequence
@@ -85,7 +86,9 @@ class Scan(LogicalOp):
     instance: int
     output: tuple[OutputCol, ...]
 
-    _next_instance = 0
+    # itertools.count, like next_cid(): += on a class attribute is not
+    # atomic, and concurrent binds must never hand two scans one instance id.
+    _next_instance = itertools.count(1)
 
     @classmethod
     def create(cls, schema: TableSchema) -> "Scan":
@@ -93,8 +96,7 @@ class Scan(LogicalOp):
             OutputCol(next_cid(), col.name, col.data_type, col.nullable)
             for col in schema.columns
         )
-        cls._next_instance += 1
-        return cls(schema, cls._next_instance, output)
+        return cls(schema, next(cls._next_instance), output)
 
     @property
     def children(self) -> tuple[LogicalOp, ...]:

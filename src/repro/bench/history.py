@@ -95,6 +95,11 @@ def summarize_benchmarks(benchmarks) -> dict[str, dict]:
             }
         else:
             out[name] = {"median_s": None, "mean_s": None, "rounds": 0}
+        # Benchmark-computed figures (QPS, latency percentiles, ...) ride
+        # along so history diffs can show more than wall-clock medians.
+        extra = dict(getattr(bench, "extra_info", None) or {})
+        if extra:
+            out[name]["extra_info"] = extra
     return out
 
 

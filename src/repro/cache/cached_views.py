@@ -18,6 +18,7 @@ the full SQL surface works on top of them.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from ..algebra.binder import Binder
@@ -47,6 +48,13 @@ class CachedViewManager:
 
     def __init__(self, db: Database):
         self.db = db
+        # Serializes view registration and maintenance (refresh, DCV
+        # increments, the delete-all + bulk_load rebuild dance): two
+        # sessions refreshing or deploying the same view concurrently would
+        # otherwise duplicate cache rows or drop each other's temp delta
+        # tables.  Reentrant: create_* calls refresh, apply_increments can
+        # fall back to refresh.
+        self._lock = threading.RLock()
         self._views: dict[str, CachedViewInfo] = {}
         # Self-register so sys.cache_entries can enumerate this manager's
         # views (the facade pre-seeds the attribute with None).
@@ -73,7 +81,8 @@ class CachedViewManager:
 
     def infos(self) -> list[CachedViewInfo]:
         """All registered cached views (the ``sys.cache_entries`` feed)."""
-        return list(self._views.values())
+        with self._lock:
+            return list(self._views.values())
 
     def _base_tables(self, query_sql: str) -> tuple[str, ...]:
         plan = self._bind(query_sql)
@@ -110,28 +119,34 @@ class CachedViewManager:
         )
 
     def drop(self, name: str) -> None:
-        info = self.info(name)
-        self.db.catalog.drop_table(info.name)
-        del self._views[info.name]
+        with self._lock:
+            info = self.info(name)
+            self.db.catalog.drop_table(info.name)
+            del self._views[info.name]
 
     # -- static cached views -----------------------------------------------------
 
     def create_static(self, name: str, query_sql: str) -> CachedViewInfo:
         """Materialize ``query_sql`` into cache table ``name`` (an SCV)."""
         lowered = name.lower()
-        if lowered in self._views:
-            raise CatalogError(f"cached view {name!r} already exists")
-        plan = self._bind(query_sql)
-        schema = self._materialize_schema(lowered, plan)
-        self.db.create_table_from_schema(schema)
-        info = CachedViewInfo(lowered, "static", query_sql,
-                              self._base_tables(query_sql))
-        self._views[lowered] = info
-        self.refresh(lowered)
-        return info
+        with self._lock:
+            if lowered in self._views:
+                raise CatalogError(f"cached view {name!r} already exists")
+            plan = self._bind(query_sql)
+            schema = self._materialize_schema(lowered, plan)
+            self.db.create_table_from_schema(schema)
+            info = CachedViewInfo(lowered, "static", query_sql,
+                                  self._base_tables(query_sql))
+            self._views[lowered] = info
+            self.refresh(lowered)
+            return info
 
     def refresh(self, name: str) -> int:
         """Re-materialize an SCV (or fully rebuild a DCV); returns rows."""
+        with self._lock:
+            return self._refresh_locked(name)
+
+    def _refresh_locked(self, name: str) -> int:
         info = self.info(name)
         faults = getattr(self.db, "faults", None)
         if faults is not None:
@@ -169,17 +184,18 @@ class CachedViewManager:
         aggregates (AVG can be phrased as SUM/COUNT).  Anything else raises.
         """
         lowered = name.lower()
-        if lowered in self._views:
-            raise CatalogError(f"cached view {name!r} already exists")
-        plan = self._bind(query_sql)
-        self._validate_dynamic_shape(plan)
-        schema = self._materialize_schema(lowered, plan)
-        self.db.create_table_from_schema(schema)
-        info = CachedViewInfo(lowered, "dynamic", query_sql,
-                              self._base_tables(query_sql))
-        self._views[lowered] = info
-        self.refresh(lowered)
-        return info
+        with self._lock:
+            if lowered in self._views:
+                raise CatalogError(f"cached view {name!r} already exists")
+            plan = self._bind(query_sql)
+            self._validate_dynamic_shape(plan)
+            schema = self._materialize_schema(lowered, plan)
+            self.db.create_table_from_schema(schema)
+            info = CachedViewInfo(lowered, "dynamic", query_sql,
+                                  self._base_tables(query_sql))
+            self._views[lowered] = info
+            self.refresh(lowered)
+            return info
 
     def _validate_dynamic_shape(self, plan: LogicalOp) -> None:
         node = plan
@@ -210,6 +226,10 @@ class CachedViewManager:
         Returns the number of new base rows processed.  If deletions
         happened, falls back to a full refresh (MIN/MAX are not reversible).
         """
+        with self._lock:
+            return self._apply_increments_locked(name)
+
+    def _apply_increments_locked(self, name: str) -> int:
         info = self.info(name)
         if info.kind != "dynamic":
             raise ExecutionError(f"{name!r} is a static cached view; use refresh()")
@@ -290,7 +310,11 @@ class CachedViewManager:
         """
         info = self.info(name)
         spans = self.db.spans
-        with spans.span("cache.query_fresh", view=info.name, kind=info.kind):
+        # Held across maintenance *and* the read so the up-to-date-snapshot
+        # contract survives a concurrent refresh between the two.
+        with self._lock, spans.span(
+            "cache.query_fresh", view=info.name, kind=info.kind
+        ):
             if info.kind == "dynamic":
                 if self.apply_increments(name):
                     self._m_misses.inc()

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Iterator
 
 from ..errors import CatalogError
@@ -22,9 +23,17 @@ class Catalog:
     they resolve for reads like any table, but stay invisible to
     :meth:`tables` so checkpoints, recovery, and delta merges never touch
     them, and the prefix is reserved against user DDL.
+
+    All mutation paths take one RLock, and the iteration surfaces
+    (:meth:`tables` / :meth:`views` / :meth:`system_tables`) return
+    snapshot copies rather than live dict iterators: concurrent DDL from
+    one session must not blow up a checkpoint, merge, or scan walking the
+    catalog from another ("dict changed size during iteration").  Lookups
+    stay lock-free — a single dict read is atomic under the GIL.
     """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._tables: dict[str, "ColumnTable"] = {}
         self._views: dict[str, ViewSchema] = {}
         self._systables: dict[str, SysTable] = {}
@@ -34,21 +43,23 @@ class Catalog:
     def create_table(self, table: "ColumnTable", if_not_exists: bool = False) -> None:
         name = table.schema.name
         self._reject_reserved(name)
-        if name in self._tables or name in self._views:
-            if if_not_exists:
-                return
-            raise CatalogError(f"object {name!r} already exists")
-        self._tables[name] = table
+        with self._lock:
+            if name in self._tables or name in self._views:
+                if if_not_exists:
+                    return
+                raise CatalogError(f"object {name!r} already exists")
+            self._tables[name] = table
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
         lowered = name.lower()
         if lowered in self._systables:
             raise CatalogError(f"system table {name!r} cannot be dropped")
-        if lowered not in self._tables:
-            if if_exists:
-                return
-            raise CatalogError(f"no table {name!r}")
-        del self._tables[lowered]
+        with self._lock:
+            if lowered not in self._tables:
+                if if_exists:
+                    return
+                raise CatalogError(f"no table {name!r}")
+            del self._tables[lowered]
 
     def table(self, name: str) -> "ColumnTable":
         lowered = name.lower()
@@ -71,7 +82,8 @@ class Catalog:
     def tables(self) -> Iterator["ColumnTable"]:
         """User tables only — durability and maintenance iterate this, so
         virtual system tables are deliberately excluded."""
-        return iter(self._tables.values())
+        with self._lock:
+            return iter(list(self._tables.values()))
 
     # -- system tables -----------------------------------------------------
 
@@ -79,10 +91,12 @@ class Catalog:
         name = table.schema.name
         if not name.startswith(SYS_PREFIX):
             raise CatalogError(f"system table {name!r} must live under {SYS_PREFIX!r}")
-        self._systables[name] = table
+        with self._lock:
+            self._systables[name] = table
 
     def system_tables(self) -> Iterator[SysTable]:
-        return iter(self._systables.values())
+        with self._lock:
+            return iter(list(self._systables.values()))
 
     def _reject_reserved(self, name: str) -> None:
         if name.startswith(SYS_PREFIX):
@@ -94,19 +108,21 @@ class Catalog:
 
     def create_view(self, view: ViewSchema, or_replace: bool = False) -> None:
         self._reject_reserved(view.name)
-        if view.name in self._tables:
-            raise CatalogError(f"table {view.name!r} already exists")
-        if view.name in self._views and not or_replace:
-            raise CatalogError(f"view {view.name!r} already exists")
-        self._views[view.name] = view
+        with self._lock:
+            if view.name in self._tables:
+                raise CatalogError(f"table {view.name!r} already exists")
+            if view.name in self._views and not or_replace:
+                raise CatalogError(f"view {view.name!r} already exists")
+            self._views[view.name] = view
 
     def drop_view(self, name: str, if_exists: bool = False) -> None:
         lowered = name.lower()
-        if lowered not in self._views:
-            if if_exists:
-                return
-            raise CatalogError(f"no view {name!r}")
-        del self._views[lowered]
+        with self._lock:
+            if lowered not in self._views:
+                if if_exists:
+                    return
+                raise CatalogError(f"no view {name!r}")
+            del self._views[lowered]
 
     def view(self, name: str) -> ViewSchema:
         lowered = name.lower()
@@ -119,7 +135,8 @@ class Catalog:
         return name.lower() in self._views
 
     def views(self) -> Iterator[ViewSchema]:
-        return iter(self._views.values())
+        with self._lock:
+            return iter(list(self._views.values()))
 
     def resolve(self, name: str) -> "ColumnTable | ViewSchema":
         """Resolve ``name`` to a table or a view, tables first."""

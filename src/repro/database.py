@@ -183,6 +183,9 @@ class Database:
         self._query_seq = itertools.count(1)
         #: CachedViewManager self-registers here (sys.cache_entries feed).
         self.cached_views = None
+        #: repro.serving.SessionManager self-registers here (the
+        #: sys.sessions / sys.admission feed and the health() breaker view).
+        self.serving = None
         #: Workload capture (None unless capture_dir was given).
         self.capture: WorkloadRecorder | None = (
             WorkloadRecorder(capture_dir, profile=profile)
@@ -302,19 +305,27 @@ class Database:
         txn: Transaction | None = None,
         optimize: bool = True,
         timeout: float | None = None,
+        deadline: float | None = None,
     ) -> QueryResult:
         """Run one SELECT.  ``timeout`` (seconds) arms a cooperative
         deadline checked inside every operator's per-batch loop (a long
         streaming scan is interrupted mid-operator); exceeding it raises
         :class:`repro.errors.QueryTimeoutError` and bumps
-        ``query.timeouts``."""
+        ``query.timeouts``.
+
+        ``deadline`` is an *absolute* ``time.monotonic()`` value for when
+        the statement's time budget started before this call — the serving
+        layer stamps it at submission so queue wait counts against the
+        budget.  A deadline already in the past raises
+        :class:`QueryTimeoutError` up front, before any planning work.
+        When both are given the earlier one wins."""
         recorder = self.capture
         if recorder is None:
-            return self._query_inner(sql, txn, optimize, timeout)
+            return self._query_inner(sql, txn, optimize, timeout, deadline)
         started_at = time.time()
         started = time.perf_counter()
         try:
-            result = self._query_inner(sql, txn, optimize, timeout)
+            result = self._query_inner(sql, txn, optimize, timeout, deadline)
         except BaseException as exc:
             recorder.record_error(sql, started_at, time.perf_counter() - started, exc)
             raise
@@ -327,8 +338,14 @@ class Database:
         txn: Transaction | None,
         optimize: bool,
         timeout: float | None,
+        submitted_deadline: float | None = None,
     ) -> QueryResult:
         deadline = None if timeout is None else time.monotonic() + timeout
+        if submitted_deadline is not None:
+            deadline = (
+                submitted_deadline if deadline is None
+                else min(deadline, submitted_deadline)
+            )
         if not self.spans.enabled:
             parse_started = time.perf_counter()
             statement = parse_statement(sql)
@@ -376,6 +393,14 @@ class Database:
         optimize_s: float | None = None
         execute_s: float | None = None
         try:
+            if deadline is not None and time.monotonic() > deadline:
+                # The budget was consumed before execution began (queue
+                # wait under admission control): fail fast, before paying
+                # for planning.  Logged below like any other timeout.
+                self._m_timeouts.inc()
+                raise QueryTimeoutError(
+                    "statement deadline exceeded before execution began"
+                )
             plan, tally, operators_before, bind_s, optimize_s = self._plan_with_trace(
                 query, optimize, sql, query_id=query_id
             )
@@ -881,6 +906,17 @@ class Database:
             value = self.metrics.counter(name).value
             if value > 0:
                 reasons.append(f"{label}: {value}")
+        serving = self.serving
+        if serving is not None:
+            tripped = sorted(
+                f"{state.name}={state.breaker.state}"
+                for state in serving.tenants.states()
+                if state.breaker.state != "closed"
+            )
+            if tripped:
+                reasons.append("circuit breakers tripped: " + ", ".join(tripped))
+            if serving.draining:
+                reasons.append("serving layer draining")
         return {"status": "degraded" if reasons else "ok", "reasons": reasons}
 
     # -- durability ---------------------------------------------------------------
@@ -1068,7 +1104,11 @@ class Database:
 
     def close(self) -> None:
         """Release the on-disk WAL's file handle and the capture file
-        (no-ops otherwise)."""
+        (no-ops otherwise).  An attached serving layer is drained first so
+        no in-flight statement sees the WAL handle vanish under it."""
+        serving = self.serving
+        if serving is not None and not serving.closed:
+            serving.shutdown()
         wal = self.wal
         if wal is not None and hasattr(wal, "close"):
             wal.close()

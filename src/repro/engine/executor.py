@@ -12,6 +12,7 @@ read only live columns, and the materialized :class:`QueryResult`.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -109,7 +110,13 @@ class Executor:
         memory_budget_bytes: int | None = None,
     ):
         self._catalog = catalog
-        self._collector = None
+        # Per-statement state (deadline, collector) lives in thread-local
+        # storage: one Executor is shared by every session of a Database,
+        # and plain instance attributes would let concurrent statements
+        # tear each other's deadlines during the save/restore in execute().
+        # Thread-locality preserves the nested-execute inheritance below
+        # (scalar subqueries run on the caller's thread).
+        self._tls = threading.local()
         self._tracer = tracer
         self._faults = faults
         self._batch_size = max(1, batch_size)
@@ -118,9 +125,6 @@ class Executor:
         self._plan_feedback = plan_feedback
         #: Soft per-query memory budget (estimated bytes); None = unlimited.
         self._memory_budget = memory_budget_bytes
-        # Cooperative statement deadline (time.monotonic() value), checked
-        # inside every operator's per-batch loop; None means no timeout.
-        self._deadline = None
         # Pre-resolved metric handles (these are per-batch hot paths).
         if metrics is None:
             self._m_blocks_pruned = None
@@ -142,6 +146,24 @@ class Executor:
     @property
     def batch_size(self) -> int:
         return self._batch_size
+
+    # Cooperative statement deadline (time.monotonic() value), checked
+    # inside every operator's per-batch loop; None means no timeout.
+    @property
+    def _deadline(self) -> float | None:
+        return getattr(self._tls, "deadline", None)
+
+    @_deadline.setter
+    def _deadline(self, value: float | None) -> None:
+        self._tls.deadline = value
+
+    @property
+    def _collector(self):
+        return getattr(self._tls, "collector", None)
+
+    @_collector.setter
+    def _collector(self, value) -> None:
+        self._tls.collector = value
 
     def compile(
         self, plan: ops.LogicalOp, used: frozenset[int] | None = None,

@@ -75,6 +75,56 @@ class TypeCheckError(ReproError):
     """Raised when expression operands have incompatible SQL types."""
 
 
+class OverloadError(ReproError):
+    """Raised when the serving layer sheds load instead of queuing unboundedly.
+
+    Overload is a *designed* state: the admission controller rejects work
+    the moment its bounded queue is full (or the server is draining) rather
+    than letting latency collapse for everyone.  ``retry_after`` is a hint,
+    in seconds, for when the client should try again — the HTTP gateway
+    maps it onto a ``Retry-After`` header with a 429 status.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class RateLimitedError(OverloadError):
+    """Raised when a tenant's token bucket is empty.
+
+    A subclass of :class:`OverloadError` so callers can treat both kinds of
+    shed uniformly; ``retry_after`` is the time until the next token.
+    """
+
+
+class CircuitOpenError(ReproError):
+    """Raised when a tenant's circuit breaker is open (or a half-open probe
+    is already in flight).
+
+    Carries the tenant name and a ``retry_after`` hint (seconds until the
+    breaker next allows a probe).  Maps to HTTP 503.
+    """
+
+    def __init__(self, tenant: str, retry_after: float | None = None,
+                 message: str | None = None):
+        super().__init__(
+            message or f"circuit breaker open for tenant {tenant!r}"
+        )
+        self.tenant = tenant
+        self.retry_after = retry_after
+
+
+class TenantAccessError(ReproError):
+    """Raised when a statement references a table owned by another tenant.
+
+    Namespace scoping is a serving-layer concern (accident prevention, not
+    a security boundary): tables created through a tenant's session belong
+    to that tenant; ``sys.*`` and tables created outside any session are
+    shared.  Maps to HTTP 403.
+    """
+
+
 class MemoryBudgetWarning(RuntimeWarning):
     """A query's estimated operator memory exceeded
     ``Database(memory_budget_bytes=...)``.

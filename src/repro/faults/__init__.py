@@ -53,4 +53,9 @@ from .injector import (  # noqa: F401
     FaultRule,
     SimulatedCrash,
 )
-from .chaos import ChaosReport, run_chaos  # noqa: F401
+from .chaos import (  # noqa: F401
+    ChaosReport,
+    ConcurrencyChaosReport,
+    run_chaos,
+    run_concurrency_chaos,
+)

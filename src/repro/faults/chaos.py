@@ -4,6 +4,9 @@ Drives a :class:`~repro.database.Database` through randomized DML and
 checkpoints while repeatedly crash-simulating it at armed fault points,
 recovering with :meth:`Database.recover` after every crash, and checking
 the recovered state against a shadow model of committed rows.
+:func:`run_concurrency_chaos` runs the same kill-and-recover discipline
+with N writer and M analytical reader threads hammering one database
+through the serving layer.
 
 The invariant checked is **committed-data equivalence with commit
 ambiguity**: after recovery the table must equal either
@@ -26,6 +29,7 @@ from __future__ import annotations
 
 import os
 import random
+import threading
 import warnings
 from dataclasses import dataclass, field
 
@@ -258,6 +262,249 @@ def run_chaos(
     report.recoveries += 1
     verify(db, None)
     report.final_rows = len(shadow)
+    db.close()
+    say(report.summary())
+    return report
+
+
+@dataclass
+class ConcurrencyChaosReport:
+    """What one :func:`run_concurrency_chaos` campaign did and survived."""
+
+    seed: int
+    rounds: int = 0
+    commits: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    clean_shutdowns: int = 0
+    shed: int = 0
+    reader_checks: int = 0
+    ambiguous_commits: int = 0
+    final_rows: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"concurrency-chaos seed={self.seed}: {self.rounds} rounds, "
+            f"{self.commits} commits, {self.crashes} crashes, "
+            f"{self.recoveries} recoveries, "
+            f"{self.clean_shutdowns} clean shutdowns, {self.shed} shed, "
+            f"{self.reader_checks} reader checks, "
+            f"{self.ambiguous_commits} ambiguous commits, "
+            f"{self.final_rows} rows survive"
+        )
+
+
+#: Readers assert this never returns a row: every visible row satisfies
+#: ``v = id*3 + w``, so a torn read (value columns from different writes)
+#: is caught by a plain analytical scan.
+_MT_INVARIANT_SQL = "select count(*) from chaos_mt where v <> id * 3 + w"
+
+
+def run_concurrency_chaos(
+    wal_dir: str,
+    *,
+    seed: int = 0,
+    rounds: int = 3,
+    writers: int = 4,
+    readers: int = 2,
+    ops_per_writer: int = 8,
+    fsync: str = "commit",
+    profile: str = "hana",
+    max_concurrent: int = 4,
+    max_queue: int = 16,
+    log=None,
+) -> ConcurrencyChaosReport:
+    """Kill-and-recover while N writers + M readers run through serving.
+
+    Each round opens (or recovers) a durable database, puts a
+    :class:`~repro.serving.session.SessionManager` in front of it, and
+    lets ``writers`` threads insert batches (each batch one autocommit
+    transaction, every row satisfying ``v = id*3 + w``) while ``readers``
+    threads run analytical invariant scans plus ``sys.*`` queries.  Most
+    rounds arm one ``wal.append`` crash mid-traffic; every round ends
+    with recovery and the committed-data check:
+
+    - every committed batch is present in full after recovery;
+    - any extra rows form whole attempt batches (commit ambiguity),
+      never fragments;
+    - the ``v = id*3 + w`` invariant holds over the recovered table;
+    - rounds without a crash must drain to a clean shutdown.
+
+    Raises ``AssertionError`` on any violation; deterministic per seed
+    up to thread scheduling (which only affects interleaving, never the
+    checked invariants).
+    """
+    from ..database import Database  # local: repro.database imports repro.faults
+    from ..errors import OverloadError, QueryTimeoutError, ReproError
+    from ..serving import SessionManager
+
+    rng = random.Random(seed)
+    report = ConcurrencyChaosReport(seed=seed)
+
+    def say(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    state_lock = threading.Lock()
+    committed: dict[int, int] = {}   # id -> v, batches recorded post-commit
+    attempts: list[dict[int, int]] = []  # in-flight batches (ambiguity pool)
+    next_id = 1
+
+    db = Database(profile=profile, wal_dir=wal_dir, fsync=fsync)
+    db.execute("create table chaos_mt (id int primary key, w int, v int)")
+
+    for round_no in range(rounds):
+        report.rounds += 1
+        manager = SessionManager(
+            db, max_concurrent=max_concurrent, max_queue=max_queue
+        )
+        # Arm one crash mid-traffic on most rounds; the last nth values
+        # routinely exceed the round's append count, giving crash-free
+        # rounds that must instead drain to a clean shutdown.
+        arm_crash = rng.random() < 0.8
+        if arm_crash:
+            db.faults.arm(
+                "wal.append", crash=True, times=1,
+                nth=rng.randint(1, writers * ops_per_writer),
+            )
+        stop = threading.Event()
+        crashed = threading.Event()
+        failures: list[str] = []
+
+        def writer(index: int) -> None:
+            nonlocal next_id
+            session = manager.session(f"writer{index}")
+            for _ in range(ops_per_writer):
+                if stop.is_set():
+                    break
+                with state_lock:
+                    batch_ids = list(range(next_id, next_id + rng.randint(1, 3)))
+                    next_id = batch_ids[-1] + 1
+                    batch = {rid: rid * 3 + index for rid in batch_ids}
+                    attempts.append(batch)
+                values = ", ".join(
+                    f"({rid}, {index}, {v})" for rid, v in batch.items()
+                )
+                try:
+                    session.execute(f"insert into chaos_mt values {values}")
+                except SimulatedCrash:
+                    crashed.set()
+                    stop.set()
+                    return  # batch stays in the ambiguity pool
+                except (OverloadError, QueryTimeoutError):
+                    with state_lock:
+                        attempts.remove(batch)
+                        report.shed += 1
+                    continue
+                except ReproError as error:
+                    failures.append(f"writer{index}: {error!r}")
+                    return
+                with state_lock:
+                    attempts.remove(batch)
+                    committed.update(batch)
+                    report.commits += 1
+
+        def reader(index: int) -> None:
+            session = manager.session(f"reader{index}")
+            while not stop.is_set():
+                try:
+                    torn = session.query(_MT_INVARIANT_SQL).rows[0][0]
+                    if torn:
+                        failures.append(
+                            f"reader{index}: {torn} torn rows (v <> id*3+w)"
+                        )
+                        stop.set()
+                        return
+                    session.query("select count(*) from sys.sessions")
+                    session.query("select count(*) from sys.admission")
+                    report.reader_checks += 1
+                except SimulatedCrash:
+                    # Even a read-only snapshot writes a commit record, so
+                    # readers can consume the armed wal.append crash.
+                    crashed.set()
+                    stop.set()
+                    return
+                except (OverloadError, QueryTimeoutError):
+                    continue
+                except ReproError as error:
+                    failures.append(f"reader{index}: {error!r}")
+                    stop.set()
+                    return
+
+        threads = [
+            threading.Thread(target=writer, args=(i,), name=f"chaos-w{i}")
+            for i in range(writers)
+        ] + [
+            threading.Thread(target=reader, args=(i,), name=f"chaos-r{i}")
+            for i in range(readers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads[:writers]:
+            thread.join(timeout=60)
+        stop.set()
+        for thread in threads[writers:]:
+            thread.join(timeout=60)
+        assert not any(t.is_alive() for t in threads), (
+            f"concurrency-chaos seed={seed} round={round_no}: hung threads"
+        )
+        assert not failures, (
+            f"concurrency-chaos seed={seed} round={round_no}: {failures}"
+        )
+
+        db.faults.disarm()
+        if crashed.is_set():
+            report.crashes += 1
+            say(f"round {round_no}: crash at wal.append")
+        else:
+            drained = manager.shutdown(drain_timeout=30.0)
+            assert drained, (
+                f"concurrency-chaos seed={seed} round={round_no}: "
+                f"shutdown did not drain"
+            )
+            report.clean_shutdowns += 1
+        db.close()
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            db = Database.recover(wal_dir, profile=profile, fsync=fsync)
+        report.recoveries += 1
+
+        got = {
+            row[0]: row[1]
+            for row in db.query("select id, v from chaos_mt").rows
+        }
+        missing = {rid for rid in committed if got.get(rid) != committed[rid]}
+        assert not missing, (
+            f"concurrency-chaos seed={seed} round={round_no}: committed "
+            f"rows lost/changed after recovery: {sorted(missing)[:10]}"
+        )
+        extras = set(got) - set(committed)
+        for batch in attempts:
+            overlap = extras & set(batch)
+            assert not overlap or overlap == set(batch), (
+                f"concurrency-chaos seed={seed} round={round_no}: "
+                f"half-applied batch after recovery: {sorted(batch)}"
+            )
+            if overlap:
+                # Commit ambiguity: the record reached the log before the
+                # crash.  Fold the whole batch into the shadow state.
+                committed.update(batch)
+                extras -= overlap
+                report.ambiguous_commits += 1
+        assert not extras, (
+            f"concurrency-chaos seed={seed} round={round_no}: unexpected "
+            f"rows after recovery: {sorted(extras)[:10]}"
+        )
+        attempts.clear()
+        torn = db.query(_MT_INVARIANT_SQL).rows[0][0]
+        assert torn == 0, (
+            f"concurrency-chaos seed={seed} round={round_no}: {torn} "
+            f"recovered rows violate v = id*3 + w"
+        )
+        say(f"round {round_no}: recovered, {len(committed)} rows committed")
+
+    report.final_rows = len(committed)
     db.close()
     say(report.summary())
     return report

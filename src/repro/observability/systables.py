@@ -30,6 +30,9 @@ Tables:
 ``sys.wal_segments``    WAL segments (disk) or the in-memory log
 ``sys.active_spans``    flattened span tree of the current/last trace
 ``sys.fault_points``    fault-injection points with call/injection counts
+``sys.sessions``        live serving sessions: tenant, state, counters
+``sys.admission``       admission queue depth plus per-tenant shed /
+                        rate-limit / breaker state
 """
 
 from __future__ import annotations
@@ -223,6 +226,40 @@ def install_sys_tables(db) -> None:
         lambda: db.faults.point_stats(),
     ))
 
+    register(SysTable(
+        _schema(
+            "sys.sessions",
+            ("session_id", dt.varchar(16)),
+            ("tenant", dt.varchar()),
+            ("state", dt.varchar(8)),
+            ("opened_at", dt.DOUBLE),
+            ("queries_run", dt.BIGINT),
+            ("errors", dt.BIGINT),
+            ("last_query_id", dt.varchar(16)),
+            ("txn_open", dt.BOOLEAN),
+        ),
+        lambda: _session_rows(db),
+    ))
+
+    register(SysTable(
+        _schema(
+            "sys.admission",
+            ("tenant", dt.varchar()),
+            ("queued", dt.BIGINT),
+            ("running", dt.BIGINT),
+            ("max_concurrent", dt.BIGINT),
+            ("queue_capacity", dt.BIGINT),
+            ("admitted", dt.BIGINT),
+            ("shed", dt.BIGINT),
+            ("rate_limited", dt.BIGINT),
+            ("timeouts", dt.BIGINT),
+            ("errors", dt.BIGINT),
+            ("breaker_state", dt.varchar(9)),
+            ("breaker_rejects", dt.BIGINT),
+        ),
+        lambda: _admission_rows(db),
+    ))
+
 
 def _metric_rows(metrics) -> list[tuple]:
     from .metrics import Counter, Gauge
@@ -261,6 +298,39 @@ def _cache_rows(db) -> list[tuple]:
         rows.append((
             info.name, info.kind, info.query_sql, ",".join(info.base_tables),
             info.refresh_count, manager.is_stale(info.name),
+        ))
+    return rows
+
+
+def _session_rows(db) -> list[tuple]:
+    serving = getattr(db, "serving", None)
+    if serving is None:
+        return []
+    return [
+        (
+            s.session_id, s.tenant, s.state, s.opened_at, s.queries_run,
+            s.errors, s.last_query_id, s.txn_open,
+        )
+        for s in serving.sessions()
+    ]
+
+
+def _admission_rows(db) -> list[tuple]:
+    serving = getattr(db, "serving", None)
+    if serving is None:
+        return []
+    snap = serving.admission.snapshot()
+    # One global row (tenant '*') carries the queue columns; one row per
+    # tenant carries the counters and breaker state.
+    rows = [(
+        "*", snap["queued"], snap["running"], snap["max_concurrent"],
+        snap["queue_capacity"], None, None, None, None, None, None, None,
+    )]
+    for state in serving.tenants.states():
+        rows.append((
+            state.name, None, None, None, None,
+            state.admitted, state.shed, state.rate_limited, state.timeouts,
+            state.errors, state.breaker.state, state.breaker_rejects,
         ))
     return rows
 

@@ -1,0 +1,40 @@
+"""The concurrent multi-tenant serving layer.
+
+Makes one shared :class:`~repro.database.Database` safely usable by many
+concurrent clients, with overload as a designed state:
+
+- :class:`.session.Session` / :class:`.session.SessionManager` — per-client
+  transaction state and the statement pipeline (breaker → rate limit →
+  namespace check → admission → engine), self-registered on
+  ``db.serving`` for ``sys.sessions`` / ``sys.admission`` / ``health()``.
+- :class:`.admission.AdmissionController` — bounded queue,
+  ``max_concurrent`` running slots, queue-wait-inclusive deadlines,
+  structured shedding (:class:`~repro.errors.OverloadError` +
+  ``Retry-After``).
+- :class:`.ratelimit.TokenBucket` — per-tenant rate limiting
+  (:class:`~repro.errors.RateLimitedError`).
+- :class:`.breaker.CircuitBreaker` — per-tenant trip/half-open-probe
+  recovery (:class:`~repro.errors.CircuitOpenError`), wired into
+  ``db.health()``.
+- :class:`.gateway.GatewayServer` — the stdlib HTTP JSON gateway
+  (``repro serve``) with graceful drain-and-flush shutdown.
+"""
+
+from .admission import AdmissionController
+from .breaker import CircuitBreaker
+from .gateway import GatewayServer
+from .ratelimit import TokenBucket
+from .session import Session, SessionManager
+from .tenants import DEFAULT_TENANT, TenantRegistry, referenced_tables
+
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "DEFAULT_TENANT",
+    "GatewayServer",
+    "Session",
+    "SessionManager",
+    "TenantRegistry",
+    "TokenBucket",
+    "referenced_tables",
+]

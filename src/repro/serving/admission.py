@@ -1,0 +1,201 @@
+"""Admission control: bounded queue, concurrency cap, load shedding.
+
+One :class:`AdmissionController` guards a shared :class:`~repro.database.
+Database`.  At most ``max_concurrent`` statements run at once; up to
+``max_queue`` more wait on a condition variable.  Anything beyond that is
+*shed* immediately with a structured :class:`~repro.errors.OverloadError`
+carrying a ``Retry-After`` hint — overload is a designed state, not a
+crash (the Polynesia framing: bounded interference between concurrent
+transactional and analytical work).
+
+Deadlines include queue wait: :meth:`acquire` takes the statement's
+absolute deadline and gives up with :class:`~repro.errors.
+QueryTimeoutError` if the slot does not arrive in time, so a statement
+that spent its whole budget queued never executes at all.
+
+Metrics (when built with a registry): ``serving.admitted``,
+``serving.shed``, ``serving.queue_timeouts`` counters;
+``serving.queue_depth`` / ``serving.running`` gauges; and the
+``serving.queue_wait_s`` histogram.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..errors import OverloadError, QueryTimeoutError
+
+
+class AdmissionController:
+    """Bounded-queue admission with queue-wait-inclusive deadlines."""
+
+    def __init__(
+        self,
+        max_concurrent: int = 8,
+        max_queue: int = 32,
+        metrics=None,
+    ) -> None:
+        self.max_concurrent = max(1, int(max_concurrent))
+        self.max_queue = max(0, int(max_queue))
+        self._cond = threading.Condition()
+        self._running = 0
+        self._queued = 0
+        self._closed = False
+        # EWMA of observed service time, seeding the Retry-After hint.
+        self._ema_service_s = 0.02
+        if metrics is None:
+            self._m_admitted = self._m_shed = self._m_queue_timeouts = None
+            self._g_depth = self._g_running = self._h_wait = None
+        else:
+            self._m_admitted = metrics.counter("serving.admitted")
+            self._m_shed = metrics.counter("serving.shed")
+            self._m_queue_timeouts = metrics.counter("serving.queue_timeouts")
+            self._g_depth = metrics.gauge("serving.queue_depth")
+            self._g_running = metrics.gauge("serving.running")
+            self._h_wait = metrics.histogram("serving.queue_wait_s")
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def queued(self) -> int:
+        return self._queued
+
+    @property
+    def running(self) -> int:
+        return self._running
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def snapshot(self) -> dict:
+        """One consistent reading for sys.admission / the gateway stats."""
+        with self._cond:
+            return {
+                "queued": self._queued,
+                "running": self._running,
+                "max_concurrent": self.max_concurrent,
+                "queue_capacity": self.max_queue,
+                "closed": self._closed,
+            }
+
+    def retry_after_hint(self) -> float:
+        """Seconds until a rejected client plausibly gets a slot: the
+        backlog drained ``max_concurrent`` at a time at the EWMA service
+        rate, floored so clients never hammer in a tight loop."""
+        backlog = self._queued + self._running
+        return round(
+            max(0.05, backlog * self._ema_service_s / self.max_concurrent), 3
+        )
+
+    # -- the slot protocol -------------------------------------------------
+
+    def acquire(self, deadline: float | None = None) -> float:
+        """Block until a run slot is granted; returns the queue wait (s).
+
+        Sheds with :class:`OverloadError` when the bounded queue is full or
+        the controller is draining; raises :class:`QueryTimeoutError` when
+        ``deadline`` (absolute ``time.monotonic()``) expires while queued.
+        """
+        started = time.monotonic()
+        with self._cond:
+            if self._closed:
+                raise OverloadError("admission closed: server is draining")
+            if self._running < self.max_concurrent and self._queued == 0:
+                self._running += 1
+                self._note_admitted(0.0)
+                return 0.0
+            if self._queued >= self.max_queue:
+                if self._m_shed is not None:
+                    self._m_shed.inc()
+                raise OverloadError(
+                    f"admission queue full "
+                    f"({self._running} running, {self._queued} queued)",
+                    retry_after=self.retry_after_hint(),
+                )
+            self._queued += 1
+            if self._g_depth is not None:
+                self._g_depth.set(self._queued)
+            try:
+                while True:
+                    if self._closed:
+                        raise OverloadError(
+                            "admission closed while queued: server is draining"
+                        )
+                    if self._running < self.max_concurrent:
+                        self._running += 1
+                        wait = time.monotonic() - started
+                        self._note_admitted(wait)
+                        return wait
+                    remaining = (
+                        None if deadline is None
+                        else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        if self._m_queue_timeouts is not None:
+                            self._m_queue_timeouts.inc()
+                        waited = time.monotonic() - started
+                        raise QueryTimeoutError(
+                            f"deadline exceeded after {waited:.3f}s in the "
+                            f"admission queue (queue wait counts against "
+                            f"the statement budget)"
+                        )
+                    self._cond.wait(remaining)
+            finally:
+                self._queued -= 1
+                if self._g_depth is not None:
+                    self._g_depth.set(self._queued)
+
+    def release(self, service_s: float | None = None) -> None:
+        with self._cond:
+            self._running -= 1
+            if service_s is not None:
+                self._ema_service_s = (
+                    0.8 * self._ema_service_s + 0.2 * service_s
+                )
+            if self._g_running is not None:
+                self._g_running.set(self._running)
+            # notify_all, not notify: a drain in close() waits on the same
+            # condition as queued acquirers, and a single wake could land
+            # on the wrong waiter.
+            self._cond.notify_all()
+
+    def run(self, fn, deadline: float | None = None):
+        """Admit, call ``fn()``, release — the one-stop wrapper."""
+        self.acquire(deadline)
+        started = time.monotonic()
+        try:
+            return fn()
+        finally:
+            self.release(time.monotonic() - started)
+
+    def _note_admitted(self, wait_s: float) -> None:
+        if self._m_admitted is not None:
+            self._m_admitted.inc()
+            self._g_running.set(self._running)
+            self._h_wait.observe(wait_s)
+
+    # -- shutdown ----------------------------------------------------------
+
+    def close(self, drain_timeout: float | None = None) -> bool:
+        """Stop admitting and wait for in-flight statements to finish.
+
+        Queued-but-not-admitted statements are woken and shed (that is the
+        "stops admitting" half of graceful shutdown); running statements
+        get ``drain_timeout`` seconds (None = wait forever) to complete.
+        Returns True when the drain finished, False on timeout.
+        """
+        limit = (
+            None if drain_timeout is None
+            else time.monotonic() + drain_timeout
+        )
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+            while self._running > 0:
+                remaining = None if limit is None else limit - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+        return True

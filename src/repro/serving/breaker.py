@@ -1,0 +1,114 @@
+"""Per-tenant circuit breaker with half-open probe recovery.
+
+States::
+
+    CLOSED ──(failure_threshold consecutive failures)──▶ OPEN
+    OPEN ──(cooldown_s elapses)──▶ HALF_OPEN (one probe admitted)
+    HALF_OPEN ──probe succeeds──▶ CLOSED
+    HALF_OPEN ──probe fails──▶ OPEN (cooldown restarts)
+
+Failures are engine-side faults (timeouts, execution errors) recorded by
+the session layer; client errors (syntax, binding) never trip the
+breaker.  While OPEN, :meth:`allow` raises
+:class:`~repro.errors.CircuitOpenError` with a ``retry_after`` hint;
+tripped breakers degrade :meth:`repro.database.Database.health`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..errors import CircuitOpenError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One tenant's breaker; thread-safe; monotonic-clock based."""
+
+    def __init__(
+        self,
+        tenant: str = "default",
+        failure_threshold: int = 5,
+        cooldown_s: float = 1.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.tenant = tenant
+        self.failure_threshold = max(1, int(failure_threshold))
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self._trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    @property
+    def trips(self) -> int:
+        return self._trips
+
+    def _effective_state(self) -> str:
+        """OPEN decays to HALF_OPEN once the cooldown elapsed (lock held)."""
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._state = HALF_OPEN
+            self._probe_in_flight = False
+        return self._state
+
+    def allow(self) -> None:
+        """Gate one statement; raises :class:`CircuitOpenError` if the
+        breaker is open, or half-open with a probe already in flight."""
+        with self._lock:
+            state = self._effective_state()
+            if state == CLOSED:
+                return
+            if state == HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return
+            if state == HALF_OPEN:
+                retry_after = 0.05  # a probe is deciding; check back shortly
+            else:
+                retry_after = round(
+                    max(0.0, self.cooldown_s - (self._clock() - self._opened_at)),
+                    3,
+                )
+            raise CircuitOpenError(self.tenant, retry_after=retry_after)
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            self._state = CLOSED
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._effective_state()
+            self._consecutive_failures += 1
+            was_probe = self._probe_in_flight
+            self._probe_in_flight = False
+            if state == HALF_OPEN and was_probe:
+                # The recovery probe failed: reopen, restart the cooldown.
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._trips += 1
+            elif (
+                state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._trips += 1

@@ -1,0 +1,265 @@
+"""The HTTP JSON gateway: ``repro serve``.
+
+A stdlib ``ThreadingHTTPServer`` in front of one
+:class:`~repro.serving.session.SessionManager` (each request runs on its
+own thread; admission control, not the HTTP layer, bounds concurrency).
+Endpoints:
+
+- ``POST /v1/query``    ``{"sql": ..., "tenant"?: ..., "session"?: ...,
+  "timeout"?: seconds}`` — runs any statement.  Queries answer
+  ``{"ok": true, "columns": [...], "rows": [...], "row_count": N,
+  "elapsed_ms": ..., "query_id": ...}``; DML answers ``rows_affected``;
+  DDL answers just ``{"ok": true}``.
+- ``POST /v1/session``  ``{"tenant"?: ...}`` → ``{"session": "s1"}`` —
+  open a sticky session (explicit transactions via ``"sql": "begin" /
+  "commit" / "rollback"`` on /v1/query with that session).
+- ``POST /v1/session/close``  ``{"session": "s1"}``.
+- ``GET /stats``        admission/tenant/session counters as JSON.
+- ``GET /healthz``      same contract as the metrics server: always 200,
+  body starts ``ok`` or ``degraded``.
+
+Error mapping (structured shedding — the overload contract)::
+
+    OverloadError / RateLimitedError  429  + Retry-After header
+    CircuitOpenError                  503  + Retry-After header
+    QueryTimeoutError                 408
+    TenantAccessError                 403
+    other ReproError                  400
+    anything else                     500
+
+Every error body is ``{"ok": false, "error": ..., "type": ...,
+"retry_after"?: seconds}``.
+
+Graceful shutdown (:meth:`GatewayServer.close`): stop admitting, drain
+in-flight statements, roll back abandoned transactions, flush the WAL,
+then stop the HTTP listener.  Requests that arrive mid-drain are shed
+with 429, never errors.
+"""
+
+from __future__ import annotations
+
+import datetime
+import decimal
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import (
+    CircuitOpenError,
+    OverloadError,
+    QueryTimeoutError,
+    ReproError,
+    TenantAccessError,
+)
+from .session import SessionManager
+from .tenants import DEFAULT_TENANT
+
+
+def _json_default(value):
+    if isinstance(value, decimal.Decimal):
+        return str(value)
+    if isinstance(value, (datetime.date, datetime.datetime)):
+        return value.isoformat()
+    return str(value)
+
+
+def error_response(exc: BaseException) -> tuple[int, dict]:
+    """Map an exception to ``(http_status, body)`` per the gateway contract."""
+    retry_after = getattr(exc, "retry_after", None)
+    body = {"ok": False, "error": str(exc), "type": type(exc).__name__}
+    if retry_after is not None:
+        body["retry_after"] = retry_after
+    if isinstance(exc, OverloadError):
+        return 429, body
+    if isinstance(exc, CircuitOpenError):
+        return 503, body
+    if isinstance(exc, QueryTimeoutError):
+        return 408, body
+    if isinstance(exc, TenantAccessError):
+        return 403, body
+    if isinstance(exc, ReproError):
+        return 400, body
+    return 500, body
+
+
+def _make_handler(gateway: "GatewayServer"):
+    class Handler(BaseHTTPRequestHandler):
+        def do_GET(self):  # noqa: N802 (http.server API)
+            path = self.path.split("?", 1)[0]
+            if path == "/healthz":
+                health = gateway.db.health()
+                body = health["status"] + "".join(
+                    f"\n{reason}" for reason in health["reasons"]
+                )
+                self._reply(200, "text/plain; charset=utf-8", body + "\n")
+            elif path == "/stats":
+                self._reply_json(200, gateway.serving.stats())
+            else:
+                self._reply_json(404, {"ok": False,
+                                       "error": f"no endpoint {path!r}"})
+
+        def do_POST(self):  # noqa: N802 (http.server API)
+            path = self.path.split("?", 1)[0]
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+                raw = self.rfile.read(length) if length else b"{}"
+                payload = json.loads(raw or b"{}")
+                if not isinstance(payload, dict):
+                    raise ValueError("request body must be a JSON object")
+            except (ValueError, json.JSONDecodeError) as exc:
+                self._reply_json(400, {"ok": False, "error": str(exc),
+                                       "type": "BadRequest"})
+                return
+            try:
+                if path == "/v1/query":
+                    self._reply_json(200, gateway.handle_query(payload))
+                elif path == "/v1/session":
+                    session = gateway.serving.session(
+                        payload.get("tenant", DEFAULT_TENANT)
+                    )
+                    self._reply_json(200, {"ok": True,
+                                           "session": session.session_id,
+                                           "tenant": session.tenant})
+                elif path == "/v1/session/close":
+                    gateway.serving.get_session(
+                        str(payload.get("session", ""))
+                    ).close()
+                    self._reply_json(200, {"ok": True})
+                else:
+                    self._reply_json(404, {"ok": False,
+                                           "error": f"no endpoint {path!r}"})
+            except Exception as exc:
+                status, body = error_response(exc)
+                headers = {}
+                if body.get("retry_after") is not None:
+                    headers["Retry-After"] = f"{body['retry_after']:.3f}"
+                self._reply_json(status, body, headers)
+
+        def _reply(self, status: int, content_type: str, body: str,
+                   headers: dict | None = None) -> None:
+            payload = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def _reply_json(self, status: int, data,
+                        headers: dict | None = None) -> None:
+            self._reply(status, "application/json; charset=utf-8",
+                        json.dumps(data, default=_json_default), headers)
+
+        def log_message(self, format, *args):  # noqa: A002
+            pass  # the serving metrics are the observability surface
+
+    return Handler
+
+
+class GatewayServer:
+    """The JSON gateway bound to one database's serving layer.
+
+    Builds a :class:`SessionManager` when not handed one (extra keyword
+    arguments are forwarded to it), so ``GatewayServer(db, port=0,
+    max_concurrent=4).start()`` is a complete server.
+    """
+
+    def __init__(
+        self,
+        db,
+        port: int = 8080,
+        host: str = "127.0.0.1",
+        serving: SessionManager | None = None,
+        **manager_kwargs,
+    ) -> None:
+        self.db = db
+        self.serving = (
+            serving if serving is not None
+            else SessionManager(db, **manager_kwargs)
+        )
+        self._httpd = ThreadingHTTPServer((host, port), _make_handler(self))
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    # -- statement handling ------------------------------------------------
+
+    def handle_query(self, payload: dict) -> dict:
+        """Run one /v1/query request; raises for the error mapper."""
+        sql = payload.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise ReproError("missing 'sql' in request body")
+        timeout = payload.get("timeout")
+        if timeout is not None:
+            timeout = float(timeout)
+        session_id = payload.get("session")
+        if session_id is not None:
+            session = self.serving.get_session(str(session_id))
+            ephemeral = False
+        else:
+            session = self.serving.session(payload.get("tenant", DEFAULT_TENANT))
+            ephemeral = True
+        try:
+            lowered = sql.strip().rstrip(";").lower()
+            if lowered in ("begin", "commit", "rollback"):
+                if ephemeral:
+                    raise ReproError(
+                        f"{lowered.upper()} requires a sticky session "
+                        "(POST /v1/session first)"
+                    )
+                getattr(session, lowered)()
+                return {"ok": True}
+            started = time.perf_counter()
+            outcome = session.execute(sql, timeout=timeout)
+            elapsed_ms = (time.perf_counter() - started) * 1e3
+            if outcome is None:
+                return {"ok": True}
+            if isinstance(outcome, int):
+                return {"ok": True, "rows_affected": outcome,
+                        "elapsed_ms": round(elapsed_ms, 3)}
+            return {
+                "ok": True,
+                "columns": outcome.column_names,
+                "rows": [list(row) for row in outcome.rows],
+                "row_count": len(outcome.rows),
+                "elapsed_ms": round(elapsed_ms, 3),
+                "query_id": (
+                    outcome.stats.query_id if outcome.stats is not None else None
+                ),
+            }
+        finally:
+            if ephemeral:
+                session.close()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "GatewayServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-gateway", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking variant (the CLI surface)."""
+        self._httpd.serve_forever()
+
+    def close(self, drain_timeout: float | None = 10.0) -> bool:
+        """Graceful shutdown; returns True when the drain completed."""
+        drained = self.serving.shutdown(drain_timeout)
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        return drained

@@ -1,0 +1,62 @@
+"""Per-tenant token-bucket rate limiting.
+
+A bucket holds up to ``burst`` tokens and refills at ``rate_per_s``.
+Each statement costs one token; an empty bucket answers with the exact
+time until the next token, which the serving layer turns into a
+:class:`~repro.errors.RateLimitedError` (HTTP 429 + ``Retry-After``).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+
+class TokenBucket:
+    """Classic token bucket; thread-safe; monotonic-clock based.
+
+    ``clock`` is injectable for tests (defaults to ``time.monotonic``).
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: int | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be positive, got {rate_per_s!r}")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = int(burst) if burst is not None else max(
+            1, math.ceil(rate_per_s)
+        )
+        self._tokens = float(self.burst)
+        self._clock = clock
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(
+                float(self.burst), self._tokens + elapsed * self.rate_per_s
+            )
+            self._stamp = now
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Take ``tokens`` if available; returns 0.0 on success, else the
+        seconds until the request could succeed (nothing is taken)."""
+        with self._lock:
+            self._refill()
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return 0.0
+            return round((tokens - self._tokens) / self.rate_per_s, 4)
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill()
+            return self._tokens

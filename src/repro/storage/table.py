@@ -8,6 +8,7 @@ renumber rows); deleted rows are reclaimed only by :meth:`vacuum`.
 
 from __future__ import annotations
 
+import threading
 from array import array
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
@@ -37,6 +38,13 @@ class ColumnTable:
         self._columns: dict[str, ColumnFragments] = {
             col.name: ColumnFragments() for col in schema.columns
         }
+        # Serializes writers (insert/delete/bulk_load/merge/vacuum/DDL).
+        # Readers stay lock-free: they snapshot ``len(created_tids)`` once
+        # and never read past it, and _append_row appends column values
+        # *before* created_tids so a row only becomes countable once its
+        # values are all in place.  Lock ordering is txn-lock < table-lock
+        # < wal-lock (rollback: txn->table; insert: table->wal).
+        self._write_lock = threading.RLock()
         self.created_tids = array("q")
         self.deleted_tids = array("q")
         # Fast-path flag: while every row was bulk-loaded (created at
@@ -73,54 +81,58 @@ class ColumnTable:
         """
         count = 0
         log_rows = self.wal is not None and getattr(self.wal, "durable", False)
-        for row in rows:
-            row_id = self._append_row(row, NO_TID, validate_unique=True)
-            if log_rows:
-                # Durable WALs must cover the generator fast path too, or
-                # bulk-loaded tables would come back empty after recovery.
-                self.wal.log_insert(
-                    NO_TID, self.schema.name,
-                    tuple(self._row_values(row_id)), row_id,
-                )
-            count += 1
-        if merge and count:
-            self.merge_delta()
+        with self._write_lock:
+            for row in rows:
+                row_id = self._append_row(row, NO_TID, validate_unique=True)
+                if log_rows:
+                    # Durable WALs must cover the generator fast path too, or
+                    # bulk-loaded tables would come back empty after recovery.
+                    self.wal.log_insert(
+                        NO_TID, self.schema.name,
+                        tuple(self._row_values(row_id)), row_id,
+                    )
+                count += 1
+            if merge and count:
+                self.merge_delta()
         return count
 
     def insert(self, txn: Transaction, row: Sequence[object]) -> int:
         """Insert one row in ``txn``; returns the new row id."""
         if self._faults is not None:
             self._faults.fire("storage.insert", table=self.schema.name)
-        row_id = self._append_row(row, txn.tid, validate_unique=True)
-        txn.undo.append((self, "insert", row_id))
-        if self.wal is not None:
-            self.wal.log_insert(
-                txn.tid, self.schema.name, tuple(self._row_values(row_id)), row_id
-            )
+        with self._write_lock:
+            row_id = self._append_row(row, txn.tid, validate_unique=True)
+            txn.undo.append((self, "insert", row_id))
+            if self.wal is not None:
+                self.wal.log_insert(
+                    txn.tid, self.schema.name, tuple(self._row_values(row_id)), row_id
+                )
         return row_id
 
     def delete_row(self, txn: Transaction, row_id: int) -> None:
         """Mark ``row_id`` deleted by ``txn`` (it must be visible to it)."""
         if self._faults is not None:
             self._faults.fire("storage.delete", table=self.schema.name)
-        if not self.is_visible(row_id, txn):
-            raise ExecutionError(f"row {row_id} is not visible to transaction {txn.tid}")
-        deleter = self.deleted_tids[row_id]
-        if deleter != NO_TID and self._txns.commit_ts_of(deleter) is None and deleter != txn.tid:
-            # Another in-flight transaction already deleted it: write conflict.
-            raise ConstraintError(
-                f"write-write conflict on {self.schema.name!r} row {row_id}"
-            )
-        self.deleted_tids[row_id] = txn.tid
-        self._mvcc_dirty = True
-        txn.undo.append((self, "delete", row_id))
-        if self.wal is not None:
-            self.wal.log_delete(txn.tid, self.schema.name, row_id)
+        with self._write_lock:
+            if not self.is_visible(row_id, txn):
+                raise ExecutionError(f"row {row_id} is not visible to transaction {txn.tid}")
+            deleter = self.deleted_tids[row_id]
+            if deleter != NO_TID and self._txns.commit_ts_of(deleter) is None and deleter != txn.tid:
+                # Another in-flight transaction already deleted it: write conflict.
+                raise ConstraintError(
+                    f"write-write conflict on {self.schema.name!r} row {row_id}"
+                )
+            self.deleted_tids[row_id] = txn.tid
+            self._mvcc_dirty = True
+            txn.undo.append((self, "delete", row_id))
+            if self.wal is not None:
+                self.wal.log_delete(txn.tid, self.schema.name, row_id)
 
     def update_row(self, txn: Transaction, row_id: int, new_row: Sequence[object]) -> int:
         """MVCC update = delete old version + insert new version."""
-        self.delete_row(txn, row_id)
-        return self.insert(txn, new_row)
+        with self._write_lock:
+            self.delete_row(txn, row_id)
+            return self.insert(txn, new_row)
 
     def _append_row(self, row: Sequence[object], created_tid: int, validate_unique: bool) -> int:
         columns = self.schema.columns
@@ -222,10 +234,11 @@ class ColumnTable:
     def _undo(self, kind: str, row_id: int) -> None:
         """Rollback hook: clean auxiliary structures (visibility is handled
         by the aborted-TID set in the transaction manager)."""
-        if kind == "insert":
-            self._unindex_row(row_id, self._row_values(row_id))
-        elif kind == "delete":
-            self.deleted_tids[row_id] = NO_TID
+        with self._write_lock:
+            if kind == "insert":
+                self._unindex_row(row_id, self._row_values(row_id))
+            elif kind == "delete":
+                self.deleted_tids[row_id] = NO_TID
 
     # -- reads ----------------------------------------------------------------
 
@@ -247,14 +260,20 @@ class ColumnTable:
         visible values in row-id order — the engine's scan primitive.
         """
         row_ids = self.visible_row_ids(txn)
+        count = len(row_ids)
         columns: list[list[object]] = []
         for name in names:
             fragments = self.column(name)
-            if len(row_ids) == len(self.created_tids):
-                columns.append(fragments.values())  # fast path: all visible
+            if isinstance(row_ids, range):
+                # Fast path: all rows visible at snapshot time.  Decode by
+                # explicit range, never ``fragments.values()``: a concurrent
+                # writer may have appended column values past the row-count
+                # snapshot (values land before created_tids), and the full
+                # decode would tear — more values than counted rows.
+                columns.append(fragments.get_range(0, count))
             else:
                 columns.append([fragments.get(i) for i in row_ids])
-        return columns, len(row_ids)
+        return columns, count
 
     def read_column_batches(
         self,
@@ -314,25 +333,41 @@ class ColumnTable:
             )
         if default is not None:
             default = column.data_type.validate(default)
-        self.schema.columns.append(column)
-        self._columns[column.name] = ColumnFragments(
-            [default] * len(self.created_tids)
-        )
+        with self._write_lock:
+            # Dict entry first, schema second: a concurrent reader that sees
+            # the new column in the schema must find its fragments.
+            self._columns[column.name] = ColumnFragments(
+                [default] * len(self.created_tids)
+            )
+            self.schema.columns.append(column)
 
     # -- maintenance ---------------------------------------------------------
 
     def merge_delta(self) -> None:
-        """Merge every column's delta into its main fragment (§2.2)."""
-        for fragments in self._columns.values():
-            fragments.merge()
+        """Merge every column's delta into its main fragment (§2.2).
+
+        Copy-on-write per column: a fresh merged ``ColumnFragments`` is
+        built and swapped into the dict in one atomic store, so lock-free
+        readers holding the old object keep a consistent main+delta pair.
+        (In-place ``fragments.merge()`` would momentarily show the merged
+        main *and* the not-yet-cleared delta: duplicated rows.)
+        """
+        with self._write_lock:
+            for name, fragments in list(self._columns.items()):
+                self._columns[name] = ColumnFragments(fragments.values())
 
     def vacuum(self) -> int:
         """Physically remove versions dead to every possible snapshot.
 
         Returns the number of reclaimed rows.  Row ids are renumbered, so
-        this must not run while queries are executing (the single-threaded
-        engine guarantees that).
+        this must not run while queries are executing — the serving layer
+        never calls it; embedded callers must quiesce first.  The write
+        lock below still excludes concurrent writers.
         """
+        with self._write_lock:
+            return self._vacuum_locked()
+
+    def _vacuum_locked(self) -> int:
         horizon = self._txns.oldest_active_snapshot()
         keep: list[int] = []
         for row_id in range(len(self.created_tids)):

@@ -18,6 +18,7 @@ import contextlib
 import datetime
 import decimal
 import json
+import threading
 import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
@@ -66,6 +67,12 @@ class WriteAheadLog:
     def __init__(self, metrics=None, tracer=None, faults=None) -> None:
         self._records: list[LogRecord] = []
         self._next_lsn = 1
+        # Serializes LSN allocation, the record append, and _persist (file
+        # write + fsync + segment roll in the disk subclass) so concurrent
+        # sessions can't interleave half-written frames.  Innermost lock in
+        # the txn-lock < table-lock < wal-lock ordering; reentrant because
+        # the disk _persist calls sync() which also takes it.
+        self._append_lock = threading.RLock()
         self._metrics = metrics
         self._tracer = tracer
         self._faults = faults
@@ -100,10 +107,11 @@ class WriteAheadLog:
             return LogRecord(0, tid, kind, table, payload, row_id)
         if self._faults is not None:
             self._faults.fire("wal.append", kind=kind, table=table)
-        record = LogRecord(self._next_lsn, tid, kind, table, payload, row_id)
-        self._next_lsn += 1
-        self._records.append(record)
-        self._persist(record)
+        with self._append_lock:
+            record = LogRecord(self._next_lsn, tid, kind, table, payload, row_id)
+            self._next_lsn += 1
+            self._records.append(record)
+            self._persist(record)
         if self._m_appends is not None:
             self._m_appends.inc()
         tracer = self._tracer

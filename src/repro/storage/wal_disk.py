@@ -220,16 +220,20 @@ class DiskWriteAheadLog(WriteAheadLog):
     def sync(self) -> None:
         """Fsync the active segment (the ``wal.fsync`` fault point fires
         after the buffered write, before the data is durable)."""
-        if self._faults is not None:
-            self._faults.fire("wal.fsync", segment=self._segment_path)
-        os.fsync(self._handle.fileno())
+        with self._append_lock:
+            if self._handle is None:
+                return  # closed underneath us during shutdown
+            if self._faults is not None:
+                self._faults.fire("wal.fsync", segment=self._segment_path)
+            os.fsync(self._handle.fileno())
         if self._m_fsyncs is not None:
             self._m_fsyncs.inc()
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._append_lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def segment_info(self) -> list[tuple]:
         """(segment, bytes, records, durable) rows for ``sys.wal_segments``.
@@ -274,6 +278,10 @@ class DiskWriteAheadLog(WriteAheadLog):
         """
         if self._faults is not None:
             self._faults.fire("wal.checkpoint")
+        with self._append_lock:
+            return self._write_checkpoint_locked(state)
+
+    def _write_checkpoint_locked(self, state: dict) -> str:
         state = dict(state)
         state["last_lsn"] = self.last_lsn
         payload = json.dumps(state, default=str).encode("utf-8")

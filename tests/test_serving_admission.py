@@ -1,0 +1,289 @@
+"""Serving primitives: admission control, token buckets, circuit breakers.
+
+The load-bearing regression here is **queue-wait-inclusive deadlines**:
+a statement's timeout is stamped at submission, so time spent waiting in
+the admission queue counts against the budget and a statement that spent
+its whole budget queued fails with ``QueryTimeoutError`` without ever
+executing (ISSUE 8 satellite 1).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.database import Database
+from repro.errors import (
+    CircuitOpenError,
+    OverloadError,
+    QueryTimeoutError,
+    RateLimitedError,
+)
+from repro.serving import AdmissionController, CircuitBreaker, TokenBucket
+
+
+# -- AdmissionController -----------------------------------------------------
+
+
+def test_admission_fast_path_no_queue():
+    controller = AdmissionController(max_concurrent=2, max_queue=4)
+    assert controller.acquire() == 0.0
+    assert controller.running == 1
+    controller.release(0.01)
+    assert controller.running == 0
+
+
+def test_admission_sheds_when_queue_full():
+    controller = AdmissionController(max_concurrent=1, max_queue=0)
+    controller.acquire()
+    with pytest.raises(OverloadError) as excinfo:
+        controller.acquire()
+    assert excinfo.value.retry_after is not None
+    assert excinfo.value.retry_after >= 0.05
+    controller.release()
+
+
+def test_admission_run_releases_on_error():
+    controller = AdmissionController(max_concurrent=1, max_queue=0)
+    with pytest.raises(ValueError):
+        controller.run(lambda: (_ for _ in ()).throw(ValueError("boom")))
+    assert controller.running == 0
+    controller.run(lambda: None)  # the slot came back
+
+
+def test_queue_wait_counts_against_deadline():
+    """The regression: a statement whose budget is spent queued must fail
+    with QueryTimeoutError before executing, not run late."""
+    controller = AdmissionController(max_concurrent=1, max_queue=4)
+    release = threading.Event()
+    holder_in = threading.Event()
+
+    def hog():
+        controller.run(lambda: (holder_in.set(), release.wait(5)))
+
+    holder = threading.Thread(target=hog)
+    holder.start()
+    assert holder_in.wait(5)
+
+    executed = []
+    started = time.monotonic()
+    with pytest.raises(QueryTimeoutError, match="admission queue"):
+        controller.run(lambda: executed.append(1),
+                       deadline=time.monotonic() + 0.1)
+    waited = time.monotonic() - started
+    assert not executed, "the statement must never run after its deadline"
+    assert 0.05 <= waited < 2.0
+    release.set()
+    holder.join(timeout=5)
+    assert controller.running == 0
+    assert controller.queued == 0
+
+
+def test_queued_statement_runs_when_slot_frees_in_time():
+    controller = AdmissionController(max_concurrent=1, max_queue=4)
+    release = threading.Event()
+    holder_in = threading.Event()
+    holder = threading.Thread(
+        target=lambda: controller.run(lambda: (holder_in.set(), release.wait(5)))
+    )
+    holder.start()
+    assert holder_in.wait(5)
+
+    outcome = []
+
+    def queued():
+        outcome.append(
+            controller.run(lambda: "ran", deadline=time.monotonic() + 5)
+        )
+
+    waiter = threading.Thread(target=queued)
+    waiter.start()
+    time.sleep(0.05)
+    release.set()
+    waiter.join(timeout=5)
+    holder.join(timeout=5)
+    assert outcome == ["ran"]
+
+
+def test_admission_close_sheds_queued_and_drains_running():
+    controller = AdmissionController(max_concurrent=1, max_queue=4)
+    release = threading.Event()
+    holder_in = threading.Event()
+    holder = threading.Thread(
+        target=lambda: controller.run(lambda: (holder_in.set(), release.wait(5)))
+    )
+    holder.start()
+    assert holder_in.wait(5)
+
+    shed: list[BaseException] = []
+
+    def queued():
+        try:
+            controller.run(lambda: "ran")
+        except OverloadError as error:
+            shed.append(error)
+
+    waiter = threading.Thread(target=queued)
+    waiter.start()
+    time.sleep(0.05)
+
+    closer_done = []
+    closer = threading.Thread(
+        target=lambda: closer_done.append(controller.close(drain_timeout=5))
+    )
+    closer.start()
+    time.sleep(0.05)
+    release.set()
+    for thread in (holder, waiter, closer):
+        thread.join(timeout=5)
+    assert closer_done == [True], "drain must complete once the holder exits"
+    assert len(shed) == 1, "the queued statement is shed, not run"
+    with pytest.raises(OverloadError):
+        controller.acquire()
+
+
+def test_admission_close_times_out_on_stuck_statement():
+    controller = AdmissionController(max_concurrent=1, max_queue=0)
+    release = threading.Event()
+    holder = threading.Thread(
+        target=lambda: controller.run(lambda: release.wait(10))
+    )
+    holder.start()
+    time.sleep(0.05)
+    assert controller.close(drain_timeout=0.1) is False
+    release.set()
+    holder.join(timeout=5)
+
+
+def test_admission_metrics(tmp_path):
+    db = Database()
+    controller = AdmissionController(max_concurrent=1, max_queue=0,
+                                     metrics=db.metrics)
+    controller.run(lambda: None)
+    controller.acquire()
+    with pytest.raises(OverloadError):
+        controller.acquire()
+    controller.release()
+    snapshot = db.metrics.snapshot()
+    assert snapshot["serving.admitted"] == 2
+    assert snapshot["serving.shed"] == 1
+    db.close()
+
+
+# -- Database.query deadline stamped at submission ---------------------------
+
+
+def test_database_query_deadline_before_execution(tmp_path):
+    db = Database()
+    db.execute("create table t (id int primary key)")
+    db.execute("insert into t values (1)")
+    with pytest.raises(QueryTimeoutError, match="before execution began"):
+        db.query("select * from t", deadline=time.monotonic() - 0.01)
+    entry = db.query_log.last()
+    assert entry is not None and entry.status == "timeout"
+    db.close()
+
+
+def test_database_query_deadline_earlier_of_two(tmp_path):
+    db = Database()
+    db.execute("create table t (id int primary key)")
+    # A generous timeout but an already-expired submission deadline: the
+    # earlier of the two wins.
+    with pytest.raises(QueryTimeoutError):
+        db.query("select * from t", timeout=60.0,
+                 deadline=time.monotonic() - 0.01)
+    # And vice versa: an expired timeout with a generous deadline.
+    with pytest.raises(QueryTimeoutError):
+        db.query("select * from t", timeout=-0.01,
+                 deadline=time.monotonic() + 60.0)
+    db.close()
+
+
+# -- TokenBucket -------------------------------------------------------------
+
+
+def test_token_bucket_burst_then_limits():
+    clock = [0.0]
+    bucket = TokenBucket(10.0, burst=2, clock=lambda: clock[0])
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() == 0.0
+    hint = bucket.try_acquire()
+    assert hint > 0, "the burst is exhausted"
+    clock[0] += 0.2  # two tokens refill at 10/s
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() == 0.0
+    assert bucket.try_acquire() > 0
+
+
+def test_token_bucket_hint_is_time_to_refill():
+    clock = [0.0]
+    bucket = TokenBucket(2.0, burst=1, clock=lambda: clock[0])
+    assert bucket.try_acquire() == 0.0
+    hint = bucket.try_acquire()
+    assert hint == pytest.approx(0.5, abs=0.01)
+
+
+def test_token_bucket_does_not_exceed_burst():
+    clock = [0.0]
+    bucket = TokenBucket(100.0, burst=3, clock=lambda: clock[0])
+    clock[0] += 60
+    assert bucket.tokens == 3
+
+
+# -- CircuitBreaker ----------------------------------------------------------
+
+
+def test_breaker_trips_after_threshold():
+    clock = [0.0]
+    breaker = CircuitBreaker("t1", failure_threshold=3, cooldown_s=1.0,
+                             clock=lambda: clock[0])
+    for _ in range(2):
+        breaker.record_failure()
+    breaker.allow()  # still closed below the threshold
+    breaker.record_failure()
+    assert breaker.state == "open"
+    with pytest.raises(CircuitOpenError) as excinfo:
+        breaker.allow()
+    assert excinfo.value.retry_after == pytest.approx(1.0, abs=0.01)
+
+
+def test_breaker_success_resets_consecutive_failures():
+    breaker = CircuitBreaker("t1", failure_threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == "closed", "non-consecutive failures never trip"
+
+
+def test_breaker_half_open_probe_recovery():
+    clock = [0.0]
+    breaker = CircuitBreaker("t1", failure_threshold=1, cooldown_s=1.0,
+                             clock=lambda: clock[0])
+    breaker.record_failure()
+    assert breaker.state == "open"
+    clock[0] += 1.5
+    assert breaker.state == "half_open"
+    breaker.allow()  # the probe
+    with pytest.raises(CircuitOpenError):
+        breaker.allow()  # only one probe at a time
+    breaker.record_success()
+    assert breaker.state == "closed"
+    breaker.allow()
+
+
+def test_breaker_failed_probe_reopens():
+    clock = [0.0]
+    breaker = CircuitBreaker("t1", failure_threshold=1, cooldown_s=1.0,
+                             clock=lambda: clock[0])
+    breaker.record_failure()
+    clock[0] += 1.5
+    breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == "open"
+    assert breaker.trips == 2
+    with pytest.raises(CircuitOpenError):
+        breaker.allow()

@@ -27,6 +27,8 @@ SYS_TABLE_NAMES = (
     "sys.wal_segments",
     "sys.active_spans",
     "sys.fault_points",
+    "sys.sessions",
+    "sys.admission",
 )
 
 
@@ -287,6 +289,45 @@ def test_systable_rejects_writes_directly():
     assert table.rows() == [(1,)]
     with pytest.raises(ExecutionError):
         table.insert(None, (2,))
+
+
+def test_sys_sessions_and_admission_empty_without_serving(db):
+    assert db.query("select * from sys.sessions").rows == []
+    assert db.query("select * from sys.admission").rows == []
+
+
+def test_sys_sessions_reflects_live_sessions(db):
+    from repro.serving import SessionManager
+
+    manager = SessionManager(db, max_concurrent=2, max_queue=4)
+    session = manager.session("acme")
+    session.query("select sum(v) from t")
+    rows = db.query(
+        "select session_id, tenant, state, queries_run, txn_open "
+        "from sys.sessions"
+    ).rows
+    assert rows == [(session.session_id, "acme", "idle", 1, False)]
+    session.begin()
+    assert db.query("select txn_open from sys.sessions").rows == [(True,)]
+    session.rollback()
+    session.close()
+    assert db.query("select * from sys.sessions").rows == []
+    manager.shutdown()
+
+
+def test_sys_admission_global_and_tenant_rows(db):
+    from repro.serving import SessionManager
+
+    manager = SessionManager(db, max_concurrent=2, max_queue=4)
+    with manager.session("acme") as session:
+        session.query("select count(*) from t")
+    rows = db.query(
+        "select tenant, queued, running, max_concurrent, queue_capacity, "
+        "admitted, breaker_state from sys.admission order by tenant"
+    ).rows
+    assert rows[0] == ("*", 0, 0, 2, 4, None, None)
+    assert rows[1] == ("acme", None, None, None, None, 1, "closed")
+    manager.shutdown()
 
 
 def test_query_log_ring_buffer_capacity():
