@@ -69,16 +69,23 @@ class CircuitBreaker:
             self._probe_in_flight = False
         return self._state
 
-    def allow(self) -> None:
+    def allow(self) -> bool:
         """Gate one statement; raises :class:`CircuitOpenError` if the
-        breaker is open, or half-open with a probe already in flight."""
+        breaker is open, or half-open with a probe already in flight.
+
+        Returns True when *this* call was granted the half-open probe
+        slot — the caller must then settle the probe with exactly one of
+        :meth:`record_success`, :meth:`record_failure`, or
+        :meth:`cancel_probe`, or the slot leaks and every later
+        ``allow()`` is rejected forever.
+        """
         with self._lock:
             state = self._effective_state()
             if state == CLOSED:
-                return
+                return False
             if state == HALF_OPEN and not self._probe_in_flight:
                 self._probe_in_flight = True
-                return
+                return True
             if state == HALF_OPEN:
                 retry_after = 0.05  # a probe is deciding; check back shortly
             else:
@@ -88,11 +95,26 @@ class CircuitBreaker:
                 )
             raise CircuitOpenError(self.tenant, retry_after=retry_after)
 
+    def cancel_probe(self) -> None:
+        """Return a probe slot granted by :meth:`allow` when the statement
+        was abandoned before reaching the engine (rate-limited, shed,
+        parse/access rejection): no verdict on tenant health either way,
+        so the next ``allow()`` may probe again."""
+        with self._lock:
+            self._probe_in_flight = False
+
     def record_success(self) -> None:
         with self._lock:
+            state = self._effective_state()
             self._consecutive_failures = 0
-            self._probe_in_flight = False
-            self._state = CLOSED
+            if state == HALF_OPEN:
+                # The recovery probe (or a straggler racing it) came back
+                # healthy: close and resume normal traffic.
+                self._probe_in_flight = False
+                self._state = CLOSED
+            # While OPEN, a slow statement admitted before the trip that
+            # later succeeds must NOT close the breaker — recovery goes
+            # through the cooldown + half-open probe, never around it.
 
     def record_failure(self) -> None:
         with self._lock:

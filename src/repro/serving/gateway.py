@@ -192,7 +192,12 @@ class GatewayServer:
             raise ReproError("missing 'sql' in request body")
         timeout = payload.get("timeout")
         if timeout is not None:
-            timeout = float(timeout)
+            try:
+                timeout = float(timeout)
+            except (TypeError, ValueError):
+                raise ReproError(
+                    "'timeout' must be a number (seconds)"
+                ) from None
         session_id = payload.get("session")
         if session_id is not None:
             session = self.serving.get_session(str(session_id))

@@ -69,6 +69,12 @@ class Session:
         self.errors = 0
         self.last_query_id: str | None = None
         self._txn = None
+        # Serializes this session's statements and transaction control: a
+        # session is one client's handle, so a second concurrent statement
+        # is a protocol violation (rejected in _submit), while begin /
+        # commit / rollback wait their turn rather than swapping _txn
+        # under a statement that is still executing on it.
+        self._slock = threading.RLock()
 
     # -- statements --------------------------------------------------------
 
@@ -87,23 +93,30 @@ class Session:
         return self._txn is not None
 
     def begin(self) -> None:
-        if self._txn is not None:
-            raise ExecutionError(
-                f"session {self.session_id} already has an open transaction"
-            )
-        self._txn = self._manager.db.begin()
+        with self._slock:
+            if self._txn is not None:
+                raise ExecutionError(
+                    f"session {self.session_id} already has an open transaction"
+                )
+            self._txn = self._manager.db.begin()
 
     def commit(self) -> None:
-        if self._txn is None:
-            raise ExecutionError(f"session {self.session_id}: no open transaction")
-        txn, self._txn = self._txn, None
-        self._manager.db.commit(txn)
+        with self._slock:
+            if self._txn is None:
+                raise ExecutionError(
+                    f"session {self.session_id}: no open transaction"
+                )
+            txn, self._txn = self._txn, None
+            self._manager.db.commit(txn)
 
     def rollback(self) -> None:
-        if self._txn is None:
-            raise ExecutionError(f"session {self.session_id}: no open transaction")
-        txn, self._txn = self._txn, None
-        self._manager.db.rollback(txn)
+        with self._slock:
+            if self._txn is None:
+                raise ExecutionError(
+                    f"session {self.session_id}: no open transaction"
+                )
+            txn, self._txn = self._txn, None
+            self._manager.db.rollback(txn)
 
     def close(self) -> None:
         """Roll back any open transaction and unregister the session."""
@@ -176,19 +189,34 @@ class SessionManager:
         with self._lock:
             return list(self._sessions.values())
 
-    def _close_session(self, session: Session) -> None:
+    def _close_session(self, session: Session,
+                       lock_timeout: float = 5.0) -> None:
         with self._lock:
             if session.state == CLOSED:
                 return
             session.state = CLOSED
             self._sessions.pop(session.session_id, None)
             self._g_sessions.set(len(self._sessions))
-        if session._txn is not None:
-            txn, session._txn = session._txn, None
-            try:
-                self.db.rollback(txn)
-            except Exception:
-                pass  # already aborted/crashed; closing must not raise
+        # Roll back an abandoned transaction only once no statement is
+        # executing on it: yanking the transaction under an in-flight
+        # statement would let it observe a rolled-back snapshot.
+        if lock_timeout > 0:
+            acquired = session._slock.acquire(timeout=lock_timeout)
+        else:
+            acquired = session._slock.acquire(blocking=False)
+        if not acquired:
+            # A statement is still running on this session (drain timed
+            # out); leave its transaction for WAL recovery instead.
+            return
+        try:
+            if session._txn is not None:
+                txn, session._txn = session._txn, None
+                try:
+                    self.db.rollback(txn)
+                except Exception:
+                    pass  # already aborted/crashed; closing must not raise
+        finally:
+            session._slock.release()
 
     # -- introspection -----------------------------------------------------
 
@@ -226,6 +254,20 @@ class SessionManager:
     def _submit(self, session: Session, sql: str, timeout: float | None,
                 query_only: bool):
         submitted = time.monotonic()
+        if not session._slock.acquire(blocking=False):
+            raise ExecutionError(
+                f"session {session.session_id} already has a statement in "
+                "flight; a session runs one statement at a time"
+            )
+        try:
+            return self._submit_locked(session, sql, timeout, query_only,
+                                       submitted)
+        finally:
+            session._slock.release()
+
+    def _submit_locked(self, session: Session, sql: str,
+                       timeout: float | None, query_only: bool,
+                       submitted: float):
         if session.state == CLOSED:
             raise ExecutionError(f"session {session.session_id} is closed")
         if self._draining or self._closed:
@@ -235,59 +277,72 @@ class SessionManager:
         tenant = self.tenants.get(session.tenant)
 
         try:
-            tenant.breaker.allow()
+            probe = tenant.breaker.allow()
         except Exception:
             self.tenants.count(session.tenant, "breaker_rejects")
             self._m_breaker_rejects.inc()
             raise
-        bucket = tenant.bucket
-        if bucket is not None:
-            wait_hint = bucket.try_acquire()
-            if wait_hint > 0:
-                self.tenants.count(session.tenant, "rate_limited")
-                self._m_rate_limited.inc()
-                raise RateLimitedError(
-                    f"tenant {session.tenant!r} exceeded its rate limit",
-                    retry_after=wait_hint,
-                )
-        # Scope check before queueing: a cross-tenant statement must not
-        # consume a slot.  (The statement is parsed again inside the
-        # engine; parse cost is trivial next to a queue slot.)
-        statement = parse_statement(sql)
-        if query_only and not isinstance(statement, ast.Query):
-            raise ExecutionError("query() expects a SELECT statement")
-        self.tenants.check_access(session.tenant, statement)
-
-        session.state = QUEUED
+        # From here the breaker must reach exactly one verdict: success,
+        # failure, or cancel_probe on abandonment — otherwise a granted
+        # half-open probe slot leaks and locks the tenant out forever.
+        settled = False
         try:
-            def work():
-                session.state = RUNNING
-                return self._run_statement(session, statement, sql, deadline)
+            bucket = tenant.bucket
+            if bucket is not None:
+                wait_hint = bucket.try_acquire()
+                if wait_hint > 0:
+                    self.tenants.count(session.tenant, "rate_limited")
+                    self._m_rate_limited.inc()
+                    raise RateLimitedError(
+                        f"tenant {session.tenant!r} exceeded its rate limit",
+                        retry_after=wait_hint,
+                    )
+            # Scope check before queueing: a cross-tenant statement must
+            # not consume a slot.  (The statement is parsed again inside
+            # the engine; parse cost is trivial next to a queue slot.)
+            statement = parse_statement(sql)
+            if query_only and not isinstance(statement, ast.Query):
+                raise ExecutionError("query() expects a SELECT statement")
+            self.tenants.check_access(session.tenant, statement)
 
-            outcome = self.admission.run(work, deadline=deadline)
-        except QueryTimeoutError:
-            self.tenants.count(session.tenant, "timeouts")
-            session.errors += 1
-            tenant.breaker.record_failure()
-            raise
-        except OverloadError:
-            # Shedding is the controller doing its job, not a tenant fault.
-            self.tenants.count(session.tenant, "shed")
-            raise
-        except CLIENT_ERRORS:
-            session.errors += 1
-            raise
-        except (ExecutionError, FaultInjectedError):
-            session.errors += 1
-            tenant.breaker.record_failure()
-            self.tenants.count(session.tenant, "errors")
-            raise
+            session.state = QUEUED
+            try:
+                def work():
+                    session.state = RUNNING
+                    return self._run_statement(session, statement, sql,
+                                               deadline)
+
+                outcome = self.admission.run(work, deadline=deadline)
+            except QueryTimeoutError:
+                self.tenants.count(session.tenant, "timeouts")
+                session.errors += 1
+                settled = True
+                tenant.breaker.record_failure()
+                raise
+            except OverloadError:
+                # Shedding is the controller doing its job, not a tenant
+                # fault: the probe is abandoned, not failed.
+                self.tenants.count(session.tenant, "shed")
+                raise
+            except CLIENT_ERRORS:
+                session.errors += 1
+                raise
+            except (ExecutionError, FaultInjectedError):
+                session.errors += 1
+                settled = True
+                tenant.breaker.record_failure()
+                self.tenants.count(session.tenant, "errors")
+                raise
+            finally:
+                if session.state != CLOSED:
+                    session.state = IDLE
+            settled = True
+            tenant.breaker.record_success()
+            self.tenants.count(session.tenant, "admitted")
+            return outcome
         finally:
-            if session.state != CLOSED:
-                session.state = IDLE
-        tenant.breaker.record_success()
-        self.tenants.count(session.tenant, "admitted")
-        return outcome
+            if probe and not settled:
+                tenant.breaker.cancel_probe()
 
     def _run_statement(self, session: Session, statement, sql: str,
                        deadline: float | None):
@@ -324,7 +379,10 @@ class SessionManager:
             self._draining = True
         drained = self.admission.close(drain_timeout)
         for session in self.sessions():
-            self._close_session(session)
+            # After a failed drain some statements are still executing;
+            # skip their rollback (non-blocking acquire) rather than
+            # rolling back a transaction a statement is actively using.
+            self._close_session(session, lock_timeout=5.0 if drained else 0.0)
         wal = getattr(self.db, "wal", None)
         if wal is not None and getattr(wal, "durable", False):
             try:

@@ -287,3 +287,48 @@ def test_breaker_failed_probe_reopens():
     assert breaker.trips == 2
     with pytest.raises(CircuitOpenError):
         breaker.allow()
+
+
+def test_breaker_allow_reports_probe_grant():
+    clock = [0.0]
+    breaker = CircuitBreaker("t1", failure_threshold=1, cooldown_s=1.0,
+                             clock=lambda: clock[0])
+    assert breaker.allow() is False  # closed: not a probe
+    breaker.record_failure()
+    clock[0] += 1.5
+    assert breaker.allow() is True   # the half-open probe
+
+
+def test_breaker_cancel_probe_frees_the_slot():
+    clock = [0.0]
+    breaker = CircuitBreaker("t1", failure_threshold=1, cooldown_s=1.0,
+                             clock=lambda: clock[0])
+    breaker.record_failure()
+    clock[0] += 1.5
+    assert breaker.allow() is True
+    # the probe statement was abandoned before any engine verdict
+    # (rate-limited / shed / parse error): the slot must come back
+    breaker.cancel_probe()
+    assert breaker.state == "half_open"
+    assert breaker.allow() is True   # the next statement may probe again
+    breaker.record_success()
+    assert breaker.state == "closed"
+
+
+def test_breaker_straggler_success_does_not_close_open_breaker():
+    clock = [0.0]
+    breaker = CircuitBreaker("t1", failure_threshold=1, cooldown_s=10.0,
+                             clock=lambda: clock[0])
+    breaker.record_failure()
+    assert breaker.state == "open"
+    # a slow statement admitted before the trip later succeeds: the
+    # breaker must stay open — recovery goes through the cooldown +
+    # half-open probe, never around it
+    breaker.record_success()
+    assert breaker.state == "open"
+    with pytest.raises(CircuitOpenError):
+        breaker.allow()
+    clock[0] += 10.5
+    assert breaker.allow() is True
+    breaker.record_success()
+    assert breaker.state == "closed"

@@ -119,6 +119,15 @@ def test_error_mapping(gateway):
     assert body["type"] == "QueryTimeoutError"
 
 
+def test_non_numeric_timeout_is_a_400(gateway):
+    for bad in ("abc", [1], {"s": 1}):
+        status, body, _ = _post(gateway.url, "/v1/query",
+                                {"sql": "select v from t", "timeout": bad})
+        assert status == 400, f"timeout={bad!r} must be a client error"
+        assert body["ok"] is False
+        assert "timeout" in body["error"]
+
+
 def test_tenant_isolation_maps_to_403(gateway):
     _post(gateway.url, "/v1/query",
           {"sql": "create table acme_t (id int primary key)",

@@ -8,6 +8,9 @@ transactions over sessions, circuit-breaker integration with
 
 from __future__ import annotations
 
+import threading
+import time
+
 import pytest
 
 from repro.database import Database
@@ -201,12 +204,29 @@ def test_breaker_half_open_probe_recovers(db):
                              breaker_cooldown_s=0.05)
     session = manager.session("acme")
     _trip(session, 1)
-    import time
     time.sleep(0.1)  # cooldown elapses -> half-open probe allowed
     assert session.query("select count(*) from shared").rows == [(2,)]
     state = manager.tenants.get("acme").breaker.state
     assert state == "closed"
     assert db.health()["status"] == "ok"
+    manager.shutdown()
+
+
+def test_breaker_probe_not_leaked_by_abandoned_statement(db):
+    """A half-open probe abandoned before reaching the engine (here: a
+    parse error) must return its slot — a leaked probe would lock the
+    tenant out forever."""
+    manager = SessionManager(db, breaker_threshold=1,
+                             breaker_cooldown_s=0.05)
+    session = manager.session("acme")
+    _trip(session, 1)
+    time.sleep(0.1)  # half-open: the next statement takes the probe slot
+    with pytest.raises(SqlSyntaxError):
+        session.query("selec t fro m")
+    # the abandoned probe was cancelled, so the next statement probes
+    # and recovers instead of raising CircuitOpenError
+    assert session.query("select count(*) from shared").rows == [(2,)]
+    assert manager.tenants.get("acme").breaker.state == "closed"
     manager.shutdown()
 
 
@@ -221,6 +241,57 @@ def test_client_errors_never_trip_breaker(db):
     assert manager.tenants.get("acme").breaker.state == "closed"
     session.query("select 1 from shared")
     manager.shutdown()
+
+
+# -- session thread-safety ---------------------------------------------------
+
+
+def test_concurrent_begins_race_safely(manager, db):
+    """Two racing BEGINs on one session must not both create (and one
+    silently leak) a transaction: exactly one wins, the rest get the
+    'already has an open transaction' error."""
+    session = manager.session()
+    errors: list[Exception] = []
+    barrier = threading.Barrier(4)
+
+    def racer():
+        barrier.wait(5)
+        try:
+            session.begin()
+        except ExecutionError as exc:
+            errors.append(exc)
+
+    threads = [threading.Thread(target=racer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(5)
+    assert len(errors) == 3, "exactly one BEGIN may win the race"
+    assert all("open transaction" in str(e) for e in errors)
+    session.rollback()
+    session.close()
+
+
+def test_one_statement_at_a_time_per_session(manager):
+    """A second concurrent statement on one session is rejected with a
+    clear error instead of racing the first one's transaction state."""
+    session = manager.session()
+    held, release = threading.Event(), threading.Event()
+
+    def holder():  # stands in for a statement still executing
+        with session._slock:
+            held.set()
+            release.wait(5)
+
+    thread = threading.Thread(target=holder)
+    thread.start()
+    assert held.wait(5)
+    with pytest.raises(ExecutionError, match="statement in flight"):
+        session.query("select 1 from shared")
+    release.set()
+    thread.join(5)
+    assert session.query("select count(*) from shared").rows == [(2,)]
+    session.close()
 
 
 # -- shutdown ----------------------------------------------------------------
@@ -238,6 +309,36 @@ def test_shutdown_closes_sessions_and_refuses_new_work(db):
     with pytest.raises(OverloadError):
         manager.session("acme")
     assert manager.shutdown() is True  # idempotent
+
+
+def test_close_skips_rollback_while_statement_runs(db):
+    """When the drain times out, a session whose statement is still
+    executing must NOT have its transaction rolled back out from under
+    it — the transaction is left for WAL recovery instead."""
+    manager = SessionManager(db)
+    session = manager.session()
+    session.begin()
+    session.execute("insert into shared values (8, 80)")
+    held, release = threading.Event(), threading.Event()
+
+    def runner():  # stands in for the still-running statement
+        with session._slock:
+            held.set()
+            release.wait(5)
+
+    thread = threading.Thread(target=runner)
+    thread.start()
+    assert held.wait(5)
+    # lock_timeout=0 is the failed-drain shutdown path
+    manager._close_session(session, lock_timeout=0.0)
+    assert session.state == "closed"
+    assert session._txn is not None, \
+        "transaction must not be rolled back under a running statement"
+    release.set()
+    thread.join(5)
+    db.rollback(session._txn)  # test cleanup: release the MVCC horizon
+    session._txn = None
+    manager.shutdown()
 
 
 def test_shutdown_flushes_durable_wal(tmp_path):
