@@ -57,7 +57,10 @@ class SysTable:
         names: Sequence[str],
         batch_size: int,
         row_ids=None,
+        vectorized: bool = False,
     ) -> Iterator[tuple[list[list[object]], int]]:
+        # ``vectorized`` is accepted for scan-surface parity; system tables
+        # materialize row tuples on demand, so there is no coded form to keep.
         rows = self._rows_fn()
         if row_ids is not None:
             rows = [rows[i] for i in row_ids]

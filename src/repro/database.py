@@ -124,6 +124,7 @@ class Database:
         capture_dir: str | None = None,
         plan_feedback: bool = True,
         memory_budget_bytes: int | None = None,
+        vectorized: bool = True,
     ):
         self.metrics = MetricsRegistry()
         #: Hierarchical span tracer; enabled together with :attr:`tracing`.
@@ -155,6 +156,7 @@ class Database:
             faults=self.faults, batch_size=batch_size,
             plan_feedback=plan_feedback,
             memory_budget_bytes=memory_budget_bytes,
+            vectorized=vectorized,
         )
         self._profile_name = profile
         self._tracing = False

@@ -17,11 +17,19 @@ from functools import lru_cache
 from ..errors import ExecutionError
 from ..algebra.expr import Call, Case, Cast, ColRef, Const, Expr
 from ..datatypes import DataType, TypeKind
+from . import kernels
 from .chunk import Chunk
+from .kernels import coerce_pair as _coerce_pair
 
 
 def evaluate(expr: Expr, chunk: Chunk) -> list:
-    """Evaluate ``expr`` for every row of ``chunk``, returning a value list."""
+    """Evaluate ``expr`` for every row of ``chunk``.
+
+    Returns a column: a plain value list, or (for column references and
+    kernel-computed arithmetic under a vectorized execution) one of the
+    typed vectors from :mod:`repro.vectors` — both index and iterate the
+    same way.
+    """
     n = chunk.row_count
     if isinstance(expr, ColRef):
         return chunk.column(expr.cid)
@@ -34,6 +42,11 @@ def evaluate(expr: Expr, chunk: Chunk) -> list:
     if isinstance(expr, Case):
         return _eval_case(expr, chunk)
     if isinstance(expr, Call):
+        # Kernel fast path (no-op unless a KernelTally is active): whole-
+        # column arithmetic as a dictionary transform.
+        fast = kernels.try_evaluate(expr, chunk)
+        if fast is not None:
+            return fast
         return _eval_call(expr, chunk)
     from ..algebra.expr import ScalarSubquery
 
@@ -47,6 +60,9 @@ def evaluate(expr: Expr, chunk: Chunk) -> list:
 
 def evaluate_predicate(expr: Expr, chunk: Chunk) -> list[int]:
     """Row indices where ``expr`` is TRUE (NULL and FALSE filter out)."""
+    selection = kernels.try_select(expr, chunk)
+    if selection is not None:
+        return selection
     values = evaluate(expr, chunk)
     return [i for i, v in enumerate(values) if v is True]
 
@@ -68,19 +84,6 @@ def _binary_args(expr: Call, chunk: Chunk) -> tuple[list, list]:
     left = evaluate(expr.args[0], chunk)
     right = evaluate(expr.args[1], chunk)
     return left, right
-
-
-def _coerce_pair(a: object, b: object) -> tuple[object, object]:
-    """Unify numeric operand representations for one row."""
-    if isinstance(a, float) and isinstance(b, decimal.Decimal):
-        return a, float(b)
-    if isinstance(a, decimal.Decimal) and isinstance(b, float):
-        return float(a), b
-    if isinstance(a, int) and isinstance(b, decimal.Decimal):
-        return decimal.Decimal(a), b
-    if isinstance(a, decimal.Decimal) and isinstance(b, int):
-        return a, decimal.Decimal(b)
-    return a, b
 
 
 def _cmp(op: str):

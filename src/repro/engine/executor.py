@@ -20,6 +20,7 @@ from ..algebra import ops
 from ..algebra.expr import Expr, referenced_cids
 from ..errors import ExecutionError
 from ..storage.mvcc import Transaction
+from . import kernels
 from .chunk import Chunk
 from .physical import DEFAULT_BATCH_SIZE, ExecContext
 
@@ -107,7 +108,7 @@ class Executor:
     def __init__(
         self, catalog, metrics=None, tracer=None, faults=None,
         batch_size: int = DEFAULT_BATCH_SIZE, plan_feedback: bool = True,
-        memory_budget_bytes: int | None = None,
+        memory_budget_bytes: int | None = None, vectorized: bool = True,
     ):
         self._catalog = catalog
         # Per-statement state (deadline, collector) lives in thread-local
@@ -125,6 +126,9 @@ class Executor:
         self._plan_feedback = plan_feedback
         #: Soft per-query memory budget (estimated bytes); None = unlimited.
         self._memory_budget = memory_budget_bytes
+        #: Vectorized kernels on (the default) or forced off — the scalar
+        #: arm of the fuzz differential oracle and A/B benchmarks.
+        self._vectorized = vectorized
         # Pre-resolved metric handles (these are per-batch hot paths).
         if metrics is None:
             self._m_blocks_pruned = None
@@ -134,6 +138,10 @@ class Executor:
             self._m_peak = None
             self._m_op_peak = None
             self._m_budget = None
+            self._m_kernel_calls = None
+            self._m_rows_selected = None
+            self._m_dict_compares = None
+            self._m_topn = None
         else:
             self._m_blocks_pruned = metrics.counter("nse.blocks_pruned")
             self._m_blocks_scanned = metrics.counter("nse.blocks_scanned")
@@ -142,6 +150,10 @@ class Executor:
             self._m_peak = metrics.histogram("exec.peak_batch_rows")
             self._m_op_peak = metrics.histogram("exec.operator_peak_bytes")
             self._m_budget = metrics.counter("exec.memory_budget_exceeded")
+            self._m_kernel_calls = metrics.counter("exec.kernel_calls")
+            self._m_rows_selected = metrics.counter("exec.rows_selected")
+            self._m_dict_compares = metrics.counter("exec.dict_compares")
+            self._m_topn = metrics.counter("exec.topn_heap_evictions")
 
     @property
     def batch_size(self) -> int:
@@ -191,6 +203,11 @@ class Executor:
         previous_collector = self._collector
         if collector is not None:
             self._collector = collector
+        # Each execution gets its own kernel tally (a nested scalar-subquery
+        # execute tallies separately and restores ours); activating None is
+        # the vectorized=False gate — kernels never engage without a tally.
+        tally = kernels.KernelTally() if self._vectorized else None
+        previous_tally = kernels.activate(tally)
         try:
             # Scalar-subquery resolution may rewrite the tree; record the
             # tree that actually runs so EXPLAIN ANALYZE annotates it.
@@ -216,12 +233,16 @@ class Executor:
                 m_blocks_scanned=self._m_blocks_scanned,
                 memory_budget=self._memory_budget,
                 m_budget=self._m_budget,
+                vectorized=self._vectorized,
+                m_topn=self._m_topn,
             )
             stream = physical.execute(ctx)
             try:
                 batches = list(stream)
             finally:
                 stream.close()
+            if tally is not None:
+                self._flush_tally(tally, physical, active)
             if self._m_peak is not None and ctx.peak_batch_rows:
                 self._m_peak.observe(ctx.peak_batch_rows)
             if self._m_op_peak is not None:
@@ -234,8 +255,23 @@ class Executor:
             cids = [c.cid for c in resolved.output]
             return QueryResult(names, chunk.rows(cids))
         finally:
+            kernels.activate(previous_tally)
             self._deadline = previous_deadline
             self._collector = previous_collector
+
+    def _flush_tally(self, tally, physical, collector) -> None:
+        """Fold this execution's kernel accounting into the engine-wide
+        counters and (when instrumented) the per-operator collector."""
+        if tally.calls or tally.dict_compares:
+            if self._m_kernel_calls is not None:
+                self._m_kernel_calls.inc(tally.calls)
+                self._m_rows_selected.inc(tally.rows_selected)
+                self._m_dict_compares.inc(tally.dict_compares)
+        if collector is not None and tally.per_op:
+            for op in physical.walk():
+                entry = tally.per_op.get(id(op))
+                if entry is not None:
+                    collector.record_kernels(op, *entry)
 
     def _resolve_scalar_subqueries(
         self, plan: ops.LogicalOp, txn: Transaction

@@ -20,14 +20,27 @@ EXPLAIN ANALYZE collector.
 
 from __future__ import annotations
 
+import decimal
 import functools
+import heapq
 import time
 import warnings
+from bisect import bisect_left, bisect_right
 from typing import Iterator
 
 from ..algebra import ops
 from ..algebra.expr import AggCall, Call, ColRef, Expr, referenced_cids
 from ..errors import ExecutionError, MemoryBudgetWarning, QueryTimeoutError
+from ..vectors import (
+    DictVector,
+    FloatVector,
+    IntVector,
+    decode_column,
+    maybe_typed,
+    pad_take_column,
+    take_column,
+)
+from . import kernels
 from .chunk import Chunk
 from .eval import _coerce_pair, evaluate, evaluate_predicate
 
@@ -47,6 +60,7 @@ class ExecContext:
         "tracer", "peak_batch_rows", "m_batches", "m_early",
         "m_blocks_pruned", "m_blocks_scanned", "memory_budget", "m_budget",
         "track_mem", "mem_bytes", "budget_exceeded", "op_bytes",
+        "vectorized", "m_topn",
     )
 
     def __init__(
@@ -54,7 +68,7 @@ class ExecContext:
         deadline: float | None = None, collector=None, faults=None,
         tracer=None, m_batches=None, m_early=None, m_blocks_pruned=None,
         m_blocks_scanned=None, memory_budget: int | None = None,
-        m_budget=None,
+        m_budget=None, vectorized: bool = True, m_topn=None,
     ):
         self.catalog = catalog
         self.txn = txn
@@ -70,6 +84,12 @@ class ExecContext:
         #: Largest batch produced anywhere in the plan (rows); the executor
         #: observes it into the ``exec.peak_batch_rows`` histogram.
         self.peak_batch_rows = 0
+        #: False = the differential row-fallback arm: scans decode to plain
+        #: lists and no kernels engage (the executor also skips activating
+        #: a KernelTally, which is the actual kernel gate).
+        self.vectorized = vectorized
+        #: ``exec.topn_heap_evictions`` counter handle (may be None).
+        self.m_topn = m_topn
         #: Soft per-query memory budget (estimated bytes); None = unlimited.
         self.memory_budget = memory_budget
         self.m_budget = m_budget
@@ -171,6 +191,12 @@ class PhysicalOp:
         collector = ctx.collector
         faults = ctx.faults
         m_batches = ctx.m_batches
+        # Kernel attribution: while this operator's _run body executes,
+        # the active tally bills kernels to this op; pulling a child batch
+        # nests the child's own save/restore inside ours, so billing stays
+        # exclusive per operator.
+        tally = kernels.active()
+        self_key = id(self)
         try:
             while True:
                 if ctx.deadline is not None and _now() > ctx.deadline:
@@ -180,10 +206,20 @@ class PhysicalOp:
                 if faults is not None:
                     faults.fire("executor.batch", op=self.name())
                 start = time.perf_counter()
-                try:
-                    chunk = next(inner)
-                except StopIteration:
-                    return
+                if tally is None:
+                    try:
+                        chunk = next(inner)
+                    except StopIteration:
+                        return
+                else:
+                    previous_op = tally.current_op
+                    tally.current_op = self_key
+                    try:
+                        chunk = next(inner)
+                    except StopIteration:
+                        return
+                    finally:
+                        tally.current_op = previous_op
                 elapsed = time.perf_counter() - start
                 if m_batches is not None:
                     m_batches.inc()
@@ -278,7 +314,8 @@ class BatchScanExec(PhysicalOp):
         prune = self.prune_bounds and not getattr(table, "is_virtual", False)
         row_ids = self._pruned_row_ids(ctx, table) if prune else None
         for columns, count in table.read_column_batches(
-            ctx.txn, names, ctx.batch_size, row_ids=row_ids
+            ctx.txn, names, ctx.batch_size, row_ids=row_ids,
+            vectorized=ctx.vectorized,
         ):
             yield Chunk(dict(zip(cids, columns)), count)
 
@@ -463,7 +500,7 @@ class DistinctExec(PhysicalOp):
         try:
             for chunk in stream:
                 cols = [
-                    chunk.column(c.cid) for c in self.output
+                    decode_column(chunk.column(c.cid)) for c in self.output
                     if chunk.has_column(c.cid)
                 ]
                 keep: list[int] = []
@@ -507,7 +544,11 @@ class SortExec(PhysicalOp):
             ctx.track_memory(self, child.estimated_bytes())
         if child.row_count == 0:
             return
-        key_cols = [(child.column(k.cid), k.ascending) for k in self.keys]
+        # Decode each key column once: comparator calls are O(n log n) and
+        # would otherwise decode dictionary codes per comparison.
+        key_cols = [
+            (decode_column(child.column(k.cid)), k.ascending) for k in self.keys
+        ]
 
         def compare(i: int, j: int) -> int:
             for col, ascending in key_cols:
@@ -529,6 +570,424 @@ class SortExec(PhysicalOp):
 
         order = sorted(range(child.row_count), key=functools.cmp_to_key(compare))
         yield from _rebatch(child.take(order), ctx.batch_size)
+
+
+class _TopEntry:
+    """A TopN heap entry on the rank fast path.
+
+    ``rank`` is an orderable tuple in *output* order (smaller = earlier
+    in the result, seq-terminated so ranks never tie); ``__lt__`` inverts
+    it because heapq is a min-heap and TopN wants the worst kept row at
+    the root.  ``key`` retains the original sort-key values so the heap
+    can be demoted to the general comparator mid-stream.
+    """
+
+    __slots__ = ("rank", "key", "seq", "values")
+
+    def __init__(self, rank, key, seq, values):
+        self.rank = rank
+        self.key = key
+        self.seq = seq
+        self.values = values
+
+    def __lt__(self, other) -> bool:
+        return self.rank > other.rank
+
+
+_NUMERIC_RANK_TYPES = frozenset((int, float, bool))
+
+
+def _classify_rank_kinds(key_cols, directions, kinds) -> bool:
+    """Decide whether orderable-tuple ranking stays exact for this chunk.
+
+    Per key: int/float/bool values (native comparison equals the engine's
+    ``coerce_pair`` semantics — only Decimal pairings coerce) rank in both
+    directions via sign flip; one uniform non-Decimal type ranks ascending
+    only (there is no generic order-inverting transform).  ``kinds`` keeps
+    the per-key decision across chunks; any cross-chunk kind change, any
+    Decimal, and any mix beyond the numeric tower disables the fast path.
+    """
+    for pos, col in enumerate(key_cols):
+        types = {type(v) for v in col}
+        types.discard(type(None))
+        if not types:
+            continue  # all-NULL chunk: (1,) parts rank fine either way
+        if types <= _NUMERIC_RANK_TYPES:
+            kind = "num"
+        elif len(types) == 1:
+            single = next(iter(types))
+            if single is decimal.Decimal or not directions[pos]:
+                return False
+            kind = single
+        else:
+            return False
+        if kinds[pos] is None:
+            kinds[pos] = kind
+        elif kinds[pos] != kind:
+            return False
+    return True
+
+
+def _topn_typed_single(data, ascending, heap, keep, seq, value_cols):
+    """One TopN chunk over a null-free numeric key taken straight from a
+    typed buffer (``array('q')``/``array('d')``).
+
+    The rank space is the same seq-terminated ``((0, ±v), seq)`` the
+    generic fast path uses, so entries mix freely across chunks.  The
+    win: once the heap is full, the worst kept *value* bounds admission,
+    and because ``seq`` only grows a tie is always a loser — so the
+    candidate filter is a single scalar compare per row and losers incur
+    no tuple construction at all.  The bound is fixed at chunk entry
+    (winners only ever tighten it), which admits false candidates but
+    never drops a true one; each candidate re-checks against the live
+    worst rank.
+
+    Returns ``(seq, evictions)`` for the caller to fold back in.
+    """
+    n = len(data)
+    i = 0
+    while len(heap) < keep and i < n:
+        v = data[i]
+        rank = ((0, v if ascending else -v), seq + i)
+        values = tuple(
+            None if col is None else col[i] for col in value_cols
+        )
+        heapq.heappush(heap, _TopEntry(rank, (v,), seq + i, values))
+        i += 1
+    evictions = 0
+    if len(heap) >= keep and i < n:
+        worst_rank = heap[0].rank
+        part = worst_rank[0]
+        if part[0] != 0:              # worst entry is NULL: nothing loses
+            wv = float("inf") if ascending else float("-inf")
+        else:
+            wv = part[1] if ascending else -part[1]
+        if i == 0:
+            candidates = (
+                [j for j, v in enumerate(data) if v < wv]
+                if ascending
+                else [j for j, v in enumerate(data) if v > wv]
+            )
+        else:
+            candidates = (
+                [j for j in range(i, n) if data[j] < wv]
+                if ascending
+                else [j for j in range(i, n) if data[j] > wv]
+            )
+        for j in candidates:
+            v = data[j]
+            rank = ((0, v if ascending else -v), seq + j)
+            if rank >= worst_rank:
+                continue
+            values = tuple(
+                None if col is None else col[j] for col in value_cols
+            )
+            heapq.heapreplace(heap, _TopEntry(rank, (v,), seq + j, values))
+            worst_rank = heap[0].rank
+            evictions += 1
+    return seq + n, evictions
+
+
+def _topn_dict_single(vec, ascending, heap, seq, value_cols):
+    """One full-heap TopN chunk over a sorted-dictionary coded key.
+
+    Value order equals code order (the merged-fragment invariant), so the
+    worst kept value maps through one bisect to a *code* threshold and the
+    candidate filter is an integer compare per row against the raw code
+    array — no value is decoded for a loser.  NULL codes (-1) are never
+    candidates: with the heap full an incoming NULL ranks at/after every
+    kept entry (NULLS LAST plus the grow-only ``seq`` tie-break), so it
+    always loses.  Ranks stay in *value* space — entries mix freely with
+    chunks ranked by the generic fast path.
+
+    Only called with the heap already full.  Returns ``(seq, evictions)``.
+    """
+    codes = vec.codes
+    dictionary = vec.dictionary
+    n = len(codes)
+    worst_rank = heap[0].rank
+    part = worst_rank[0]
+    if part[0] != 0:                  # worst entry is NULL: nothing loses
+        cut = len(dictionary) if ascending else 0
+    else:
+        # Descending keys are numeric-only (rank = -value); ascending
+        # ranks carry the value itself.
+        wv = part[1] if ascending else -part[1]
+        cut = (
+            bisect_left(dictionary, wv)
+            if ascending
+            else bisect_right(dictionary, wv)
+        )
+    if ascending:
+        candidates = [j for j, c in enumerate(codes) if -1 < c < cut]
+    else:
+        candidates = [j for j, c in enumerate(codes) if c >= cut]
+    evictions = 0
+    for j in candidates:
+        v = dictionary[codes[j]]
+        rank = ((0, v if ascending else -v), seq + j)
+        if rank >= worst_rank:
+            continue
+        values = tuple(
+            None if col is None else col[j] for col in value_cols
+        )
+        heapq.heapreplace(heap, _TopEntry(rank, (v,), seq + j, values))
+        worst_rank = heap[0].rank
+        evictions += 1
+    return seq + n, evictions
+
+
+class TopNExec(PhysicalOp):
+    """Bounded-heap ``ORDER BY … LIMIT k [OFFSET o]``.
+
+    Emitted by the physical planner for ``Limit(Sort(…))``: instead of
+    materializing and fully sorting the input (O(n log n) time, O(n)
+    memory), a size ``k+o`` heap keeps only the current best rows —
+    O(n log k) time, O(k) memory — so paged list views (§6 / Fig. 6)
+    never hold more than a page's worth of rows.
+
+    Equivalence with the Sort+Limit pair it replaces is exact, including
+    stability: ties keep the earliest-arrived row, which is what a stable
+    sort followed by LIMIT returns.  Rows displaced after the heap filled
+    are counted as ``heap_evictions`` (``exec.topn_heap_evictions``).
+
+    Two internal row representations: when the key columns hold plain
+    int/float/bool (either direction) or one uniform non-Decimal type
+    (ascending only), each row is ranked by an *orderable tuple* — one
+    C-level tuple comparison decides a loser, no Python comparator runs.
+    Anything else (Decimal coercion, mixed kinds, descending strings)
+    uses the general comparator with the row path's exact semantics; a
+    later chunk that breaks the fast path's assumptions demotes the
+    already-collected heap in place.
+    """
+
+    blocking = True
+
+    def __init__(self, logical: ops.Limit, sort: ops.Sort, child: PhysicalOp):
+        super().__init__(logical, (child,))
+        self.limit = logical.limit
+        self.offset = logical.offset
+        self.keys = sort.keys
+        #: Rows displaced from the full heap by better-ranked arrivals.
+        self.heap_evictions = 0
+
+    def name(self) -> str:
+        return "TopN"
+
+    def strategy(self) -> str:
+        keys = ", ".join(
+            f"#{k.cid}{'' if k.ascending else ' desc'}" for k in self.keys
+        )
+        offset = f" offset {self.offset}" if self.offset else ""
+        return f"k={self.limit}{offset}; {keys}"
+
+    def _run(self, ctx: ExecContext) -> Iterator[Chunk]:
+        if self.limit <= 0:
+            return
+        keep = self.limit + self.offset
+        directions = [k.ascending for k in self.keys]
+
+        def output_order(a: tuple, b: tuple) -> int:
+            """Negative when ``a`` precedes ``b``: sort keys with NULLS
+            LAST, then arrival order (the stable-sort tie-break)."""
+            for (x, y), ascending in zip(zip(a[0], b[0]), directions):
+                if x is None and y is None:
+                    continue
+                if x is None:
+                    return 1
+                if y is None:
+                    return -1
+                x, y = _coerce_pair(x, y)
+                if x == y:
+                    continue
+                less = x < y
+                if ascending:
+                    return -1 if less else 1
+                return 1 if less else -1
+            return -1 if a[1] < b[1] else 1  # seq values never collide
+
+        # heapq is a min-heap: order entries worst-first so heap[0] is the
+        # row to displace when something better arrives.
+        worst_first = functools.cmp_to_key(lambda a, b: output_order(b, a))
+        heap: list = []
+        seq = 0
+        evictions = 0
+        out_cids = [c.cid for c in self.output]
+        entry_width = 56 + 24 * (len(out_cids) + len(self.keys))
+        # 'num' (int/float/bool, both directions) or a concrete type
+        # (ascending only) per key; decided from the first non-null values.
+        fast = True
+        kinds: list = [None] * len(self.keys)
+        stream = self.children[0].execute(ctx)
+        try:
+            for chunk in stream:
+                value_cols = [
+                    chunk.column(cid) if chunk.has_column(cid) else None
+                    for cid in out_cids
+                ]
+                if fast and len(self.keys) == 1:
+                    raw0 = chunk.column(self.keys[0].cid)
+                    handled = False
+                    if (
+                        kinds[0] in (None, "num")
+                        and isinstance(raw0, (IntVector, FloatVector))
+                        and not raw0.nulls
+                    ):
+                        # Null-free numeric key straight off the typed
+                        # buffer: a loser is decided by one scalar compare
+                        # against the worst kept value — no decode, no
+                        # per-row rank tuple.
+                        kinds[0] = "num"
+                        seq, displaced = _topn_typed_single(
+                            raw0.data, directions[0], heap, keep, seq,
+                            value_cols,
+                        )
+                        evictions += displaced
+                        handled = True
+                    elif (
+                        len(heap) >= keep
+                        and isinstance(raw0, DictVector)
+                        and raw0.sorted_dict
+                        and raw0.dictionary
+                    ):
+                        first = raw0.dictionary[0]
+                        kind = (
+                            "num"
+                            if type(first) in _NUMERIC_RANK_TYPES
+                            else type(first)
+                        )
+                        if kinds[0] in (None, kind) and (
+                            kind == "num"
+                            or (directions[0] and kind is not decimal.Decimal)
+                        ):
+                            kinds[0] = kind
+                            seq, displaced = _topn_dict_single(
+                                raw0, directions[0], heap, seq, value_cols,
+                            )
+                            evictions += displaced
+                            handled = True
+                    if handled:
+                        if ctx.track_mem:
+                            ctx.track_memory(self, 64 + entry_width * len(heap))
+                        continue
+                key_cols = [
+                    decode_column(chunk.column(k.cid)) for k in self.keys
+                ]
+                if fast:
+                    fast = _classify_rank_kinds(key_cols, directions, kinds)
+                    if not fast and heap:
+                        # Demote: rebuild collected fast entries under the
+                        # general comparator before mixing in this chunk.
+                        heap = [
+                            worst_first((e.key, e.seq, e.values)) for e in heap
+                        ]
+                        heapq.heapify(heap)
+                n = chunk.row_count
+                if fast:
+                    # Rank the whole chunk up front (seq-terminated output
+                    # order; (1,) > (0, v) encodes NULLS LAST), then reject
+                    # losers with one C tuple comparison each.
+                    if len(key_cols) == 1:
+                        col0 = key_cols[0]
+                        if directions[0]:
+                            ranks = [
+                                ((1,), s) if v is None else ((0, v), s)
+                                for s, v in enumerate(col0, seq)
+                            ]
+                        else:
+                            ranks = [
+                                ((1,), s) if v is None else ((0, -v), s)
+                                for s, v in enumerate(col0, seq)
+                            ]
+                    else:
+                        ranks = []
+                        for i in range(n):
+                            parts = []
+                            for col, ascending in zip(key_cols, directions):
+                                v = col[i]
+                                if v is None:
+                                    parts.append((1,))
+                                elif ascending:
+                                    parts.append((0, v))
+                                else:
+                                    parts.append((0, -v))
+                            parts.append(seq + i)
+                            ranks.append(tuple(parts))
+                    start = 0
+                    while len(heap) < keep and start < n:
+                        values = tuple(
+                            None if col is None else col[start]
+                            for col in value_cols
+                        )
+                        key = tuple(col[start] for col in key_cols)
+                        heapq.heappush(
+                            heap,
+                            _TopEntry(ranks[start], key, seq + start, values),
+                        )
+                        start += 1
+                    if len(heap) >= keep:
+                        worst_rank = heap[0].rank
+                        for i in range(start, n):
+                            rank = ranks[i]
+                            if rank >= worst_rank:
+                                continue
+                            values = tuple(
+                                None if col is None else col[i]
+                                for col in value_cols
+                            )
+                            key = tuple(col[i] for col in key_cols)
+                            heapq.heapreplace(
+                                heap, _TopEntry(rank, key, seq + i, values)
+                            )
+                            worst_rank = heap[0].rank
+                            evictions += 1
+                    seq += n
+                else:
+                    for i in range(n):
+                        key = tuple(col[i] for col in key_cols)
+                        if len(heap) < keep:
+                            values = tuple(
+                                None if col is None else col[i]
+                                for col in value_cols
+                            )
+                            heapq.heappush(heap, worst_first((key, seq, values)))
+                        else:
+                            # Compare before materializing row values: losers
+                            # (the common case once the heap is warm) never
+                            # decode their payload columns.
+                            if heap[0] < worst_first((key, seq, ())):
+                                values = tuple(
+                                    None if col is None else col[i]
+                                    for col in value_cols
+                                )
+                                heapq.heapreplace(
+                                    heap, worst_first((key, seq, values))
+                                )
+                                evictions += 1
+                        seq += 1
+                if ctx.track_mem:
+                    ctx.track_memory(self, 64 + entry_width * len(heap))
+        finally:
+            stream.close()
+        self.heap_evictions = evictions
+        if evictions:
+            if ctx.m_topn is not None:
+                ctx.m_topn.inc(evictions)
+            if ctx.collector is not None:
+                ctx.collector.record_evictions(self, evictions)
+        if fast:
+            ordered = sorted(heap, key=lambda e: e.rank)
+            entries = [(e.key, e.seq, e.values) for e in ordered]
+        else:
+            entries = [wrapped.obj for wrapped in sorted(heap, reverse=True)]
+        entries = entries[self.offset:self.offset + self.limit]
+        if not entries:
+            return
+        columns = {
+            cid: [entry[2][pos] for entry in entries]
+            for pos, cid in enumerate(out_cids)
+        }
+        yield from _rebatch(Chunk(columns, len(entries)), ctx.batch_size)
 
 
 class HashAggregateExec(PhysicalOp):
@@ -555,9 +1014,16 @@ class HashAggregateExec(PhysicalOp):
         stream = self.children[0].execute(ctx)
         try:
             for chunk in stream:
-                key_cols = [chunk.column(cid) for cid in op.group_cids]
+                # One decode per batch: group keys become output values, so
+                # (unlike join keys) they cannot stay dictionary-coded, but
+                # decoding a code vector once beats per-row __getitem__
+                # dictionary hops in the accumulation loop below.
+                key_cols = [
+                    decode_column(chunk.column(cid)) for cid in op.group_cids
+                ]
                 agg_inputs = [
-                    None if call.arg is None else evaluate(call.arg, chunk)
+                    None if call.arg is None
+                    else decode_column(evaluate(call.arg, chunk))
                     for _, call in op.aggs
                 ]
                 for i in range(chunk.row_count):
@@ -588,11 +1054,11 @@ class HashAggregateExec(PhysicalOp):
 
         columns: dict[int, list] = {}
         for pos, cid in enumerate(op.group_cids):
-            columns[cid] = [key[pos] for key in order]
+            columns[cid] = maybe_typed([key[pos] for key in order])
         for agg_index, (col, call) in enumerate(op.aggs):
-            columns[col.cid] = [
+            columns[col.cid] = maybe_typed([
                 _finalize(states[agg_index][g], call) for g in range(len(order))
-            ]
+            ])
         yield from _rebatch(Chunk(columns, len(order)), ctx.batch_size)
 
 
@@ -703,18 +1169,20 @@ class HashJoinExec(PhysicalOp):
         build = _materialize(self.children[1], ctx)
         if ctx.track_mem:
             ctx.track_memory(self, build.estimated_bytes())
-        table = self._build_table(build, [re for _, re in self.equi])
+        memos: dict = {}
+        table = self._build_table(build, [re for _, re in self.equi], memos)
         left_outer = self.logical.join_type is ops.JoinType.LEFT_OUTER
         if not table and not left_outer:
             return  # inner join against an empty/all-NULL build: no rows
+        probe_exprs = [le for le, _ in self.equi]
         stream = self.children[0].execute(ctx)
         try:
             for chunk in stream:
-                probe_keys = [evaluate(le, chunk) for le, _ in self.equi]
+                readers = _key_readers(probe_exprs, chunk, memos)
                 lidx: list[int] = []
                 ridx: list[int] = []
                 for i in range(chunk.row_count):
-                    key = tuple(_norm_key(col[i]) for col in probe_keys)
+                    key = tuple(read(i) for read in readers)
                     if any(k is None for k in key):
                         continue
                     for j in table.get(key, ()):
@@ -736,7 +1204,8 @@ class HashJoinExec(PhysicalOp):
         build_bytes = build.estimated_bytes() if ctx.track_mem else 0
         if ctx.track_mem:
             ctx.track_memory(self, build_bytes)
-        table = self._build_table(build, [le for le, _ in self.equi])
+        memos: dict = {}
+        table = self._build_table(build, [le for le, _ in self.equi], memos)
         left_outer = self.logical.join_type is ops.JoinType.LEFT_OUTER
         if build.row_count == 0:
             return
@@ -744,14 +1213,15 @@ class HashJoinExec(PhysicalOp):
         buffered: dict[int, list] = {cid: [] for cid in self.right_cids}
         buffered_rows = 0
         remaining = set(table) if (self.early_out and table) else None
+        probe_exprs = [re for _, re in self.equi]
         stream = self.children[1].execute(ctx)
         try:
             for chunk in stream:
-                probe_keys = [evaluate(re, chunk) for _, re in self.equi]
+                readers = _key_readers(probe_exprs, chunk, memos)
                 lidx: list[int] = []
                 jidx: list[int] = []
                 for j in range(chunk.row_count):
-                    key = tuple(_norm_key(col[j]) for col in probe_keys)
+                    key = tuple(read(j) for read in readers)
                     if any(k is None for k in key):
                         continue
                     hits = table.get(key)
@@ -764,10 +1234,13 @@ class HashJoinExec(PhysicalOp):
                         remaining.discard(key)
                 if self.residual and lidx:
                     lidx, jidx = self._apply_residual(build, chunk, lidx, jidx)
+                chunk_cols = [
+                    (cid, chunk.column(cid) if chunk.has_column(cid) else None)
+                    for cid in self.right_cids
+                ]
                 for i, j in zip(lidx, jidx):
                     pairs.append((i, buffered_rows))
-                    for cid in self.right_cids:
-                        column = chunk.columns.get(cid)
+                    for cid, column in chunk_cols:
                         buffered[cid].append(None if column is None else column[j])
                     buffered_rows += 1
                 if ctx.track_mem:
@@ -845,12 +1318,14 @@ class HashJoinExec(PhysicalOp):
             )
         members: set[tuple] = set()
         right_has_null = False
+        memos: dict = {}
+        build_exprs = [re for _, re in self.equi]
         right_stream = self.children[1].execute(ctx)
         try:
             for chunk in right_stream:
-                build_cols = [evaluate(re, chunk) for _, re in self.equi]
+                readers = _key_readers(build_exprs, chunk, memos)
                 for j in range(chunk.row_count):
-                    key = tuple(_norm_key(col[j]) for col in build_cols)
+                    key = tuple(read(j) for read in readers)
                     if any(k is None for k in key):
                         right_has_null = True
                         continue
@@ -861,13 +1336,14 @@ class HashJoinExec(PhysicalOp):
             ctx.track_memory(self, 64 + 100 * len(members))
 
         null_aware = op.null_aware
+        probe_exprs = [le for le, _ in self.equi]
         stream = self.children[0].execute(ctx)
         try:
             for chunk in stream:
-                probe_cols = [evaluate(le, chunk) for le, _ in self.equi]
+                readers = _key_readers(probe_exprs, chunk, memos)
                 keep: list[int] = []
                 for i in range(chunk.row_count):
-                    key = tuple(_norm_key(col[i]) for col in probe_cols)
+                    key = tuple(read(i) for read in readers)
                     if any(k is None for k in key):
                         matched = None  # UNKNOWN
                     elif key in members:
@@ -888,13 +1364,15 @@ class HashJoinExec(PhysicalOp):
     # -- shared helpers -------------------------------------------------
 
     @staticmethod
-    def _build_table(build: Chunk, key_exprs) -> dict[tuple, list[int]]:
+    def _build_table(
+        build: Chunk, key_exprs, memos: dict
+    ) -> dict[tuple, list[int]]:
         if build.row_count == 0:
             return {}
-        key_cols = [evaluate(expr, build) for expr in key_exprs]
+        readers = _key_readers(key_exprs, build, memos)
         table: dict[tuple, list[int]] = {}
         for j in range(build.row_count):
-            key = tuple(_norm_key(col[j]) for col in key_cols)
+            key = tuple(read(j) for read in readers)
             if any(k is None for k in key):
                 continue
             table.setdefault(key, []).append(j)
@@ -902,17 +1380,15 @@ class HashJoinExec(PhysicalOp):
 
     def _combine(self, left_chunk: Chunk, right_chunk: Chunk,
                  lidx: list[int], ridx: list[int]) -> Chunk:
-        columns: dict[int, list] = {}
+        columns: dict[int, object] = {}
         for cid in self.left_cids:
-            col = left_chunk.columns.get(cid)
-            if col is not None:
-                columns[cid] = [col[i] for i in lidx]
+            if left_chunk.has_column(cid):
+                columns[cid] = take_column(left_chunk.column(cid), lidx)
         for cid in self.right_cids:
-            col = right_chunk.columns.get(cid)
-            if col is None:
-                columns[cid] = [None] * len(ridx)
+            if right_chunk.has_column(cid):
+                columns[cid] = pad_take_column(right_chunk.column(cid), ridx)
             else:
-                columns[cid] = [None if j < 0 else col[j] for j in ridx]
+                columns[cid] = [None] * len(ridx)
         return Chunk(columns, len(lidx))
 
     def _apply_residual(self, left_chunk: Chunk, right_chunk: Chunk,
@@ -932,11 +1408,11 @@ class HashJoinExec(PhysicalOp):
     def _residual_combine(self, left_chunk, right_chunk, lidx, ridx) -> Chunk:
         # Unlike _combine this keys off whatever columns the chunks carry:
         # the build-left path probes with (build, right chunk) arguments.
-        columns: dict[int, list] = {}
-        for cid, col in left_chunk.columns.items():
-            columns[cid] = [col[i] for i in lidx]
-        for cid, col in right_chunk.columns.items():
-            columns[cid] = [None if j < 0 else col[j] for j in ridx]
+        columns: dict[int, object] = {}
+        for cid in left_chunk.column_ids():
+            columns[cid] = take_column(left_chunk.column(cid), lidx)
+        for cid in right_chunk.column_ids():
+            columns[cid] = pad_take_column(right_chunk.column(cid), ridx)
         return Chunk(columns, len(lidx))
 
 
@@ -985,6 +1461,48 @@ def _equi_pair(
     if a_refs and a_refs <= right_cids and b_refs and b_refs <= left_cids:
         return (b, a)
     return None
+
+
+def _key_reader(col, memos: dict):
+    """``row -> normalized join-key value`` for one key column.
+
+    Dictionary-coded columns normalize each distinct *code* once; the memo
+    is keyed by dictionary identity and shared across every batch of the
+    same fragment, so for repeated keys the per-row work is a code lookup —
+    the effective code-comparison path — and full decoding happens only on
+    dictionary mismatch (different fragments) or for first-seen codes.
+    """
+    if isinstance(col, DictVector):
+        memo = memos.get(id(col.dictionary))
+        if memo is None:
+            memo = memos[id(col.dictionary)] = {}
+        codes = col.codes
+        dictionary = col.dictionary
+
+        def read(i: int, _codes=codes, _dict=dictionary, _memo=memo):
+            code = _codes[i]
+            if code < 0:
+                return None
+            value = _memo.get(code)
+            if value is None:  # dictionaries never hold None (NULL = -1)
+                value = _memo[code] = _norm_key(_dict[code])
+            return value
+
+        return read
+
+    def read(i: int, _col=col):
+        return _norm_key(_col[i])
+
+    return read
+
+
+def _key_readers(exprs, chunk: Chunk, memos: dict) -> list:
+    """Per-row key readers for a batch, tallying code-level comparisons."""
+    cols = [evaluate(expr, chunk) for expr in exprs]
+    coded = sum(1 for col in cols if isinstance(col, DictVector))
+    if coded:
+        kernels.note_dict_compares(coded * chunk.row_count)
+    return [_key_reader(col, memos) for col in cols]
 
 
 def _norm_key(value: object) -> object:

@@ -45,6 +45,7 @@ from .oracles import (
     run_batch_metamorphic,
     run_limit_metamorphic,
     run_rewrite_differential,
+    run_vectorized_differential,
 )
 from .reducer import reduce_case
 from .runner import (
@@ -69,6 +70,7 @@ __all__ = [
     "run_batch_metamorphic",
     "run_limit_metamorphic",
     "run_rewrite_differential",
+    "run_vectorized_differential",
     "reduce_case",
     "CampaignReport",
     "FoundBug",

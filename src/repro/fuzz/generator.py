@@ -173,10 +173,14 @@ class Case:
 
     FORMAT = 1
 
-    def build(self, batch_size: int = 1024, profile: str | None = None) -> Database:
+    def build(
+        self, batch_size: int = 1024, profile: str | None = None,
+        vectorized: bool = True,
+    ) -> Database:
         """A fresh database loaded with this case's schema, rows, and views."""
         db = Database(
-            profile=profile or self.profile, wal_enabled=False, batch_size=batch_size
+            profile=profile or self.profile, wal_enabled=False,
+            batch_size=batch_size, vectorized=vectorized,
         )
         for table in self.tables:
             db.execute(table.sql)

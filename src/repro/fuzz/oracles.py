@@ -277,6 +277,66 @@ def run_limit_metamorphic(case: Case, tally: dict | None = None) -> Discrepancy 
 
 
 # ---------------------------------------------------------------------------
+# oracle 4: vectorized / scalar differential
+# ---------------------------------------------------------------------------
+
+
+def run_vectorized_differential(
+    case: Case, tally: dict | None = None
+) -> Discrepancy | None:
+    """The vectorized kernels must be invisible: a database with kernels
+    enabled (the default) and one forced onto the row-at-a-time path
+    (``Database(vectorized=False)``) run the same optimized plan and must
+    produce identical results — including identical *errors* and identical
+    value representations (the comparison is over ``repr`` tuples, so an
+    int that becomes a float in one arm is a finding)."""
+    oracle = "vectorized-differential"
+    mode = comparison_mode(case)
+    vec_db = case.build()
+    row_db = case.build(vectorized=False)
+    if mode != "subset":
+        sql = case.sql()
+        vec, err_v = _run(vec_db, sql, tally)
+        row, err_r = _run(row_db, sql, tally)
+        return _compare_arms(oracle, "vectorized", vec, err_v,
+                             "scalar", row, err_r, mode)
+    # LIMIT without a determinizing ORDER BY: both arms execute the same
+    # plan, but early termination makes the kept rows a plan-internal
+    # detail; compare the unlimited bodies plus limited-run row counts.
+    body = case.sql(limited=False)
+    vec, err_v = _run(vec_db, body, tally)
+    row, err_r = _run(row_db, body, tally)
+    found = _compare_arms(oracle, "vectorized", vec, err_v,
+                          "scalar", row, err_r, "multiset")
+    if found is not None or err_v or err_r:
+        return found
+    limited_v, err_lv = _run(vec_db, case.sql(), tally)
+    limited_r, err_lr = _run(row_db, case.sql(), tally)
+    if err_lv or err_lr:
+        if err_lv == err_lr:
+            return None
+        return Discrepancy(
+            oracle,
+            f"limited vectorized: {err_lv or 'ok'} | "
+            f"limited scalar: {err_lr or 'ok'}",
+        )
+    if len(limited_v.rows) != len(limited_r.rows):
+        return Discrepancy(
+            oracle,
+            f"limited row counts differ: vectorized={len(limited_v.rows)} "
+            f"scalar={len(limited_r.rows)}",
+        )
+    overflow = Counter(_reprs(limited_v.rows)) - Counter(_reprs(vec.rows))
+    if overflow:
+        return Discrepancy(
+            oracle,
+            f"vectorized limited rows not in unlimited result: "
+            f"{list(overflow.elements())[:3]}",
+        )
+    return None
+
+
+# ---------------------------------------------------------------------------
 # the suite
 # ---------------------------------------------------------------------------
 
@@ -284,6 +344,7 @@ ORACLES = {
     "rewrite-differential": run_rewrite_differential,
     "batch-metamorphic": run_batch_metamorphic,
     "limit-metamorphic": run_limit_metamorphic,
+    "vectorized-differential": run_vectorized_differential,
 }
 
 

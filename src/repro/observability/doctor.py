@@ -58,6 +58,23 @@ def doctor_report(db, top: int = 5) -> str:
         lines.append(f"peak≈{total / 1024:10.1f}KB  {query_id}: {sql_for(query_id)}")
 
     lines.append("")
+    lines.append(f"-- top {top} kernel-heaviest operators (by vectorized kernel time) --")
+    kernel_ops = sorted(
+        (o for o in db.query_log.operator_rows() if o.kernel_calls),
+        key=lambda o: o.kernel_s,
+        reverse=True,
+    )[:top]
+    if not kernel_ops:
+        lines.append("(none)")
+    for o in kernel_ops:
+        lines.append(
+            f"kernel={o.kernel_s * 1e3:8.3f}ms  calls={o.kernel_calls:5d}  "
+            f"selected={o.rows_selected:8d}  dict_cmp={o.dict_compares:8d}  "
+            f"{o.operator}"
+        )
+        lines.append(f"    {o.query_id}: {sql_for(o.query_id)}")
+
+    lines.append("")
     lines.append("-- regressed query shapes (window median > factor x baseline) --")
     db.shape_baselines.sync(db.query_log)
     regressed = db.shape_baselines.regressed_shapes()

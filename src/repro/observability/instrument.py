@@ -34,6 +34,13 @@ class OperatorStats:
     early_terminated: bool = False
     #: Peak estimated bytes held (blocking operators only; 0 for streamers).
     peak_bytes: int = 0
+    #: Vectorized-kernel accounting (0 when the scalar path ran).
+    kernel_calls: int = 0
+    rows_selected: int = 0
+    dict_compares: int = 0
+    kernel_s: float = 0.0
+    #: Bounded-heap TopN rows displaced after the heap filled.
+    heap_evictions: int = 0
 
 
 @dataclass
@@ -79,6 +86,21 @@ class ExecutionCollector:
         if nbytes > stats.peak_bytes:
             stats.peak_bytes = nbytes
 
+    def record_kernels(
+        self, op, calls: int, rows_selected: int, dict_compares: int,
+        elapsed_s: float,
+    ) -> None:
+        """Fold one execution's kernel tally for this operator in."""
+        stats = self._entry(op)
+        stats.kernel_calls += calls
+        stats.rows_selected += rows_selected
+        stats.dict_compares += dict_compares
+        stats.kernel_s += elapsed_s
+
+    def record_evictions(self, op, evictions: int) -> None:
+        """Record a TopN operator's heap-eviction count."""
+        self._entry(op).heap_evictions += evictions
+
     def stats_for(self, op) -> OperatorStats | None:
         return self._stats.get(id(op))
 
@@ -106,6 +128,10 @@ class ExecutionCollector:
         peak = ""
         if stats.peak_bytes:
             peak = f", peak≈{stats.peak_bytes / 1024:.1f}KB"
+        if stats.kernel_calls:
+            peak += f", kernels={stats.kernel_calls}"
+        if stats.heap_evictions:
+            peak += f", evictions={stats.heap_evictions}"
         if est is not None:
             from .feedback import qerror
 

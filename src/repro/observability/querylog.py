@@ -82,6 +82,13 @@ class OperatorStatRow:
     elapsed_s: float
     is_scan: bool
     early_terminated: bool
+    #: Vectorized-kernel accounting (all zero when the scalar path ran).
+    kernel_calls: int = 0
+    kernel_s: float = 0.0
+    rows_selected: int = 0
+    dict_compares: int = 0
+    #: Bounded-heap TopN displacements (non-zero only for TopN operators).
+    heap_evictions: int = 0
 
 
 class QueryLog:
@@ -151,6 +158,11 @@ class QueryLog:
                     elapsed_s=stats.elapsed_s,
                     is_scan=stats.is_scan,
                     early_terminated=stats.early_terminated,
+                    kernel_calls=stats.kernel_calls,
+                    kernel_s=stats.kernel_s,
+                    rows_selected=stats.rows_selected,
+                    dict_compares=stats.dict_compares,
+                    heap_evictions=stats.heap_evictions,
                 )
             )
         if rows:

@@ -98,11 +98,18 @@ def install_sys_tables(db) -> None:
             ("elapsed_ms", dt.DOUBLE),
             ("is_scan", dt.BOOLEAN),
             ("early_terminated", dt.BOOLEAN),
+            ("kernel_calls", dt.BIGINT),
+            ("kernel_ms", dt.DOUBLE),
+            ("rows_selected", dt.BIGINT),
+            ("dict_compares", dt.BIGINT),
+            ("heap_evictions", dt.BIGINT),
         ),
         lambda: [
             (
                 o.query_id, o.operator, o.rows_out, o.batches,
                 o.elapsed_s * 1e3, o.is_scan, o.early_terminated,
+                o.kernel_calls, o.kernel_s * 1e3, o.rows_selected,
+                o.dict_compares, o.heap_evictions,
             )
             for o in db.query_log.operator_rows()
         ],

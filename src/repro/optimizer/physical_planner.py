@@ -33,6 +33,7 @@ from ..engine.physical import (
     PhysicalOp,
     ProjectExec,
     SortExec,
+    TopNExec,
     UnionAllExec,
     _equi_pair,
 )
@@ -94,6 +95,15 @@ def _compile(
         items = [(col, expr) for col, expr in op.items if col.cid in used]
         return ProjectExec(op, _compile(op.child, used, estimator), items)
     if isinstance(op, ops.Limit):
+        if isinstance(op.child, ops.Sort) and op.limit is not None:
+            # Limit-over-Sort fuses into a bounded-heap TopN: the full sort
+            # (buffer all rows, sort, discard all but k) becomes an
+            # O(rows · log k) heap that holds k rows — the §4.4 paging
+            # pattern (ORDER BY ... LIMIT k OFFSET m) never materializes
+            # the table.
+            return TopNExec(
+                op, op.child, _compile(op.child.child, used, estimator)
+            )
         return LimitExec(op, _compile(op.child, used, estimator))
     if isinstance(op, ops.Sort):
         return SortExec(op, _compile(op.child, used, estimator))

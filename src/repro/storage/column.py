@@ -17,6 +17,8 @@ from __future__ import annotations
 from array import array
 from typing import Iterable, Iterator
 
+from ..vectors import DictVector
+
 
 def _sort_key(value: object):
     # Dictionary values are homogeneous per column in practice; the type tag
@@ -30,7 +32,7 @@ BLOCK_ROWS = 1024
 class MainFragment:
     """Read-optimized, dictionary-encoded storage for one column."""
 
-    __slots__ = ("dictionary", "codes", "_index", "_zone_map")
+    __slots__ = ("dictionary", "codes", "homogeneous", "_index", "_zone_map")
 
     def __init__(self, values: Iterable[object] = ()):
         materialized = list(values)
@@ -38,6 +40,12 @@ class MainFragment:
         self.dictionary: list[object] = distinct
         self._index: dict[object, int] = {v: i for i, v in enumerate(distinct)}
         self.codes = array("q", (self._encode(v) for v in materialized))
+        #: Single-type dictionaries are value-ordered (the type-tagged sort
+        #: key degenerates to plain value order), which is what lets range
+        #: kernels bisect the dictionary and compare raw codes.
+        self.homogeneous = (
+            len({type(v) for v in distinct}) <= 1
+        )
         self._zone_map: list[tuple[object, object, bool]] | None = None
 
     def _encode(self, value: object) -> int:
@@ -166,6 +174,36 @@ class ColumnFragments:
             else:
                 out.append(delta[row - main_len])
         return out
+
+    def get_range_vector(self, start: int, stop: int):
+        """Like :meth:`get_range`, but rows wholly inside the main fragment
+        come back as a :class:`DictVector` sharing the fragment's dictionary
+        and value index — no decoding.  Ranges touching the delta (or pure
+        delta ranges) fall back to object lists."""
+        main = self.main
+        main_len = len(main)
+        if stop <= main_len:
+            return DictVector(
+                main.dictionary, main.codes[start:stop], main.homogeneous, main._index
+            )
+        if start >= main_len:
+            return self.delta.values[start - main_len:stop - main_len]
+        return self.get_range(start, stop)
+
+    def get_many_vector(self, row_ids):
+        """Like :meth:`get_many`, but stays dictionary-coded (a pure code
+        gather) when every requested row lives in the main fragment."""
+        main = self.main
+        main_len = len(main)
+        codes = main.codes
+        if all(row < main_len for row in row_ids):
+            return DictVector(
+                main.dictionary,
+                array("q", (codes[row] for row in row_ids)),
+                main.homogeneous,
+                main._index,
+            )
+        return self.get_many(row_ids)
 
     def iter_values(self) -> Iterator[object]:
         dictionary = self.main.dictionary

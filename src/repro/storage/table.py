@@ -281,6 +281,7 @@ class ColumnTable:
         names: Sequence[str],
         batch_size: int,
         row_ids: "Sequence[int] | range | None" = None,
+        vectorized: bool = False,
     ) -> Iterator[tuple[list[list[object]], int]]:
         """Stream a snapshot of the named columns in ``batch_size`` batches.
 
@@ -289,8 +290,11 @@ class ColumnTable:
         narrowed the scan (zone maps, visibility) passes the surviving ids
         and each batch decodes only those.  Contiguous ranges (the common
         all-visible case) decode via fragment slices rather than per-row
-        lookups.  With no names the batches still carry ``row_count`` — the
-        zero-column ``COUNT(*)`` input.
+        lookups.  With ``vectorized`` the main-fragment portion of a batch
+        stays dictionary-coded (a :class:`DictVector` sharing the fragment
+        dictionary) instead of decoding to Python objects.  With no names
+        the batches still carry ``row_count`` — the zero-column
+        ``COUNT(*)`` input.
         """
         if row_ids is None:
             row_ids = self.visible_row_ids(txn)
@@ -300,7 +304,14 @@ class ColumnTable:
         for start in range(0, total, batch_size):
             ids = row_ids[start:start + batch_size]
             if contiguous:
-                columns = [f.get_range(ids.start, ids.stop) for f in fragments]
+                if vectorized:
+                    columns = [
+                        f.get_range_vector(ids.start, ids.stop) for f in fragments
+                    ]
+                else:
+                    columns = [f.get_range(ids.start, ids.stop) for f in fragments]
+            elif vectorized:
+                columns = [f.get_many_vector(ids) for f in fragments]
             else:
                 columns = [f.get_many(ids) for f in fragments]
             yield columns, len(ids)

@@ -21,13 +21,14 @@ def db():
     database.close()
 
 
-def test_empty_report_has_all_three_sections(db):
+def test_empty_report_has_all_sections(db):
     report = doctor_report(db)
     assert report.startswith("== repro doctor ==")
     assert "misestimated operators" in report
     assert "memory-hungriest queries" in report
+    assert "kernel-heaviest operators" in report
     assert "regressed query shapes" in report
-    assert report.count("(none)") == 3
+    assert report.count("(none)") == 4
 
 
 def test_misestimated_query_tops_the_qerror_section(db):

@@ -64,8 +64,8 @@ def test_acceptance_query_streams_through_pipeline(db):
     # and it shows up in EXPLAIN with a real physical plan
     plan = db.explain("select * from sys.query_log order by elapsed_ms desc limit 5")
     assert "BatchScan(sys.query_log)" in plan
-    assert "Limit[5]" in plan
-    assert "Sort" in plan
+    # ORDER BY ... LIMIT fuses into the bounded-heap TopN operator
+    assert "TopN[k=5" in plan
 
 
 def test_query_log_row_contents(db):
