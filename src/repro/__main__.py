@@ -29,6 +29,7 @@ Subcommands (run against the built-in demo schema):
   python -m repro serve-metrics [--port N] [--profile NAME]
   python -m repro serve [--port N] [--max-concurrent N] [--max-queue N]
                         [--rate QPS] [--timeout SECONDS] [--profile NAME]
+                        [--plan-cache-size N]
   python -m repro bench-diff [--history PATH] [--threshold PCT]
   python -m repro chaos [--seed N] [--ops N] [--fsync POLICY] [--wal-dir DIR]
                         [--batch-size N] [--threads N] [--rounds N]
@@ -181,8 +182,9 @@ DEMO_QUERIES = [
 ]
 
 
-def _demo_db(profile: str | None) -> Database:
-    db = Database()
+def _demo_db(profile: str | None, plan_cache_size: int | None = None) -> Database:
+    db = (Database() if plan_cache_size is None
+          else Database(plan_cache_size=plan_cache_size))
     if profile:
         db.set_profile(profile)
     for sql in DEMO_SQL:
@@ -270,6 +272,10 @@ def run_subcommand(argv: list[str]) -> int:
                            metavar="SECONDS",
                            help="default statement timeout, queue wait "
                                 "included (default: none)")
+    p_gateway.add_argument("--plan-cache-size", type=int, default=None,
+                           metavar="N",
+                           help="parameterized plan-cache capacity shared "
+                                "by all tenants (default: 128; 0 disables)")
 
     p_diff = sub.add_parser(
         "bench-diff",
@@ -365,7 +371,8 @@ def run_subcommand(argv: list[str]) -> int:
     if options.command == "replay":
         return _run_replay(options)
     try:
-        db = _demo_db(options.profile)
+        db = _demo_db(options.profile,
+                      getattr(options, "plan_cache_size", None))
         if options.command == "explain":
             print(db.explain(options.sql, optimize=not options.no_optimize,
                              analyze=options.analyze))

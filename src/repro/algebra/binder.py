@@ -40,6 +40,7 @@ from .expr import (
     ColRef,
     Const,
     Expr,
+    Param,
     make_and,
     next_cid,
     referenced_cids,
@@ -143,9 +144,14 @@ class Scope:
 class Binder:
     """Binds parsed queries against a catalog, producing logical plans."""
 
-    def __init__(self, catalog: Catalog):
+    def __init__(self, catalog: Catalog, parameterize: bool = False):
         self._catalog = catalog
         self._view_stack: list[str] = []
+        # When set, slot-tagged statement literals bind as opaque Param
+        # nodes (generic-plan mode for the plan cache).  View bodies bind
+        # under a non-empty _view_stack and always produce Consts — their
+        # literals belong to the view definition, not the statement.
+        self._parameterize = parameterize
 
     # -- queries -----------------------------------------------------------
 
@@ -560,6 +566,9 @@ class Binder:
         if isinstance(expr, ast.ColumnName):
             return scope.resolve(expr).as_ref()
         if isinstance(expr, ast.Literal):
+            if (self._parameterize and expr.param_slot is not None
+                    and not self._view_stack):
+                return Param(expr.param_slot, type_of_literal(expr.value))
             return Const(expr.value, type_of_literal(expr.value))
         if isinstance(expr, ast.BinaryOp):
             left = self._bind_scalar(expr.left, scope, allow_agg)

@@ -73,6 +73,26 @@ class Const(Expr):
 
 
 @dataclass(frozen=True)
+class Param(Expr):
+    """A bind-time parameter slot in a *generic* (shape-cached) plan.
+
+    Produced only when the binder runs with ``parameterize=True`` over a
+    statement whose literals were slot-tagged by the parser.  Every
+    optimizer pass treats the node as an opaque non-constant scalar (all
+    value-dependent rewrites guard on :class:`Const`), so a plan optimized
+    over Params is valid for *any* literal values of the same types — the
+    plan cache substitutes real Consts at hit time.
+    """
+
+    slot: int
+    data_type: DataType
+    nullable: bool = False
+
+    def __str__(self) -> str:
+        return f"${self.slot}"
+
+
+@dataclass(frozen=True)
 class Call(Expr):
     """Operator or scalar-function application."""
 

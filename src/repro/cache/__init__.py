@@ -8,3 +8,4 @@ incrementally maintained, providing the up-to-date snapshot."
 """
 
 from .cached_views import CachedViewManager, CachedViewInfo  # noqa: F401
+from .plan_cache import CachedPlan, PlanCache  # noqa: F401

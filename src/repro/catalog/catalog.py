@@ -37,6 +37,10 @@ class Catalog:
         self._tables: dict[str, "ColumnTable"] = {}
         self._views: dict[str, ViewSchema] = {}
         self._systables: dict[str, SysTable] = {}
+        #: Monotonic DDL generation, bumped on every create/drop of a table
+        #: or view.  Cached plans fingerprint this and self-invalidate when
+        #: the catalog they were bound against has changed.
+        self.version = 0
 
     # -- tables ---------------------------------------------------------
 
@@ -49,6 +53,7 @@ class Catalog:
                     return
                 raise CatalogError(f"object {name!r} already exists")
             self._tables[name] = table
+            self.version += 1
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
         lowered = name.lower()
@@ -60,6 +65,7 @@ class Catalog:
                     return
                 raise CatalogError(f"no table {name!r}")
             del self._tables[lowered]
+            self.version += 1
 
     def table(self, name: str) -> "ColumnTable":
         lowered = name.lower()
@@ -114,6 +120,7 @@ class Catalog:
             if view.name in self._views and not or_replace:
                 raise CatalogError(f"view {view.name!r} already exists")
             self._views[view.name] = view
+            self.version += 1
 
     def drop_view(self, name: str, if_exists: bool = False) -> None:
         lowered = name.lower()
@@ -123,6 +130,7 @@ class Catalog:
                     return
                 raise CatalogError(f"no view {name!r}")
             del self._views[lowered]
+            self.version += 1
 
     def view(self, name: str) -> ViewSchema:
         lowered = name.lower()

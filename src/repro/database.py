@@ -108,6 +108,17 @@ class Database:
     bumps ``exec.memory_budget_exceeded``, and flips :meth:`health` to
     degraded — the query itself still completes.
 
+    ``plan_cache_size`` bounds the parameterized plan cache (default 128
+    entries; 0 disables it).  Repeated statement *shapes* — the same SQL
+    with different literals — skip parse, bind, and the whole optimizer
+    from their third execution on: the cached generic plan is re-bound
+    with the new literal values.  Promotion is conservative (a shape is
+    cached only when the parameter-generic optimization provably fires
+    the same rewrites as the value-bound one), and entries self-invalidate
+    on DDL, view deploys/drops, profile changes, and row-count shifts big
+    enough to change plan choice.  ``sys.plan_cache`` and the
+    ``plan_cache.*`` metrics expose its state.
+
     Every instance installs the read-only ``sys.*`` introspection schema
     (``sys.query_log``, ``sys.plan_feedback``, ``sys.metrics``, ...) —
     virtual tables over the engine's own instrumentation, queryable
@@ -125,6 +136,7 @@ class Database:
         plan_feedback: bool = True,
         memory_budget_bytes: int | None = None,
         vectorized: bool = True,
+        plan_cache_size: int = 128,
     ):
         self.metrics = MetricsRegistry()
         #: Hierarchical span tracer; enabled together with :attr:`tracing`.
@@ -192,6 +204,14 @@ class Database:
         self.capture: WorkloadRecorder | None = (
             WorkloadRecorder(capture_dir, profile=profile)
             if capture_dir is not None else None
+        )
+        #: Parameterized plan cache (ROADMAP item 5); ``plan_cache_size=0``
+        #: disables it entirely.  Shared by every session of this instance.
+        from .cache.plan_cache import PlanCache
+
+        self.plan_cache: PlanCache | None = (
+            PlanCache(plan_cache_size, metrics=self.metrics)
+            if plan_cache_size > 0 else None
         )
         install_sys_tables(self)
 
@@ -271,6 +291,11 @@ class Database:
         return outcome
 
     def _execute_inner(self, sql: str, txn: Transaction | None):
+        # SELECTs routed through execute() share the plan cache with
+        # query(); the prefix gate keeps DDL/DML off the probe path.
+        if (self.plan_cache is not None and not self.spans.enabled
+                and sql.lstrip()[:6].upper() == "SELECT"):
+            return self._query_with_plan_cache(sql, txn, None)
         if not self.spans.enabled:
             parse_started = time.perf_counter()
             statement = parse_statement(sql)
@@ -349,6 +374,8 @@ class Database:
                 else min(deadline, submitted_deadline)
             )
         if not self.spans.enabled:
+            if self.plan_cache is not None and optimize:
+                return self._query_with_plan_cache(sql, txn, deadline)
             parse_started = time.perf_counter()
             statement = parse_statement(sql)
             parse_s = time.perf_counter() - parse_started
@@ -533,6 +560,289 @@ class Database:
         finally:
             self.commit(snapshot)
 
+    # -- parameterized plan cache ---------------------------------------------
+
+    def _query_with_plan_cache(
+        self, sql: str, txn: Transaction | None, deadline: float | None,
+    ) -> QueryResult:
+        """The plan-cache statement path: probe → hit or normal-run+promote.
+
+        A hit skips parse, bind, and every optimizer pass: the cached
+        generic plan gets this statement's literal values substituted for
+        its Param slots and compiles straight to the physical tree (or
+        reuses the previously compiled tree on an exact value repeat).
+        Anything unusual — lexer failure, non-query statements, shapes the
+        promotion gates refused — falls back to the fully normal path.
+        """
+        from .sql.normalize import extract_shape
+
+        cache = self.plan_cache
+        parse_started = time.perf_counter()
+        try:
+            shape, values, tokens = extract_shape(sql)
+        except Exception:
+            shape = values = tokens = None  # normal path raises properly
+        if shape is not None:
+            from .datatypes import type_of_literal
+
+            shape_key = (shape, tuple(type_of_literal(v) for v in values))
+            entry = cache.probe(
+                shape_key, values, self._plan_cache_env(),
+                self._plan_cache_stats_sig,
+            )
+            if entry is not None:
+                parse_s = time.perf_counter() - parse_started
+                return self._run_cached_hit(
+                    entry, values, txn, deadline, sql, parse_s
+                )
+        statement = parse_statement(sql, tokens=tokens)
+        parse_s = time.perf_counter() - parse_started
+        if not isinstance(statement, ast.Query):
+            raise ExecutionError("query() expects a SELECT statement")
+        result = self._run_query(statement, txn, True, sql=sql,
+                                 deadline=deadline, parse_s=parse_s)
+        if shape is not None and cache.should_promote(shape_key):
+            self._promote_shape(shape_key, sql, tokens, values, result.stats)
+        return result
+
+    def _plan_cache_env(self) -> tuple:
+        """Environment head of the hit-time fingerprint: anything that can
+        change plan choice without touching the statement text."""
+        executor = self._executor
+        return (
+            self.catalog.version,
+            self._profile_name,
+            executor._vectorized,
+            executor.batch_size,
+        )
+
+    def _plan_cache_stats_sig(self, tables: tuple[str, ...]) -> tuple:
+        """Bucketed (log2) row counts of the entry's base tables: a stats
+        refresh big enough to change plan choice changes a bucket and
+        invalidates the entry."""
+        sig = []
+        for name in tables:
+            try:
+                sig.append(len(self.catalog.table(name)).bit_length())
+            except Exception:
+                sig.append(-1)
+        return tuple(sig)
+
+    def _run_cached_hit(
+        self, entry, values: list, txn: Transaction | None,
+        deadline: float | None, sql: str, parse_s: float,
+    ) -> QueryResult:
+        """Execute a plan-cache hit with the same bookkeeping contract as
+        :meth:`_run_query` (query log, metrics, stats, slow-query log) —
+        minus the planning phases it skipped."""
+        seq = next(self._query_seq)
+        query_id = f"q{seq}"
+        started_at = time.time()
+        start = time.perf_counter()
+        status = "ok"
+        error_text: str | None = None
+        result: QueryResult | None = None
+        execute_s: float | None = None
+        try:
+            if deadline is not None and time.monotonic() > deadline:
+                self._m_timeouts.inc()
+                raise QueryTimeoutError(
+                    "statement deadline exceeded before execution began"
+                )
+            plan, physical = self._materialize_cached(entry, values)
+            execute_started = time.perf_counter()
+            try:
+                collector = ExecutionCollector() if self._plan_feedback else None
+                result = self._execute_cached_plan(
+                    plan, physical, txn, collector, deadline
+                )
+                if collector is not None:
+                    self.query_log.record_operators(query_id, collector)
+                    self._record_feedback(query_id, collector)
+            except QueryTimeoutError:
+                self._m_timeouts.inc()
+                raise
+            execute_s = time.perf_counter() - execute_started
+            elapsed = time.perf_counter() - start
+            self._m_queries.inc()
+            self._m_latency.observe(elapsed)
+            self._m_ops_before.observe(entry.operators_before)
+            self._m_ops_after.observe(entry.operators_after)
+            result.stats = QueryStats(
+                elapsed_s=elapsed,
+                operators_before=entry.operators_before,
+                operators_after=entry.operators_after,
+                rewrite_fires=dict(entry.rewrite_fires),
+                query_id=query_id,
+            )
+            slowlog = self.slow_queries
+            if slowlog.threshold_s is not None and elapsed >= slowlog.threshold_s:
+                slowlog.record(
+                    sql=sql,
+                    elapsed_s=elapsed,
+                    plan=explain_plan(plan),
+                    rewrite_fires=dict(entry.rewrite_fires),
+                    span_root=None,
+                    query_id=query_id,
+                    plan_summary=self._plan_summary(plan),
+                )
+            return result
+        except QueryTimeoutError as exc:
+            status, error_text = "timeout", str(exc)
+            raise
+        except Exception as exc:
+            status, error_text = "error", str(exc)
+            raise
+        finally:
+            self.query_log.record(QueryLogEntry(
+                query_id=query_id,
+                sql=sql,
+                status=status,
+                error=error_text,
+                started_at=started_at,
+                elapsed_s=time.perf_counter() - start,
+                parse_s=parse_s,
+                bind_s=None,
+                optimize_s=None,
+                execute_s=execute_s,
+                rows=None if result is None else len(result.rows),
+                operators_before=entry.operators_before,
+                operators_after=entry.operators_after,
+                rewrite_fires=sum(entry.rewrite_fires.values()),
+                seq=seq,
+            ))
+
+    def _materialize_cached(self, entry, values: list):
+        """Generic plan + parameter values → executable (plan, physical).
+
+        Exact value repeat: reuse the entry's compiled physical tree
+        outright.  Otherwise substitute Const nodes for the free Param
+        slots and compile fresh (zone-map prune bounds are recomputed
+        from the new values by the physical planner)."""
+        from .datatypes import type_of_literal
+        from .engine.executor import _collect_used_cids
+
+        if entry.physical is not None and entry.last_values == tuple(values):
+            return entry.generic_plan, entry.physical
+        if entry.free_slots:
+            from .algebra.expr import Const, Param, rewrite_expr
+            from .algebra.ops import rewrite_op_exprs
+
+            consts = {
+                slot: Const(values[slot], type_of_literal(values[slot]))
+                for slot in entry.free_slots
+            }
+
+            def replace(node):
+                if isinstance(node, Param):
+                    return consts[node.slot]
+                return None
+
+            plan = rewrite_op_exprs(
+                entry.generic_plan, lambda e: rewrite_expr(e, replace)
+            )
+        else:
+            plan = entry.generic_plan
+        used = _collect_used_cids(plan)
+        physical = self._executor.compile(plan, used, estimate=self._plan_feedback)
+        self.plan_cache.remember_compiled(entry, values, physical)
+        return plan, physical
+
+    def _execute_cached_plan(
+        self, plan: LogicalOp, physical, txn: Transaction | None,
+        collector=None, deadline: float | None = None,
+    ) -> QueryResult:
+        if txn is not None:
+            return self._executor.execute_physical(
+                plan, physical, txn, collector=collector, deadline=deadline
+            )
+        snapshot = self.begin()
+        try:
+            return self._executor.execute_physical(
+                plan, physical, snapshot, collector=collector, deadline=deadline
+            )
+        finally:
+            self.commit(snapshot)
+
+    def _promote_shape(
+        self, shape_key: tuple, sql: str, tokens, values: list, stats,
+    ) -> None:
+        """Build and store the generic plan for a shape seen twice.
+
+        The value-bound execution that just finished is the reference:
+        the generic (Param-bound) optimization must fire *exactly* the
+        same rewrites, or some value-dependent rewrite (constant folding,
+        conjunct dedup, Fig. 10c ASJ subsumption ...) fired on literal
+        values and a generic plan would be weaker or wrong for other
+        values — such shapes are negatively cached as uncacheable.  Bind
+        failures under parameterization (the binder's structural matching
+        is textual, and ``$n`` slots break it for duplicated literals)
+        and scalar subqueries (resolved per-execution) are uncacheable
+        for the same reason: correctness never depends on caching.
+        """
+        from .cache.plan_cache import (
+            CachedPlan,
+            plan_base_tables,
+            plan_has_scalar_subquery,
+            plan_param_slots,
+        )
+        from .optimizer.pipeline import optimize_plan
+
+        cache = self.plan_cache
+        env = self._plan_cache_env()  # before bind: later DDL must mismatch
+        try:
+            statement = parse_statement(sql, tokens=tokens, parameterize=True)
+            if not isinstance(statement, ast.Query):
+                cache.mark_uncacheable(shape_key)
+                return
+            plan = Binder(self.catalog, parameterize=True).bind_query(statement)
+            operators_before = sum(1 for _ in plan.walk())
+            tally = RewriteTally()
+            generic = optimize_plan(plan, self._profile_name, self, trace=tally)
+        except Exception:
+            cache.mark_uncacheable(shape_key)
+            return
+        fires = dict(tally.rewrite_counts)
+        expected = dict(stats.rewrite_fires) if stats is not None else {}
+        if fires != expected or plan_has_scalar_subquery(generic):
+            cache.mark_uncacheable(shape_key)
+            return
+        free = plan_param_slots(generic)
+        tables = plan_base_tables(generic)
+        cache.store(shape_key, CachedPlan(
+            shape=shape_key[0],
+            param_types=shape_key[1],
+            generic_plan=generic,
+            free_slots=free,
+            fixed_values=tuple(
+                (slot, values[slot])
+                for slot in range(len(values)) if slot not in free
+            ),
+            fingerprint=(env, self._plan_cache_stats_sig(tables)),
+            tables=tables,
+            operators_before=operators_before,
+            operators_after=sum(1 for _ in generic.walk()),
+            rewrite_fires=fires,
+        ))
+
+    def _plan_cache_peek(self, sql: str):
+        """The live cache entry this statement would hit, or None — no LRU
+        touch, no counters (the EXPLAIN ``(cached)`` annotation)."""
+        cache = self.plan_cache
+        if cache is None:
+            return None
+        from .sql.normalize import extract_shape
+
+        try:
+            shape, values, _ = extract_shape(sql)
+        except Exception:
+            return None
+        from .datatypes import type_of_literal
+
+        shape_key = (shape, tuple(type_of_literal(v) for v in values))
+        return cache.peek(shape_key, values, self._plan_cache_env(),
+                          self._plan_cache_stats_sig)
+
     def _plan_with_trace(
         self, query: "str | ast.Query", optimize: bool, sql: str | None = None,
         query_id: str | None = None,
@@ -628,9 +938,11 @@ class Database:
             physical = optimize
         if not analyze:
             plan = self.plan_for(sql, optimize)
-            if physical:
-                return explain_plan(self._executor.compile(plan))
-            return explain_plan(plan)
+            text = (explain_plan(self._executor.compile(plan)) if physical
+                    else explain_plan(plan))
+            if optimize and self._plan_cache_peek(sql) is not None:
+                text += "\n(cached)"
+            return text
         from .observability.instrument import render_analyze, run_analyzed
 
         plan = self.plan_for(sql, optimize)

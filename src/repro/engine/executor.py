@@ -203,11 +203,6 @@ class Executor:
         previous_collector = self._collector
         if collector is not None:
             self._collector = collector
-        # Each execution gets its own kernel tally (a nested scalar-subquery
-        # execute tallies separately and restores ours); activating None is
-        # the vectorized=False gate — kernels never engage without a tally.
-        tally = kernels.KernelTally() if self._vectorized else None
-        previous_tally = kernels.activate(tally)
         try:
             # Scalar-subquery resolution may rewrite the tree; record the
             # tree that actually runs so EXPLAIN ANALYZE annotates it.
@@ -217,8 +212,48 @@ class Executor:
                 resolved, used,
                 estimate=self._plan_feedback or collector is not None,
             )
+            return self._drain(resolved, physical, txn,
+                               instrumented=collector is not None)
+        finally:
+            self._deadline = previous_deadline
+            self._collector = previous_collector
+
+    def execute_physical(
+        self, resolved: ops.LogicalOp, physical, txn: Transaction,
+        collector=None, deadline: float | None = None,
+    ) -> QueryResult:
+        """Run a prebuilt physical operator tree (the plan-cache hit path).
+
+        ``resolved`` is the logical plan the tree was compiled from — only
+        its ``output`` columns are consulted, for result naming.  The tree
+        must be free of scalar subqueries (the cache refuses such plans).
+        """
+        previous_deadline = self._deadline
+        if deadline is not None:
+            self._deadline = deadline
+        previous_collector = self._collector
+        if collector is not None:
+            self._collector = collector
+        try:
+            return self._drain(resolved, physical, txn,
+                               instrumented=collector is not None)
+        finally:
+            self._deadline = previous_deadline
+            self._collector = previous_collector
+
+    def _drain(
+        self, resolved: ops.LogicalOp, physical, txn: Transaction, *,
+        instrumented: bool,
+    ) -> QueryResult:
+        """Stream ``physical`` to completion and materialize the result."""
+        # Each execution gets its own kernel tally (a nested scalar-subquery
+        # execute tallies separately and restores ours); activating None is
+        # the vectorized=False gate — kernels never engage without a tally.
+        tally = kernels.KernelTally() if self._vectorized else None
+        previous_tally = kernels.activate(tally)
+        try:
             active = self._collector
-            if active is not None and collector is not None:
+            if active is not None and instrumented:
                 active.root = physical
             ctx = ExecContext(
                 self._catalog, txn,
@@ -256,8 +291,6 @@ class Executor:
             return QueryResult(names, chunk.rows(cids))
         finally:
             kernels.activate(previous_tally)
-            self._deadline = previous_deadline
-            self._collector = previous_collector
 
     def _flush_tally(self, tally, physical, collector) -> None:
         """Fold this execution's kernel accounting into the engine-wide

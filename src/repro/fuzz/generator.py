@@ -175,12 +175,13 @@ class Case:
 
     def build(
         self, batch_size: int = 1024, profile: str | None = None,
-        vectorized: bool = True,
+        vectorized: bool = True, plan_cache_size: int = 128,
     ) -> Database:
         """A fresh database loaded with this case's schema, rows, and views."""
         db = Database(
             profile=profile or self.profile, wal_enabled=False,
             batch_size=batch_size, vectorized=vectorized,
+            plan_cache_size=plan_cache_size,
         )
         for table in self.tables:
             db.execute(table.sql)

@@ -337,6 +337,57 @@ def run_vectorized_differential(
 
 
 # ---------------------------------------------------------------------------
+# oracle 5: plan-cache differential
+# ---------------------------------------------------------------------------
+
+
+def run_plan_cache_differential(
+    case: Case, tally: dict | None = None
+) -> Discrepancy | None:
+    """A plan served from the plan cache must be indistinguishable from a
+    fresh compile.  One arm keeps a plan cache (so the same statement runs
+    as miss, then promotion, then hit), the other compiles every time
+    (``plan_cache_size=0``); every round must agree.  Then the cache's
+    *invalidation* precision is exercised: a view deploy, a view drop, and
+    an optimizer-profile change — each applied to both arms — must leave
+    the cached arm serving correct (re-validated or re-compiled) plans."""
+    oracle = "plan-cache-differential"
+    mode = comparison_mode(case)
+    cached = case.build(plan_cache_size=64)
+    fresh = case.build(plan_cache_size=0)
+    sql = case.sql() if mode != "subset" else case.sql(limited=False)
+    compare_as = mode if mode != "subset" else "multiset"
+
+    def compare(label: str) -> Discrepancy | None:
+        cached_result, cached_err = _run(cached, sql, tally)
+        fresh_result, fresh_err = _run(fresh, sql, tally)
+        return _compare_arms(
+            oracle, f"cached[{label}]", cached_result, cached_err,
+            f"fresh[{label}]", fresh_result, fresh_err, compare_as,
+        )
+
+    for label in ("miss", "promote", "hit"):
+        found = compare(label)
+        if found is not None:
+            return found
+    anchor = case.tables[0].name
+    for db in (cached, fresh):
+        db.execute(f"create view pc_probe_v as select * from {anchor}")
+    found = compare("view-deploy")
+    if found is not None:
+        return found
+    for db in (cached, fresh):
+        db.execute("drop view pc_probe_v")
+    found = compare("view-drop")
+    if found is not None:
+        return found
+    profile = "postgres" if case.profile != "postgres" else "hana"
+    for db in (cached, fresh):
+        db.set_profile(profile)
+    return compare("profile-change")
+
+
+# ---------------------------------------------------------------------------
 # the suite
 # ---------------------------------------------------------------------------
 
@@ -345,6 +396,7 @@ ORACLES = {
     "batch-metamorphic": run_batch_metamorphic,
     "limit-metamorphic": run_limit_metamorphic,
     "vectorized-differential": run_vectorized_differential,
+    "plan-cache-differential": run_plan_cache_differential,
 }
 
 

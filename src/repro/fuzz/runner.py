@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 
 from ..observability import MetricsRegistry
 from .generator import Case, WorkloadGenerator
-from .oracles import ORACLES, Discrepancy
+from .oracles import ORACLES, Discrepancy, _compare_arms, _run
 from .reducer import reduce_case
 
 
@@ -199,9 +199,12 @@ def replay_corpus_file(path: str, tally: dict | None = None) -> list[Discrepancy
 
     Entries default to ``kind == "case"`` (a fuzz case replayed through
     every oracle); ``kind == "sys_selfref"`` entries instead replay raw
-    SQL against the ``sys.*`` introspection schema, and
+    SQL against the ``sys.*`` introspection schema,
     ``kind == "qerror_probe"`` entries check the plan-feedback invariant
-    (exactly one est/actual row per physical operator).
+    (exactly one est/actual row per physical operator), and
+    ``kind == "plan_cache_diff"`` entries run raw SQL against a
+    plan-cached arm and a fresh-compile arm, re-sweeping after every DDL
+    step.
     """
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
@@ -209,6 +212,8 @@ def replay_corpus_file(path: str, tally: dict | None = None) -> list[Discrepancy
         return _replay_sys_selfref(payload, tally=tally)
     if payload.get("kind") == "qerror_probe":
         return _replay_qerror_probe(payload, tally=tally)
+    if payload.get("kind") == "plan_cache_diff":
+        return _replay_plan_cache_diff(payload, tally=tally)
     case = Case.from_dict(payload)
     found = []
     for oracle in ORACLES.values():
@@ -253,6 +258,56 @@ def _replay_sys_selfref(
                 ))
     finally:
         db.close()
+    return found
+
+
+def _replay_plan_cache_diff(
+    payload: dict, tally: dict | None = None
+) -> list[Discrepancy]:
+    """Plan-cache differential over raw SQL: every query runs twice
+    against a plan-cached database (the second run takes the hit path)
+    and once against a fresh-compile database (``plan_cache_size=0``);
+    the pairs must agree as multisets.  After every DDL step in
+    ``payload["ddl"]`` — applied to both arms — the full query list
+    re-sweeps, so stale cached plans surviving an invalidation show up
+    as a result divergence."""
+    from ..database import Database
+
+    batch_size = payload.get("batch_size", 1024)
+    found: list[Discrepancy] = []
+    cached = Database(
+        wal_enabled=False, batch_size=batch_size,
+        plan_cache_size=payload.get("plan_cache_size", 64),
+    )
+    fresh = Database(
+        wal_enabled=False, batch_size=batch_size, plan_cache_size=0,
+    )
+    try:
+        for statement in payload.get("setup", ()):
+            cached.execute(statement)
+            fresh.execute(statement)
+
+        def sweep(label: str) -> None:
+            for sql in payload.get("queries", ()):
+                _run(cached, sql, tally)  # miss / promotion run
+                cached_result, cached_err = _run(cached, sql, tally)  # hit
+                fresh_result, fresh_err = _run(fresh, sql, tally)
+                diff = _compare_arms(
+                    "plan-cache-diff", f"cached[{label}]",
+                    cached_result, cached_err,
+                    f"fresh[{label}]", fresh_result, fresh_err, "multiset",
+                )
+                if diff is not None:
+                    found.append(diff)
+
+        sweep("initial")
+        for step, ddl in enumerate(payload.get("ddl", ()), start=1):
+            cached.execute(ddl)
+            fresh.execute(ddl)
+            sweep(f"ddl-{step}")
+    finally:
+        cached.close()
+        fresh.close()
     return found
 
 

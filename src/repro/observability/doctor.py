@@ -75,6 +75,32 @@ def doctor_report(db, top: int = 5) -> str:
         lines.append(f"    {o.query_id}: {sql_for(o.query_id)}")
 
     lines.append("")
+    lines.append("-- plan cache --")
+    cache = getattr(db, "plan_cache", None)
+    if cache is None:
+        lines.append("(disabled)")
+    else:
+        lines.append(
+            f"entries={len(cache)}/{cache.capacity}  "
+            f"hits={cache.hits}  misses={cache.misses}  "
+            f"hit_rate={cache.hit_rate * 100:.1f}%  "
+            f"evictions={cache.evictions}  "
+            f"invalidations={cache.invalidations}  "
+            f"uncacheable_shapes={cache.uncacheable}  "
+            f"approx={cache.approx_bytes() / 1024:.1f}KB"
+        )
+        hottest = sorted(cache.entries(), key=lambda e: e.hits, reverse=True)[:top]
+        for entry in hottest:
+            if not entry.hits:
+                continue
+            shape = entry.shape if len(entry.shape) <= 80 else entry.shape[:77] + "..."
+            lines.append(
+                f"hits={entry.hits:6d}  params={len(entry.param_types)}"
+                f"(free={len(entry.free_slots)})  ops={entry.operators_after}"
+            )
+            lines.append(f"    {shape}")
+
+    lines.append("")
     lines.append("-- regressed query shapes (window median > factor x baseline) --")
     db.shape_baselines.sync(db.query_log)
     regressed = db.shape_baselines.regressed_shapes()

@@ -33,6 +33,8 @@ Tables:
 ``sys.sessions``        live serving sessions: tenant, state, counters
 ``sys.admission``       admission queue depth plus per-tenant shed /
                         rate-limit / breaker state
+``sys.plan_cache``      parameterized plan-cache entries: shape, free /
+                        fixed parameter split, hits, approximate bytes
 """
 
 from __future__ import annotations
@@ -267,6 +269,25 @@ def install_sys_tables(db) -> None:
         lambda: _admission_rows(db),
     ))
 
+    register(SysTable(
+        _schema(
+            "sys.plan_cache",
+            ("shape", dt.varchar()),
+            ("param_types", dt.varchar()),
+            ("params", dt.BIGINT),
+            ("free_params", dt.BIGINT),
+            ("fixed_values", dt.varchar()),
+            ("tables", dt.varchar()),
+            ("hits", dt.BIGINT),
+            ("operators", dt.BIGINT),
+            ("approx_bytes", dt.BIGINT),
+            ("has_physical", dt.BOOLEAN),
+            ("created_at", dt.DOUBLE),
+            ("last_used_at", dt.DOUBLE),
+        ),
+        lambda: _plan_cache_rows(db),
+    ))
+
 
 def _metric_rows(metrics) -> list[tuple]:
     from .metrics import Counter, Gauge
@@ -307,6 +328,29 @@ def _cache_rows(db) -> list[tuple]:
             info.refresh_count, manager.is_stale(info.name),
         ))
     return rows
+
+
+def _plan_cache_rows(db) -> list[tuple]:
+    cache = getattr(db, "plan_cache", None)
+    if cache is None:
+        return []
+    return [
+        (
+            entry.shape,
+            ",".join(str(t) for t in entry.param_types),
+            len(entry.param_types),
+            len(entry.free_slots),
+            ",".join(f"${slot}={value!r}" for slot, value in entry.fixed_values),
+            ",".join(entry.tables),
+            entry.hits,
+            entry.operators_after,
+            entry.approx_bytes,
+            entry.physical is not None,
+            entry.created_at,
+            entry.last_used_at,
+        )
+        for entry in cache.entries()
+    ]
 
 
 def _session_rows(db) -> list[tuple]:

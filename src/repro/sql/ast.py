@@ -47,9 +47,17 @@ class Star(Expr):
 
 @dataclass(frozen=True)
 class Literal(Expr):
-    """A constant: number, string, boolean, or NULL."""
+    """A constant: number, string, boolean, or NULL.
+
+    ``param_slot`` is set (to the literal's lexical index among the
+    statement's NUMBER/STRING tokens) only when the statement was parsed
+    with ``parameterize=True`` — the plan cache uses it to bind the
+    literal as an opaque :class:`repro.algebra.expr.Param`.  It is
+    excluded from equality so tagged and untagged parses compare equal.
+    """
 
     value: object
+    param_slot: int | None = field(default=None, compare=False)
 
     def __str__(self) -> str:
         if self.value is None:

@@ -23,11 +23,37 @@ def normalize_sql(sql: str) -> str:
     literal replaced by ``?``, single spaces between tokens (none before
     closing punctuation or after opening parens).  Unparseable text is
     returned stripped — a fingerprint must never raise.
+
+    The fallback deliberately does *not* collapse whitespace: text the
+    lexer rejects (e.g. an unterminated string) may differ from another
+    statement only inside a string region, and whitespace-collapsing
+    would merge those distinct statements into one shape.
     """
     try:
         tokens = tokenize(sql)
     except Exception:
-        return " ".join(sql.split())
+        return sql.strip()
+    return _render_tokens(tokens)
+
+
+def extract_shape(sql: str) -> tuple[str, list[object], list[Token]]:
+    """One-pass shape extraction for the plan cache.
+
+    Returns ``(normalized, literal_values, tokens)``: the canonical shape
+    string (identical to :func:`normalize_sql`), the NUMBER/STRING literal
+    values in lexical order (slot order — matching the parser's
+    ``parameterize=True`` numbering), and the token list so the caller can
+    parse without re-lexing.  Raises whatever :func:`tokenize` raises.
+    """
+    tokens = tokenize(sql)
+    values = [
+        token.value for token in tokens
+        if token.type in (TokenType.NUMBER, TokenType.STRING)
+    ]
+    return _render_tokens(tokens), values, tokens
+
+
+def _render_tokens(tokens: list[Token]) -> str:
     parts: list[str] = []
     for token in tokens:
         if token.type is TokenType.EOF:

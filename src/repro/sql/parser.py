@@ -41,9 +41,21 @@ _COMPARISON_OPS = {"=", "<", ">", "<=", ">=", "<>", "!="}
 class Parser:
     """One-token-lookahead recursive-descent parser."""
 
-    def __init__(self, text: str):
-        self._tokens = tokenize(text)
+    def __init__(self, text: str, tokens: list[Token] | None = None,
+                 parameterize: bool = False):
+        self._tokens = tokenize(text) if tokens is None else tokens
         self._pos = 0
+        # Slot map for the plan cache: lexical index of each NUMBER/STRING
+        # token among the statement's literal tokens.  Only the Database
+        # cache-probe path parses with parameterize=True, so view/macro
+        # bodies stored at CREATE VIEW time never carry slots.
+        self._param_slots: dict[int, int] = {}
+        if parameterize:
+            slot = 0
+            for index, token in enumerate(self._tokens):
+                if token.type in (TokenType.NUMBER, TokenType.STRING):
+                    self._param_slots[index] = slot
+                    slot += 1
 
     # -- token helpers ---------------------------------------------------
 
@@ -458,12 +470,10 @@ class Parser:
 
     def _parse_primary(self) -> ast.Expr:
         token = self._peek()
-        if token.type is TokenType.NUMBER:
+        if token.type in (TokenType.NUMBER, TokenType.STRING):
+            slot = self._param_slots.get(self._pos)
             self._advance()
-            return ast.Literal(token.value)
-        if token.type is TokenType.STRING:
-            self._advance()
-            return ast.Literal(token.value)
+            return ast.Literal(token.value, param_slot=slot)
         if token.is_keyword("NULL"):
             self._advance()
             return ast.Literal(None)
@@ -728,9 +738,15 @@ def parse_sql(text: str) -> list[ast.Statement]:
     return Parser(text).parse_script()
 
 
-def parse_statement(text: str) -> ast.Statement:
-    """Parse exactly one SQL statement; trailing tokens are an error."""
-    parser = Parser(text)
+def parse_statement(text: str, tokens: list[Token] | None = None,
+                    parameterize: bool = False) -> ast.Statement:
+    """Parse exactly one SQL statement; trailing tokens are an error.
+
+    ``tokens`` reuses a pre-lexed token list (the plan cache tokenizes
+    once for shape extraction and parse).  ``parameterize`` tags every
+    NUMBER/STRING literal with its lexical slot for generic-plan binding.
+    """
+    parser = Parser(text, tokens=tokens, parameterize=parameterize)
     statement = parser.parse_statement()
     while parser._match_punct(";"):
         pass

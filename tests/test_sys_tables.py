@@ -29,6 +29,7 @@ SYS_TABLE_NAMES = (
     "sys.fault_points",
     "sys.sessions",
     "sys.admission",
+    "sys.plan_cache",
 )
 
 

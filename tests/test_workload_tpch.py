@@ -1,0 +1,105 @@
+"""``workloads/tpch.py`` end to end at tiny scale.
+
+Loads the generator's output into a real database, sanity-checks the
+data (row counts, referential relationships the docstring promises,
+aggregate plausibility), then runs the paper's full evaluation suite
+through ``Database.query`` — each statement twice, so the second run
+takes the plan-cache hit path and must agree with the first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.workloads import create_tpch_schema, load_tpch
+from repro.workloads.queries import all_suites
+
+SCALE = 0.002
+
+
+@pytest.fixture(scope="module")
+def tpch_db():
+    db = Database(wal_enabled=False)
+    create_tpch_schema(db)
+    counts = load_tpch(db, scale=SCALE)
+    # ta/td: the VDM active/draft analogs the Table 4 / Fig. 13 suite uses.
+    db.execute("create table ta (key int primary key, a int, ext int)")
+    db.execute("create table td (key int primary key, a int, ext int)")
+    db.bulk_load("ta", [(i, i * 10, i * 100) for i in range(100)])
+    db.bulk_load("td", [(i, i * 10, i * 100) for i in range(100, 120)])
+    return db, counts
+
+
+def test_load_counts_match_tables(tpch_db):
+    db, counts = tpch_db
+    assert set(counts) == {
+        "region", "nation", "customer", "supplier", "part", "partsupp",
+        "orders", "lineitem",
+    }
+    for table, expected in counts.items():
+        assert db.query(f"select count(*) as n from {table}").scalar() == expected
+
+
+def test_referential_sanity(tpch_db):
+    """The generator promises referential relationships without FKs."""
+    db, _ = tpch_db
+    orphans = db.query(
+        "select count(*) as n from lineitem "
+        "where l_orderkey not in (select o_orderkey from orders)"
+    ).scalar()
+    assert orphans == 0
+    orphans = db.query(
+        "select count(*) as n from orders "
+        "where o_custkey not in (select c_custkey from customer)"
+    ).scalar()
+    assert orphans == 0
+    orphans = db.query(
+        "select count(*) as n from partsupp "
+        "where ps_partkey not in (select p_partkey from part)"
+    ).scalar()
+    assert orphans == 0
+
+
+def test_aggregate_sanity(tpch_db):
+    db, counts = tpch_db
+    assert db.query("select sum(o_totalprice) as s from orders").scalar() > 0
+    statuses = db.query(
+        "select o_orderstatus, count(*) as n from orders group by o_orderstatus"
+    )
+    assert len(statuses.rows) == 3  # O / F / P
+    assert sum(n for _, n in statuses.rows) == counts["orders"]
+    per_order = db.query(
+        "select count(*) as n from "
+        "(select l_orderkey from lineitem group by l_orderkey) g"
+    ).scalar()
+    assert per_order == counts["orders"]  # every order has >= 1 line item
+
+
+def test_uaj_preserves_anchor_cardinality(tpch_db):
+    """UAJ 1 is a left outer join on the customer PK: exactly one output
+    row per order regardless of whether the join is optimized away."""
+    db, counts = tpch_db
+    suite = all_suites()["table1"]
+    result = db.query(suite[0].sql)
+    assert len(result.rows) == counts["orders"]
+
+
+def test_fig6_paging_rowcount(tpch_db):
+    db, _ = tpch_db
+    result = db.query(all_suites()["table2"][0].sql)
+    assert len(result.rows) == 100
+
+
+@pytest.mark.parametrize(
+    "query",
+    [q for suite in all_suites().values() for q in suite],
+    ids=lambda q: q.name,
+)
+def test_suite_query_end_to_end_twice(tpch_db, query):
+    db, _ = tpch_db
+    first = db.query(query.sql)
+    second = db.query(query.sql)  # plan-cache hit path
+    assert first.column_names == second.column_names
+    assert sorted(map(repr, first.rows)) == sorted(map(repr, second.rows))
+    assert len(first.rows) > 0
